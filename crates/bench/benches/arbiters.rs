@@ -1,0 +1,63 @@
+//! Criterion benches of the arbitration primitives: LRG matrix grant
+//! and update across sizes, and CLRG counter maintenance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_core::{ClrgState, MatrixArbiter, WlrgState};
+
+fn bench_matrix_grant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_arbiter_grant");
+    for &n in &[16usize, 64, 128] {
+        let arb = MatrixArbiter::new(n);
+        let requests: Vec<usize> = (0..n).step_by(4).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| arb.grant(black_box(&requests)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_arbiter_update");
+    for &n in &[16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut arb = MatrixArbiter::new(n);
+            let mut i = 0;
+            b.iter(|| {
+                arb.update(i % n);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clrg_record(c: &mut Criterion) {
+    c.bench_function("clrg_record_win_64", |b| {
+        let mut clrg = ClrgState::new(64, 3);
+        let mut i = 0;
+        b.iter(|| {
+            clrg.record_win(i % 64);
+            i += 1;
+        })
+    });
+}
+
+fn bench_wlrg_record(c: &mut Criterion) {
+    c.bench_function("wlrg_record_win_13", |b| {
+        let mut wlrg = WlrgState::new(13);
+        let mut i = 0;
+        b.iter(|| {
+            wlrg.record_win(i % 13, 4);
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_grant,
+    bench_matrix_update,
+    bench_clrg_record,
+    bench_wlrg_record
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches of a full arbitration cycle on each fabric: the
+//! cost of `Fabric::arbitrate` under a saturating request set.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_core::{
+    ArbitrationScheme, Fabric, HiRiseConfig, HiRiseSwitch, InputId, OutputId, Request, Switch2d,
+};
+
+fn full_request_set(radix: usize) -> Vec<Request> {
+    (0..radix)
+        .map(|i| Request::new(InputId::new(i), OutputId::new((i * 7 + 3) % radix)))
+        .collect()
+}
+
+fn arbitrate_release<F: Fabric>(fabric: &mut F, requests: &[Request]) -> usize {
+    let grants = fabric.arbitrate(requests);
+    let n = grants.len();
+    for grant in grants {
+        fabric.release(grant.input);
+    }
+    n
+}
+
+fn bench_switch2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch2d_arbitrate");
+    for &radix in &[16usize, 64, 128] {
+        let requests = full_request_set(radix);
+        group.bench_with_input(BenchmarkId::from_parameter(radix), &radix, |b, &radix| {
+            let mut sw = Switch2d::new(radix);
+            b.iter(|| arbitrate_release(&mut sw, black_box(&requests)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hirise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hirise_arbitrate_64");
+    for (label, scheme) in [
+        ("l2l_lrg", ArbitrationScheme::LayerToLayerLrg),
+        ("wlrg", ArbitrationScheme::WeightedLrg),
+        ("clrg", ArbitrationScheme::class_based()),
+    ] {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        let requests = full_request_set(64);
+        group.bench_function(label, |b| {
+            let mut sw = HiRiseSwitch::new(&cfg);
+            b.iter(|| arbitrate_release(&mut sw, black_box(&requests)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch2d, bench_hirise);
+criterion_main!(benches);

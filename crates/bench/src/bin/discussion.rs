@@ -1,0 +1,56 @@
+//! §VI-E discussion numbers: the power chain against other topologies
+//! and the kilo-core composition argument.
+//!
+//! The paper: "2D Swizzle-Switch [...] power is 33% better than mesh
+//! and 28% better than flattened butterfly. Hi-Rise further improves
+//! over the 2D Swizzle-Switch power by about 38%, giving us about 58%
+//! power savings over flattened butterfly. The system speedup of
+//! Hi-Rise over flattened butterfly is approximately 13%."
+//!
+//! We measure the Hi-Rise-vs-2D leg with our own models and compose it
+//! with the published Swizzle-Switch-vs-mesh/butterfly legs (from
+//! Sewell et al., JETCAS 2012, which the paper cites for them).
+
+use hirise_core::HiRiseConfig;
+use hirise_phys::SwitchDesign;
+
+/// Power at a given flit throughput: `flits/ns * pJ/flit / 1000` watts.
+fn power_w(flits_per_ns: f64, energy_pj: f64) -> f64 {
+    flits_per_ns * energy_pj / 1000.0
+}
+
+fn main() {
+    let flat = SwitchDesign::flat_2d(64);
+    let hirise = SwitchDesign::hirise(&HiRiseConfig::paper_optimal());
+
+    // Iso-throughput comparison: every interconnect moves the same
+    // traffic (say 10 flits/ns of 128-bit flits); energy/transaction is
+    // what differs.
+    let flits_per_ns = 10.0;
+    let p_hirise = power_w(flits_per_ns, hirise.energy_per_transaction_pj());
+    let p_2d = power_w(flits_per_ns, flat.energy_per_transaction_pj());
+    // Published legs (paper §VI-E, citing [12]): the 2D Swizzle-Switch
+    // is 33% better than a mesh and 28% better than a flattened
+    // butterfly at this system scale.
+    let p_mesh = p_2d / (1.0 - 0.33);
+    let p_fb = p_2d / (1.0 - 0.28);
+
+    println!("§VI-E power chain at {flits_per_ns} flits/ns (iso-throughput):\n");
+    println!("  mesh                : {p_mesh:6.3} W  (paper leg: 2D is 33% better)");
+    println!("  flattened butterfly : {p_fb:6.3} W  (paper leg: 2D is 28% better)");
+    println!("  2D Swizzle-Switch   : {p_2d:6.3} W  (measured energy model)");
+    println!("  Hi-Rise CLRG        : {p_hirise:6.3} W  (measured energy model)");
+    println!();
+    println!(
+        "  Hi-Rise vs 2D       : {:+.1}%  (paper: about -38%)",
+        100.0 * (p_hirise / p_2d - 1.0)
+    );
+    println!(
+        "  Hi-Rise vs butterfly: {:+.1}%  (paper: about -58%)",
+        100.0 * (p_hirise / p_fb - 1.0)
+    );
+    println!();
+    println!("Kilo-core composition (Fig. 13): see `--bin fig13` for the");
+    println!("flit-level mesh-of-Hi-Rise simulation and the `kilocore_mesh`");
+    println!("example for the hop-count argument for concentration.");
+}

@@ -1,0 +1,67 @@
+//! Fig. 10: packet latency (ns) versus offered load (packets/input/ns)
+//! under uniform random traffic, for the 2D switch, Hi-Rise with
+//! channel multiplicity 4/2/1, and the 3D folded baseline.
+//!
+//! Latency is simulated in cycles and scaled by each design's clock
+//! period; load in packets/input/ns is mapped to packets/input/cycle
+//! per design frequency, so the x-axis matches the paper's.
+
+use hirise_bench::{build_fabric, RunScale, Table};
+use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_phys::{ns_from_cycles, SwitchDesign};
+use hirise_sim::traffic::UniformRandom;
+use hirise_sim::NetworkSim;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut designs: Vec<(&str, SwitchDesign)> = vec![
+        ("2D", SwitchDesign::flat_2d(64)),
+        ("3D Folded", SwitchDesign::folded(64, 4)),
+    ];
+    for c in [4usize, 2, 1] {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(c)
+            .scheme(ArbitrationScheme::LayerToLayerLrg)
+            .build()
+            .expect("valid configuration");
+        let name: &str = match c {
+            4 => "3D 4-Channel",
+            2 => "3D 2-Channel",
+            _ => "3D 1-Channel",
+        };
+        designs.push((name, SwitchDesign::hirise(&cfg)));
+    }
+
+    println!("Fig. 10: latency (ns) vs load (packets/input/ns), uniform random\n");
+    let loads_per_ns: Vec<f64> = (1..=7).map(|i| 0.05 * i as f64).collect();
+    let mut headers = vec!["load(p/ns)".to_string()];
+    headers.extend(designs.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+
+    for &load in &loads_per_ns {
+        let mut cells = vec![format!("{load:.2}")];
+        for (_, design) in &designs {
+            let freq = design.frequency_ghz();
+            let rate_per_cycle = load / freq;
+            if rate_per_cycle >= 1.0 {
+                cells.push("-".into());
+                continue;
+            }
+            let cfg = scale.sim_config(64).injection_rate(rate_per_cycle);
+            let report =
+                NetworkSim::new(build_fabric(design.point()), UniformRandom::new(64), cfg).run();
+            if report.is_stable() {
+                cells.push(format!(
+                    "{:.2}",
+                    ns_from_cycles(report.avg_latency_cycles(), freq)
+                ));
+            } else {
+                cells.push("sat".into());
+            }
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    println!("\npaper: zero-load latency of the 3D configurations ~20% below 2D;");
+    println!("1-channel saturates first, then 2-channel, then folded/2D, 4-channel last.");
+}

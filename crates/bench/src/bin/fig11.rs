@@ -1,0 +1,158 @@
+//! Fig. 11: fairness of the arbitration schemes.
+//!
+//! * Panel **a** — per-input latency under hotspot traffic (all 64
+//!   inputs request output 63 on layer 4) at 80% of the hotspot
+//!   saturation load; L-2-L LRG starves the hotspot layer's own inputs
+//!   {48..63}, CLRG restores flat-2D fairness.
+//! * Panel **b** — aggregate throughput (packets/ns) vs load under
+//!   uniform random traffic for 2D and the three 3D schemes.
+//! * Panel **c** — per-input throughput for the paper's adversarial
+//!   pattern ({3,7,11,15} on L1 and {20} on L2 all requesting
+//!   output 63).
+//!
+//! Run with an optional panel argument (`a`, `b`, `c`); default all.
+
+use hirise_bench::{build_fabric, RunScale, Table};
+use hirise_core::{ArbitrationScheme, HiRiseConfig, OutputId};
+use hirise_phys::{packets_per_ns, SwitchDesign};
+use hirise_sim::traffic::{paper_adversarial, Hotspot, TrafficPattern, UniformRandom};
+use hirise_sim::NetworkSim;
+
+/// The four designs of Fig. 11 with their frequencies.
+fn designs() -> Vec<(&'static str, SwitchDesign)> {
+    let mut v: Vec<(&'static str, SwitchDesign)> = vec![("2D", SwitchDesign::flat_2d(64))];
+    for (name, scheme) in [
+        ("3D L-2-L LRG", ArbitrationScheme::LayerToLayerLrg),
+        ("3D WLRG", ArbitrationScheme::WeightedLrg),
+        ("3D CLRG", ArbitrationScheme::class_based()),
+    ] {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        v.push((name, SwitchDesign::hirise(&cfg)));
+    }
+    v
+}
+
+fn run_pattern(
+    design: &SwitchDesign,
+    pattern: impl TrafficPattern,
+    rate_per_cycle: f64,
+    scale: &RunScale,
+) -> hirise_sim::SimReport {
+    let cfg = scale.sim_config(64).injection_rate(rate_per_cycle);
+    NetworkSim::new(build_fabric(design.point()), pattern, cfg).run()
+}
+
+/// Hotspot saturation: one output serves a packet every
+/// `packet_len + 1` cycles, shared by 64 inputs.
+const HOTSPOT_SAT_PER_INPUT: f64 = 0.2 / 64.0;
+
+fn panel_a(scale: &RunScale) {
+    println!("Fig. 11a: per-input latency (cycles), hotspot all->63 @ 80% sat\n");
+    let rate = 0.8 * HOTSPOT_SAT_PER_INPUT;
+    let mut results = Vec::new();
+    for (name, design) in designs() {
+        let report = run_pattern(&design, Hotspot::new(OutputId::new(63)), rate, scale);
+        results.push((name, report));
+    }
+    let mut table = Table::new(["input", "2D", "3D L-2-L LRG", "3D WLRG", "3D CLRG"]);
+    for input in 0..64 {
+        let mut cells = vec![format!("{input}")];
+        for (_, report) in &results {
+            cells.push(
+                report
+                    .input_avg_latency_cycles(input)
+                    .map_or("-".into(), |l| format!("{l:.0}")),
+            );
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    // Summarise the fairness gap: local layer (inputs 48..63, same layer
+    // as output 63) vs remote layers.
+    println!();
+    for (name, report) in &results {
+        let avg = |range: std::ops::Range<usize>| {
+            let v: Vec<f64> = range
+                .filter_map(|i| report.input_avg_latency_cycles(i))
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        println!(
+            "{name:14} remote inputs avg {:7.1} cy | local inputs (48..63) avg {:7.1} cy",
+            avg(0..48),
+            avg(48..64)
+        );
+    }
+    println!("\npaper: L-2-L LRG shows a wide local-vs-remote gap; CLRG/WLRG/2D are flat.\n");
+}
+
+fn panel_b(scale: &RunScale) {
+    println!("Fig. 11b: throughput (packets/ns) vs load (packets/input/ns), UR\n");
+    let ds = designs();
+    let mut headers = vec!["load(p/ns)".to_string()];
+    headers.extend(ds.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+    for i in 1..=9 {
+        let load_per_ns = 0.05 * i as f64;
+        let mut cells = vec![format!("{load_per_ns:.2}")];
+        for (_, design) in &ds {
+            let freq = design.frequency_ghz();
+            let rate = (load_per_ns / freq).min(1.0);
+            let report = run_pattern(design, UniformRandom::new(64), rate, scale);
+            cells.push(format!(
+                "{:.2}",
+                packets_per_ns(report.accepted_rate(), freq)
+            ));
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    println!("\npaper: all 3D schemes saturate ~15% above 2D; L-2-L LRG marginally");
+    println!("above CLRG (it clocks slightly faster).\n");
+}
+
+fn panel_c(scale: &RunScale) {
+    println!("Fig. 11c: per-input throughput (packets/ns), adversarial pattern\n");
+    // The five contenders share one output: saturation is one packet per
+    // 5 cycles across them; inject well above each input's fair share.
+    let rate = 0.2;
+    let mut table = Table::new(["input", "2D", "3D L-2-L LRG", "3D WLRG", "3D CLRG"]);
+    let mut per_design = Vec::new();
+    for (_, design) in designs() {
+        let freq = design.frequency_ghz();
+        let report = run_pattern(&design, paper_adversarial(), rate, scale);
+        per_design.push((freq, report));
+    }
+    for input in [3usize, 7, 11, 15, 20] {
+        let mut cells = vec![format!("{input}")];
+        for (freq, report) in &per_design {
+            cells.push(format!(
+                "{:.4}",
+                packets_per_ns(report.input_accepted_rate(input), *freq)
+            ));
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    println!("\npaper: L-2-L LRG gives input 20 ~4x the throughput of inputs");
+    println!("3/7/11/15; WLRG and CLRG equalise all five, like the 2D switch.");
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let panel = std::env::args().nth(1).unwrap_or_default();
+    match panel.as_str() {
+        "a" => panel_a(&scale),
+        "b" => panel_b(&scale),
+        "c" => panel_c(&scale),
+        _ => {
+            panel_a(&scale);
+            panel_b(&scale);
+            panel_c(&scale);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 12: sensitivity of the 64-radix 4-channel 4-layer Hi-Rise
+//! switch's frequency and area to TSV pitch (0.4–5 µm), against the 2D
+//! switch's constant values.
+
+use hirise_bench::Table;
+use hirise_core::HiRiseConfig;
+use hirise_phys::{SwitchDesign, Technology};
+
+fn main() {
+    println!("Fig. 12: frequency & area vs TSV pitch, Hi-Rise 64-radix 4-ch 4-layer\n");
+    let cfg = HiRiseConfig::paper_optimal();
+    let flat = SwitchDesign::flat_2d(64);
+    let mut table = Table::new(["pitch(um)", "freq(GHz)", "area(mm2)"]);
+    for tenth in [4u32, 6, 8, 10, 15, 20, 30, 40, 50] {
+        let pitch = tenth as f64 / 10.0;
+        let design = SwitchDesign::hirise(&cfg).with_technology(Technology::with_tsv_pitch(pitch));
+        table.add_row([
+            format!("{pitch:.1}"),
+            format!("{:.2}", design.frequency_ghz()),
+            format!("{:.3}", design.area_mm2()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n2D reference: {:.2} GHz, {:.3} mm2 (pitch-independent)",
+        flat.frequency_ghz(),
+        flat.area_mm2()
+    );
+    let nominal = SwitchDesign::hirise(&cfg);
+    let plus25 = SwitchDesign::hirise(&cfg).with_technology(Technology::with_tsv_pitch(1.0));
+    println!(
+        "+25% pitch: area +{:.2}%, frequency {:.1}% (paper: +1.67%, -1.8%)",
+        100.0 * (plus25.area_mm2() / nominal.area_mm2() - 1.0),
+        100.0 * (plus25.frequency_ghz() / nominal.frequency_ghz() - 1.0),
+    );
+}

@@ -1,0 +1,92 @@
+//! Fig. 9: (a) frequency vs radix for the 2D switch and 3D 1/2/4-channel
+//! Hi-Rise; (b) frequency vs number of stacked layers for radices
+//! 48/64/80/128; (c) energy per 128-bit transaction vs radix.
+//!
+//! The sweeps use the continuous (parametric) circuit model, as the
+//! paper does — design points like 48-radix over 5 layers are model
+//! evaluations, not buildable configurations.
+//!
+//! Run with an optional panel argument (`a`, `b`, `c`); default prints
+//! all three.
+
+use hirise_bench::Table;
+use hirise_phys::{
+    hirise_cycle_ns_parametric, hirise_energy_pj_parametric, SwitchDesign, Technology,
+};
+
+fn freq_3d(radix: usize, layers: usize, c: usize) -> f64 {
+    let tech = Technology::nominal_32nm();
+    1.0 / hirise_cycle_ns_parametric(radix as f64, layers as f64, c as f64, false, &tech)
+}
+
+fn energy_3d(radix: usize, layers: usize, c: usize) -> f64 {
+    let tech = Technology::nominal_32nm();
+    hirise_energy_pj_parametric(radix as f64, layers as f64, c as f64, false, &tech)
+}
+
+fn panel_a() {
+    println!("Fig. 9a: frequency (GHz) vs radix, 4 layers\n");
+    let mut table = Table::new(["radix", "2D", "3D 4-ch", "3D 2-ch", "3D 1-ch"]);
+    for radix in [8usize, 16, 32, 48, 64, 80, 96, 112, 128] {
+        table.add_row([
+            radix.to_string(),
+            format!("{:.2}", SwitchDesign::flat_2d(radix).frequency_ghz()),
+            format!("{:.2}", freq_3d(radix, 4, 4)),
+            format!("{:.2}", freq_3d(radix, 4, 2)),
+            format!("{:.2}", freq_3d(radix, 4, 1)),
+        ]);
+    }
+    table.print();
+    println!("\npaper anchors: 2D@64 1.69; 3D@64 4-ch 2.24, 2-ch 2.46, 1-ch 2.64;");
+    println!("2D faster at low radix, 3D faster beyond ~radix 32, gap widens.\n");
+}
+
+fn panel_b() {
+    println!("Fig. 9b: frequency (GHz) vs stacked layers, 4-channel\n");
+    let radices = [48usize, 64, 80, 128];
+    let mut table = Table::new(["layers", "radix 48", "radix 64", "radix 80", "radix 128"]);
+    for layers in 2..=7 {
+        let mut cells = vec![layers.to_string()];
+        for &radix in &radices {
+            cells.push(format!("{:.2}", freq_3d(radix, layers, 4)));
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    println!("\npaper: 64-radix optimum at 3-5 layers (peak at 4);");
+    println!("higher radices shift the optimum towards more layers.\n");
+}
+
+fn panel_c() {
+    println!("Fig. 9c: energy (pJ per 128-bit transaction) vs radix, 4 layers\n");
+    let mut table = Table::new(["radix", "2D", "3D 4-ch", "3D 2-ch", "3D 1-ch"]);
+    for radix in [8usize, 16, 32, 48, 64, 80, 96, 112, 128] {
+        table.add_row([
+            radix.to_string(),
+            format!(
+                "{:.1}",
+                SwitchDesign::flat_2d(radix).energy_per_transaction_pj()
+            ),
+            format!("{:.1}", energy_3d(radix, 4, 4)),
+            format!("{:.1}", energy_3d(radix, 4, 2)),
+            format!("{:.1}", energy_3d(radix, 4, 1)),
+        ]);
+    }
+    table.print();
+    println!("\npaper anchors: 2D@64 71 pJ; 3D@64 4-ch 42, 2-ch 39, 1-ch 37;");
+    println!("3D energy grows at a much gentler slope than 2D.");
+}
+
+fn main() {
+    let panel = std::env::args().nth(1).unwrap_or_default();
+    match panel.as_str() {
+        "a" => panel_a(),
+        "b" => panel_b(),
+        "c" => panel_c(),
+        _ => {
+            panel_a();
+            panel_b();
+            panel_c();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's headline comparison (§I, §VI-A): a 64-radix, 128-bit,
+//! 4-layer Hi-Rise with CLRG versus the flat 2D Swizzle-Switch —
+//! throughput, area, zero-load latency and energy per transaction.
+//!
+//! Paper: 10.65 Tbps; +15% throughput, −33% area, −20% latency, −38%
+//! energy vs 2D.
+
+use hirise_bench::{build_fabric, saturation_tbps, RunScale};
+use hirise_core::HiRiseConfig;
+use hirise_phys::{ns_from_cycles, SwitchDesign};
+use hirise_sim::traffic::UniformRandom;
+use hirise_sim::NetworkSim;
+
+fn zero_load_latency_ns(design: &SwitchDesign, scale: &RunScale) -> f64 {
+    let cfg = scale.sim_config(64).injection_rate(0.005);
+    let report = NetworkSim::new(build_fabric(design.point()), UniformRandom::new(64), cfg).run();
+    ns_from_cycles(report.avg_latency_cycles(), design.frequency_ghz())
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let flat = SwitchDesign::flat_2d(64);
+    let hirise = SwitchDesign::hirise(&HiRiseConfig::paper_optimal());
+
+    let t_flat = saturation_tbps(&flat, &scale);
+    let t_hirise = saturation_tbps(&hirise, &scale);
+    let l_flat = zero_load_latency_ns(&flat, &scale);
+    let l_hirise = zero_load_latency_ns(&hirise, &scale);
+
+    println!("Headline: Hi-Rise 64-radix 4-channel 4-layer CLRG vs 2D\n");
+    println!(
+        "throughput : {t_hirise:6.2} vs {t_flat:6.2} Tbps  ({:+.1}%)   paper: 10.65 Tbps, +15%",
+        100.0 * (t_hirise / t_flat - 1.0)
+    );
+    println!(
+        "area       : {:6.3} vs {:6.3} mm2   ({:+.1}%)   paper: -33%",
+        hirise.area_mm2(),
+        flat.area_mm2(),
+        100.0 * (hirise.area_mm2() / flat.area_mm2() - 1.0)
+    );
+    println!(
+        "latency    : {l_hirise:6.2} vs {l_flat:6.2} ns    ({:+.1}%)   paper: -20%",
+        100.0 * (l_hirise / l_flat - 1.0)
+    );
+    println!(
+        "energy     : {:6.1} vs {:6.1} pJ    ({:+.1}%)   paper: -38%",
+        hirise.energy_per_transaction_pj(),
+        flat.energy_per_transaction_pj(),
+        100.0 * (hirise.energy_per_transaction_pj() / flat.energy_per_transaction_pj() - 1.0)
+    );
+    println!(
+        "\nfrequency  : {:.2} GHz (paper 2.2), area {:.3} mm2 (paper 0.451), energy {:.0} pJ (paper 44)",
+        hirise.frequency_ghz(),
+        hirise.area_mm2(),
+        hirise.energy_per_transaction_pj()
+    );
+
+    // §I scalability claim: Hi-Rise reaches radix 96 at the 2D switch's
+    // radix-64 operating frequency.
+    let cfg96 = HiRiseConfig::builder(96, 4)
+        .channel_multiplicity(4)
+        .build()
+        .expect("valid configuration");
+    let hirise96 = SwitchDesign::hirise(&cfg96);
+    println!(
+        "scalability: Hi-Rise radix 96 runs at {:.2} GHz vs 2D radix 64 at {:.2} GHz \
+         (paper: 96 vs 64 iso-frequency)",
+        hirise96.frequency_ghz(),
+        flat.frequency_ghz()
+    );
+}

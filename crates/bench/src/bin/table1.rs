@@ -1,0 +1,23 @@
+//! Table I: implementation cost of 2D versus 3D folded switch
+//! implementations for 64-radix (the 3D switch has 4 layers).
+//!
+//! Paper values: 2D 0.672 mm², 1.69 GHz, 71 pJ, 9.24 Tbps, 0 TSVs;
+//! folded 0.705 mm², 1.58 GHz, 73 pJ, 8.86 Tbps, 8192 TSVs.
+
+use hirise_bench::{CostRow, RunScale, Table};
+use hirise_phys::SwitchDesign;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("Table I: 2D vs 3D folded, radix 64, 128-bit, uniform random\n");
+    let mut table = Table::new(CostRow::headers());
+    for (name, design) in [
+        ("2D", SwitchDesign::flat_2d(64)),
+        ("3D Folded", SwitchDesign::folded(64, 4)),
+    ] {
+        let row = CostRow::measure(name, &design, &scale);
+        table.add_row(row.cells());
+    }
+    table.print();
+    println!("\npaper: 2D 0.672/1.69/71/9.24/0; folded 0.705/1.58/73/8.86/8192");
+}

@@ -1,0 +1,43 @@
+//! Table IV: implementation cost of the full design space for
+//! 64-radix — 2D, 3D folded, and Hi-Rise with channel multiplicity
+//! 4, 2 and 1 (baseline L-2-L LRG arbitration, as in the paper's
+//! datapath study §VI-A).
+
+use hirise_bench::{CostRow, RunScale, Table};
+use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_phys::SwitchDesign;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("Table IV: 64-radix design space, 4 layers, uniform random\n");
+    let mut table = Table::new(CostRow::headers());
+    let mut rows = vec![
+        ("2D", SwitchDesign::flat_2d(64)),
+        ("3D Folded", SwitchDesign::folded(64, 4)),
+    ];
+    for c in [4usize, 2, 1] {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(c)
+            .scheme(ArbitrationScheme::LayerToLayerLrg)
+            .build()
+            .expect("valid configuration");
+        rows.push((
+            match c {
+                4 => "3D 4-Channel",
+                2 => "3D 2-Channel",
+                _ => "3D 1-Channel",
+            },
+            SwitchDesign::hirise(&cfg),
+        ));
+    }
+    for (name, design) in rows {
+        table.add_row(CostRow::measure(name, &design, &scale).cells());
+    }
+    table.print();
+    println!();
+    println!("paper:        2D 0.672/1.69/71/ 9.24/0");
+    println!("       3D folded 0.705/1.58/73/ 8.86/8192");
+    println!("       3D 4-chan 0.451/2.24/42/10.97/6144");
+    println!("       3D 2-chan 0.315/2.46/39/ 7.65/3072");
+    println!("       3D 1-chan 0.247/2.64/37/ 4.27/1536");
+}

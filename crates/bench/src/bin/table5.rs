@@ -1,0 +1,31 @@
+//! Table V: implementation cost of the arbitration variants for the
+//! 4-channel 4-layer 64-radix switch — 2D baseline, 3D L-2-L LRG and
+//! 3D CLRG. (WLRG is omitted, as in the paper, because its hardware
+//! implementation is infeasible.)
+
+use hirise_bench::{CostRow, RunScale, Table};
+use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_phys::SwitchDesign;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("Table V: arbitration variants, 64-radix 4-channel 4-layer\n");
+    let mut table = Table::new(CostRow::headers());
+    table.add_row(CostRow::measure("2D", &SwitchDesign::flat_2d(64), &scale).cells());
+    for (name, scheme) in [
+        ("3D L-2-L LRG", ArbitrationScheme::LayerToLayerLrg),
+        ("3D CLRG", ArbitrationScheme::class_based()),
+    ] {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        table.add_row(CostRow::measure(name, &SwitchDesign::hirise(&cfg), &scale).cells());
+    }
+    table.print();
+    println!();
+    println!("paper:        2D 0.672/1.69/71/ 9.24/0");
+    println!("       L-2-L LRG 0.451/2.24/42/10.97/6144");
+    println!("            CLRG 0.451/2.20/44/10.65/6144");
+}

@@ -1,0 +1,49 @@
+//! Table VI: eight multi-programmed workloads on the 64-core CMP of
+//! Table III, comparing a 2D Swizzle-Switch interconnect against the
+//! Hi-Rise 4-channel 4-layer CLRG switch. Reports each mix's average
+//! MPKI and the 3D-over-2D system speedup.
+
+use hirise_bench::{RunScale, Table};
+use hirise_core::{HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise_manycore::{table_vi_mixes, CmpSystem, SystemConfig};
+use hirise_phys::SwitchDesign;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let clrg_cfg = HiRiseConfig::paper_optimal();
+    let freq_2d = SwitchDesign::flat_2d(64).frequency_ghz();
+    let freq_3d = SwitchDesign::hirise(&clrg_cfg).frequency_ghz();
+    println!("Table VI: 64-core CMP, 2D @ {freq_2d:.2} GHz vs Hi-Rise CLRG @ {freq_3d:.2} GHz\n");
+    let sys_cfg = SystemConfig::new().instructions_per_core(scale.instructions_per_core);
+    let mut table = Table::new([
+        "Mix",
+        "avg MPKI",
+        "Speedup",
+        "WSpeedup",
+        "paper MPKI",
+        "paper Speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for mix in table_vi_mixes() {
+        let flat = CmpSystem::new(Switch2d::new(64), freq_2d, &mix, sys_cfg.clone()).run();
+        let hirise =
+            CmpSystem::new(HiRiseSwitch::new(&clrg_cfg), freq_3d, &mix, sys_cfg.clone()).run();
+        assert!(flat.finished() && hirise.finished(), "runs must complete");
+        let speedup = hirise.system_ipc() / flat.system_ipc();
+        speedups.push(speedup);
+        table.add_row([
+            mix.name.to_string(),
+            format!("{:.1}", mix.avg_mpki()),
+            format!("{speedup:.3}"),
+            format!("{:.3}", hirise.weighted_speedup(&flat)),
+            format!("{:.1}", mix.paper_avg_mpki),
+            format!("{:.2}", mix.paper_speedup),
+        ]);
+    }
+    table.print();
+    let mean = speedups
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / speedups.len() as f64);
+    println!("\ngeometric-mean speedup: {mean:.3} (paper: ~1.08 average)");
+}

@@ -1,0 +1,190 @@
+//! Canonical experiment runs shared by the table/figure binaries.
+
+use hirise_core::{Fabric, FoldedSwitch, HiRiseSwitch, Switch2d};
+use hirise_phys::{tbps, DesignPoint, SwitchDesign};
+use hirise_sim::traffic::UniformRandom;
+use hirise_sim::{saturation_throughput, SimConfig};
+
+/// Simulation lengths for experiments: `full` for the published
+/// numbers, `quick` for a fast smoke run (pass `quick` on the command
+/// line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunScale {
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Drain cap in cycles.
+    pub drain: u64,
+    /// Instructions per core for CMP runs.
+    pub instructions_per_core: u64,
+}
+
+impl RunScale {
+    /// The scale used for the recorded EXPERIMENTS.md numbers.
+    pub const fn full() -> Self {
+        Self {
+            warmup: 3_000,
+            measure: 30_000,
+            drain: 30_000,
+            instructions_per_core: 20_000,
+        }
+    }
+
+    /// A fast smoke scale (noisier).
+    pub const fn quick() -> Self {
+        Self {
+            warmup: 500,
+            measure: 3_000,
+            drain: 3_000,
+            instructions_per_core: 3_000,
+        }
+    }
+
+    /// Picks the scale from the process arguments (`quick` selects the
+    /// smoke scale).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "quick" || a == "--quick") {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+
+    /// A [`SimConfig`] for this scale at the given radix.
+    pub fn sim_config(&self, radix: usize) -> SimConfig {
+        SimConfig::new(radix)
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .drain(self.drain)
+    }
+}
+
+/// Builds the behavioural fabric for a physical design point.
+pub fn build_fabric(point: &DesignPoint) -> Box<dyn Fabric> {
+    match point {
+        DesignPoint::Flat2d { radix, .. } => Box::new(Switch2d::new(*radix)),
+        DesignPoint::Folded { radix, layers, .. } => Box::new(FoldedSwitch::new(*radix, *layers)),
+        DesignPoint::HiRise(cfg) => Box::new(HiRiseSwitch::new(cfg)),
+        _ => unreachable!("all design points are covered"),
+    }
+}
+
+/// Measures uniform-random saturation throughput in Tbps for a design
+/// (simulated packets/cycle scaled by the design's clock).
+pub fn saturation_tbps(design: &SwitchDesign, scale: &RunScale) -> f64 {
+    let radix = design.point().radix();
+    let fabric = build_fabric(design.point());
+    let packets_per_cycle =
+        saturation_throughput(fabric, UniformRandom::new(radix), &scale.sim_config(radix));
+    tbps(
+        packets_per_cycle,
+        design.frequency_ghz(),
+        design.point().flit_bits(),
+        4,
+    )
+}
+
+/// One row of a Table I/IV/V-style cost comparison.
+#[derive(Clone, Debug)]
+pub struct CostRow {
+    /// Design name ("2D", "3D 4-Channel", ...).
+    pub design: String,
+    /// Configuration label (the paper's notation).
+    pub configuration: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Energy per 128-bit transaction in pJ.
+    pub energy_pj: f64,
+    /// Uniform-random saturation throughput in Tbps.
+    pub throughput_tbps: f64,
+    /// TSVs required.
+    pub tsvs: usize,
+}
+
+impl CostRow {
+    /// Measures a full cost row for `design`.
+    pub fn measure(name: &str, design: &SwitchDesign, scale: &RunScale) -> Self {
+        Self {
+            design: name.to_string(),
+            configuration: design.label(),
+            area_mm2: design.area_mm2(),
+            frequency_ghz: design.frequency_ghz(),
+            energy_pj: design.energy_per_transaction_pj(),
+            throughput_tbps: saturation_tbps(design, scale),
+            tsvs: design.tsv_count(),
+        }
+    }
+
+    /// The row as formatted table cells.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.design.clone(),
+            self.configuration.clone(),
+            format!("{:.3}", self.area_mm2),
+            format!("{:.2}", self.frequency_ghz),
+            format!("{:.0}", self.energy_pj),
+            format!("{:.2}", self.throughput_tbps),
+            format!("{}", self.tsvs),
+        ]
+    }
+
+    /// Headers matching [`cells`](Self::cells).
+    pub fn headers() -> Vec<&'static str> {
+        vec![
+            "Design",
+            "Configuration",
+            "Area(mm2)",
+            "Freq(GHz)",
+            "E/trans(pJ)",
+            "Thpt(Tbps)",
+            "#TSVs",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::HiRiseConfig;
+
+    #[test]
+    fn scale_from_env_defaults_to_full() {
+        // The test binary's args do not contain "quick".
+        assert_eq!(RunScale::from_args(), RunScale::full());
+    }
+
+    #[test]
+    fn builds_every_fabric_kind() {
+        assert_eq!(
+            build_fabric(&DesignPoint::Flat2d {
+                radix: 8,
+                flit_bits: 128
+            })
+            .radix(),
+            8
+        );
+        assert_eq!(
+            build_fabric(&DesignPoint::Folded {
+                radix: 8,
+                layers: 2,
+                flit_bits: 128
+            })
+            .radix(),
+            8
+        );
+        let cfg = HiRiseConfig::builder(8, 2).build().unwrap();
+        assert_eq!(build_fabric(&DesignPoint::HiRise(cfg)).radix(), 8);
+    }
+
+    #[test]
+    fn cost_row_is_self_consistent() {
+        let design = SwitchDesign::flat_2d(16);
+        let row = CostRow::measure("2D", &design, &RunScale::quick());
+        assert_eq!(row.cells().len(), CostRow::headers().len());
+        assert!(row.throughput_tbps > 0.0);
+        assert_eq!(row.tsvs, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Least Recently Granted (LRG) matrix arbiter.
+//!
+//! Models the priority vectors stored in Swizzle-Switch cross-points
+//! (§II-A): a matrix `p` where `p[i][j]` means requestor `i` currently
+//! outranks requestor `j`. Granting is purely combinational (single
+//! cycle); updating moves the winner to the lowest priority, which yields
+//! least-recently-granted order.
+//!
+//! `grant` and `update` are deliberately separate operations: the Hi-Rise
+//! local switch computes a phase-1 winner every cycle but only commits the
+//! priority update when that winner also wins the inter-layer arbitration
+//! (the back-propagated update of §III-B1 that prevents starvation).
+
+use crate::bits::BitSet;
+
+/// An `n`-way LRG matrix arbiter.
+///
+/// The priority relation is kept antisymmetric and total: for any two
+/// distinct requestors exactly one outranks the other, so every non-empty
+/// request set has exactly one winner.
+#[derive(Clone, Debug)]
+pub struct MatrixArbiter {
+    /// `rows[i]` holds bit `j` iff `i` outranks `j`.
+    rows: Vec<BitSet>,
+    n: usize,
+}
+
+impl MatrixArbiter {
+    /// Creates an arbiter over `n` requestors with the default initial
+    /// order: lower indices outrank higher ones.
+    pub fn new(n: usize) -> Self {
+        let order: Vec<usize> = (0..n).collect();
+        Self::with_order(&order)
+    }
+
+    /// Creates an arbiter with an explicit initial priority order,
+    /// `order[0]` being the highest-priority requestor.
+    ///
+    /// This exists so tests can reproduce the paper's worked examples
+    /// (Figs. 4 and 5), which start from particular LRG states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_order(order: &[usize]) -> Self {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &r in order {
+            assert!(r < n && !seen[r], "order must be a permutation of 0..n");
+            seen[r] = true;
+        }
+        let mut rows = vec![BitSet::new(n); n];
+        for (rank, &winner) in order.iter().enumerate() {
+            for &lower in &order[rank + 1..] {
+                rows[winner].insert(lower);
+            }
+        }
+        Self { rows, n }
+    }
+
+    /// Number of requestors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arbiter has zero requestors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns whether requestor `a` currently outranks requestor `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `a == b`.
+    pub fn outranks(&self, a: usize, b: usize) -> bool {
+        assert!(a != b, "a requestor does not outrank itself");
+        self.rows[a].contains(b)
+    }
+
+    /// Picks the highest-priority requestor among `requests`, without
+    /// changing any state. Returns `None` when `requests` is empty.
+    ///
+    /// Duplicates in `requests` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn grant(&self, requests: &[usize]) -> Option<usize> {
+        let mut mask = BitSet::new(self.n);
+        for &r in requests {
+            assert!(r < self.n, "requestor {r} out of range");
+            mask.insert(r);
+        }
+        self.grant_mask(&mask)
+    }
+
+    /// As [`grant`](Self::grant), but taking a pre-built request mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask capacity differs from the arbiter size.
+    pub fn grant_mask(&self, requests: &BitSet) -> Option<usize> {
+        assert_eq!(requests.capacity(), self.n, "request mask size mismatch");
+        requests
+            .iter()
+            .find(|&candidate| self.rows[candidate].is_superset_except(requests, candidate))
+    }
+
+    /// Commits an LRG update: `winner` drops to the lowest priority and
+    /// every other requestor gains priority over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `winner` is out of range.
+    pub fn update(&mut self, winner: usize) {
+        assert!(winner < self.n, "winner {winner} out of range");
+        self.rows[winner].clear();
+        for (other, row) in self.rows.iter_mut().enumerate() {
+            if other != winner {
+                row.insert(winner);
+            }
+        }
+    }
+
+    /// Current priority order, highest first. Intended for tests and
+    /// debugging; it is O(n²).
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        // Rank = number of requestors this one outranks; in a total order
+        // the ranks are all distinct.
+        order.sort_by_key(|&i| std::cmp::Reverse(self.rows[i].len()));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_order_prefers_low_indices() {
+        let arb = MatrixArbiter::new(4);
+        assert_eq!(arb.grant(&[2, 1, 3]), Some(1));
+        assert_eq!(arb.grant(&[0, 1, 2, 3]), Some(0));
+    }
+
+    #[test]
+    fn update_moves_winner_to_back() {
+        let mut arb = MatrixArbiter::new(3);
+        assert_eq!(arb.grant(&[0, 1, 2]), Some(0));
+        arb.update(0);
+        assert_eq!(arb.grant(&[0, 1, 2]), Some(1));
+        arb.update(1);
+        assert_eq!(arb.grant(&[0, 1, 2]), Some(2));
+        arb.update(2);
+        // Back to the original order: least recently granted first.
+        assert_eq!(arb.grant(&[0, 1, 2]), Some(0));
+    }
+
+    #[test]
+    fn grant_without_update_is_stable() {
+        let arb = MatrixArbiter::new(5);
+        for _ in 0..3 {
+            assert_eq!(arb.grant(&[4, 3]), Some(3));
+        }
+    }
+
+    #[test]
+    fn with_order_seeds_exact_priorities() {
+        // The paper's Fig. 4 initial state on L1: 15 > 11 > 7 > 3 (we use a
+        // 4-entry arbiter with that relative order).
+        let arb = MatrixArbiter::with_order(&[3, 2, 1, 0]);
+        assert_eq!(arb.grant(&[0, 1, 2, 3]), Some(3));
+        assert_eq!(arb.priority_order(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_requests_grant_nothing() {
+        let arb = MatrixArbiter::new(4);
+        assert_eq!(arb.grant(&[]), None);
+    }
+
+    #[test]
+    fn single_requestor_always_wins() {
+        let mut arb = MatrixArbiter::new(8);
+        arb.update(5);
+        assert_eq!(arb.grant(&[5]), Some(5));
+    }
+
+    #[test]
+    fn lrg_order_emerges_from_grants() {
+        // Repeatedly granting all requestors cycles through them.
+        let mut arb = MatrixArbiter::new(4);
+        let mut sequence = Vec::new();
+        for _ in 0..8 {
+            let w = arb.grant(&[0, 1, 2, 3]).unwrap();
+            arb.update(w);
+            sequence.push(w);
+        }
+        assert_eq!(sequence, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_requests_are_ignored() {
+        let arb = MatrixArbiter::new(4);
+        assert_eq!(arb.grant(&[2, 2, 3, 3]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn with_order_rejects_duplicates() {
+        let _ = MatrixArbiter::with_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn antisymmetry_is_preserved_by_updates() {
+        let mut arb = MatrixArbiter::new(6);
+        for winner in [3, 1, 4, 1, 5, 0, 2] {
+            arb.update(winner);
+            for a in 0..6 {
+                for b in 0..6 {
+                    if a != b {
+                        assert_ne!(
+                            arb.outranks(a, b),
+                            arb.outranks(b, a),
+                            "antisymmetry violated for ({a},{b})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

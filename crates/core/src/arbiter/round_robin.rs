@@ -1,0 +1,100 @@
+//! Rotating round-robin arbiter.
+//!
+//! Not part of the paper's design — the Swizzle-Switch fabric uses LRG —
+//! but provided as an ablation point (EXPERIMENTS.md) and because the
+//! related-work discussion (§VII) contrasts CLRG with round-robin-based
+//! allocators such as iSLIP. Like [`MatrixArbiter`](super::matrix::MatrixArbiter)
+//! it separates `grant` from `update` so callers can apply the Hi-Rise
+//! back-propagated update rule.
+
+/// An `n`-way round-robin arbiter with a rotating highest-priority pointer.
+#[derive(Clone, Debug)]
+pub struct RoundRobinArbiter {
+    next: usize,
+    n: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `n` requestors, with requestor 0 initially
+    /// at the highest priority.
+    pub fn new(n: usize) -> Self {
+        Self { next: 0, n }
+    }
+
+    /// Number of requestors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the arbiter has zero requestors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Picks the first requestor at or after the rotating pointer.
+    /// Returns `None` when `requests` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn grant(&self, requests: &[usize]) -> Option<usize> {
+        if requests.is_empty() || self.n == 0 {
+            return None;
+        }
+        requests
+            .iter()
+            .inspect(|&&r| assert!(r < self.n, "requestor {r} out of range"))
+            .copied()
+            .min_by_key(|&r| (r + self.n - self.next) % self.n)
+    }
+
+    /// Rotates the pointer past `winner` so it becomes the lowest
+    /// priority next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `winner` is out of range.
+    pub fn update(&mut self, winner: usize) {
+        assert!(winner < self.n, "winner {winner} out of range");
+        self.next = (winner + 1) % self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_through_requestors() {
+        let mut arb = RoundRobinArbiter::new(4);
+        let mut seq = Vec::new();
+        for _ in 0..8 {
+            let w = arb.grant(&[0, 1, 2, 3]).unwrap();
+            arb.update(w);
+            seq.push(w);
+        }
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_non_requestors() {
+        let mut arb = RoundRobinArbiter::new(4);
+        arb.update(0); // pointer at 1
+        assert_eq!(arb.grant(&[0, 3]), Some(3));
+    }
+
+    #[test]
+    fn empty_requests_grant_nothing() {
+        let arb = RoundRobinArbiter::new(4);
+        assert_eq!(arb.grant(&[]), None);
+    }
+
+    #[test]
+    fn grant_without_update_is_stable() {
+        let arb = RoundRobinArbiter::new(4);
+        assert_eq!(arb.grant(&[2, 3]), Some(2));
+        assert_eq!(arb.grant(&[2, 3]), Some(2));
+    }
+}

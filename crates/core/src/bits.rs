@@ -1,0 +1,255 @@
+//! A small fixed-capacity bit set used by the matrix arbiters.
+//!
+//! Radices in this crate are at most a few hundred, so a `Vec<u64>`-backed
+//! set with no growth logic is both simple and fast. The arbiters use it
+//! for request masks and priority-matrix rows.
+
+/// A fixed-capacity set of bits indexed `0..capacity`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold bits `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of bit positions this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) {
+        assert!(index < self.capacity, "bit index {index} out of range");
+        self.words[index / 64] |= 1 << (index % 64);
+    }
+
+    /// Clears bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) {
+        assert!(index < self.capacity, "bit index {index} out of range");
+        self.words[index / 64] &= !(1 << (index % 64));
+    }
+
+    /// Returns whether bit `index` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(index < self.capacity, "bit index {index} out of range");
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Returns whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns whether `self` contains every bit of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Returns whether `self` contains every bit of `other` except
+    /// possibly bit `skip` — equivalent to cloning `other`, removing
+    /// `skip` and calling [`is_superset`](Self::is_superset), without
+    /// the allocation. This is the arbiter's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ or `skip` is out of range.
+    pub fn is_superset_except(&self, other: &BitSet, skip: usize) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        assert!(skip < self.capacity, "bit index {skip} out of range");
+        let skip_word = skip / 64;
+        let skip_mask = !(1u64 << (skip % 64));
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .all(|(w, (a, b))| {
+                let expected = if w == skip_word { b & skip_mask } else { *b };
+                a & expected == expected
+            })
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bit indices, produced by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * 64 + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_index];
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the largest element (capacity = max + 1).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let capacity = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(capacity);
+        for item in items {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = BitSet::new(130);
+        assert!(set.is_empty());
+        set.insert(0);
+        set.insert(64);
+        set.insert(129);
+        assert!(set.contains(0));
+        assert!(set.contains(64));
+        assert!(set.contains(129));
+        assert!(!set.contains(1));
+        assert_eq!(set.len(), 3);
+        set.remove(64);
+        assert!(!set.contains(64));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn iter_visits_bits_in_order() {
+        let mut set = BitSet::new(200);
+        for index in [5, 63, 64, 65, 128, 199] {
+            set.insert(index);
+        }
+        let seen: Vec<usize> = set.iter().collect();
+        assert_eq!(seen, vec![5, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn superset_logic() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        assert!(a.is_superset(&b));
+        assert!(!b.is_superset(&a));
+        b.insert(2);
+        assert!(!a.is_superset(&b));
+    }
+
+    #[test]
+    fn superset_except_matches_clone_and_remove() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(1);
+        b.insert(65);
+        b.insert(3);
+        // a lacks bit 3, so plain superset fails but skipping 3 passes.
+        assert!(!a.is_superset(&b));
+        assert!(a.is_superset_except(&b, 3));
+        assert!(!a.is_superset_except(&b, 65), "still missing bit 3");
+        // Reference behaviour: clone, remove, is_superset.
+        let mut reference = b.clone();
+        reference.remove(3);
+        assert_eq!(a.is_superset(&reference), a.is_superset_except(&b, 3));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut set = BitSet::new(10);
+        set.insert(3);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let set: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(set.capacity(), 10);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let set = BitSet::new(8);
+        let _ = set.contains(8);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let set = BitSet::new(0);
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Configuration for the Hi-Rise 3D switch.
+//!
+//! A [`HiRiseConfig`] captures the architectural parameters of §III of the
+//! paper — radix `N`, stacked layer count `L`, channel multiplicity `c`,
+//! flit width, layer-to-layer channel allocation policy, and the
+//! inter-layer arbitration scheme — and derives the resulting geometry
+//! (local switch dimensions, inter-layer sub-block size, TSV count).
+
+use crate::arbiter::ArbitrationScheme;
+use crate::error::ConfigError;
+use crate::ids::{ChannelId, InputId, LayerId, OutputId};
+
+/// Default flit width in bits (the paper's data-bus width).
+pub const DEFAULT_FLIT_BITS: usize = 128;
+
+/// Policy for assigning a layer-to-layer channel when the channel
+/// multiplicity `c` is greater than one (§III-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ChannelAllocation {
+    /// Each channel services `N/(L*c)` pre-assigned inputs, selected in an
+    /// interleaved fashion (the paper's default and the configuration used
+    /// for all its headline results).
+    #[default]
+    InputBinned,
+    /// Like input binning but keyed on the destination output index.
+    OutputBinned,
+    /// A priority mux chooses among all `N/L` inputs for each channel in
+    /// turn. Utilizes channels better under adversarial traffic but
+    /// serializes the channel arbitration (the delay cost shows up in the
+    /// physical model, not here).
+    PriorityBased,
+}
+
+/// Local-switch arbiter flavour. The paper uses LRG throughout; the
+/// round-robin variant exists for the ablation study in EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum LocalArbiterKind {
+    /// Least Recently Granted matrix arbitration (the paper's design).
+    #[default]
+    Lrg,
+    /// Rotating round-robin priority.
+    RoundRobin,
+}
+
+/// Architectural configuration of a Hi-Rise switch.
+///
+/// Construct via [`HiRiseConfig::builder`]; the builder validates the
+/// divisibility constraints of the paper's geometry. The 64-radix,
+/// 4-layer, 4-channel configuration the paper settles on is
+/// [`HiRiseConfig::paper_optimal`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HiRiseConfig {
+    radix: usize,
+    layers: usize,
+    channel_multiplicity: usize,
+    flit_bits: usize,
+    allocation: ChannelAllocation,
+    scheme: ArbitrationScheme,
+    local_arbiter: LocalArbiterKind,
+}
+
+impl HiRiseConfig {
+    /// Starts building a configuration with `radix` ports spread over
+    /// `layers` silicon layers.
+    pub fn builder(radix: usize, layers: usize) -> HiRiseConfigBuilder {
+        HiRiseConfigBuilder {
+            radix,
+            layers,
+            channel_multiplicity: 1,
+            flit_bits: DEFAULT_FLIT_BITS,
+            allocation: ChannelAllocation::default(),
+            scheme: ArbitrationScheme::default(),
+            local_arbiter: LocalArbiterKind::default(),
+        }
+    }
+
+    /// The configuration the paper selects after its design-space study:
+    /// 64-radix, 4 layers, channel multiplicity 4, input binning, CLRG
+    /// arbitration with 3 classes (§VI-A, §VI-B).
+    pub fn paper_optimal() -> Self {
+        Self::builder(64, 4)
+            .channel_multiplicity(4)
+            .scheme(ArbitrationScheme::class_based())
+            .build()
+            .expect("the paper's optimal configuration is valid")
+    }
+
+    /// Switch radix `N` (number of inputs, equal to number of outputs).
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of stacked silicon layers `L`.
+    #[inline]
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Channel multiplicity `c`: L2LCs between each ordered layer pair.
+    #[inline]
+    pub fn channel_multiplicity(&self) -> usize {
+        self.channel_multiplicity
+    }
+
+    /// Flit (data bus) width in bits.
+    #[inline]
+    pub fn flit_bits(&self) -> usize {
+        self.flit_bits
+    }
+
+    /// Channel allocation policy for `c > 1`.
+    #[inline]
+    pub fn allocation(&self) -> ChannelAllocation {
+        self.allocation
+    }
+
+    /// Inter-layer arbitration scheme.
+    #[inline]
+    pub fn scheme(&self) -> ArbitrationScheme {
+        self.scheme
+    }
+
+    /// Local-switch arbiter flavour.
+    #[inline]
+    pub fn local_arbiter(&self) -> LocalArbiterKind {
+        self.local_arbiter
+    }
+
+    /// Inputs (and outputs) per layer, `N/L`.
+    #[inline]
+    pub fn ports_per_layer(&self) -> usize {
+        self.radix / self.layers
+    }
+
+    /// Outgoing L2LCs per layer, `c * (L - 1)`.
+    #[inline]
+    pub fn channels_per_layer(&self) -> usize {
+        self.channel_multiplicity * (self.layers - 1)
+    }
+
+    /// Columns of the local switch: `N/L` intermediate outputs plus
+    /// `c*(L-1)` L2LC outputs (the paper's `N/L x (N/L + c(L-1))`).
+    #[inline]
+    pub fn local_switch_outputs(&self) -> usize {
+        self.ports_per_layer() + self.channels_per_layer()
+    }
+
+    /// Contenders at each inter-layer sub-block: the incoming L2LCs from
+    /// every other layer plus the one local intermediate output
+    /// (`c*(L-1) + 1`).
+    #[inline]
+    pub fn subblock_inputs(&self) -> usize {
+        self.channels_per_layer() + 1
+    }
+
+    /// Total TSVs, following the paper's counting: each directed
+    /// layer-pair has `c` channels of `flit_bits` vertical wires, giving
+    /// `L*(L-1)*c*flit_bits` (Table IV: 1536 for the 1-channel 64-radix
+    /// 4-layer switch, 6144 for 4-channel).
+    #[inline]
+    pub fn tsv_count(&self) -> usize {
+        self.layers * (self.layers - 1) * self.channel_multiplicity * self.flit_bits
+    }
+
+    /// Layer hosting `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is outside `0..radix`.
+    #[inline]
+    pub fn layer_of_input(&self, input: InputId) -> LayerId {
+        assert!(input.index() < self.radix, "input {input} out of range");
+        LayerId::new(input.index() / self.ports_per_layer())
+    }
+
+    /// Layer hosting `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is outside `0..radix`.
+    #[inline]
+    pub fn layer_of_output(&self, output: OutputId) -> LayerId {
+        assert!(output.index() < self.radix, "output {output} out of range");
+        LayerId::new(output.index() / self.ports_per_layer())
+    }
+
+    /// Index of `input` within its layer, in `0..N/L`.
+    #[inline]
+    pub fn local_input_index(&self, input: InputId) -> usize {
+        assert!(input.index() < self.radix, "input {input} out of range");
+        input.index() % self.ports_per_layer()
+    }
+
+    /// Index of `output` within its layer, in `0..N/L`.
+    #[inline]
+    pub fn local_output_index(&self, output: OutputId) -> usize {
+        assert!(output.index() < self.radix, "output {output} out of range");
+        output.index() % self.ports_per_layer()
+    }
+
+    /// The input with local index `local` on `layer`.
+    #[inline]
+    pub fn input_on(&self, layer: LayerId, local: usize) -> InputId {
+        assert!(layer.index() < self.layers && local < self.ports_per_layer());
+        InputId::new(layer.index() * self.ports_per_layer() + local)
+    }
+
+    /// The output with local index `local` on `layer`.
+    #[inline]
+    pub fn output_on(&self, layer: LayerId, local: usize) -> OutputId {
+        assert!(layer.index() < self.layers && local < self.ports_per_layer());
+        OutputId::new(layer.index() * self.ports_per_layer() + local)
+    }
+
+    /// The channel (among the `c` between a layer pair) a request from
+    /// `input` to `output` is bound to under the configured allocation
+    /// policy, or `None` when the policy picks dynamically
+    /// ([`ChannelAllocation::PriorityBased`]).
+    pub fn bound_channel(&self, input: InputId, output: OutputId) -> Option<ChannelId> {
+        match self.allocation {
+            ChannelAllocation::InputBinned => Some(ChannelId::new(
+                self.local_input_index(input) % self.channel_multiplicity,
+            )),
+            ChannelAllocation::OutputBinned => Some(ChannelId::new(
+                self.local_output_index(output) % self.channel_multiplicity,
+            )),
+            ChannelAllocation::PriorityBased => None,
+        }
+    }
+
+    /// A short human-readable description of the datapath, in the style of
+    /// the paper's tables: `[(16x28), 16*(13x1)]x4`.
+    pub fn configuration_label(&self) -> String {
+        format!(
+            "[({}x{}), {}*({}x1)]x{}",
+            self.ports_per_layer(),
+            self.local_switch_outputs(),
+            self.ports_per_layer(),
+            self.subblock_inputs(),
+            self.layers
+        )
+    }
+}
+
+/// Builder for [`HiRiseConfig`]; see [`HiRiseConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct HiRiseConfigBuilder {
+    radix: usize,
+    layers: usize,
+    channel_multiplicity: usize,
+    flit_bits: usize,
+    allocation: ChannelAllocation,
+    scheme: ArbitrationScheme,
+    local_arbiter: LocalArbiterKind,
+}
+
+impl HiRiseConfigBuilder {
+    /// Sets the channel multiplicity `c` (default 1).
+    pub fn channel_multiplicity(mut self, c: usize) -> Self {
+        self.channel_multiplicity = c;
+        self
+    }
+
+    /// Sets the flit width in bits (default 128).
+    pub fn flit_bits(mut self, bits: usize) -> Self {
+        self.flit_bits = bits;
+        self
+    }
+
+    /// Sets the channel allocation policy (default input-binned).
+    pub fn allocation(mut self, allocation: ChannelAllocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Sets the inter-layer arbitration scheme (default CLRG, 3 classes).
+    pub fn scheme(mut self, scheme: ArbitrationScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the local arbiter flavour (default LRG).
+    pub fn local_arbiter(mut self, kind: LocalArbiterKind) -> Self {
+        self.local_arbiter = kind;
+        self
+    }
+
+    /// Validates the parameters and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the geometry is inconsistent: zero
+    /// radix, fewer than two layers, radix not divisible by layers,
+    /// zero channel multiplicity, input counts that do not bin evenly
+    /// into channels, a zero flit width, or a degenerate CLRG class count.
+    pub fn build(self) -> Result<HiRiseConfig, ConfigError> {
+        if self.radix == 0 {
+            return Err(ConfigError::ZeroRadix);
+        }
+        if self.layers < 2 {
+            return Err(ConfigError::TooFewLayers {
+                layers: self.layers,
+            });
+        }
+        if !self.radix.is_multiple_of(self.layers) {
+            return Err(ConfigError::RadixNotDivisibleByLayers {
+                radix: self.radix,
+                layers: self.layers,
+            });
+        }
+        if self.channel_multiplicity == 0 {
+            return Err(ConfigError::ZeroChannelMultiplicity);
+        }
+        if self.flit_bits == 0 {
+            return Err(ConfigError::ZeroFlitBits);
+        }
+        let inputs_per_layer = self.radix / self.layers;
+        if matches!(
+            self.allocation,
+            ChannelAllocation::InputBinned | ChannelAllocation::OutputBinned
+        ) && !inputs_per_layer.is_multiple_of(self.channel_multiplicity)
+        {
+            return Err(ConfigError::InputsNotDivisibleByChannels {
+                inputs_per_layer,
+                channels: self.channel_multiplicity,
+            });
+        }
+        if let ArbitrationScheme::ClassBased { classes } = self.scheme {
+            if classes < 2 {
+                return Err(ConfigError::TooFewClasses {
+                    classes: classes.into(),
+                });
+            }
+        }
+        Ok(HiRiseConfig {
+            radix: self.radix,
+            layers: self.layers,
+            channel_multiplicity: self.channel_multiplicity,
+            flit_bits: self.flit_bits,
+            allocation: self.allocation,
+            scheme: self.scheme,
+            local_arbiter: self.local_arbiter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_optimal_matches_table_iv() {
+        let cfg = HiRiseConfig::paper_optimal();
+        assert_eq!(cfg.radix(), 64);
+        assert_eq!(cfg.layers(), 4);
+        assert_eq!(cfg.channel_multiplicity(), 4);
+        assert_eq!(cfg.ports_per_layer(), 16);
+        // Local switch 16x28, sub-blocks 13x1 (Table IV row "3D 4-Channel").
+        assert_eq!(cfg.local_switch_outputs(), 28);
+        assert_eq!(cfg.subblock_inputs(), 13);
+        assert_eq!(cfg.tsv_count(), 6144);
+        assert_eq!(cfg.configuration_label(), "[(16x28), 16*(13x1)]x4");
+    }
+
+    #[test]
+    fn one_and_two_channel_geometry_matches_table_iv() {
+        let one = HiRiseConfig::builder(64, 4).build().unwrap();
+        assert_eq!(one.local_switch_outputs(), 19);
+        assert_eq!(one.subblock_inputs(), 4);
+        assert_eq!(one.tsv_count(), 1536);
+
+        let two = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(2)
+            .build()
+            .unwrap();
+        assert_eq!(two.local_switch_outputs(), 22);
+        assert_eq!(two.subblock_inputs(), 7);
+        assert_eq!(two.tsv_count(), 3072);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert_eq!(
+            HiRiseConfig::builder(0, 4).build(),
+            Err(ConfigError::ZeroRadix)
+        );
+        assert_eq!(
+            HiRiseConfig::builder(64, 1).build(),
+            Err(ConfigError::TooFewLayers { layers: 1 })
+        );
+        assert_eq!(
+            HiRiseConfig::builder(65, 4).build(),
+            Err(ConfigError::RadixNotDivisibleByLayers {
+                radix: 65,
+                layers: 4
+            })
+        );
+        assert_eq!(
+            HiRiseConfig::builder(64, 4).channel_multiplicity(0).build(),
+            Err(ConfigError::ZeroChannelMultiplicity)
+        );
+        assert_eq!(
+            HiRiseConfig::builder(64, 4).channel_multiplicity(3).build(),
+            Err(ConfigError::InputsNotDivisibleByChannels {
+                inputs_per_layer: 16,
+                channels: 3
+            })
+        );
+        assert_eq!(
+            HiRiseConfig::builder(64, 4).flit_bits(0).build(),
+            Err(ConfigError::ZeroFlitBits)
+        );
+        assert_eq!(
+            HiRiseConfig::builder(64, 4)
+                .scheme(ArbitrationScheme::ClassBased { classes: 1 })
+                .build(),
+            Err(ConfigError::TooFewClasses { classes: 1 })
+        );
+    }
+
+    #[test]
+    fn port_layer_mapping_round_trips() {
+        let cfg = HiRiseConfig::paper_optimal();
+        // Input 20 is local index 4 on layer 2 of the paper (zero-based L1).
+        let input = InputId::new(20);
+        assert_eq!(cfg.layer_of_input(input), LayerId::new(1));
+        assert_eq!(cfg.local_input_index(input), 4);
+        assert_eq!(cfg.input_on(LayerId::new(1), 4), input);
+
+        // Output 63 is local index 15 on the paper's L4 (zero-based 3).
+        let output = OutputId::new(63);
+        assert_eq!(cfg.layer_of_output(output), LayerId::new(3));
+        assert_eq!(cfg.local_output_index(output), 15);
+        assert_eq!(cfg.output_on(LayerId::new(3), 15), output);
+    }
+
+    #[test]
+    fn channel_binding_follows_policy() {
+        let cfg = HiRiseConfig::paper_optimal();
+        // Input binned: channel = local input index mod c.
+        assert_eq!(
+            cfg.bound_channel(InputId::new(20), OutputId::new(63)),
+            Some(ChannelId::new(0))
+        );
+        assert_eq!(
+            cfg.bound_channel(InputId::new(23), OutputId::new(63)),
+            Some(ChannelId::new(3))
+        );
+
+        let out_binned = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .allocation(ChannelAllocation::OutputBinned)
+            .build()
+            .unwrap();
+        assert_eq!(
+            out_binned.bound_channel(InputId::new(20), OutputId::new(63)),
+            Some(ChannelId::new(3))
+        );
+
+        let priority = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .allocation(ChannelAllocation::PriorityBased)
+            .build()
+            .unwrap();
+        assert_eq!(
+            priority.bound_channel(InputId::new(20), OutputId::new(63)),
+            None
+        );
+    }
+
+    #[test]
+    fn priority_allocation_allows_uneven_binning() {
+        // 16 inputs/layer with c = 3 cannot bin evenly, but priority-based
+        // allocation does not pre-assign inputs so it is accepted.
+        let cfg = HiRiseConfig::builder(48, 3)
+            .channel_multiplicity(3)
+            .allocation(ChannelAllocation::PriorityBased)
+            .build();
+        assert!(cfg.is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for switch configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid switch configuration was requested.
+///
+/// Returned by [`crate::HiRiseConfigBuilder::build`] and the fabric
+/// constructors that validate geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The radix was zero or otherwise unusable.
+    ZeroRadix,
+    /// Fewer than two layers were requested for a 3D switch.
+    TooFewLayers {
+        /// The offending layer count.
+        layers: usize,
+    },
+    /// The radix does not divide evenly over the layers; the paper requires
+    /// `N/L` inputs and outputs per layer.
+    RadixNotDivisibleByLayers {
+        /// Requested radix.
+        radix: usize,
+        /// Requested layer count.
+        layers: usize,
+    },
+    /// Channel multiplicity must be at least one.
+    ZeroChannelMultiplicity,
+    /// Input-binned channel allocation needs the per-layer input count to
+    /// divide evenly over the channels (`N/(L*c)` pre-assigned inputs per
+    /// channel, §III-A).
+    InputsNotDivisibleByChannels {
+        /// Inputs per layer (`N/L`).
+        inputs_per_layer: usize,
+        /// Channel multiplicity `c`.
+        channels: usize,
+    },
+    /// Flit width must be non-zero.
+    ZeroFlitBits,
+    /// CLRG needs at least two priority classes to be meaningful.
+    TooFewClasses {
+        /// The offending class count.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRadix => write!(f, "switch radix must be at least 1"),
+            ConfigError::TooFewLayers { layers } => {
+                write!(f, "a 3D switch needs at least 2 layers, got {layers}")
+            }
+            ConfigError::RadixNotDivisibleByLayers { radix, layers } => write!(
+                f,
+                "radix {radix} does not divide evenly over {layers} layers"
+            ),
+            ConfigError::ZeroChannelMultiplicity => {
+                write!(f, "channel multiplicity must be at least 1")
+            }
+            ConfigError::InputsNotDivisibleByChannels {
+                inputs_per_layer,
+                channels,
+            } => write!(
+                f,
+                "{inputs_per_layer} inputs per layer do not bin evenly into {channels} channels"
+            ),
+            ConfigError::ZeroFlitBits => write!(f, "flit width must be non-zero"),
+            ConfigError::TooFewClasses { classes } => {
+                write!(f, "CLRG needs at least 2 priority classes, got {classes}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let message = ConfigError::RadixNotDivisibleByLayers {
+            radix: 65,
+            layers: 4,
+        }
+        .to_string();
+        assert!(message.contains("65"));
+        assert!(message.contains('4'));
+        assert!(message.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

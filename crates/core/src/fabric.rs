@@ -1,0 +1,134 @@
+//! The common interface all switch fabrics expose to the simulator.
+
+use crate::ids::{InputId, OutputId};
+
+/// A request from an input port to connect to an output port, presented
+/// for one arbitration cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Requesting primary input.
+    pub input: InputId,
+    /// Desired final output.
+    pub output: OutputId,
+}
+
+impl Request {
+    /// Creates a request from `input` to `output`.
+    pub const fn new(input: InputId, output: OutputId) -> Self {
+        Self { input, output }
+    }
+}
+
+/// A granted connection: `input` now owns `output` (and every internal
+/// resource on the path) until [`Fabric::release`] is called.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Grant {
+    /// The winning input.
+    pub input: InputId,
+    /// The output it was connected to.
+    pub output: OutputId,
+}
+
+/// A switch fabric with built-in single-cycle arbitration and held
+/// connections.
+///
+/// The protocol mirrors the Swizzle-Switch family: each arbitration cycle
+/// the caller presents every outstanding [`Request`] (one per idle input);
+/// the fabric resolves them in a single cycle and returns the [`Grant`]s.
+/// A granted connection occupies its datapath — the output bus, and for
+/// Hi-Rise the local-switch column and any layer-to-layer channel — until
+/// the caller releases it, normally when a packet's tail flit has left.
+///
+/// Requests that lose simply have no effect; callers re-present them next
+/// cycle. Requests from already-connected inputs are ignored.
+pub trait Fabric {
+    /// Number of input (and output) ports.
+    fn radix(&self) -> usize;
+
+    /// Runs one arbitration cycle over `requests`, establishing
+    /// connections for the winners and returning them.
+    ///
+    /// At most one request per input may be presented; later duplicates
+    /// are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if a request references an out-of-range port.
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant>;
+
+    /// Releases the connection held by `input`, freeing the output and
+    /// all internal resources. Does nothing if `input` holds none.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `input` is out of range.
+    fn release(&mut self, input: InputId);
+
+    /// The output currently connected to `input`, if any.
+    fn connection(&self, input: InputId) -> Option<OutputId>;
+
+    /// Whether `output` is currently owned by a connection.
+    fn output_busy(&self, output: OutputId) -> bool;
+
+    /// Whether `input` currently holds a connection.
+    fn input_busy(&self, input: InputId) -> bool {
+        self.connection(input).is_some()
+    }
+
+    /// Number of connections currently held.
+    fn active_connections(&self) -> usize {
+        (0..self.radix())
+            .filter(|&i| self.connection(InputId::new(i)).is_some())
+            .count()
+    }
+}
+
+impl<F: Fabric + ?Sized> Fabric for Box<F> {
+    fn radix(&self) -> usize {
+        (**self).radix()
+    }
+
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        (**self).arbitrate(requests)
+    }
+
+    fn release(&mut self, input: InputId) {
+        (**self).release(input)
+    }
+
+    fn connection(&self, input: InputId) -> Option<OutputId> {
+        (**self).connection(input)
+    }
+
+    fn output_busy(&self, output: OutputId) -> bool {
+        (**self).output_busy(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxed_fabrics_delegate() {
+        let mut sw: Box<dyn Fabric> = Box::new(crate::Switch2d::new(4));
+        assert_eq!(sw.radix(), 4);
+        let grants = sw.arbitrate(&[Request::new(InputId::new(0), OutputId::new(1))]);
+        assert_eq!(grants.len(), 1);
+        assert!(sw.output_busy(OutputId::new(1)));
+        sw.release(InputId::new(0));
+        assert_eq!(sw.active_connections(), 0);
+    }
+
+    #[test]
+    fn request_and_grant_are_plain_data() {
+        let r = Request::new(InputId::new(1), OutputId::new(2));
+        assert_eq!(r.input, InputId::new(1));
+        assert_eq!(r.output, OutputId::new(2));
+        let g = Grant {
+            input: r.input,
+            output: r.output,
+        };
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! The 3D *folded* baseline switch (§II-B).
+//!
+//! A 2D Swizzle-Switch folded evenly over `L` silicon layers: each layer
+//! holds `N/L` inputs and `N/L` locally-connected outputs, but the fabric
+//! is still one monolithic `N x N` crossbar whose 64 output buses punch
+//! through every layer on TSVs. Arbitration is therefore *identical* to
+//! the 2D switch — what changes is the physical cost: every output bus
+//! wire needs a TSV per layer boundary (8192 TSVs for the 64-radix,
+//! 128-bit, 4-layer switch of Table I) and the added TSV capacitance
+//! slows the clock. The behavioural model here delegates to
+//! [`Switch2d`]; the physical differences live in `hirise-phys`.
+
+use crate::fabric::{Fabric, Grant, Request};
+use crate::ids::{InputId, LayerId, OutputId};
+use crate::switch2d::Switch2d;
+
+/// A 2D switch folded over `layers` silicon layers.
+#[derive(Clone, Debug)]
+pub struct FoldedSwitch {
+    inner: Switch2d,
+    layers: usize,
+    flit_bits: usize,
+}
+
+impl FoldedSwitch {
+    /// Creates a folded switch of the given radix over `layers` layers
+    /// with the default 128-bit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero, `layers < 2`, or the radix does not
+    /// divide evenly over the layers.
+    pub fn new(radix: usize, layers: usize) -> Self {
+        Self::with_flit_bits(radix, layers, crate::config::DEFAULT_FLIT_BITS)
+    }
+
+    /// Creates a folded switch with an explicit bus width.
+    ///
+    /// # Panics
+    ///
+    /// As [`FoldedSwitch::new`], and if `flit_bits` is zero.
+    pub fn with_flit_bits(radix: usize, layers: usize, flit_bits: usize) -> Self {
+        assert!(layers >= 2, "a folded switch needs at least 2 layers");
+        assert!(
+            radix.is_multiple_of(layers),
+            "radix {radix} does not divide evenly over {layers} layers"
+        );
+        assert!(flit_bits > 0, "flit width must be non-zero");
+        Self {
+            inner: Switch2d::new(radix),
+            layers,
+            flit_bits,
+        }
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Inputs (and outputs) per layer.
+    pub fn ports_per_layer(&self) -> usize {
+        self.radix() / self.layers
+    }
+
+    /// Layer hosting `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn layer_of_input(&self, input: InputId) -> LayerId {
+        assert!(input.index() < self.radix(), "input {input} out of range");
+        LayerId::new(input.index() / self.ports_per_layer())
+    }
+
+    /// TSV count under the paper's accounting: every one of the `N`
+    /// output buses (of `flit_bits` wires) must reach every layer, so the
+    /// folded switch needs `N * flit_bits` vertical wires (Table I:
+    /// 8192 for 64 x 128-bit over 4 layers).
+    pub fn tsv_count(&self) -> usize {
+        self.radix() * self.flit_bits
+    }
+
+    /// Seeds one output column's LRG order; see
+    /// [`Switch2d::seed_output_priority`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `order` is not a permutation.
+    pub fn seed_output_priority(&mut self, output: OutputId, order: &[usize]) {
+        self.inner.seed_output_priority(output, order);
+    }
+}
+
+impl Fabric for FoldedSwitch {
+    fn radix(&self) -> usize {
+        self.inner.radix()
+    }
+
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        self.inner.arbitrate(requests)
+    }
+
+    fn release(&mut self, input: InputId) {
+        self.inner.release(input);
+    }
+
+    fn connection(&self, input: InputId) -> Option<OutputId> {
+        self.inner.connection(input)
+    }
+
+    fn output_busy(&self, output: OutputId) -> bool {
+        self.inner.output_busy(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_tsv_count() {
+        let sw = FoldedSwitch::new(64, 4);
+        assert_eq!(sw.tsv_count(), 8192);
+        assert_eq!(sw.ports_per_layer(), 16);
+    }
+
+    #[test]
+    fn arbitration_matches_flat_2d() {
+        let mut folded = FoldedSwitch::new(16, 4);
+        let mut flat = Switch2d::new(16);
+        let requests: Vec<Request> = (0..16)
+            .map(|i| Request::new(InputId::new(i), OutputId::new((i * 3) % 16)))
+            .collect();
+        let a = folded.arbitrate(&requests);
+        let b = flat.arbitrate(&requests);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layer_mapping() {
+        let sw = FoldedSwitch::new(64, 4);
+        assert_eq!(sw.layer_of_input(InputId::new(0)), LayerId::new(0));
+        assert_eq!(sw.layer_of_input(InputId::new(20)), LayerId::new(1));
+        assert_eq!(sw.layer_of_input(InputId::new(63)), LayerId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_uneven_fold() {
+        let _ = FoldedSwitch::new(65, 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Layer-to-layer channel (L2LC) bookkeeping.
+//!
+//! Each ordered pair of layers is joined by `c` dedicated vertical
+//! channels (Fig. 2). A channel is owned by at most one in-flight
+//! connection at a time; ownership is what makes the L2LCs a bandwidth
+//! bottleneck under inter-layer-heavy traffic (§VI-B's pathological case).
+
+use crate::ids::InputId;
+
+/// Busy/owner state for every L2LC of a switch, indexed by
+/// `(source layer, destination layer, channel)`.
+#[derive(Clone, Debug)]
+pub(crate) struct ChannelTable {
+    layers: usize,
+    multiplicity: usize,
+    owners: Vec<Option<InputId>>,
+}
+
+impl ChannelTable {
+    pub(crate) fn new(layers: usize, multiplicity: usize) -> Self {
+        Self {
+            layers,
+            multiplicity,
+            owners: vec![None; layers * (layers - 1) * multiplicity],
+        }
+    }
+
+    /// Flat index of channel `k` from `src` to `dst` (`src != dst`).
+    pub(crate) fn index(&self, src: usize, dst: usize, k: usize) -> usize {
+        debug_assert!(src != dst, "no channel from a layer to itself");
+        debug_assert!(src < self.layers && dst < self.layers && k < self.multiplicity);
+        let compressed_dst = if dst < src { dst } else { dst - 1 };
+        (src * (self.layers - 1) + compressed_dst) * self.multiplicity + k
+    }
+
+    pub(crate) fn is_busy(&self, src: usize, dst: usize, k: usize) -> bool {
+        self.owners[self.index(src, dst, k)].is_some()
+    }
+
+    pub(crate) fn acquire(&mut self, src: usize, dst: usize, k: usize, owner: InputId) {
+        let idx = self.index(src, dst, k);
+        debug_assert!(self.owners[idx].is_none(), "channel already owned");
+        self.owners[idx] = Some(owner);
+    }
+
+    pub(crate) fn release(&mut self, src: usize, dst: usize, k: usize) {
+        let idx = self.index(src, dst, k);
+        debug_assert!(self.owners[idx].is_some(), "releasing a free channel");
+        self.owners[idx] = None;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn busy_count(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let table = ChannelTable::new(4, 4);
+        let mut seen = [false; 4 * 3 * 4];
+        for src in 0..4 {
+            for dst in 0..4 {
+                if src == dst {
+                    continue;
+                }
+                for k in 0..4 {
+                    let idx = table.index(src, dst, k);
+                    assert!(!seen[idx], "duplicate index for ({src},{dst},{k})");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut table = ChannelTable::new(3, 2);
+        assert!(!table.is_busy(0, 2, 1));
+        table.acquire(0, 2, 1, InputId::new(5));
+        assert!(table.is_busy(0, 2, 1));
+        assert!(!table.is_busy(2, 0, 1)); // direction matters
+        assert_eq!(table.busy_count(), 1);
+        table.release(0, 2, 1);
+        assert!(!table.is_busy(0, 2, 1));
+    }
+}

@@ -1,0 +1,233 @@
+//! The per-output *inter-layer sub-block* (§III-A, §IV-B).
+//!
+//! Each final output has a `(c(L-1)+1) x 1` sub-block that chooses, every
+//! cycle, between the incoming L2LCs from every other layer and the one
+//! local intermediate output. The sub-block embeds the inter-layer
+//! arbitration scheme: baseline layer-to-layer LRG, Weighted LRG, or the
+//! paper's Class-based LRG (Fig. 7's cross-point with class counters,
+//! priority-select muxes and a 13-bit LRG).
+
+use crate::arbiter::clrg::ClrgState;
+use crate::arbiter::matrix::MatrixArbiter;
+use crate::arbiter::wlrg::WlrgState;
+use crate::arbiter::ArbitrationScheme;
+use crate::ids::InputId;
+
+/// A contender presented to a sub-block for one arbitration cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Contender {
+    /// Sub-block slot: `compressed_src * c + k` for an L2LC, or the last
+    /// slot for the local intermediate output.
+    pub slot: usize,
+    /// The primary input riding this slot (the phase-1 winner).
+    pub input: InputId,
+    /// Parallel requestors the slot represented at phase 1 (WLRG weight).
+    pub weight: u32,
+}
+
+/// One inter-layer sub-block with its arbitration state.
+#[derive(Clone, Debug)]
+pub(crate) struct SubBlock {
+    lrg: MatrixArbiter,
+    wlrg: Option<WlrgState>,
+    clrg: Option<ClrgState>,
+    /// Cross-check every decision against the signal-level circuit
+    /// model of `crate::xpoint` (debug aid; see
+    /// [`HiRiseSwitch::enable_signal_validation`](crate::HiRiseSwitch::enable_signal_validation)).
+    validate_signals: bool,
+}
+
+impl SubBlock {
+    /// Creates a sub-block with `slots` contender slots over a switch of
+    /// `radix` primary inputs, using `scheme`.
+    pub(crate) fn new(slots: usize, radix: usize, scheme: ArbitrationScheme) -> Self {
+        let (wlrg, clrg) = match scheme {
+            ArbitrationScheme::LayerToLayerLrg => (None, None),
+            ArbitrationScheme::WeightedLrg => (Some(WlrgState::new(slots)), None),
+            ArbitrationScheme::ClassBased { classes } => {
+                (None, Some(ClrgState::new(radix, classes)))
+            }
+        };
+        Self {
+            lrg: MatrixArbiter::new(slots),
+            wlrg,
+            clrg,
+            validate_signals: false,
+        }
+    }
+
+    /// Enables per-decision validation against the circuit model.
+    pub(crate) fn enable_signal_validation(&mut self) {
+        self.validate_signals = true;
+    }
+
+    /// Runs one sub-block arbitration cycle, commits the scheme's state
+    /// updates, and returns the index into `contenders` of the winner.
+    ///
+    /// Returns `None` for an empty contender set.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if two contenders share a slot.
+    pub(crate) fn arbitrate(&mut self, contenders: &[Contender]) -> Option<usize> {
+        if contenders.is_empty() {
+            return None;
+        }
+        debug_assert!(
+            {
+                let mut slots: Vec<usize> = contenders.iter().map(|c| c.slot).collect();
+                slots.sort_unstable();
+                slots.windows(2).all(|w| w[0] != w[1])
+            },
+            "contender slots must be unique"
+        );
+
+        let winner_index = if let Some(clrg) = &self.clrg {
+            // Class-based LRG: best (lowest-count) class wins; LRG breaks
+            // ties within that class. The slot-level LRG is updated every
+            // cycle even when the class decided the winner (Fig. 5,
+            // arbitration cycle 2: "Even though LRG is not used for this
+            // arbitration cycle, it is still updated").
+            let best = contenders
+                .iter()
+                .map(|c| clrg.class_of(c.input.index()))
+                .min()
+                .expect("non-empty contender set");
+            let candidate_slots: Vec<usize> = contenders
+                .iter()
+                .filter(|c| clrg.class_of(c.input.index()) == best)
+                .map(|c| c.slot)
+                .collect();
+            let slot = self
+                .lrg
+                .grant(&candidate_slots)
+                .expect("non-empty candidate set");
+            contenders.iter().position(|c| c.slot == slot).unwrap()
+        } else {
+            let slots: Vec<usize> = contenders.iter().map(|c| c.slot).collect();
+            let slot = self.lrg.grant(&slots).expect("non-empty contender set");
+            contenders.iter().position(|c| c.slot == slot).unwrap()
+        };
+
+        if self.validate_signals {
+            let classed: Vec<crate::xpoint::ClassedContender> = contenders
+                .iter()
+                .map(|c| crate::xpoint::ClassedContender {
+                    slot: c.slot,
+                    class: self
+                        .clrg
+                        .as_ref()
+                        .map_or(0, |clrg| clrg.class_of(c.input.index())),
+                })
+                .collect();
+            let classes = self.clrg.as_ref().map_or(1, ClrgState::classes).max(1);
+            let circuit = crate::xpoint::arbitrate_clrg_column(&classed, &self.lrg, classes);
+            assert_eq!(
+                circuit,
+                Some(winner_index),
+                "behavioural winner disagrees with the Fig. 7 circuit model"
+            );
+        }
+
+        let winner = contenders[winner_index];
+        match (&mut self.wlrg, &mut self.clrg) {
+            (Some(wlrg), _) => {
+                // WLRG holds the winner's LRG priority until its weight
+                // credit is spent (§III-B3).
+                if wlrg.record_win(winner.slot, winner.weight) {
+                    self.lrg.update(winner.slot);
+                }
+            }
+            (None, Some(clrg)) => {
+                self.lrg.update(winner.slot);
+                clrg.record_win(winner.input.index());
+            }
+            (None, None) => {
+                // Baseline: "its priority is updated after every
+                // arbitration cycle" (§III-B1).
+                self.lrg.update(winner.slot);
+            }
+        }
+        Some(winner_index)
+    }
+
+    /// The CLRG class of `input` at this sub-block, if running CLRG.
+    pub(crate) fn clrg_class(&self, input: InputId) -> Option<u8> {
+        self.clrg.as_ref().map(|c| c.class_of(input.index()))
+    }
+
+    /// Replaces the slot-level LRG order (tests and worked examples).
+    pub(crate) fn seed_priority(&mut self, order: &[usize]) {
+        self.lrg = MatrixArbiter::with_order(order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contender(slot: usize, input: usize) -> Contender {
+        Contender {
+            slot,
+            input: InputId::new(input),
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn baseline_uses_pure_slot_lrg() {
+        let mut sb = SubBlock::new(4, 64, ArbitrationScheme::LayerToLayerLrg);
+        // Slot 0 wins, then drops behind slot 1.
+        let cs = [contender(0, 10), contender(1, 20)];
+        assert_eq!(sb.arbitrate(&cs), Some(0));
+        assert_eq!(sb.arbitrate(&cs), Some(1));
+        assert_eq!(sb.arbitrate(&cs), Some(0));
+    }
+
+    #[test]
+    fn clrg_class_overrides_lrg() {
+        let mut sb = SubBlock::new(4, 64, ArbitrationScheme::class_based());
+        let a = contender(0, 10);
+        let b = contender(1, 20);
+        // First win goes to slot 0 (LRG tie-break in class P0); input 10
+        // moves to class P1, so input 20 must win next even though slot 0
+        // may outrank slot 1.
+        assert_eq!(sb.arbitrate(&[a, b]), Some(0));
+        assert_eq!(sb.clrg_class(InputId::new(10)), Some(1));
+        assert_eq!(sb.arbitrate(&[a, b]), Some(1));
+        assert_eq!(sb.clrg_class(InputId::new(20)), Some(1));
+    }
+
+    #[test]
+    fn wlrg_holds_priority_for_weighted_winners() {
+        let mut sb = SubBlock::new(2, 64, ArbitrationScheme::WeightedLrg);
+        // Slot 0 carries 2 requestors; it should win twice before slot 1
+        // gets a turn.
+        let heavy = Contender {
+            slot: 0,
+            input: InputId::new(3),
+            weight: 2,
+        };
+        let light = contender(1, 20);
+        assert_eq!(sb.arbitrate(&[heavy, light]), Some(0));
+        assert_eq!(sb.arbitrate(&[heavy, light]), Some(0));
+        assert_eq!(sb.arbitrate(&[heavy, light]), Some(1));
+    }
+
+    #[test]
+    fn empty_contenders_yield_none() {
+        let mut sb = SubBlock::new(4, 64, ArbitrationScheme::class_based());
+        assert_eq!(sb.arbitrate(&[]), None);
+    }
+
+    #[test]
+    fn single_contender_always_wins() {
+        let mut sb = SubBlock::new(13, 64, ArbitrationScheme::class_based());
+        for _ in 0..5 {
+            assert_eq!(sb.arbitrate(&[contender(7, 42)]), Some(0));
+        }
+        // Its class keeps degrading, halving on saturation.
+        let class = sb.clrg_class(InputId::new(42)).unwrap();
+        assert!(class >= 1);
+    }
+}

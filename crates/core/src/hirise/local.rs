@@ -1,0 +1,151 @@
+//! The per-layer *local switch* (§III-A).
+//!
+//! On each layer an `N/L x (N/L + c(L-1))` switch lets the layer's inputs
+//! arbitrate for the `N/L` local intermediate outputs (one per final
+//! output on this layer) and the `c(L-1)` outgoing L2LCs. Every column
+//! carries its own priority state in the cross-points; crucially, a
+//! column's priority is only updated when its winner also wins the final
+//! output at the inter-layer switch (the back-propagated update of
+//! §III-B1 — this is what guarantees freedom from starvation).
+
+use crate::arbiter::matrix::MatrixArbiter;
+use crate::arbiter::round_robin::RoundRobinArbiter;
+use crate::config::LocalArbiterKind;
+
+/// One arbitration column of the local switch.
+#[derive(Clone, Debug)]
+pub(crate) enum ColumnArbiter {
+    Lrg(MatrixArbiter),
+    RoundRobin(RoundRobinArbiter),
+}
+
+impl ColumnArbiter {
+    fn new(kind: LocalArbiterKind, n: usize) -> Self {
+        match kind {
+            LocalArbiterKind::Lrg => ColumnArbiter::Lrg(MatrixArbiter::new(n)),
+            LocalArbiterKind::RoundRobin => ColumnArbiter::RoundRobin(RoundRobinArbiter::new(n)),
+        }
+    }
+
+    pub(crate) fn grant(&self, requests: &[usize]) -> Option<usize> {
+        match self {
+            ColumnArbiter::Lrg(a) => a.grant(requests),
+            ColumnArbiter::RoundRobin(a) => a.grant(requests),
+        }
+    }
+
+    pub(crate) fn update(&mut self, winner: usize) {
+        match self {
+            ColumnArbiter::Lrg(a) => a.update(winner),
+            ColumnArbiter::RoundRobin(a) => a.update(winner),
+        }
+    }
+}
+
+/// The local switch of one layer: `ports` intermediate columns followed
+/// by `channel_columns` L2LC columns.
+#[derive(Clone, Debug)]
+pub(crate) struct LocalSwitch {
+    columns: Vec<ColumnArbiter>,
+    ports: usize,
+    multiplicity: usize,
+}
+
+impl LocalSwitch {
+    pub(crate) fn new(
+        kind: LocalArbiterKind,
+        ports: usize,
+        channel_columns: usize,
+        multiplicity: usize,
+    ) -> Self {
+        Self {
+            columns: (0..ports + channel_columns)
+                .map(|_| ColumnArbiter::new(kind, ports))
+                .collect(),
+            ports,
+            multiplicity,
+        }
+    }
+
+    /// Total number of columns (intermediate + L2LC).
+    pub(crate) fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column index of the intermediate output feeding local output
+    /// `local_output`.
+    pub(crate) fn intermediate_column(&self, local_output: usize) -> usize {
+        debug_assert!(local_output < self.ports);
+        local_output
+    }
+
+    /// Column index of channel `k` towards `dst` from `src`
+    /// (`compressed_dst` packs the destination layers excluding `src`).
+    pub(crate) fn channel_column(&self, compressed_dst: usize, k: usize) -> usize {
+        debug_assert!(k < self.multiplicity);
+        self.ports + compressed_dst * self.multiplicity + k
+    }
+
+    pub(crate) fn grant(&self, column: usize, requests: &[usize]) -> Option<usize> {
+        self.columns[column].grant(requests)
+    }
+
+    pub(crate) fn update(&mut self, column: usize, winner: usize) {
+        self.columns[column].update(winner);
+    }
+
+    /// Replaces a column's arbiter with a seeded LRG order (tests and
+    /// worked examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local arbiter kind is not LRG.
+    pub(crate) fn seed_column(&mut self, column: usize, order: &[usize]) {
+        match &mut self.columns[column] {
+            ColumnArbiter::Lrg(a) => *a = MatrixArbiter::with_order(order),
+            ColumnArbiter::RoundRobin(_) => {
+                panic!("priority seeding requires the LRG local arbiter")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_layout_matches_paper_geometry() {
+        // 64-radix 4-layer 4-channel: local switch is 16 x 28.
+        let local = LocalSwitch::new(LocalArbiterKind::Lrg, 16, 12, 4);
+        assert_eq!(local.column_count(), 28);
+        assert_eq!(local.intermediate_column(15), 15);
+        assert_eq!(local.channel_column(0, 0), 16);
+        assert_eq!(local.channel_column(2, 3), 27);
+    }
+
+    #[test]
+    fn columns_arbitrate_independently() {
+        let mut local = LocalSwitch::new(LocalArbiterKind::Lrg, 4, 3, 1);
+        assert_eq!(local.grant(0, &[1, 2]), Some(1));
+        local.update(0, 1);
+        // Column 0's update must not affect column 1.
+        assert_eq!(local.grant(0, &[1, 2]), Some(2));
+        assert_eq!(local.grant(1, &[1, 2]), Some(1));
+    }
+
+    #[test]
+    fn round_robin_flavour_works() {
+        let mut local = LocalSwitch::new(LocalArbiterKind::RoundRobin, 4, 0, 1);
+        assert_eq!(local.grant(2, &[0, 3]), Some(0));
+        local.update(2, 0);
+        assert_eq!(local.grant(2, &[0, 3]), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "LRG local arbiter")]
+    fn seeding_round_robin_panics() {
+        let mut local = LocalSwitch::new(LocalArbiterKind::RoundRobin, 4, 0, 1);
+        local.seed_column(0, &[3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,891 @@
+//! The Hi-Rise hierarchical 3D switch (§III).
+//!
+//! For a radix-`N` switch over `L` layers, each layer hosts `N/L` inputs
+//! and `N/L` outputs, a *local switch* (`N/L x (N/L + c(L-1))`) and an
+//! *inter-layer switch* of `N/L` sub-blocks (`(c(L-1)+1) x 1` each),
+//! joined by `c` dedicated layer-to-layer channels per ordered layer
+//! pair.
+//!
+//! A connection from input `i` to output `o` arbitrates in a single
+//! cycle with two phases (Fig. 8's two-phase clocking):
+//!
+//! 1. **Local phase** — `i` competes with the other inputs of its layer
+//!    for the local resource: the intermediate output feeding `o` when
+//!    `o` is on the same layer, otherwise an L2LC towards `o`'s layer.
+//! 2. **Inter-layer phase** — the phase-1 winners (one per L2LC plus the
+//!    local intermediate) compete at `o`'s sub-block under the configured
+//!    scheme (L-2-L LRG, WLRG, or CLRG).
+//!
+//! The final winner holds the output, its local column and its L2LC until
+//! [`released`](crate::Fabric::release). Local-switch priorities update
+//! only on a final win (back-propagation, §III-B1), which guarantees
+//! every persistent requestor eventually rises to the top and is served.
+
+mod channel;
+mod interlayer;
+mod local;
+
+use crate::config::HiRiseConfig;
+use crate::fabric::{Fabric, Grant, Request};
+use crate::ids::{ChannelId, InputId, LayerId, OutputId};
+use channel::ChannelTable;
+use interlayer::{Contender, SubBlock};
+use local::LocalSwitch;
+
+/// The local resource a connection holds on its source layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PathResource {
+    /// Same-layer connection through the dedicated intermediate output.
+    Intermediate,
+    /// Inter-layer connection through channel `k` from `src` to `dst`.
+    Channel { src: usize, dst: usize, k: usize },
+}
+
+/// An established connection's footprint.
+#[derive(Clone, Copy, Debug)]
+struct Path {
+    output: OutputId,
+    resource: PathResource,
+}
+
+/// A request that survived admission and was binned to a local column.
+#[derive(Clone, Copy, Debug)]
+struct ColumnRequest {
+    local_input: usize,
+    input: InputId,
+    output: OutputId,
+}
+
+/// A phase-1 winner headed to an inter-layer sub-block.
+#[derive(Clone, Copy, Debug)]
+struct Phase1Winner {
+    layer: usize,
+    column: usize,
+    request: ColumnRequest,
+    weight: u32,
+    resource: PathResource,
+}
+
+/// What kind of column a local-switch column index refers to.
+#[derive(Clone, Copy, Debug)]
+enum ColumnKind {
+    Intermediate,
+    Channel { compressed_dst: usize, k: usize },
+}
+
+/// The Hi-Rise hierarchical 3D switch.
+///
+/// See the [module documentation](self) for the architecture and the
+/// [crate documentation](crate) for a usage example.
+#[derive(Clone, Debug)]
+pub struct HiRiseSwitch {
+    cfg: HiRiseConfig,
+    locals: Vec<LocalSwitch>,
+    subblocks: Vec<SubBlock>,
+    channels: ChannelTable,
+    connections: Vec<Option<Path>>,
+    output_owner: Vec<Option<InputId>>,
+    column_kinds: Vec<ColumnKind>,
+    /// Grants that travelled over each L2LC (flat channel index).
+    channel_grants: Vec<u64>,
+    /// Grants that used the local intermediate path, per layer.
+    local_grants: Vec<u64>,
+}
+
+impl HiRiseSwitch {
+    /// Builds a switch for `cfg`.
+    pub fn new(cfg: &HiRiseConfig) -> Self {
+        let p = cfg.ports_per_layer();
+        let l = cfg.layers();
+        let c = cfg.channel_multiplicity();
+        let locals = (0..l)
+            .map(|_| LocalSwitch::new(cfg.local_arbiter(), p, c * (l - 1), c))
+            .collect();
+        let subblocks = (0..cfg.radix())
+            .map(|_| SubBlock::new(cfg.subblock_inputs(), cfg.radix(), cfg.scheme()))
+            .collect();
+        let mut column_kinds = Vec::with_capacity(p + c * (l - 1));
+        for _ in 0..p {
+            column_kinds.push(ColumnKind::Intermediate);
+        }
+        for compressed_dst in 0..l - 1 {
+            for k in 0..c {
+                column_kinds.push(ColumnKind::Channel { compressed_dst, k });
+            }
+        }
+        Self {
+            cfg: cfg.clone(),
+            locals,
+            subblocks,
+            channels: ChannelTable::new(l, c),
+            connections: vec![None; cfg.radix()],
+            output_owner: vec![None; cfg.radix()],
+            column_kinds,
+            channel_grants: vec![0; l * (l - 1) * c],
+            local_grants: vec![0; l],
+        }
+    }
+
+    /// The switch's configuration.
+    pub fn config(&self) -> &HiRiseConfig {
+        &self.cfg
+    }
+
+    /// Whether the L2LC `k` from `src` to `dst` is currently held by a
+    /// connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `src == dst` or an index is out of
+    /// range.
+    pub fn channel_busy(&self, src: LayerId, dst: LayerId, k: ChannelId) -> bool {
+        self.channels.is_busy(src.index(), dst.index(), k.index())
+    }
+
+    /// The sub-block slot polled by channel `k` arriving from `src` at
+    /// any sub-block on `dst` (Fig. 7's cross-point ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or an index is out of range.
+    pub fn subblock_slot(&self, src: LayerId, k: ChannelId, dst: LayerId) -> usize {
+        assert!(src != dst, "no channel from a layer to itself");
+        assert!(src.index() < self.cfg.layers() && dst.index() < self.cfg.layers());
+        assert!(k.index() < self.cfg.channel_multiplicity());
+        let compressed_src = if src.index() < dst.index() {
+            src.index()
+        } else {
+            src.index() - 1
+        };
+        compressed_src * self.cfg.channel_multiplicity() + k.index()
+    }
+
+    /// The sub-block slot of the local intermediate output (the last
+    /// slot).
+    pub fn local_subblock_slot(&self) -> usize {
+        self.cfg.subblock_inputs() - 1
+    }
+
+    /// The CLRG priority class of `input` at `output`'s sub-block, or
+    /// `None` when the switch is not running CLRG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn clrg_class(&self, output: OutputId, input: InputId) -> Option<u8> {
+        assert!(input.index() < self.cfg.radix(), "input out of range");
+        self.subblocks[output.index()].clrg_class(input)
+    }
+
+    /// Seeds the LRG order of the local-switch column feeding channel `k`
+    /// from `src` towards `dst`, highest-priority local input first.
+    /// For reproducing the paper's worked examples (Figs. 4 and 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the local arbiter is not LRG, `src == dst`, an index is
+    /// out of range, or `order` is not a permutation of `0..N/L`.
+    pub fn seed_local_channel_priority(
+        &mut self,
+        src: LayerId,
+        dst: LayerId,
+        k: ChannelId,
+        order: &[usize],
+    ) {
+        assert!(src != dst, "no channel from a layer to itself");
+        let compressed_dst = if dst.index() < src.index() {
+            dst.index()
+        } else {
+            dst.index() - 1
+        };
+        let column = self.locals[src.index()].channel_column(compressed_dst, k.index());
+        self.locals[src.index()].seed_column(column, order);
+    }
+
+    /// Seeds the LRG order of the local-switch column feeding the
+    /// intermediate output for `output` (which selects the layer too).
+    ///
+    /// # Panics
+    ///
+    /// As [`seed_local_channel_priority`](Self::seed_local_channel_priority).
+    pub fn seed_local_intermediate_priority(&mut self, output: OutputId, order: &[usize]) {
+        let layer = self.cfg.layer_of_output(output);
+        let column =
+            self.locals[layer.index()].intermediate_column(self.cfg.local_output_index(output));
+        self.locals[layer.index()].seed_column(column, order);
+    }
+
+    /// Seeds the slot-level LRG order of `output`'s sub-block, highest
+    /// priority first (`order` is a permutation of `0..c(L-1)+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `order` is not a permutation.
+    pub fn seed_subblock_priority(&mut self, output: OutputId, order: &[usize]) {
+        self.subblocks[output.index()].seed_priority(order);
+    }
+
+    /// Grants that have travelled over L2LC `k` from `src` to `dst`
+    /// since construction — the raw material of an L2LC-utilisation
+    /// analysis (the paper's §VI-B bottleneck discussion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or an index is out of range.
+    pub fn channel_grant_count(&self, src: LayerId, dst: LayerId, k: ChannelId) -> u64 {
+        assert!(src != dst, "no channel from a layer to itself");
+        assert!(src.index() < self.cfg.layers() && dst.index() < self.cfg.layers());
+        assert!(k.index() < self.cfg.channel_multiplicity());
+        let compressed_dst = if dst.index() < src.index() {
+            dst.index()
+        } else {
+            dst.index() - 1
+        };
+        let c = self.cfg.channel_multiplicity();
+        let l = self.cfg.layers();
+        self.channel_grants[(src.index() * (l - 1) + compressed_dst) * c + k.index()]
+    }
+
+    /// Grants that used `layer`'s local intermediate path (same-layer
+    /// connections) since construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn local_grant_count(&self, layer: LayerId) -> u64 {
+        self.local_grants[layer.index()]
+    }
+
+    /// Fraction of all grants so far that crossed layers (used an
+    /// L2LC). Uniform random traffic over `L` layers approaches
+    /// `(L-1)/L`.
+    pub fn inter_layer_fraction(&self) -> f64 {
+        let crossed: u64 = self.channel_grants.iter().sum();
+        let local: u64 = self.local_grants.iter().sum();
+        if crossed + local == 0 {
+            0.0
+        } else {
+            crossed as f64 / (crossed + local) as f64
+        }
+    }
+
+    /// Enables signal-level validation: every inter-layer arbitration
+    /// decision is re-derived through the circuit model of
+    /// [`crate::xpoint`] (the Fig. 7 priority-line bus) and asserted to
+    /// agree with the behavioural arbiter. A debugging and verification
+    /// aid; it roughly doubles arbitration cost.
+    pub fn enable_signal_validation(&mut self) {
+        for subblock in &mut self.subblocks {
+            subblock.enable_signal_validation();
+        }
+    }
+
+    fn column_count(&self) -> usize {
+        debug_assert_eq!(
+            self.locals[0].column_count(),
+            self.cfg.ports_per_layer() + self.cfg.channels_per_layer()
+        );
+        self.cfg.ports_per_layer() + self.cfg.channels_per_layer()
+    }
+
+    fn dst_of_compressed(&self, src: usize, compressed_dst: usize) -> usize {
+        if compressed_dst < src {
+            compressed_dst
+        } else {
+            compressed_dst + 1
+        }
+    }
+
+    /// Phase 1: admit requests into local columns (or priority pools) and
+    /// elect one winner per column.
+    fn phase1(&mut self, requests: &[Request]) -> Vec<Phase1Winner> {
+        let l = self.cfg.layers();
+        let c = self.cfg.channel_multiplicity();
+        let cols = self.column_count();
+        let mut column_reqs: Vec<Vec<ColumnRequest>> = vec![Vec::new(); l * cols];
+        let mut pools: Vec<Vec<ColumnRequest>> = vec![Vec::new(); l * l];
+        let mut seen = vec![false; self.cfg.radix()];
+
+        for request in requests {
+            let input = request.input;
+            let output = request.output;
+            assert!(
+                input.index() < self.cfg.radix(),
+                "input {input} out of range"
+            );
+            assert!(
+                output.index() < self.cfg.radix(),
+                "output {output} out of range"
+            );
+            if seen[input.index()] || self.connections[input.index()].is_some() {
+                continue;
+            }
+            seen[input.index()] = true;
+            let src = self.cfg.layer_of_input(input).index();
+            let dst = self.cfg.layer_of_output(output).index();
+            let col_req = ColumnRequest {
+                local_input: self.cfg.local_input_index(input),
+                input,
+                output,
+            };
+            if src == dst {
+                let column =
+                    self.locals[src].intermediate_column(self.cfg.local_output_index(output));
+                column_reqs[src * cols + column].push(col_req);
+            } else {
+                match self.cfg.bound_channel(input, output) {
+                    Some(k) => {
+                        if self.channels.is_busy(src, dst, k.index()) {
+                            continue; // channel held by a transfer; retry later
+                        }
+                        let compressed_dst = if dst < src { dst } else { dst - 1 };
+                        let column = self.locals[src].channel_column(compressed_dst, k.index());
+                        column_reqs[src * cols + column].push(col_req);
+                    }
+                    None => pools[src * l + dst].push(col_req),
+                }
+            }
+        }
+
+        let mut winners = Vec::new();
+
+        // Statically-binned columns arbitrate in parallel.
+        for layer in 0..l {
+            for column in 0..cols {
+                let list = &column_reqs[layer * cols + column];
+                if list.is_empty() {
+                    continue;
+                }
+                let locals: Vec<usize> = list.iter().map(|r| r.local_input).collect();
+                let winner_local = self.locals[layer]
+                    .grant(column, &locals)
+                    .expect("non-empty request set");
+                let request = *list
+                    .iter()
+                    .find(|r| r.local_input == winner_local)
+                    .expect("winner comes from the request list");
+                let resource = match self.column_kinds[column] {
+                    ColumnKind::Intermediate => PathResource::Intermediate,
+                    ColumnKind::Channel { compressed_dst, k } => PathResource::Channel {
+                        src: layer,
+                        dst: self.dst_of_compressed(layer, compressed_dst),
+                        k,
+                    },
+                };
+                winners.push(Phase1Winner {
+                    layer,
+                    column,
+                    request,
+                    weight: list.len() as u32,
+                    resource,
+                });
+            }
+        }
+
+        // Priority-based allocation serializes over the channels of each
+        // layer pair: the highest-priority remaining requestor takes the
+        // next free channel (§III-A).
+        for src in 0..l {
+            for dst in 0..l {
+                if src == dst {
+                    continue;
+                }
+                let pool = &mut pools[src * l + dst];
+                if pool.is_empty() {
+                    continue;
+                }
+                let compressed_dst = if dst < src { dst } else { dst - 1 };
+                for k in 0..c {
+                    if pool.is_empty() {
+                        break;
+                    }
+                    if self.channels.is_busy(src, dst, k) {
+                        continue;
+                    }
+                    let column = self.locals[src].channel_column(compressed_dst, k);
+                    let locals: Vec<usize> = pool.iter().map(|r| r.local_input).collect();
+                    let winner_local = self.locals[src]
+                        .grant(column, &locals)
+                        .expect("non-empty pool");
+                    let pos = pool
+                        .iter()
+                        .position(|r| r.local_input == winner_local)
+                        .expect("winner comes from the pool");
+                    let weight = pool.len() as u32;
+                    let request = pool.swap_remove(pos);
+                    winners.push(Phase1Winner {
+                        layer: src,
+                        column,
+                        request,
+                        weight,
+                        resource: PathResource::Channel { src, dst, k },
+                    });
+                }
+            }
+        }
+
+        winners
+    }
+}
+
+impl Fabric for HiRiseSwitch {
+    fn radix(&self) -> usize {
+        self.cfg.radix()
+    }
+
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        let winners = self.phase1(requests);
+
+        // Phase 2: group phase-1 winners per final output and run the
+        // sub-block arbitration.
+        let mut per_output: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.radix()];
+        let mut touched_outputs = Vec::new();
+        for (index, winner) in winners.iter().enumerate() {
+            let output = winner.request.output.index();
+            if per_output[output].is_empty() {
+                touched_outputs.push(output);
+            }
+            per_output[output].push(index);
+        }
+
+        let mut grants = Vec::new();
+        for &output in &touched_outputs {
+            if self.output_owner[output].is_some() {
+                continue; // output mid-transfer: contenders lose silently
+            }
+            let contenders: Vec<Contender> = per_output[output]
+                .iter()
+                .map(|&index| {
+                    let w = &winners[index];
+                    let slot = match w.resource {
+                        PathResource::Intermediate => self.local_subblock_slot(),
+                        PathResource::Channel { src, dst, k } => self.subblock_slot(
+                            LayerId::new(src),
+                            ChannelId::new(k),
+                            LayerId::new(dst),
+                        ),
+                    };
+                    Contender {
+                        slot,
+                        input: w.request.input,
+                        weight: w.weight,
+                    }
+                })
+                .collect();
+            let winner_pos = self.subblocks[output]
+                .arbitrate(&contenders)
+                .expect("non-empty contender set");
+            let winner = winners[per_output[output][winner_pos]];
+
+            // Commit: back-propagate the local priority update, seize the
+            // path resources, and record the connection.
+            self.locals[winner.layer].update(winner.column, winner.request.local_input);
+            match winner.resource {
+                PathResource::Channel { src, dst, k } => {
+                    self.channels.acquire(src, dst, k, winner.request.input);
+                    let compressed_dst = if dst < src { dst } else { dst - 1 };
+                    let c = self.cfg.channel_multiplicity();
+                    let l = self.cfg.layers();
+                    self.channel_grants[(src * (l - 1) + compressed_dst) * c + k] += 1;
+                }
+                PathResource::Intermediate => {
+                    self.local_grants[winner.layer] += 1;
+                }
+            }
+            let input = winner.request.input;
+            self.connections[input.index()] = Some(Path {
+                output: OutputId::new(output),
+                resource: winner.resource,
+            });
+            self.output_owner[output] = Some(input);
+            grants.push(Grant {
+                input,
+                output: OutputId::new(output),
+            });
+        }
+        grants
+    }
+
+    fn release(&mut self, input: InputId) {
+        assert!(
+            input.index() < self.cfg.radix(),
+            "input {input} out of range"
+        );
+        if let Some(path) = self.connections[input.index()].take() {
+            self.output_owner[path.output.index()] = None;
+            if let PathResource::Channel { src, dst, k } = path.resource {
+                self.channels.release(src, dst, k);
+            }
+        }
+    }
+
+    fn connection(&self, input: InputId) -> Option<OutputId> {
+        self.connections[input.index()].map(|p| p.output)
+    }
+
+    fn output_busy(&self, output: OutputId) -> bool {
+        self.output_owner[output.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::ArbitrationScheme;
+    use crate::config::ChannelAllocation;
+
+    fn req(i: usize, o: usize) -> Request {
+        Request::new(InputId::new(i), OutputId::new(o))
+    }
+
+    fn one_channel_switch(scheme: ArbitrationScheme) -> HiRiseSwitch {
+        let cfg = HiRiseConfig::builder(64, 4).scheme(scheme).build().unwrap();
+        HiRiseSwitch::new(&cfg)
+    }
+
+    /// Runs one pure arbitration cycle (grant then immediately release),
+    /// returning the winning input for `output`.
+    fn arbitration_winner(sw: &mut HiRiseSwitch, contenders: &[usize], output: usize) -> usize {
+        let requests: Vec<Request> = contenders.iter().map(|&i| req(i, output)).collect();
+        let grants = sw.arbitrate(&requests);
+        assert_eq!(grants.len(), 1, "exactly one winner for a single output");
+        let winner = grants[0].input;
+        sw.release(winner);
+        winner.index()
+    }
+
+    /// Fig. 4: baseline L-2-L LRG allocates disproportionately to the
+    /// lone requestor from L2. Inputs {3,7,11,15} on L1 and {20} on L2
+    /// all request output 63 on L4; the observed pattern must be
+    /// {15, 20, 11, 20, 7, 20, 3, 20, 15, 20, ...}.
+    #[test]
+    fn fig4_baseline_l2l_lrg_sequence() {
+        let mut sw = one_channel_switch(ArbitrationScheme::LayerToLayerLrg);
+        // Initial L1 local LRG: 15 > 11 > 7 > 3 (priorities decrease top
+        // to bottom in the figure); the rest of the order is immaterial.
+        let mut order = vec![15, 11, 7, 3];
+        order.extend((0..16).filter(|i| ![15, 11, 7, 3].contains(i)));
+        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order);
+        // Fig. 4 cycle 1: "Input 15 wins as C1,4 has higher priority than
+        // C2,4" — the default slot order (C1,4 first) already encodes it.
+
+        let contenders = [3, 7, 11, 15, 20];
+        let sequence: Vec<usize> = (0..10)
+            .map(|_| arbitration_winner(&mut sw, &contenders, 63))
+            .collect();
+        assert_eq!(sequence, vec![15, 20, 11, 20, 7, 20, 3, 20, 15, 20]);
+    }
+
+    /// Fig. 5: CLRG restores 2D-LRG-like fairness for the same traffic.
+    /// Expected pattern: {20, 15, 11, 7, 3, 20, 15, 11, 7, 3, ...}.
+    #[test]
+    fn fig5_clrg_sequence() {
+        let mut sw = one_channel_switch(ArbitrationScheme::class_based());
+        let mut order = vec![15, 11, 7, 3];
+        order.extend((0..16).filter(|i| ![15, 11, 7, 3].contains(i)));
+        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order);
+        // Fig. 5 cycle 1: "Input 20 wins, as C2,4 has higher LRG priority
+        // than C1,4" — seed the sub-block so slot C2,4 outranks C1,4.
+        let c14 = sw.subblock_slot(LayerId::new(0), ChannelId::new(0), LayerId::new(3));
+        let c24 = sw.subblock_slot(LayerId::new(1), ChannelId::new(0), LayerId::new(3));
+        let c34 = sw.subblock_slot(LayerId::new(2), ChannelId::new(0), LayerId::new(3));
+        let local = sw.local_subblock_slot();
+        sw.seed_subblock_priority(OutputId::new(63), &[c24, c14, c34, local]);
+
+        let contenders = [3, 7, 11, 15, 20];
+        let sequence: Vec<usize> = (0..11)
+            .map(|_| arbitration_winner(&mut sw, &contenders, 63))
+            .collect();
+        assert_eq!(sequence, vec![20, 15, 11, 7, 3, 20, 15, 11, 7, 3, 20]);
+    }
+
+    /// WLRG also resolves the Fig. 4 bias: the four-requestor channel is
+    /// held at high priority for four consecutive wins.
+    #[test]
+    fn wlrg_balances_adversarial_pattern() {
+        let mut sw = one_channel_switch(ArbitrationScheme::WeightedLrg);
+        let contenders = [3, 7, 11, 15, 20];
+        let mut wins = [0usize; 64];
+        for _ in 0..100 {
+            let w = arbitration_winner(&mut sw, &contenders, 63);
+            wins[w] += 1;
+        }
+        // Every contender gets 1/5 of the bandwidth.
+        for &i in &contenders {
+            assert_eq!(wins[i], 20, "input {i} should win exactly 20 of 100");
+        }
+    }
+
+    /// The baseline's unfairness quantified: input 20 gets ~half the
+    /// bandwidth while the four L1 inputs split the other half.
+    #[test]
+    fn baseline_gives_lone_contender_half_the_slots() {
+        let mut sw = one_channel_switch(ArbitrationScheme::LayerToLayerLrg);
+        let contenders = [3, 7, 11, 15, 20];
+        let mut wins = [0usize; 64];
+        for _ in 0..100 {
+            let w = arbitration_winner(&mut sw, &contenders, 63);
+            wins[w] += 1;
+        }
+        assert_eq!(wins[20], 50);
+        for &i in &[3, 7, 11, 15] {
+            assert!(
+                (11..=14).contains(&wins[i]),
+                "input {i} won {} times",
+                wins[i]
+            );
+        }
+    }
+
+    /// CLRG gives each contender an equal share regardless of layer.
+    #[test]
+    fn clrg_equalizes_adversarial_throughput() {
+        let mut sw = one_channel_switch(ArbitrationScheme::class_based());
+        let contenders = [3, 7, 11, 15, 20];
+        let mut wins = [0usize; 64];
+        for _ in 0..100 {
+            let w = arbitration_winner(&mut sw, &contenders, 63);
+            wins[w] += 1;
+        }
+        for &i in &contenders {
+            assert_eq!(wins[i], 20, "input {i} should win exactly 20 of 100");
+        }
+    }
+
+    #[test]
+    fn same_layer_connection_uses_intermediate_output() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Input 0 and output 5 are both on layer 0.
+        let grants = sw.arbitrate(&[req(0, 5)]);
+        assert_eq!(grants.len(), 1);
+        // No channel should be held.
+        for dst in 1..4 {
+            for k in 0..4 {
+                assert!(!sw.channel_busy(LayerId::new(0), LayerId::new(dst), ChannelId::new(k)));
+            }
+        }
+        sw.release(InputId::new(0));
+        assert!(!sw.output_busy(OutputId::new(5)));
+    }
+
+    #[test]
+    fn inter_layer_connection_holds_its_channel() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Input 0 (layer 0, local 0, bound to channel 0) to output 63.
+        let grants = sw.arbitrate(&[req(0, 63)]);
+        assert_eq!(grants.len(), 1);
+        assert!(sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(0)));
+        // Input 4 is also bound to channel 0 towards layer 3: blocked.
+        assert!(sw.arbitrate(&[req(4, 62)]).is_empty());
+        // Input 1 rides channel 1: free to connect to another output.
+        assert_eq!(sw.arbitrate(&[req(1, 62)]).len(), 1);
+        sw.release(InputId::new(0));
+        assert!(!sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(0)));
+        // Channel 0 is free again.
+        assert_eq!(sw.arbitrate(&[req(4, 61)]).len(), 1);
+    }
+
+    #[test]
+    fn one_channel_serializes_inter_layer_transfers() {
+        let cfg = HiRiseConfig::builder(64, 4).build().unwrap();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Two layer-0 inputs to two different outputs on layer 3: only
+        // one can hold the single L2LC.
+        let grants = sw.arbitrate(&[req(0, 60), req(1, 61)]);
+        assert_eq!(grants.len(), 1);
+        let loser = if grants[0].input == InputId::new(0) {
+            1
+        } else {
+            0
+        };
+        assert!(sw.arbitrate(&[req(loser, 60 + loser)]).is_empty());
+    }
+
+    #[test]
+    fn distinct_layers_connect_in_parallel() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // One input per layer, each to a distinct output on the next
+        // layer: all four should connect in a single cycle.
+        let requests = [req(0, 16), req(16, 32), req(32, 48), req(48, 0)];
+        let grants = sw.arbitrate(&requests);
+        assert_eq!(grants.len(), 4);
+        assert_eq!(sw.active_connections(), 4);
+    }
+
+    #[test]
+    fn busy_input_and_duplicate_requests_are_ignored() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        assert_eq!(sw.arbitrate(&[req(0, 63)]).len(), 1);
+        assert!(sw.arbitrate(&[req(0, 62)]).is_empty());
+        // Duplicate in the same cycle: only the first counts.
+        let grants = sw.arbitrate(&[req(1, 40), req(1, 41)]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].output, OutputId::new(40));
+    }
+
+    #[test]
+    fn output_binned_allocation_respects_output_channel() {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .allocation(ChannelAllocation::OutputBinned)
+            .build()
+            .unwrap();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Output 63 has local index 15 -> channel 3.
+        assert_eq!(sw.arbitrate(&[req(0, 63)]).len(), 1);
+        assert!(sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(3)));
+    }
+
+    #[test]
+    fn priority_based_allocation_uses_all_channels() {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .allocation(ChannelAllocation::PriorityBased)
+            .build()
+            .unwrap();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Four inputs that input-binning would map to the SAME channel
+        // (locals 0, 4, 8, 12 are all k = 0): priority allocation spreads
+        // them over the four channels so all four connect at once.
+        let grants = sw.arbitrate(&[req(0, 60), req(4, 61), req(8, 62), req(12, 63)]);
+        assert_eq!(grants.len(), 4);
+    }
+
+    #[test]
+    fn input_binned_same_channel_inputs_serialize() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // Locals 0, 4, 8, 12 all bind to channel 0 towards layer 3.
+        let grants = sw.arbitrate(&[req(0, 60), req(4, 61), req(8, 62), req(12, 63)]);
+        assert_eq!(grants.len(), 1);
+    }
+
+    /// §III-B1: back-propagated local updates guarantee no starvation —
+    /// under persistent full contention every requesting input
+    /// eventually wins.
+    #[test]
+    fn no_starvation_under_persistent_contention() {
+        for scheme in [
+            ArbitrationScheme::LayerToLayerLrg,
+            ArbitrationScheme::WeightedLrg,
+            ArbitrationScheme::class_based(),
+        ] {
+            let mut sw = one_channel_switch(scheme);
+            let contenders: Vec<usize> = (0..64).collect();
+            let mut wins = [0usize; 64];
+            for _ in 0..64 * 20 {
+                let w = arbitration_winner(&mut sw, &contenders, 63);
+                wins[w] += 1;
+            }
+            for (i, &w) in wins.iter().enumerate() {
+                assert!(w > 0, "{}: input {i} starved", scheme.label());
+            }
+        }
+    }
+
+    #[test]
+    fn grant_counters_track_paths() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        // One local connection on layer 0, one inter-layer 0 -> 3.
+        assert_eq!(sw.arbitrate(&[req(0, 5)]).len(), 1);
+        assert_eq!(sw.arbitrate(&[req(1, 63)]).len(), 1);
+        assert_eq!(sw.local_grant_count(LayerId::new(0)), 1);
+        // Input 1 is bound to channel 1 (local index 1 mod 4).
+        assert_eq!(
+            sw.channel_grant_count(LayerId::new(0), LayerId::new(3), ChannelId::new(1)),
+            1
+        );
+        assert!((sw.inter_layer_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inter_layer_fraction_matches_uniform_expectation() {
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..2_000 {
+            let mut requests = Vec::new();
+            for i in 0..64 {
+                requests.push(Request::new(InputId::new(i), OutputId::new(next() % 64)));
+            }
+            let grants = sw.arbitrate(&requests);
+            for grant in grants {
+                sw.release(grant.input);
+            }
+        }
+        // Uniform destinations over 4 layers: 3/4 of grants cross.
+        let fraction = sw.inter_layer_fraction();
+        assert!((0.70..0.80).contains(&fraction), "fraction {fraction}");
+    }
+
+    #[test]
+    fn clrg_class_introspection() {
+        let mut sw = one_channel_switch(ArbitrationScheme::class_based());
+        assert_eq!(sw.clrg_class(OutputId::new(63), InputId::new(20)), Some(0));
+        let _ = arbitration_winner(&mut sw, &[20], 63);
+        assert_eq!(sw.clrg_class(OutputId::new(63), InputId::new(20)), Some(1));
+        // A different output's sub-block is untouched.
+        assert_eq!(sw.clrg_class(OutputId::new(62), InputId::new(20)), Some(0));
+    }
+
+    /// Long random runs with per-decision circuit validation: the
+    /// behavioural sub-block and the Fig. 7 signal model never diverge.
+    #[test]
+    fn signal_validation_holds_under_random_traffic() {
+        for scheme in [
+            ArbitrationScheme::LayerToLayerLrg,
+            ArbitrationScheme::WeightedLrg,
+            ArbitrationScheme::class_based(),
+        ] {
+            let cfg = HiRiseConfig::builder(64, 4)
+                .channel_multiplicity(4)
+                .scheme(scheme)
+                .build()
+                .unwrap();
+            let mut sw = HiRiseSwitch::new(&cfg);
+            sw.enable_signal_validation();
+            // Deterministic pseudo-random request stream.
+            let mut state = 0x12345u64;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..500 {
+                let mut requests = Vec::new();
+                for i in 0..64 {
+                    if next() % 3 != 0 {
+                        requests.push(Request::new(InputId::new(i), OutputId::new(next() % 64)));
+                    }
+                }
+                let grants = sw.arbitrate(&requests);
+                for grant in grants {
+                    if next() % 2 == 0 {
+                        sw.release(grant.input);
+                    }
+                }
+                // Periodically release everything to avoid deadlocking
+                // the request stream.
+                if next() % 7 == 0 {
+                    for i in 0..64 {
+                        sw.release(InputId::new(i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_switch_has_no_clrg_state() {
+        let sw = one_channel_switch(ArbitrationScheme::LayerToLayerLrg);
+        assert_eq!(sw.clrg_class(OutputId::new(63), InputId::new(20)), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Switch fabrics and arbitration schemes from the MICRO 2014 paper
+//! *Hi-Rise: A High-Radix Switch for 3D Integration with Single-cycle
+//! Arbitration* (Jeloka, Das, Dreslinski, Mudge, Blaauw).
+//!
+//! This crate models, at cycle granularity, the three switch fabrics the
+//! paper evaluates plus every arbitration scheme it discusses:
+//!
+//! * [`Switch2d`] — the flat 2D Swizzle-Switch baseline: a matrix crossbar
+//!   with arbitration embedded in the cross-points, using Least Recently
+//!   Granted (LRG) priority (§II-A of the paper).
+//! * [`FoldedSwitch`] — the naive 3D baseline: the same 2D switch folded
+//!   over `L` silicon layers (§II-B).
+//! * [`HiRiseSwitch`] — the paper's contribution: a hierarchical 3D switch
+//!   with a *local switch* and an *inter-layer switch* per layer, joined by
+//!   dedicated layer-to-layer channels (L2LCs), arbitrating end-to-end in a
+//!   single cycle (§III).
+//!
+//! The inter-layer arbitration policy is selectable per §III-B:
+//! baseline layer-to-layer LRG, Weighted LRG (WLRG), or the proposed
+//! Class-based LRG ([`ClrgState`], §III-B4).
+//!
+//! All fabrics implement the [`Fabric`] trait, which is what the
+//! cycle-accurate simulator in `hirise-sim` drives: offer a set of
+//! input→output [`Request`]s, receive the set of granted connections, then
+//! hold each connection until [`Fabric::release`] is called (at the tail
+//! flit of a packet).
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_core::{HiRiseConfig, HiRiseSwitch, Fabric, Request, InputId, OutputId};
+//!
+//! # fn main() -> Result<(), hirise_core::ConfigError> {
+//! // The paper's optimal configuration: 64-radix, 4 layers, 4 channels, CLRG.
+//! let cfg = HiRiseConfig::builder(64, 4).channel_multiplicity(4).build()?;
+//! let mut sw = HiRiseSwitch::new(&cfg);
+//!
+//! // Input 0 (layer 1) asks for output 63 (layer 4), as in Fig. 2.
+//! let grants = sw.arbitrate(&[Request::new(InputId::new(0), OutputId::new(63))]);
+//! assert_eq!(grants.len(), 1);
+//! assert!(sw.connection(InputId::new(0)) == Some(OutputId::new(63)));
+//! sw.release(InputId::new(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+mod bits;
+pub mod config;
+mod error;
+mod fabric;
+mod folded;
+pub mod hirise;
+mod ids;
+mod switch2d;
+pub mod xpoint;
+
+pub use arbiter::clrg::ClrgState;
+pub use arbiter::matrix::MatrixArbiter;
+pub use arbiter::wlrg::WlrgState;
+pub use arbiter::ArbitrationScheme;
+pub use bits::BitSet;
+pub use config::{ChannelAllocation, HiRiseConfig, HiRiseConfigBuilder, LocalArbiterKind};
+pub use error::ConfigError;
+pub use fabric::{Fabric, Grant, Request};
+pub use folded::FoldedSwitch;
+pub use hirise::HiRiseSwitch;
+pub use ids::{ChannelId, InputId, LayerId, OutputId};
+pub use switch2d::Switch2d;
+pub use xpoint::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender};

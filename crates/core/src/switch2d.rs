@@ -1,0 +1,301 @@
+//! The flat 2D Swizzle-Switch baseline (§II-A).
+//!
+//! An `N x N` matrix crossbar with arbitration embedded in the
+//! cross-points. Every output column holds an `N`-bit LRG priority vector
+//! and resolves its requests in a single cycle; winners hold the
+//! connection until released. This is the design the paper compares
+//! Hi-Rise against throughout §VI.
+//!
+//! As an extension (following the Swizzle-Switch line the paper builds
+//! on — Satpathy et al., DAC 2012, which adds "multiple arbitration
+//! schemes and quality of service" to the same fabric), the switch
+//! optionally supports **static QoS classes**: each input carries a
+//! fixed priority class, higher classes win outright, and LRG breaks
+//! ties within a class — the same priority-select-mux structure CLRG
+//! uses with counters (Fig. 7), with static class inputs instead.
+
+use crate::arbiter::matrix::MatrixArbiter;
+use crate::fabric::{Fabric, Grant, Request};
+use crate::ids::{InputId, OutputId};
+
+/// A flat 2D Swizzle-Switch with per-output LRG arbitration and
+/// optional static QoS classes.
+#[derive(Clone, Debug)]
+pub struct Switch2d {
+    arbiters: Vec<MatrixArbiter>,
+    /// Per-input connected output.
+    connections: Vec<Option<OutputId>>,
+    /// Per-output owning input.
+    owners: Vec<Option<InputId>>,
+    /// Static QoS class per input (0 = highest); `None` disables QoS.
+    qos: Option<Vec<u8>>,
+    radix: usize,
+    // Scratch reused across arbitration cycles to avoid reallocations.
+    requestors: Vec<Vec<usize>>,
+}
+
+impl Switch2d {
+    /// Creates a 2D switch of the given radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix > 0, "radix must be at least 1");
+        Self {
+            arbiters: (0..radix).map(|_| MatrixArbiter::new(radix)).collect(),
+            connections: vec![None; radix],
+            owners: vec![None; radix],
+            qos: None,
+            radix,
+            requestors: vec![Vec::new(); radix],
+        }
+    }
+
+    /// Enables static QoS: `classes[i]` is input `i`'s priority class
+    /// (0 = highest). Higher-class requests win outright; LRG breaks
+    /// ties within a class. Extension beyond the paper, following
+    /// Satpathy et al. (DAC 2012).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` does not have one entry per input.
+    pub fn with_qos_classes(mut self, classes: &[u8]) -> Self {
+        assert_eq!(classes.len(), self.radix, "one class per input required");
+        self.qos = Some(classes.to_vec());
+        self
+    }
+
+    /// Seeds the LRG priority order of one output column, highest
+    /// priority first. Intended for reproducing the paper's worked
+    /// examples, which start from specific LRG states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `order` is not a permutation
+    /// of `0..radix`.
+    pub fn seed_output_priority(&mut self, output: OutputId, order: &[usize]) {
+        self.arbiters[output.index()] = MatrixArbiter::with_order(order);
+    }
+
+    /// The input currently owning `output`, if any.
+    pub fn owner(&self, output: OutputId) -> Option<InputId> {
+        self.owners[output.index()]
+    }
+}
+
+impl Fabric for Switch2d {
+    fn radix(&self) -> usize {
+        self.radix
+    }
+
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        for list in &mut self.requestors {
+            list.clear();
+        }
+        let mut seen = vec![false; self.radix];
+        for request in requests {
+            let input = request.input.index();
+            let output = request.output.index();
+            assert!(input < self.radix, "input {input} out of range");
+            assert!(output < self.radix, "output {output} out of range");
+            if seen[input] || self.connections[input].is_some() {
+                continue; // duplicate or already transferring
+            }
+            seen[input] = true;
+            if self.owners[output].is_some() {
+                continue; // output busy: request simply loses this cycle
+            }
+            self.requestors[output].push(input);
+        }
+
+        let mut grants = Vec::new();
+        for output in 0..self.radix {
+            let list = &self.requestors[output];
+            if list.is_empty() {
+                continue;
+            }
+            // With QoS enabled, only the best (lowest) class competes;
+            // LRG decides within it.
+            let candidates: Vec<usize> = match &self.qos {
+                None => list.clone(),
+                Some(classes) => {
+                    let best = list
+                        .iter()
+                        .map(|&i| classes[i])
+                        .min()
+                        .expect("non-empty request set");
+                    list.iter()
+                        .copied()
+                        .filter(|&i| classes[i] == best)
+                        .collect()
+                }
+            };
+            let winner = self.arbiters[output]
+                .grant(&candidates)
+                .expect("non-empty request set always has an LRG winner");
+            self.arbiters[output].update(winner);
+            self.connections[winner] = Some(OutputId::new(output));
+            self.owners[output] = Some(InputId::new(winner));
+            grants.push(Grant {
+                input: InputId::new(winner),
+                output: OutputId::new(output),
+            });
+        }
+        grants
+    }
+
+    fn release(&mut self, input: InputId) {
+        assert!(input.index() < self.radix, "input {input} out of range");
+        if let Some(output) = self.connections[input.index()].take() {
+            self.owners[output.index()] = None;
+        }
+    }
+
+    fn connection(&self, input: InputId) -> Option<OutputId> {
+        self.connections[input.index()]
+    }
+
+    fn output_busy(&self, output: OutputId) -> bool {
+        self.owners[output.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(i: usize, o: usize) -> Request {
+        Request::new(InputId::new(i), OutputId::new(o))
+    }
+
+    #[test]
+    fn grants_distinct_outputs_in_parallel() {
+        let mut sw = Switch2d::new(8);
+        let grants = sw.arbitrate(&[req(0, 3), req(1, 5), req(2, 7)]);
+        assert_eq!(grants.len(), 3);
+        assert_eq!(sw.active_connections(), 3);
+        assert!(sw.output_busy(OutputId::new(3)));
+    }
+
+    #[test]
+    fn contention_resolved_by_lrg() {
+        let mut sw = Switch2d::new(4);
+        let grants = sw.arbitrate(&[req(0, 2), req(1, 2), req(3, 2)]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].input, InputId::new(0)); // default order favours 0
+        sw.release(InputId::new(0));
+        // After the win, input 0 has dropped to the back of the LRG order.
+        let grants = sw.arbitrate(&[req(0, 2), req(1, 2), req(3, 2)]);
+        assert_eq!(grants[0].input, InputId::new(1));
+    }
+
+    #[test]
+    fn busy_output_rejects_requests() {
+        let mut sw = Switch2d::new(4);
+        assert_eq!(sw.arbitrate(&[req(0, 1)]).len(), 1);
+        assert!(sw.arbitrate(&[req(2, 1)]).is_empty());
+        sw.release(InputId::new(0));
+        assert_eq!(sw.arbitrate(&[req(2, 1)]).len(), 1);
+    }
+
+    #[test]
+    fn busy_input_requests_are_ignored() {
+        let mut sw = Switch2d::new(4);
+        assert_eq!(sw.arbitrate(&[req(0, 1)]).len(), 1);
+        // Input 0 is mid-transfer; its stray request must be ignored.
+        assert!(sw.arbitrate(&[req(0, 2)]).is_empty());
+        assert_eq!(sw.connection(InputId::new(0)), Some(OutputId::new(1)));
+    }
+
+    #[test]
+    fn lrg_serves_all_contenders_round_robin_fairly() {
+        let mut sw = Switch2d::new(4);
+        let mut wins = [0usize; 4];
+        for _ in 0..40 {
+            let grants = sw.arbitrate(&[req(0, 0), req(1, 0), req(2, 0), req(3, 0)]);
+            let winner = grants[0].input;
+            wins[winner.index()] += 1;
+            sw.release(winner);
+        }
+        assert_eq!(wins, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn seeded_priority_orders_first_round() {
+        let mut sw = Switch2d::new(4);
+        sw.seed_output_priority(OutputId::new(0), &[2, 3, 1, 0]);
+        let grants = sw.arbitrate(&[req(0, 0), req(1, 0), req(2, 0), req(3, 0)]);
+        assert_eq!(grants[0].input, InputId::new(2));
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut sw = Switch2d::new(4);
+        sw.arbitrate(&[req(0, 1)]);
+        sw.release(InputId::new(0));
+        sw.release(InputId::new(0));
+        assert_eq!(sw.active_connections(), 0);
+    }
+
+    #[test]
+    fn qos_classes_override_lrg() {
+        let mut classes = vec![1u8; 4];
+        classes[2] = 0; // input 2 is high priority
+        let mut sw = Switch2d::new(4).with_qos_classes(&classes);
+        // Despite LRG favouring input 0, input 2 wins on class.
+        for _ in 0..5 {
+            let grants = sw.arbitrate(&[req(0, 1), req(2, 1), req(3, 1)]);
+            assert_eq!(grants[0].input, InputId::new(2));
+            sw.release(InputId::new(2));
+        }
+    }
+
+    #[test]
+    fn qos_ties_fall_back_to_lrg() {
+        let mut sw = Switch2d::new(4).with_qos_classes(&[0, 0, 1, 1]);
+        let mut sequence = Vec::new();
+        for _ in 0..4 {
+            let grants = sw.arbitrate(&[req(0, 2), req(1, 2)]);
+            sequence.push(grants[0].input.index());
+            sw.release(grants[0].input);
+        }
+        assert_eq!(sequence, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn qos_low_class_served_when_alone() {
+        let mut sw = Switch2d::new(4).with_qos_classes(&[0, 0, 0, 3]);
+        let grants = sw.arbitrate(&[req(3, 0)]);
+        assert_eq!(grants.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one class per input")]
+    fn qos_class_length_is_validated() {
+        let _ = Switch2d::new(4).with_qos_classes(&[0, 1]);
+    }
+
+    #[test]
+    fn paper_2d_reference_sequence() {
+        // §III-B2: "In a 2D flat switch with LRG the output pattern would
+        // be {20, 15, 11, 7, 3, 20, 15 ...}" for inputs {3,7,11,15,20} all
+        // requesting output 63 — given an initial LRG order that ranks 20
+        // above 15 above 11 above 7 above 3.
+        let mut sw = Switch2d::new(64);
+        let mut order: Vec<usize> = vec![20, 15, 11, 7, 3];
+        order.extend((0..64).filter(|i| ![20, 15, 11, 7, 3].contains(i)));
+        sw.seed_output_priority(OutputId::new(63), &order);
+
+        let contenders = [3, 7, 11, 15, 20];
+        let mut sequence = Vec::new();
+        for _ in 0..10 {
+            let requests: Vec<Request> = contenders.iter().map(|&i| req(i, 63)).collect();
+            let grants = sw.arbitrate(&requests);
+            let winner = grants[0].input;
+            sequence.push(winner.index());
+            sw.release(winner);
+        }
+        assert_eq!(sequence, vec![20, 15, 11, 7, 3, 20, 15, 11, 7, 3]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Signal-level model of the cross-point arbitration circuits (§IV).
+//!
+//! The Swizzle-Switch family embeds arbitration in the crossbar by
+//! reusing the output data lines as a *priority bus* during the
+//! arbitration phase: every requesting cross-point pulls down the lines
+//! of the contenders it outranks, polls its own line, and wins exactly
+//! when its line stays high (precharged). Because the priority matrix
+//! is a total order, exactly one requestor's line survives — the
+//! single-cycle arbitration the paper's title refers to.
+//!
+//! Two circuits are modelled:
+//!
+//! * [`arbitrate_wired_or`] — the plain LRG column of the 2D switch and
+//!   the Hi-Rise local switch (Fig. 6): `n` priority lines, one per
+//!   contender.
+//! * [`arbitrate_clrg_column`] — the CLRG inter-layer cross-point
+//!   (Fig. 7): the lines are grouped per priority class (e.g. 3 groups
+//!   of 13 for the 4-channel 64-radix switch, lines 0–38). Each
+//!   cross-point's Priority Select Muxes pull down *every* line of
+//!   lower-priority class groups, drive its LRG vector onto its own
+//!   class's group, and leave higher-priority groups untouched; it
+//!   polls its own line within its own class group (Mux2).
+//!
+//! These functions exist to validate the behavioural arbiters: property
+//! tests assert they produce identical winners to
+//! [`MatrixArbiter::grant`] and to the class-then-LRG rule of the CLRG
+//! sub-block, for arbitrary priority states.
+
+use crate::arbiter::matrix::MatrixArbiter;
+
+/// Simulates the wired-OR priority-line arbitration of one output
+/// column (Fig. 6): returns the winning requestor, or `None` when
+/// `requests` is empty.
+///
+/// `priority` supplies the cross-points' priority vectors (bit `j` of
+/// row `i` = "i outranks j", exactly what the hardware stores).
+///
+/// # Panics
+///
+/// Panics if a request index is out of range, or if the priority state
+/// is not a total order (no line, or more than one line, survives) —
+/// which a correct LRG update sequence can never produce.
+pub fn arbitrate_wired_or(requests: &[usize], priority: &MatrixArbiter) -> Option<usize> {
+    let n = priority.len();
+    if requests.is_empty() {
+        return None;
+    }
+    // Precharge all lines high.
+    let mut lines = vec![true; n];
+    // Evaluate: each requestor pulls down the lines of contenders it
+    // outranks.
+    for &requestor in requests {
+        assert!(requestor < n, "requestor {requestor} out of range");
+        for (other, line) in lines.iter_mut().enumerate() {
+            if other != requestor && priority.outranks(requestor, other) {
+                *line = false;
+            }
+        }
+    }
+    // Sense: a requestor wins iff its own line stayed high.
+    let mut winner = None;
+    for &requestor in requests {
+        if lines[requestor] {
+            assert!(
+                winner.is_none() || winner == Some(requestor),
+                "priority state is not a total order: two lines survived"
+            );
+            winner = Some(requestor);
+        }
+    }
+    assert!(
+        winner.is_some(),
+        "priority state is not a total order: no line survived"
+    );
+    winner
+}
+
+/// One contender at a CLRG inter-layer cross-point column: its slot
+/// (L2LC or local intermediate) and the priority class of the primary
+/// input it carries (the class counter selected by Mux1 in Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassedContender {
+    /// Sub-block slot, `0..slots`.
+    pub slot: usize,
+    /// Priority class (0 = highest), `0..classes`.
+    pub class: u8,
+}
+
+/// Simulates the class-grouped priority-line arbitration of a CLRG
+/// sub-block column (Fig. 7): returns the index into `contenders` of
+/// the winner, or `None` when empty.
+///
+/// `slot_lrg` is the slot-level LRG matrix (the "13-bit LRG" of the
+/// figure); `classes` is the number of class groups on the bus.
+///
+/// # Panics
+///
+/// Panics if a slot or class is out of range, two contenders share a
+/// slot, or the line state resolves to anything but a unique winner.
+pub fn arbitrate_clrg_column(
+    contenders: &[ClassedContender],
+    slot_lrg: &MatrixArbiter,
+    classes: u8,
+) -> Option<usize> {
+    let slots = slot_lrg.len();
+    if contenders.is_empty() {
+        return None;
+    }
+    {
+        let mut seen = vec![false; slots];
+        for contender in contenders {
+            assert!(
+                contender.slot < slots,
+                "slot {} out of range",
+                contender.slot
+            );
+            assert!(!seen[contender.slot], "duplicate contender slot");
+            seen[contender.slot] = true;
+        }
+    }
+    // The priority bus: `classes` groups of `slots` lines, all
+    // precharged high. Line index = class * slots + slot.
+    let mut lines = vec![true; classes as usize * slots];
+    for contender in contenders {
+        assert!(
+            contender.slot < slots,
+            "slot {} out of range",
+            contender.slot
+        );
+        assert!(
+            contender.class < classes,
+            "class {} out of range",
+            contender.class
+        );
+        // PSMs: pull down every line of all lower-priority (higher
+        // numbered) class groups...
+        for group in (contender.class + 1)..classes {
+            for line in 0..slots {
+                lines[group as usize * slots + line] = false;
+            }
+        }
+        // ...and drive the LRG vector onto this contender's own group.
+        let base = contender.class as usize * slots;
+        for other in 0..slots {
+            if other != contender.slot && slot_lrg.outranks(contender.slot, other) {
+                lines[base + other] = false;
+            }
+        }
+        // Higher-priority groups: apply '0' (leave precharged).
+    }
+    // Sense: each contender polls its own line within its own class
+    // group (Mux2 selects the group from the class counter).
+    let mut winner = None;
+    for (index, contender) in contenders.iter().enumerate() {
+        if lines[contender.class as usize * slots + contender.slot] {
+            assert!(
+                winner.is_none(),
+                "CLRG column resolved to more than one winner"
+            );
+            winner = Some(index);
+        }
+    }
+    assert!(winner.is_some(), "CLRG column resolved to no winner");
+    winner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wired_or_matches_matrix_grant() {
+        let mut arbiter = MatrixArbiter::new(8);
+        // Exercise several LRG states.
+        for state in 0..10 {
+            let requests: Vec<usize> = (0..8).filter(|i| (i + state) % 3 != 0).collect();
+            assert_eq!(
+                arbitrate_wired_or(&requests, &arbiter),
+                arbiter.grant(&requests),
+                "state {state}"
+            );
+            if let Some(w) = arbiter.grant(&requests) {
+                arbiter.update(w);
+            }
+        }
+    }
+
+    #[test]
+    fn wired_or_empty_is_none() {
+        let arbiter = MatrixArbiter::new(4);
+        assert_eq!(arbitrate_wired_or(&[], &arbiter), None);
+    }
+
+    #[test]
+    fn clrg_column_class_beats_lrg() {
+        let lrg = MatrixArbiter::new(13);
+        // Slot 0 outranks slot 5 in LRG, but slot 5 is in a better class.
+        let contenders = [
+            ClassedContender { slot: 0, class: 1 },
+            ClassedContender { slot: 5, class: 0 },
+        ];
+        assert_eq!(arbitrate_clrg_column(&contenders, &lrg, 3), Some(1));
+    }
+
+    #[test]
+    fn clrg_column_lrg_breaks_class_ties() {
+        let lrg = MatrixArbiter::new(13);
+        let contenders = [
+            ClassedContender { slot: 7, class: 1 },
+            ClassedContender { slot: 2, class: 1 },
+        ];
+        // Default order: lower slot outranks.
+        assert_eq!(arbitrate_clrg_column(&contenders, &lrg, 3), Some(1));
+    }
+
+    #[test]
+    fn clrg_column_single_contender_wins() {
+        let lrg = MatrixArbiter::new(4);
+        let contenders = [ClassedContender { slot: 3, class: 2 }];
+        assert_eq!(arbitrate_clrg_column(&contenders, &lrg, 3), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate contender slot")]
+    fn clrg_column_rejects_duplicate_slots() {
+        let lrg = MatrixArbiter::new(4);
+        let contenders = [
+            ClassedContender { slot: 1, class: 0 },
+            ClassedContender { slot: 1, class: 1 },
+        ];
+        let _ = arbitrate_clrg_column(&contenders, &lrg, 3);
+    }
+}

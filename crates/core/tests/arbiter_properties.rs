@@ -1,0 +1,159 @@
+//! Model-based property tests for the arbitration primitives: the
+//! matrix arbiter is checked against an explicit least-recently-granted
+//! list model, the bit set against `HashSet`, and the CLRG counters
+//! against their ordering invariants.
+
+use hirise_core::{BitSet, ClrgState, MatrixArbiter};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Reference model of LRG: an explicit priority list, front = highest.
+#[derive(Clone, Debug)]
+struct LrgModel {
+    order: Vec<usize>,
+}
+
+impl LrgModel {
+    fn new(n: usize) -> Self {
+        Self {
+            order: (0..n).collect(),
+        }
+    }
+
+    fn grant(&self, requests: &[usize]) -> Option<usize> {
+        self.order
+            .iter()
+            .copied()
+            .find(|candidate| requests.contains(candidate))
+    }
+
+    fn update(&mut self, winner: usize) {
+        self.order.retain(|&x| x != winner);
+        self.order.push(winner);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The matrix arbiter agrees with the list model on every grant
+    /// across an arbitrary interleaving of grants and updates.
+    #[test]
+    fn matrix_arbiter_matches_list_model(
+        n in 2usize..24,
+        script in proptest::collection::vec(
+            (proptest::collection::vec(0usize..24, 1..12), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let mut arbiter = MatrixArbiter::new(n);
+        let mut model = LrgModel::new(n);
+        for (raw_requests, do_update) in script {
+            let requests: Vec<usize> =
+                raw_requests.into_iter().map(|r| r % n).collect();
+            let got = arbiter.grant(&requests);
+            let expected = model.grant(&requests);
+            prop_assert_eq!(got, expected);
+            if do_update {
+                if let Some(winner) = got {
+                    arbiter.update(winner);
+                    model.update(winner);
+                }
+            }
+        }
+    }
+
+    /// Grants are always members of the request set, and total order
+    /// means a unique winner always exists for non-empty requests.
+    #[test]
+    fn matrix_grant_is_a_requestor(
+        n in 1usize..32,
+        raw in proptest::collection::vec(0usize..32, 0..16),
+        updates in proptest::collection::vec(0usize..32, 0..16),
+    ) {
+        let mut arbiter = MatrixArbiter::new(n);
+        for u in updates {
+            arbiter.update(u % n);
+        }
+        let requests: Vec<usize> = raw.into_iter().map(|r| r % n).collect();
+        match arbiter.grant(&requests) {
+            Some(winner) => prop_assert!(requests.contains(&winner)),
+            None => prop_assert!(requests.is_empty()),
+        }
+    }
+
+    /// BitSet behaves like a HashSet under inserts and removes.
+    #[test]
+    fn bitset_matches_hashset(
+        capacity in 1usize..200,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..200), 0..60),
+    ) {
+        let mut bits = BitSet::new(capacity);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (insert, raw) in ops {
+            let index = raw % capacity;
+            if insert {
+                bits.insert(index);
+                model.insert(index);
+            } else {
+                bits.remove(index);
+                model.remove(&index);
+            }
+        }
+        prop_assert_eq!(bits.len(), model.len());
+        prop_assert_eq!(bits.is_empty(), model.is_empty());
+        let mut from_bits: Vec<usize> = bits.iter().collect();
+        let mut from_model: Vec<usize> = model.into_iter().collect();
+        from_bits.sort_unstable();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_bits, from_model);
+    }
+
+    /// CLRG counters stay within the class range, and halving preserves
+    /// the relative order of any two counters.
+    #[test]
+    fn clrg_counters_stay_ordered(
+        n in 2usize..32,
+        classes in 2u8..6,
+        wins in proptest::collection::vec(0usize..32, 1..200),
+    ) {
+        let mut clrg = ClrgState::new(n, classes);
+        let mut model_wins = vec![0u64; n];
+        for raw in wins {
+            let input = raw % n;
+            // Snapshot relative order of all pairs before the win.
+            let before: Vec<u8> = (0..n).map(|i| clrg.class_of(i)).collect();
+            clrg.record_win(input);
+            model_wins[input] += 1;
+            for i in 0..n {
+                let class = clrg.class_of(i);
+                prop_assert!(class < classes, "class {class} out of range");
+                // Only the winner's class may have increased relative to
+                // others; non-winners never gain class from halving more
+                // than any other non-winner (order preserved).
+                if i != input {
+                    for j in 0..n {
+                        if j != input && before[i] < before[j] {
+                            prop_assert!(
+                                clrg.class_of(i) <= clrg.class_of(j),
+                                "halving broke the order of {i} vs {j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeded matrix arbiters honour their initial order exactly.
+    #[test]
+    fn seeded_order_is_respected(order in Just(()).prop_flat_map(|()| {
+        (2usize..16).prop_flat_map(|n| Just((0..n).collect::<Vec<_>>()).prop_shuffle())
+    })) {
+        let arbiter = MatrixArbiter::with_order(&order);
+        prop_assert_eq!(arbiter.priority_order(), order.clone());
+        // The top of the order wins against everyone.
+        let all: Vec<usize> = (0..order.len()).collect();
+        prop_assert_eq!(arbiter.grant(&all), Some(order[0]));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests proving the signal-level cross-point circuits (§IV,
+//! Figs. 6 and 7) implement exactly the behavioural arbitration rules:
+//! wired-OR priority lines ≡ matrix-arbiter grant, and the class-grouped
+//! CLRG bus ≡ best-class-then-LRG.
+
+use hirise_core::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender, MatrixArbiter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fig. 6 circuit == `MatrixArbiter::grant`, for every reachable
+    /// LRG state and request set.
+    #[test]
+    fn wired_or_equals_behavioural_grant(
+        n in 1usize..24,
+        updates in proptest::collection::vec(0usize..24, 0..32),
+        raw_requests in proptest::collection::vec(0usize..24, 0..16),
+    ) {
+        let mut arbiter = MatrixArbiter::new(n);
+        for u in updates {
+            arbiter.update(u % n);
+        }
+        let requests: Vec<usize> = raw_requests.into_iter().map(|r| r % n).collect();
+        prop_assert_eq!(
+            arbitrate_wired_or(&requests, &arbiter),
+            arbiter.grant(&requests)
+        );
+    }
+
+    /// Fig. 7 circuit == "lowest class wins, slot-LRG breaks ties", for
+    /// every reachable slot-LRG state and class assignment.
+    #[test]
+    fn clrg_column_equals_behavioural_rule(
+        slots in 2usize..16,
+        classes in 2u8..5,
+        updates in proptest::collection::vec(0usize..16, 0..24),
+        picks in proptest::collection::vec((0usize..16, 0u8..5), 1..12),
+    ) {
+        let mut lrg = MatrixArbiter::new(slots);
+        for u in updates {
+            lrg.update(u % slots);
+        }
+        // Build a duplicate-free contender set.
+        let mut used = vec![false; slots];
+        let mut contenders = Vec::new();
+        for (raw_slot, raw_class) in picks {
+            let slot = raw_slot % slots;
+            if !used[slot] {
+                used[slot] = true;
+                contenders.push(ClassedContender {
+                    slot,
+                    class: raw_class % classes,
+                });
+            }
+        }
+
+        // Behavioural rule: best class, then LRG among that class.
+        let best = contenders.iter().map(|c| c.class).min().unwrap();
+        let candidate_slots: Vec<usize> = contenders
+            .iter()
+            .filter(|c| c.class == best)
+            .map(|c| c.slot)
+            .collect();
+        let winning_slot = lrg.grant(&candidate_slots).unwrap();
+        let expected = contenders.iter().position(|c| c.slot == winning_slot);
+
+        prop_assert_eq!(
+            arbitrate_clrg_column(&contenders, &lrg, classes),
+            expected
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! On-chip messages exchanged over the switch.
+//!
+//! Control packets (requests) are 1 flit; data packets (a 64 B cache
+//! line over a 128-bit bus) are 4 flits, matching §V.
+
+/// A message between tiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Core → L2 bank: read request for a line.
+    L2Request {
+        /// Requesting core (tile index).
+        core: usize,
+        /// Pre-determined L2 outcome from the trace.
+        l2_miss: bool,
+    },
+    /// L2 bank → core: data reply.
+    L2Reply {
+        /// Destination core.
+        core: usize,
+    },
+    /// L2 bank → memory controller: fill request.
+    MemRequest {
+        /// Core that started the transaction.
+        core: usize,
+        /// Bank waiting for the fill.
+        bank: usize,
+    },
+    /// Memory controller → L2 bank: fill data.
+    MemReply {
+        /// Core that started the transaction.
+        core: usize,
+        /// Bank the fill returns to.
+        bank: usize,
+    },
+}
+
+impl Message {
+    /// Packet length in flits: 1 for control, 4 for data (64 B line).
+    pub fn len_flits(&self) -> usize {
+        match self {
+            Message::L2Request { .. } | Message::MemRequest { .. } => 1,
+            Message::L2Reply { .. } | Message::MemReply { .. } => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_are_a_cache_line() {
+        assert_eq!(
+            Message::L2Request {
+                core: 0,
+                l2_miss: false
+            }
+            .len_flits(),
+            1
+        );
+        assert_eq!(Message::L2Reply { core: 0 }.len_flits(), 4);
+        assert_eq!(Message::MemRequest { core: 0, bank: 1 }.len_flits(), 1);
+        assert_eq!(Message::MemReply { core: 0, bank: 1 }.len_flits(), 4);
+    }
+}

@@ -1,0 +1,383 @@
+//! Benchmark profiles and the Table VI workload mixes.
+//!
+//! Each benchmark is characterised by its per-core network load — the
+//! sum of L1-MPKI and L2-MPKI, which is exactly the quantity Table VI
+//! reports per mix ("corresponds to the network load for the
+//! workloads"). The per-benchmark values below were calibrated by a
+//! least-norm fit (starting from typical published SPEC CPU2006 /
+//! commercial-workload miss rates) so that the 64-core average of every
+//! one of the eight mixes matches the paper's Table VI exactly.
+
+/// Miss behaviour of one benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC CPU2006 or commercial trace).
+    pub name: &'static str,
+    /// L1-MPKI + L2-MPKI: network transactions per kilo-instruction.
+    pub mpki_total: f64,
+}
+
+impl BenchmarkProfile {
+    /// L1 misses per kilo-instruction (requests from core to L2 bank).
+    ///
+    /// `mpki_total = l1_mpki + l2_mpki` and `l2_mpki = f * l1_mpki`
+    /// where `f` is the benchmark's L2 miss fraction, so
+    /// `l1_mpki = total / (1 + f)`.
+    pub fn l1_mpki(&self) -> f64 {
+        self.mpki_total / (1.0 + self.l2_miss_fraction())
+    }
+
+    /// L2 misses per kilo-instruction (requests from L2 to memory).
+    pub fn l2_mpki(&self) -> f64 {
+        self.mpki_total - self.l1_mpki()
+    }
+
+    /// Fraction of L2 accesses that miss to memory. Memory-bound
+    /// benchmarks (higher total MPKI) see proportionally more capacity
+    /// misses; the affine map below caps at 50%.
+    pub fn l2_miss_fraction(&self) -> f64 {
+        (0.15 + self.mpki_total / 400.0).min(0.5)
+    }
+}
+
+/// MPKI table (L1+L2 per core), least-norm calibrated to Table VI.
+const PROFILES: &[BenchmarkProfile] = &[
+    BenchmarkProfile {
+        name: "milc",
+        mpki_total: 40.79,
+    },
+    BenchmarkProfile {
+        name: "applu",
+        mpki_total: 12.79,
+    },
+    BenchmarkProfile {
+        name: "astar",
+        mpki_total: 10.41,
+    },
+    BenchmarkProfile {
+        name: "sjeng",
+        mpki_total: 0.03,
+    },
+    BenchmarkProfile {
+        name: "tonto",
+        mpki_total: 3.79,
+    },
+    BenchmarkProfile {
+        name: "hmmer",
+        mpki_total: 22.44,
+    },
+    BenchmarkProfile {
+        name: "sjas",
+        mpki_total: 45.64,
+    },
+    BenchmarkProfile {
+        name: "gcc",
+        mpki_total: 4.96,
+    },
+    BenchmarkProfile {
+        name: "sjbb",
+        mpki_total: 41.27,
+    },
+    BenchmarkProfile {
+        name: "gromacs",
+        mpki_total: 3.34,
+    },
+    BenchmarkProfile {
+        name: "xalan",
+        mpki_total: 31.55,
+    },
+    BenchmarkProfile {
+        name: "libquantum",
+        mpki_total: 46.51,
+    },
+    BenchmarkProfile {
+        name: "barnes",
+        mpki_total: 19.16,
+    },
+    BenchmarkProfile {
+        name: "tpcw",
+        mpki_total: 74.28,
+    },
+    BenchmarkProfile {
+        name: "povray",
+        mpki_total: 7.51,
+    },
+    BenchmarkProfile {
+        name: "swim",
+        mpki_total: 57.25,
+    },
+    BenchmarkProfile {
+        name: "leslie",
+        mpki_total: 25.02,
+    },
+    BenchmarkProfile {
+        name: "omnet",
+        mpki_total: 36.13,
+    },
+    BenchmarkProfile {
+        name: "art",
+        mpki_total: 54.53,
+    },
+    BenchmarkProfile {
+        name: "mcf",
+        mpki_total: 145.48,
+    },
+    BenchmarkProfile {
+        name: "ocean",
+        mpki_total: 41.38,
+    },
+    BenchmarkProfile {
+        name: "lbm",
+        mpki_total: 51.52,
+    },
+    BenchmarkProfile {
+        name: "deal",
+        mpki_total: 11.52,
+    },
+    BenchmarkProfile {
+        name: "sap",
+        mpki_total: 54.53,
+    },
+    BenchmarkProfile {
+        name: "namd",
+        mpki_total: 20.72,
+    },
+    BenchmarkProfile {
+        name: "Gems",
+        mpki_total: 97.85,
+    },
+    BenchmarkProfile {
+        name: "soplex",
+        mpki_total: 49.40,
+    },
+];
+
+/// Looks up a benchmark profile by name.
+///
+/// # Panics
+///
+/// Panics if the benchmark is unknown.
+pub fn benchmark_profile(name: &str) -> BenchmarkProfile {
+    *PROFILES
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// One multi-programmed workload of Table VI: benchmark instance counts
+/// summing to 64 cores, plus the paper's reported per-core average MPKI
+/// and measured speedup (for EXPERIMENTS.md comparison).
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    /// Mix name ("Mix1".."Mix8").
+    pub name: &'static str,
+    /// `(benchmark, instance count)` pairs summing to 64.
+    pub entries: Vec<(&'static str, usize)>,
+    /// Table VI's "avg. MPKI" column.
+    pub paper_avg_mpki: f64,
+    /// Table VI's "Speedup" column (3D vs 2D).
+    pub paper_speedup: f64,
+}
+
+impl WorkloadMix {
+    /// Expands the mix to a 64-entry per-core profile assignment.
+    /// Allocation is deterministic (instances laid out in table order),
+    /// mirroring the paper's layer-oblivious random allocation in that
+    /// it ignores layer boundaries.
+    pub fn assign_cores(&self) -> Vec<BenchmarkProfile> {
+        let mut cores = Vec::with_capacity(64);
+        for &(name, count) in &self.entries {
+            for _ in 0..count {
+                cores.push(benchmark_profile(name));
+            }
+        }
+        assert_eq!(cores.len(), 64, "a mix must fill exactly 64 cores");
+        cores
+    }
+
+    /// The per-core average L1+L2 MPKI of this mix (should match
+    /// [`paper_avg_mpki`](Self::paper_avg_mpki)).
+    pub fn avg_mpki(&self) -> f64 {
+        self.assign_cores()
+            .iter()
+            .map(|p| p.mpki_total)
+            .sum::<f64>()
+            / 64.0
+    }
+}
+
+/// The eight multi-programmed workloads of Table VI.
+pub fn table_vi_mixes() -> Vec<WorkloadMix> {
+    vec![
+        WorkloadMix {
+            name: "Mix1",
+            entries: vec![
+                ("milc", 11),
+                ("applu", 11),
+                ("astar", 10),
+                ("sjeng", 11),
+                ("tonto", 11),
+                ("hmmer", 10),
+            ],
+            paper_avg_mpki: 15.0,
+            paper_speedup: 1.02,
+        },
+        WorkloadMix {
+            name: "Mix2",
+            entries: vec![
+                ("sjas", 11),
+                ("gcc", 11),
+                ("sjbb", 11),
+                ("gromacs", 11),
+                ("sjeng", 10),
+                ("xalan", 10),
+            ],
+            paper_avg_mpki: 21.3,
+            paper_speedup: 1.04,
+        },
+        WorkloadMix {
+            name: "Mix3",
+            entries: vec![
+                ("milc", 11),
+                ("libquantum", 10),
+                ("astar", 11),
+                ("barnes", 11),
+                ("tpcw", 11),
+                ("povray", 10),
+            ],
+            paper_avg_mpki: 33.3,
+            paper_speedup: 1.06,
+        },
+        WorkloadMix {
+            name: "Mix4",
+            entries: vec![
+                ("astar", 11),
+                ("swim", 11),
+                ("leslie", 10),
+                ("omnet", 10),
+                ("sjas", 11),
+                ("art", 11),
+            ],
+            paper_avg_mpki: 38.4,
+            paper_speedup: 1.06,
+        },
+        WorkloadMix {
+            name: "Mix5",
+            entries: vec![
+                ("mcf", 11),
+                ("ocean", 10),
+                ("gromacs", 10),
+                ("lbm", 11),
+                ("deal", 11),
+                ("sap", 11),
+            ],
+            paper_avg_mpki: 52.2,
+            paper_speedup: 1.08,
+        },
+        WorkloadMix {
+            name: "Mix6",
+            entries: vec![
+                ("mcf", 10),
+                ("namd", 11),
+                ("hmmer", 11),
+                ("tpcw", 11),
+                ("omnet", 10),
+                ("swim", 11),
+            ],
+            paper_avg_mpki: 58.4,
+            paper_speedup: 1.09,
+        },
+        WorkloadMix {
+            name: "Mix7",
+            // Table VI's printed counts for Mix7 sum to 63, not 64 — a
+            // typo in the paper. The 64th core gets a sjeng instance
+            // (0.03 MPKI), which perturbs the mix average by < 0.001.
+            entries: vec![
+                ("Gems", 10),
+                ("sjbb", 11),
+                ("sjas", 11),
+                ("mcf", 10),
+                ("xalan", 11),
+                ("sap", 10),
+                ("sjeng", 1),
+            ],
+            paper_avg_mpki: 66.9,
+            paper_speedup: 1.16,
+        },
+        WorkloadMix {
+            name: "Mix8",
+            entries: vec![
+                ("milc", 11),
+                ("tpcw", 10),
+                ("Gems", 11),
+                ("mcf", 11),
+                ("sjas", 11),
+                ("soplex", 10),
+            ],
+            paper_avg_mpki: 76.0,
+            paper_speedup: 1.15,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mix_fills_64_cores() {
+        for mix in table_vi_mixes() {
+            assert_eq!(
+                mix.entries.iter().map(|(_, c)| c).sum::<usize>(),
+                64,
+                "{}",
+                mix.name
+            );
+            assert_eq!(mix.assign_cores().len(), 64);
+        }
+    }
+
+    #[test]
+    fn mix_averages_match_table_vi() {
+        for mix in table_vi_mixes() {
+            let avg = mix.avg_mpki();
+            assert!(
+                (avg - mix.paper_avg_mpki).abs() < 0.05,
+                "{}: computed {avg}, paper {}",
+                mix.name,
+                mix.paper_avg_mpki
+            );
+        }
+    }
+
+    #[test]
+    fn l1_l2_split_is_consistent() {
+        for p in PROFILES {
+            assert!(
+                (p.l1_mpki() + p.l2_mpki() - p.mpki_total).abs() < 1e-9,
+                "{}",
+                p.name
+            );
+            assert!(
+                p.l2_mpki() <= p.l1_mpki(),
+                "{}: more L2 than L1 misses",
+                p.name
+            );
+            let f = p.l2_miss_fraction();
+            assert!((0.15..=0.5).contains(&f), "{}: fraction {f}", p.name);
+        }
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_miss_more() {
+        let mcf = benchmark_profile("mcf");
+        let sjeng = benchmark_profile("sjeng");
+        assert!(mcf.l2_miss_fraction() > sjeng.l2_miss_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let _ = benchmark_profile("doom");
+    }
+}

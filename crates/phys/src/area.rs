@@ -1,0 +1,115 @@
+//! Area model.
+//!
+//! Swizzle fabrics are wire-limited (§IV-D): the logic hides beneath the
+//! bus crossings, so a stage's footprint is (input-bus span) ×
+//! (output-bus span) at the effective routed pitch — two stacked metal
+//! layers per direction at double pitch give 0.1 µm effective in 32 nm.
+//! TSVs add `tsv_area_factor * pitch²` each for the via, keep-out and
+//! the routing to and from it (§VI-C).
+
+use crate::design::DesignPoint;
+use crate::tech::Technology;
+
+/// Total silicon area in mm² (summed over layers, TSV footprint
+/// included).
+///
+/// # Panics
+///
+/// Panics if the design has a zero radix or (for 3D designs) fewer than
+/// two layers.
+pub fn switch_area_mm2(point: &DesignPoint, tech: &Technology) -> f64 {
+    let pitch_mm = tech.wire_pitch_um * 1e-3;
+    match point {
+        DesignPoint::Flat2d { radix, flit_bits } => {
+            assert!(*radix > 0, "radix must be at least 1");
+            let side = *radix as f64 * *flit_bits as f64 * pitch_mm;
+            side * side
+        }
+        DesignPoint::Folded {
+            radix,
+            layers,
+            flit_bits,
+        } => {
+            assert!(*layers >= 2, "folded switch needs at least 2 layers");
+            let rows = (*radix / *layers) as f64 * *flit_bits as f64 * pitch_mm;
+            let cols = *radix as f64 * *flit_bits as f64 * pitch_mm;
+            rows * cols * *layers as f64 + tsv_area_mm2(point.tsv_count(), tech)
+        }
+        DesignPoint::HiRise(cfg) => {
+            let w = cfg.flit_bits() as f64 * pitch_mm;
+            let ports = cfg.ports_per_layer() as f64;
+            // Local switch: N/L input rows x (N/L + c(L-1)) output columns.
+            let local = (ports * w) * (cfg.local_switch_outputs() as f64 * w);
+            // Inter-layer switch: N/L sub-blocks of (c(L-1)+1) x 1.
+            let subblocks = ports * (cfg.subblock_inputs() as f64 * w) * w;
+            (local + subblocks) * cfg.layers() as f64 + tsv_area_mm2(cfg.tsv_count(), tech)
+        }
+    }
+}
+
+/// TSV footprint in mm²: `count * factor * pitch²`.
+fn tsv_area_mm2(count: usize, tech: &Technology) -> f64 {
+    count as f64 * tech.tsv_area_factor * tech.tsv.pitch_um * tech.tsv.pitch_um * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::HiRiseConfig;
+
+    fn hirise(c: usize) -> DesignPoint {
+        DesignPoint::HiRise(
+            HiRiseConfig::builder(64, 4)
+                .channel_multiplicity(c)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn areas_track_table_iv() {
+        let tech = Technology::nominal_32nm();
+        let flat = switch_area_mm2(
+            &DesignPoint::Flat2d {
+                radix: 64,
+                flit_bits: 128,
+            },
+            &tech,
+        );
+        assert!((flat - 0.672).abs() < 0.01, "2D {flat}");
+        let folded = switch_area_mm2(
+            &DesignPoint::Folded {
+                radix: 64,
+                layers: 4,
+                flit_bits: 128,
+            },
+            &tech,
+        );
+        // Folded = 2D wiring + 8192 TSVs of overhead.
+        assert!(folded > flat, "folded {folded} vs flat {flat}");
+        for (c, expected) in [(1, 0.247), (2, 0.315), (4, 0.451)] {
+            let a = switch_area_mm2(&hirise(c), &tech);
+            assert!((a - expected).abs() < 0.02, "c={c}: {a}");
+        }
+    }
+
+    /// Fig. 12: +25% pitch increases Hi-Rise area by under 2%.
+    #[test]
+    fn fig12_area_sensitivity() {
+        let nominal = switch_area_mm2(&hirise(4), &Technology::nominal_32nm());
+        let bigger = switch_area_mm2(&hirise(4), &Technology::with_tsv_pitch(1.0));
+        let growth = bigger / nominal - 1.0;
+        assert!((0.005..0.025).contains(&growth), "growth {growth}");
+    }
+
+    /// Area grows monotonically with TSV pitch (Fig. 12's area curve).
+    #[test]
+    fn area_monotone_in_pitch() {
+        let mut last = 0.0;
+        for pitch in [0.4, 0.8, 1.6, 3.2, 5.0] {
+            let a = switch_area_mm2(&hirise(4), &Technology::with_tsv_pitch(pitch));
+            assert!(a > last);
+            last = a;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Unit conversions between the simulator's cycle domain and the
+//! paper's reporting units (ns, packets/ns, Tbps).
+
+/// Converts a latency in switch cycles to nanoseconds at `freq_ghz`.
+///
+/// # Panics
+///
+/// Panics if `freq_ghz` is not positive.
+pub fn ns_from_cycles(cycles: f64, freq_ghz: f64) -> f64 {
+    assert!(freq_ghz > 0.0, "frequency must be positive");
+    cycles / freq_ghz
+}
+
+/// Converts an accepted rate in packets/cycle to packets/ns at
+/// `freq_ghz` (the y-axis of Fig. 11b).
+///
+/// # Panics
+///
+/// Panics if `freq_ghz` is not positive.
+pub fn packets_per_ns(packets_per_cycle: f64, freq_ghz: f64) -> f64 {
+    assert!(freq_ghz > 0.0, "frequency must be positive");
+    packets_per_cycle * freq_ghz
+}
+
+/// Converts an accepted rate in packets/cycle to Tbps for packets of
+/// `packet_flits` flits of `flit_bits` bits (the throughput columns of
+/// Tables I/IV/V).
+///
+/// # Panics
+///
+/// Panics if `freq_ghz` is not positive.
+pub fn tbps(packets_per_cycle: f64, freq_ghz: f64, flit_bits: usize, packet_flits: usize) -> f64 {
+    let bits_per_packet = (flit_bits * packet_flits) as f64;
+    packets_per_ns(packets_per_cycle, freq_ghz) * bits_per_packet / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_to_ns() {
+        assert!((ns_from_cycles(5.0, 2.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_check() {
+        // The paper's 4-channel switch: 21.42 packets/ns ~= 10.97 Tbps
+        // for 512-bit packets.
+        let t = tbps(21.42 / 2.24, 2.24, 128, 4);
+        assert!((t - 10.97).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ns_from_cycles(1.0, 0.0);
+    }
+}

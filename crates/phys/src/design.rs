@@ -1,0 +1,289 @@
+//! Design points: a switch architecture plus a technology, yielding
+//! frequency, area, energy and TSV count — the columns of the paper's
+//! Tables I, IV and V.
+
+use crate::area::switch_area_mm2;
+use crate::delay::switch_cycle_ns;
+use crate::energy::transaction_energy_pj;
+use crate::tech::Technology;
+use hirise_core::{ArbitrationScheme, HiRiseConfig};
+
+/// The switch architectures the paper compares.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DesignPoint {
+    /// Flat 2D Swizzle-Switch (`N x N`).
+    Flat2d {
+        /// Switch radix.
+        radix: usize,
+        /// Data bus width in bits.
+        flit_bits: usize,
+    },
+    /// The 2D switch folded over `layers` silicon layers (§II-B).
+    Folded {
+        /// Switch radix.
+        radix: usize,
+        /// Stacked layer count.
+        layers: usize,
+        /// Data bus width in bits.
+        flit_bits: usize,
+    },
+    /// The hierarchical Hi-Rise switch (§III).
+    HiRise(HiRiseConfig),
+}
+
+impl DesignPoint {
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        match self {
+            DesignPoint::Flat2d { radix, .. } | DesignPoint::Folded { radix, .. } => *radix,
+            DesignPoint::HiRise(cfg) => cfg.radix(),
+        }
+    }
+
+    /// Data bus (flit) width in bits.
+    pub fn flit_bits(&self) -> usize {
+        match self {
+            DesignPoint::Flat2d { flit_bits, .. } | DesignPoint::Folded { flit_bits, .. } => {
+                *flit_bits
+            }
+            DesignPoint::HiRise(cfg) => cfg.flit_bits(),
+        }
+    }
+
+    /// TSVs required, following the paper's counting (Table I/IV).
+    pub fn tsv_count(&self) -> usize {
+        match self {
+            DesignPoint::Flat2d { .. } => 0,
+            DesignPoint::Folded {
+                radix, flit_bits, ..
+            } => radix * flit_bits,
+            DesignPoint::HiRise(cfg) => cfg.tsv_count(),
+        }
+    }
+
+    /// Configuration label in the paper's table style.
+    pub fn label(&self) -> String {
+        match self {
+            DesignPoint::Flat2d { radix, .. } => format!("{radix}x{radix}"),
+            DesignPoint::Folded { radix, layers, .. } => {
+                format!("[{}x{radix}]x{layers}", radix / layers)
+            }
+            DesignPoint::HiRise(cfg) => cfg.configuration_label(),
+        }
+    }
+}
+
+/// A [`DesignPoint`] evaluated in a [`Technology`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchDesign {
+    point: DesignPoint,
+    tech: Technology,
+}
+
+impl SwitchDesign {
+    /// A flat 2D Swizzle-Switch with a 128-bit bus in the nominal
+    /// technology.
+    pub fn flat_2d(radix: usize) -> Self {
+        Self {
+            point: DesignPoint::Flat2d {
+                radix,
+                flit_bits: 128,
+            },
+            tech: Technology::nominal_32nm(),
+        }
+    }
+
+    /// A folded 3D switch with a 128-bit bus in the nominal technology.
+    pub fn folded(radix: usize, layers: usize) -> Self {
+        Self {
+            point: DesignPoint::Folded {
+                radix,
+                layers,
+                flit_bits: 128,
+            },
+            tech: Technology::nominal_32nm(),
+        }
+    }
+
+    /// A Hi-Rise switch in the nominal technology. The arbitration
+    /// scheme in `cfg` matters: CLRG pays a small delay and energy adder
+    /// over the L-2-L LRG baseline (Table V).
+    pub fn hirise(cfg: &HiRiseConfig) -> Self {
+        Self {
+            point: DesignPoint::HiRise(cfg.clone()),
+            tech: Technology::nominal_32nm(),
+        }
+    }
+
+    /// Re-evaluates the design in a different technology (e.g. a TSV
+    /// pitch sweep, Fig. 12).
+    pub fn with_technology(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// The architectural design point.
+    pub fn point(&self) -> &DesignPoint {
+        &self.point
+    }
+
+    /// The technology in effect.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Switch cycle time in ns.
+    pub fn cycle_time_ns(&self) -> f64 {
+        switch_cycle_ns(&self.point, &self.tech)
+    }
+
+    /// Operating frequency in GHz.
+    pub fn frequency_ghz(&self) -> f64 {
+        1.0 / self.cycle_time_ns()
+    }
+
+    /// Silicon area in mm² (total over all layers, plus TSV footprint).
+    pub fn area_mm2(&self) -> f64 {
+        switch_area_mm2(&self.point, &self.tech)
+    }
+
+    /// Energy per 128-bit transaction in pJ.
+    pub fn energy_per_transaction_pj(&self) -> f64 {
+        transaction_energy_pj(&self.point, &self.tech)
+    }
+
+    /// TSVs required.
+    pub fn tsv_count(&self) -> usize {
+        self.point.tsv_count()
+    }
+
+    /// Short description, e.g. `64x64` or `[(16x28), 16*(13x1)]x4`.
+    pub fn label(&self) -> String {
+        self.point.label()
+    }
+
+    /// The arbitration scheme, if this is a Hi-Rise design.
+    pub fn scheme(&self) -> Option<ArbitrationScheme> {
+        match &self.point {
+            DesignPoint::HiRise(cfg) => Some(cfg.scheme()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::ArbitrationScheme;
+
+    fn hirise_with(c: usize, scheme: ArbitrationScheme) -> SwitchDesign {
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(c)
+            .scheme(scheme)
+            .build()
+            .unwrap();
+        SwitchDesign::hirise(&cfg)
+    }
+
+    /// Table I / Table IV anchor: the flat 2D 64-radix switch.
+    #[test]
+    fn table_iv_2d_row() {
+        let d = SwitchDesign::flat_2d(64);
+        assert!(
+            (d.frequency_ghz() - 1.69).abs() < 0.02,
+            "{}",
+            d.frequency_ghz()
+        );
+        assert!((d.area_mm2() - 0.672).abs() < 0.01, "{}", d.area_mm2());
+        assert!(
+            (d.energy_per_transaction_pj() - 71.0).abs() < 1.0,
+            "{}",
+            d.energy_per_transaction_pj()
+        );
+        assert_eq!(d.tsv_count(), 0);
+        assert_eq!(d.label(), "64x64");
+    }
+
+    /// Table I / Table IV anchor: the folded 3D switch.
+    #[test]
+    fn table_iv_folded_row() {
+        let d = SwitchDesign::folded(64, 4);
+        assert!(
+            (d.frequency_ghz() - 1.58).abs() < 0.02,
+            "{}",
+            d.frequency_ghz()
+        );
+        assert!((d.area_mm2() - 0.705).abs() < 0.03, "{}", d.area_mm2());
+        assert!(
+            (d.energy_per_transaction_pj() - 73.0).abs() < 1.0,
+            "{}",
+            d.energy_per_transaction_pj()
+        );
+        assert_eq!(d.tsv_count(), 8192);
+        assert_eq!(d.label(), "[16x64]x4");
+    }
+
+    /// Table IV anchors: the three Hi-Rise channel multiplicities
+    /// (baseline L-2-L LRG arbitration).
+    #[test]
+    fn table_iv_hirise_rows() {
+        let expect = [
+            (1, 2.64, 0.247, 37.0, 1536),
+            (2, 2.46, 0.315, 39.0, 3072),
+            (4, 2.24, 0.451, 42.0, 6144),
+        ];
+        for (c, freq, area, energy, tsvs) in expect {
+            let d = hirise_with(c, ArbitrationScheme::LayerToLayerLrg);
+            assert!(
+                (d.frequency_ghz() - freq).abs() < 0.03,
+                "c={c}: {}",
+                d.frequency_ghz()
+            );
+            assert!(
+                (d.area_mm2() - area).abs() < 0.02,
+                "c={c}: {}",
+                d.area_mm2()
+            );
+            assert!(
+                (d.energy_per_transaction_pj() - energy).abs() < 1.5,
+                "c={c}: {}",
+                d.energy_per_transaction_pj()
+            );
+            assert_eq!(d.tsv_count(), tsvs);
+        }
+    }
+
+    /// Table V anchor: CLRG runs at 2.2 GHz and 44 pJ with no area cost.
+    #[test]
+    fn table_v_clrg_row() {
+        let base = hirise_with(4, ArbitrationScheme::LayerToLayerLrg);
+        let clrg = hirise_with(4, ArbitrationScheme::class_based());
+        assert!(
+            (clrg.frequency_ghz() - 2.2).abs() < 0.03,
+            "{}",
+            clrg.frequency_ghz()
+        );
+        assert!(
+            (clrg.energy_per_transaction_pj() - 44.0).abs() < 1.5,
+            "{}",
+            clrg.energy_per_transaction_pj()
+        );
+        assert_eq!(clrg.area_mm2(), base.area_mm2(), "CLRG adds no area");
+    }
+
+    /// §I headline: 33% area reduction, 38% energy reduction vs 2D.
+    #[test]
+    fn headline_reductions() {
+        let flat = SwitchDesign::flat_2d(64);
+        let clrg = hirise_with(4, ArbitrationScheme::class_based());
+        let area_reduction = 1.0 - clrg.area_mm2() / flat.area_mm2();
+        let energy_reduction =
+            1.0 - clrg.energy_per_transaction_pj() / flat.energy_per_transaction_pj();
+        assert!((0.28..0.38).contains(&area_reduction), "{area_reduction}");
+        assert!(
+            (0.33..0.43).contains(&energy_reduction),
+            "{energy_reduction}"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Energy model.
+//!
+//! A transaction charges the input bus across the stage's columns and
+//! one output bus across its rows, so energy follows the same wire-span
+//! structure as delay: linear in the ports spanned, with a sub-linear
+//! channel term for Hi-Rise and a small adder for the CLRG counters
+//! (Table V: 44 pJ vs 42 pJ).
+
+use crate::design::DesignPoint;
+use crate::tech::Technology;
+use hirise_core::ArbitrationScheme;
+
+/// Energy per transaction (one `flit_bits`-wide transfer) in pJ.
+///
+/// # Panics
+///
+/// Panics if the design has a zero radix or (for 3D designs) fewer than
+/// two layers.
+pub fn transaction_energy_pj(point: &DesignPoint, tech: &Technology) -> f64 {
+    match point {
+        DesignPoint::Flat2d { radix, .. } => flat_2d_energy_pj(*radix, tech),
+        DesignPoint::Folded { radix, layers, .. } => {
+            assert!(*layers >= 2, "folded switch needs at least 2 layers");
+            flat_2d_energy_pj(*radix, tech) + tech.e_fold_per_layer_pj * (*layers as f64 - 1.0)
+        }
+        DesignPoint::HiRise(cfg) => {
+            let class_based = !matches!(cfg.scheme(), ArbitrationScheme::LayerToLayerLrg);
+            hirise_energy_pj_parametric(
+                cfg.radix() as f64,
+                cfg.layers() as f64,
+                cfg.channel_multiplicity() as f64,
+                class_based,
+                tech,
+            )
+        }
+    }
+}
+
+/// Hi-Rise energy per transaction as a continuous function of the
+/// architectural parameters (see
+/// [`hirise_cycle_ns_parametric`](crate::delay::hirise_cycle_ns_parametric)
+/// for why sweeps need the unconstrained form).
+///
+/// # Panics
+///
+/// Panics if `radix` or `channels` is not positive, or `layers < 2`.
+pub fn hirise_energy_pj_parametric(
+    radix: f64,
+    layers: f64,
+    channels: f64,
+    class_based: bool,
+    tech: &Technology,
+) -> f64 {
+    assert!(
+        radix > 0.0 && channels > 0.0,
+        "radix/channels must be positive"
+    );
+    assert!(layers >= 2.0, "a 3D switch needs at least 2 layers");
+    let per_layer = radix / layers;
+    let channels_per_layer = channels * (layers - 1.0);
+    let scheme_adder = if class_based {
+        tech.clrg_energy_adder_pj
+    } else {
+        0.0
+    };
+    tech.e_fixed_3d_pj
+        + tech.e_port_pj * per_layer
+        + tech.e_chan_pj * channels_per_layer.sqrt()
+        + scheme_adder
+}
+
+fn flat_2d_energy_pj(radix: usize, tech: &Technology) -> f64 {
+    assert!(radix > 0, "radix must be at least 1");
+    tech.e0_2d_pj + tech.e_port_pj * radix as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::HiRiseConfig;
+
+    fn hirise(c: usize, scheme: ArbitrationScheme) -> DesignPoint {
+        DesignPoint::HiRise(
+            HiRiseConfig::builder(64, 4)
+                .channel_multiplicity(c)
+                .scheme(scheme)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn energies_track_tables() {
+        let tech = Technology::nominal_32nm();
+        let e2d = transaction_energy_pj(
+            &DesignPoint::Flat2d {
+                radix: 64,
+                flit_bits: 128,
+            },
+            &tech,
+        );
+        assert!((e2d - 71.0).abs() < 1.0, "2D {e2d}");
+        let folded = transaction_energy_pj(
+            &DesignPoint::Folded {
+                radix: 64,
+                layers: 4,
+                flit_bits: 128,
+            },
+            &tech,
+        );
+        assert!((folded - 73.0).abs() < 1.0, "folded {folded}");
+        for (c, expected) in [(1, 37.0), (2, 39.0), (4, 42.0)] {
+            let e = transaction_energy_pj(&hirise(c, ArbitrationScheme::LayerToLayerLrg), &tech);
+            assert!((e - expected).abs() < 1.5, "c={c}: {e}");
+        }
+        let clrg = transaction_energy_pj(&hirise(4, ArbitrationScheme::class_based()), &tech);
+        assert!((clrg - 44.0).abs() < 1.5, "CLRG {clrg}");
+    }
+
+    /// Fig. 9c: 3D energy grows more gently with radix than 2D, so the
+    /// 3D switch supports a much higher radix iso-energy.
+    #[test]
+    fn fig9c_slopes() {
+        let tech = Technology::nominal_32nm();
+        let e2d = |n: usize| {
+            transaction_energy_pj(
+                &DesignPoint::Flat2d {
+                    radix: n,
+                    flit_bits: 128,
+                },
+                &tech,
+            )
+        };
+        let e3d = |n: usize| {
+            transaction_energy_pj(
+                &DesignPoint::HiRise(
+                    HiRiseConfig::builder(n, 4)
+                        .channel_multiplicity(4)
+                        .scheme(ArbitrationScheme::LayerToLayerLrg)
+                        .build()
+                        .unwrap(),
+                ),
+                &tech,
+            )
+        };
+        let slope_2d = (e2d(128) - e2d(32)) / 96.0;
+        let slope_3d = (e3d(128) - e3d(32)) / 96.0;
+        assert!(
+            slope_3d < 0.5 * slope_2d,
+            "3D slope {slope_3d} vs 2D {slope_2d}"
+        );
+        // Iso-energy: a 128-radix 3D switch costs less than a 64-radix 2D.
+        assert!(e3d(128) < e2d(64));
+    }
+}

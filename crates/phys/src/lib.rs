@@ -1,0 +1,54 @@
+//! Analytic circuit models for swizzle-switch-style fabrics in a
+//! 32 nm-class technology.
+//!
+//! The paper derives frequency, area and energy from SPICE netlists of
+//! the cross-point circuits, validated against Swizzle-Switch silicon
+//! (§V). Without the PDK or SPICE, this crate models the same physics
+//! analytically:
+//!
+//! * **Delay** — each swizzle stage charges an output bus crossing one
+//!   cross-point per input row; its delay grows with the ports it spans.
+//!   The Hi-Rise cycle is the sum of the local-switch phase and the
+//!   inter-layer phase (two-phase clocking, Fig. 8) plus the TSV hop.
+//! * **Area** — the fabric is wire-limited: a stage's footprint is the
+//!   product of its input-bus and output-bus wire spans (two stacked
+//!   metal layers per direction at double pitch, §IV-D), plus TSV
+//!   keep-out and routing.
+//! * **Energy** — dominated by the bus wire capacitance switched per
+//!   transaction, so it scales with the same wire spans.
+//!
+//! The handful of technology constants are calibrated against the
+//! published 64-radix anchor points (Tables I/IV/V); every curve the
+//! paper sweeps (radix, layer count, channel multiplicity, TSV pitch —
+//! Figs. 9 and 12) then follows from the model structure. See
+//! EXPERIMENTS.md for the paper-vs-model deltas.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_core::HiRiseConfig;
+//! use hirise_phys::SwitchDesign;
+//!
+//! let design = SwitchDesign::hirise(&HiRiseConfig::paper_optimal());
+//! // The paper's headline: 2.2 GHz, 0.451 mm², 44 pJ per transaction.
+//! assert!((design.frequency_ghz() - 2.2).abs() < 0.05);
+//! assert!((design.area_mm2() - 0.451).abs() < 0.02);
+//! assert!((design.energy_per_transaction_pj() - 44.0).abs() < 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod convert;
+mod delay;
+mod design;
+mod energy;
+mod tech;
+
+pub use area::switch_area_mm2;
+pub use convert::{ns_from_cycles, packets_per_ns, tbps};
+pub use delay::{hirise_cycle_ns_parametric, switch_cycle_ns};
+pub use design::{DesignPoint, SwitchDesign};
+pub use energy::{hirise_energy_pj_parametric, transaction_energy_pj};
+pub use tech::{Technology, TsvParams};

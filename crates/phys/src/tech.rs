@@ -1,0 +1,157 @@
+//! Technology parameters: the 32 nm-class constants behind the delay,
+//! area and energy models, and the TSV process corner (Table II).
+//!
+//! The constants were calibrated once against the paper's published
+//! 64-radix anchors and are *not* per-experiment knobs; every table and
+//! figure is produced from this single parameter set.
+
+/// Through-silicon-via process parameters (Table II of the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TsvParams {
+    /// Minimum TSV pitch in µm (0.8 µm for the paper's high-end
+    /// Tezzaron-class process).
+    pub pitch_um: f64,
+    /// Feed-through capacitance in fF.
+    pub feedthrough_cap_ff: f64,
+    /// Series resistance in ohms.
+    pub resistance_ohm: f64,
+}
+
+impl TsvParams {
+    /// The paper's high-end TSV: 0.8 µm pitch, 0.2 fF, 1.5 Ω.
+    pub const fn paper() -> Self {
+        Self {
+            pitch_um: 0.8,
+            feedthrough_cap_ff: 0.2,
+            resistance_ohm: 1.5,
+        }
+    }
+
+    /// The same process with a different pitch (Fig. 12's sweep).
+    pub fn with_pitch(pitch_um: f64) -> Self {
+        Self {
+            pitch_um,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for TsvParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Calibrated 32 nm SOI technology constants.
+///
+/// Delay model (ns):
+/// * 2D flat:    `t = t0_2d + alpha_port * 2N`
+/// * 3D folded:  `t = t_2d(N) + fold_tsv_per_layer * (L - 1)`
+/// * Hi-Rise:    `t = t_fixed_3d + tsv_delay_per_um * pitch
+///                + 2 * alpha_port * (N/L) + chan_delay * sqrt(c(L-1))
+///                [+ clrg_delay_adder for CLRG/WLRG]`
+///
+/// Area model (mm²): wire-limited stage footprints at
+/// `wire_pitch_um` effective pitch (two stacked metal layers per
+/// direction at double pitch ⇒ 0.1 µm effective for 32 nm intermediate
+/// metal), plus `tsv_area_factor * pitch²` per TSV.
+///
+/// Energy model (pJ/transaction): linear in the wire spans with a
+/// square-root term over the channel count, matching the delay shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Effective routed wire pitch, µm.
+    pub wire_pitch_um: f64,
+    /// 2D fixed delay (sense amps, drivers), ns.
+    pub t0_2d_ns: f64,
+    /// Delay per port spanned by a stage's buses, ns.
+    pub alpha_port_ns: f64,
+    /// Extra folded-switch delay per punched layer, ns.
+    pub fold_tsv_per_layer_ns: f64,
+    /// Hi-Rise fixed delay (two stages of sense amps + clock phases), ns.
+    pub t_fixed_3d_ns: f64,
+    /// TSV traversal delay per µm of pitch (RC + keep-out routing), ns.
+    pub tsv_delay_per_um_ns: f64,
+    /// Inter-layer channel delay coefficient (per sqrt(channel)), ns.
+    pub chan_delay_ns: f64,
+    /// Extra cycle time for the CLRG class logic, ns.
+    pub clrg_delay_adder_ns: f64,
+    /// TSV footprint factor: area per TSV = factor * pitch² (µm²).
+    pub tsv_area_factor: f64,
+    /// 2D energy: fixed, pJ.
+    pub e0_2d_pj: f64,
+    /// Energy per port spanned, pJ.
+    pub e_port_pj: f64,
+    /// Extra folded energy per punched layer, pJ.
+    pub e_fold_per_layer_pj: f64,
+    /// Hi-Rise fixed energy, pJ.
+    pub e_fixed_3d_pj: f64,
+    /// Hi-Rise channel energy coefficient (per sqrt(channel)), pJ.
+    pub e_chan_pj: f64,
+    /// Extra CLRG counter energy per transaction, pJ.
+    pub clrg_energy_adder_pj: f64,
+    /// TSV process corner.
+    pub tsv: TsvParams,
+}
+
+impl Technology {
+    /// The calibrated 32 nm SOI parameter set used throughout the
+    /// reproduction.
+    pub const fn nominal_32nm() -> Self {
+        Self {
+            wire_pitch_um: 0.1,
+            t0_2d_ns: 0.19,
+            alpha_port_ns: 0.00314,
+            fold_tsv_per_layer_ns: 0.0137,
+            t_fixed_3d_ns: 0.1776,
+            tsv_delay_per_um_ns: 0.041,
+            chan_delay_ns: 0.0392,
+            clrg_delay_adder_ns: 0.0081,
+            tsv_area_factor: 3.0,
+            e0_2d_pj: 1.24,
+            e_port_pj: 1.09,
+            e_fold_per_layer_pj: 0.667,
+            e_fixed_3d_pj: 14.54,
+            e_chan_pj: 2.9,
+            clrg_energy_adder_pj: 2.0,
+            tsv: TsvParams::paper(),
+        }
+    }
+
+    /// The nominal technology with a different TSV pitch (Fig. 12).
+    pub fn with_tsv_pitch(pitch_um: f64) -> Self {
+        Self {
+            tsv: TsvParams::with_pitch(pitch_um),
+            ..Self::nominal_32nm()
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::nominal_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tsv_matches_table_ii() {
+        let tsv = TsvParams::paper();
+        assert_eq!(tsv.pitch_um, 0.8);
+        assert_eq!(tsv.feedthrough_cap_ff, 0.2);
+        assert_eq!(tsv.resistance_ohm, 1.5);
+    }
+
+    #[test]
+    fn pitch_override_keeps_other_params() {
+        let tsv = TsvParams::with_pitch(2.0);
+        assert_eq!(tsv.pitch_um, 2.0);
+        assert_eq!(tsv.resistance_ohm, 1.5);
+        let tech = Technology::with_tsv_pitch(2.0);
+        assert_eq!(tech.tsv.pitch_um, 2.0);
+        assert_eq!(tech.wire_pitch_um, 0.1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cycle-accurate network simulator for single-switch fabrics.
+//!
+//! Reproduces the methodology of §V of the Hi-Rise paper: a cycle
+//! accurate simulator drives a behavioural switch model
+//! ([`hirise_core::Fabric`]) with synthetic traffic. Each port has 4
+//! virtual channels of 4-flit depth, flits are 128 bits, and packets are
+//! 4 flits, matching the paper's setup.
+//!
+//! The simulator works in *switch cycles*; converting latency to
+//! nanoseconds and throughput to Tbps requires the design's clock
+//! frequency, which the `hirise-phys` crate provides.
+//!
+//! Beyond the paper's single-switch methodology this crate also offers
+//! closed-loop (windowed) injection ([`SimConfig::window`]), latency
+//! percentiles ([`SimReport::latency_percentile_cycles`]), and a
+//! flit-level simulator for 2D meshes of Hi-Rise switches with XY
+//! routing and credit-based back-pressure ([`mesh_sim`], realising the
+//! paper's Fig. 13 topology; [`mesh`] holds the matching graph-level
+//! analysis).
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_core::{HiRiseConfig, HiRiseSwitch};
+//! use hirise_sim::{NetworkSim, SimConfig, traffic::UniformRandom};
+//!
+//! # fn main() -> Result<(), hirise_core::ConfigError> {
+//! let cfg = HiRiseConfig::paper_optimal();
+//! let sim_cfg = SimConfig::new(64)
+//!     .injection_rate(0.2)
+//!     .warmup(500)
+//!     .measure(2_000);
+//! let mut sim = NetworkSim::new(
+//!     HiRiseSwitch::new(&cfg),
+//!     UniformRandom::new(64),
+//!     sim_cfg,
+//! );
+//! let report = sim.run();
+//! assert!(report.avg_latency_cycles() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mesh;
+pub mod mesh_sim;
+mod packet;
+mod port;
+mod sim;
+mod stats;
+mod sweep;
+pub mod traffic;
+
+pub use packet::Packet;
+pub use port::InputPort;
+pub use sim::{NetworkSim, SimConfig};
+pub use stats::SimReport;
+pub use sweep::{latency_curve, run_once, saturation_throughput, LoadPoint};

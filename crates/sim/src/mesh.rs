@@ -1,0 +1,231 @@
+//! Mesh-of-Hi-Rise topology analysis (§VI-E, Fig. 13).
+//!
+//! The paper sketches kilo-core systems built as a *2D mesh of 3D
+//! switches*: XY dimension-ordered routing in the plane, with each
+//! Hi-Rise switch providing the adaptable Z (layer) dimension. This
+//! module models that topology at the graph level — node placement,
+//! concentration, XY routes, hop counts, bisection — so design points
+//! can be compared. (Per-switch contention behaviour comes from the
+//! cycle-accurate single-switch simulation; the paper, too, evaluates
+//! the composed topology only analytically.)
+
+use hirise_core::HiRiseConfig;
+
+/// Position of a switch in the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// Column (X coordinate).
+    pub x: usize,
+    /// Row (Y coordinate).
+    pub y: usize,
+}
+
+/// A 2D mesh whose routers are Hi-Rise 3D switches.
+#[derive(Clone, Debug)]
+pub struct HiRiseMesh {
+    cols: usize,
+    rows: usize,
+    switch: HiRiseConfig,
+    mesh_ports_per_direction: usize,
+}
+
+impl HiRiseMesh {
+    /// Creates a `cols x rows` mesh of `switch` routers, reserving
+    /// `mesh_ports_per_direction` switch ports for each of the four
+    /// mesh directions; the remaining ports host cores (concentration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is degenerate or the switch has too few ports
+    /// to serve four directions and at least one core.
+    pub fn new(
+        cols: usize,
+        rows: usize,
+        switch: HiRiseConfig,
+        mesh_ports_per_direction: usize,
+    ) -> Self {
+        assert!(cols >= 1 && rows >= 1, "mesh must have at least one node");
+        assert!(
+            4 * mesh_ports_per_direction < switch.radix(),
+            "switch radix {} cannot serve 4x{} mesh ports and any cores",
+            switch.radix(),
+            mesh_ports_per_direction
+        );
+        Self {
+            cols,
+            rows,
+            switch,
+            mesh_ports_per_direction,
+        }
+    }
+
+    /// A kilo-core design point: a 5x5 mesh of 64-radix 4-layer Hi-Rise
+    /// switches with 6 ports per direction, leaving 40 cores per switch
+    /// (1000 cores total).
+    pub fn kilocore() -> Self {
+        Self::new(5, 5, HiRiseConfig::paper_optimal(), 6)
+    }
+
+    /// Mesh width in columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mesh height in rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The router configuration.
+    pub fn switch(&self) -> &HiRiseConfig {
+        &self.switch
+    }
+
+    /// Number of switches in the mesh.
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Cores attached to each switch (concentration).
+    pub fn cores_per_node(&self) -> usize {
+        self.switch.radix() - 4 * self.mesh_ports_per_direction
+    }
+
+    /// Total cores in the system.
+    pub fn total_cores(&self) -> usize {
+        self.node_count() * self.cores_per_node()
+    }
+
+    /// XY dimension-ordered route from `src` to `dst`, inclusive of both
+    /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is outside the mesh.
+    pub fn xy_route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert!(src.x < self.cols && src.y < self.rows, "src outside mesh");
+        assert!(dst.x < self.cols && dst.y < self.rows, "dst outside mesh");
+        let mut route = vec![src];
+        let mut here = src;
+        while here.x != dst.x {
+            here.x = if dst.x > here.x {
+                here.x + 1
+            } else {
+                here.x - 1
+            };
+            route.push(here);
+        }
+        while here.y != dst.y {
+            here.y = if dst.y > here.y {
+                here.y + 1
+            } else {
+                here.y - 1
+            };
+            route.push(here);
+        }
+        route
+    }
+
+    /// Hop count (switch traversals) of the XY route between two nodes.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        src.x.abs_diff(dst.x) + src.y.abs_diff(dst.y) + 1
+    }
+
+    /// Mean switch traversals for uniform random core-to-core traffic
+    /// (averaged over all node pairs, including same-node pairs which
+    /// still traverse one switch).
+    pub fn avg_hops_uniform(&self) -> f64 {
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for sx in 0..self.cols {
+            for sy in 0..self.rows {
+                for dx in 0..self.cols {
+                    for dy in 0..self.rows {
+                        total += self.hops(NodeId { x: sx, y: sy }, NodeId { x: dx, y: dy });
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+
+    /// Bisection link count: mesh channels crossing the vertical midline,
+    /// each `mesh_ports_per_direction` ports wide.
+    pub fn bisection_links(&self) -> usize {
+        self.rows * self.mesh_ports_per_direction
+    }
+
+    /// Zero-load end-to-end latency in switch cycles for a route of `h`
+    /// switch traversals and a packet of `len_flits` flits: each switch
+    /// adds one arbitration cycle, and the final hop streams the packet
+    /// out (`len_flits` beats).
+    pub fn zero_load_latency_cycles(&self, h: usize, len_flits: usize) -> u64 {
+        (h + len_flits) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilocore_reaches_a_thousand_cores() {
+        let mesh = HiRiseMesh::kilocore();
+        assert_eq!(mesh.node_count(), 25);
+        assert_eq!(mesh.cores_per_node(), 40);
+        assert_eq!(mesh.total_cores(), 1000);
+    }
+
+    #[test]
+    fn xy_routes_go_x_first() {
+        let mesh = HiRiseMesh::new(4, 4, HiRiseConfig::paper_optimal(), 4);
+        let route = mesh.xy_route(NodeId { x: 0, y: 0 }, NodeId { x: 2, y: 1 });
+        assert_eq!(
+            route,
+            vec![
+                NodeId { x: 0, y: 0 },
+                NodeId { x: 1, y: 0 },
+                NodeId { x: 2, y: 0 },
+                NodeId { x: 2, y: 1 },
+            ]
+        );
+        assert_eq!(mesh.hops(NodeId { x: 0, y: 0 }, NodeId { x: 2, y: 1 }), 4);
+    }
+
+    #[test]
+    fn self_route_is_single_switch() {
+        let mesh = HiRiseMesh::new(3, 3, HiRiseConfig::paper_optimal(), 4);
+        let n = NodeId { x: 1, y: 1 };
+        assert_eq!(mesh.xy_route(n, n), vec![n]);
+        assert_eq!(mesh.hops(n, n), 1);
+    }
+
+    #[test]
+    fn avg_hops_matches_manhattan_expectation() {
+        // For a k x k mesh, mean |dx| over uniform pairs is (k^2-1)/(3k).
+        let mesh = HiRiseMesh::new(5, 5, HiRiseConfig::paper_optimal(), 6);
+        let expected = 2.0 * (25.0 - 1.0) / 15.0 + 1.0;
+        assert!((mesh.avg_hops_uniform() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentration_beats_flat_mesh_on_hops() {
+        // The §VI-E argument: high-radix concentration shrinks the mesh,
+        // cutting average hop count versus a low-radix mesh of the same
+        // core count.
+        let concentrated = HiRiseMesh::kilocore();
+        // A 32x32 flat mesh of 1-core routers (~1000 cores).
+        let flat_avg = {
+            let k = 32.0;
+            2.0 * (k * k - 1.0) / (3.0 * k) + 1.0
+        };
+        assert!(concentrated.avg_hops_uniform() < flat_avg / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serve")]
+    fn rejects_all_ports_used_for_mesh() {
+        let _ = HiRiseMesh::new(2, 2, HiRiseConfig::paper_optimal(), 16);
+    }
+}

@@ -1,0 +1,841 @@
+//! Cycle-accurate simulation of a 2D mesh of switches (§VI-E, Fig. 13).
+//!
+//! Each mesh node is a full switch fabric (normally a
+//! [`HiRiseSwitch`](hirise_core::HiRiseSwitch)) whose ports are split
+//! between the four mesh directions and the locally attached cores.
+//! Packets are routed XY dimension-ordered: store-and-forward per hop,
+//! with the per-switch single-cycle arbitration, connection hold and
+//! release semantics of the single-switch simulator. The Z (layer)
+//! dimension is handled *inside* each Hi-Rise switch, which is exactly
+//! the paper's point: "the 3D switch can provide the adaptable Z
+//! dimension routing".
+//!
+//! Core numbering is global: core `g` lives on node
+//! `(g / cores_per_node)` in row-major order, at local core index
+//! `g % cores_per_node`.
+
+use crate::packet::Packet;
+use crate::port::InputPort;
+use crate::traffic::TrafficPattern;
+use hirise_core::{Fabric, InputId, OutputId, Request};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The four mesh directions, in port-bank order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    North = 0,
+    East = 1,
+    South = 2,
+    West = 3,
+}
+
+impl Direction {
+    fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+/// How switch ports are assigned to mesh directions and cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MeshPortMap {
+    /// Direction banks occupy consecutive ports (N, E, S, W, then
+    /// cores). Simple, but straight-through traffic usually enters and
+    /// leaves on different switch layers, consuming L2LC bandwidth
+    /// inside every Hi-Rise hop.
+    #[default]
+    Contiguous,
+    /// Layer-aware assignment (§VI-E: "layer-aware routing algorithms
+    /// that minimize the traversal of traffic in the vertical direction
+    /// will also help alleviate the L2LC bottleneck"): all four
+    /// direction ports of a lane are placed on the *same* switch layer,
+    /// so straight-through packets (which keep their lane hop to hop)
+    /// never cross layers inside a switch.
+    LayerAware {
+        /// Stacked layer count of the mesh's switches.
+        layers: usize,
+    },
+}
+
+/// Configuration of a mesh-of-switches simulation.
+#[derive(Clone, Debug)]
+pub struct MeshSimConfig {
+    cols: usize,
+    rows: usize,
+    ports_per_direction: usize,
+    vcs: usize,
+    packet_len_flits: usize,
+    injection_rate: f64,
+    link_buffer_packets: usize,
+    port_map: MeshPortMap,
+    warmup: u64,
+    measure: u64,
+    drain: u64,
+    seed: u64,
+}
+
+impl MeshSimConfig {
+    /// Creates a `cols x rows` mesh reserving `ports_per_direction`
+    /// switch ports per mesh direction; the defaults mirror the
+    /// single-switch methodology (4 VCs, 4-flit packets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is empty or no ports are reserved.
+    pub fn new(cols: usize, rows: usize, ports_per_direction: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1, "mesh must have at least one node");
+        assert!(
+            ports_per_direction >= 1,
+            "need at least one port per direction"
+        );
+        Self {
+            cols,
+            rows,
+            ports_per_direction,
+            vcs: 4,
+            packet_len_flits: 4,
+            injection_rate: 0.02,
+            link_buffer_packets: 4,
+            port_map: MeshPortMap::Contiguous,
+            warmup: 1_000,
+            measure: 10_000,
+            drain: 10_000,
+            seed: 0x3D_3E54,
+        }
+    }
+
+    /// Sets the offered load in packets/core/cycle.
+    pub fn injection_rate(mut self, rate: f64) -> Self {
+        self.injection_rate = rate;
+        self
+    }
+
+    /// Sets the downstream buffering a link-fed input port advertises
+    /// (in packets). A sender may only start a hop when the receiving
+    /// port has a free slot — credit-based back-pressure. XY
+    /// dimension-ordered routing plus guaranteed ejection keeps the
+    /// mesh deadlock-free at any buffer depth ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is zero.
+    pub fn link_buffer_packets(mut self, packets: usize) -> Self {
+        assert!(packets >= 1, "links need at least one buffer slot");
+        self.link_buffer_packets = packets;
+        self
+    }
+
+    /// Selects the port-to-direction mapping (see [`MeshPortMap`]).
+    pub fn port_map(mut self, map: MeshPortMap) -> Self {
+        self.port_map = map;
+        self
+    }
+
+    /// Sets the warmup length in cycles.
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Sets the measurement window in cycles.
+    pub fn measure(mut self, cycles: u64) -> Self {
+        self.measure = cycles;
+        self
+    }
+
+    /// Sets the drain cap in cycles.
+    pub fn drain(mut self, cycles: u64) -> Self {
+        self.drain = cycles;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the packet length in flits.
+    pub fn packet_len_flits(mut self, len: usize) -> Self {
+        self.packet_len_flits = len;
+        self
+    }
+}
+
+/// Results of a mesh simulation.
+#[derive(Clone, Debug)]
+pub struct MeshReport {
+    measured_cycles: u64,
+    delivered_in_window: u64,
+    injected_measured: u64,
+    completed_measured: u64,
+    latency_sum: u64,
+    hop_sum: u64,
+    cores: usize,
+}
+
+impl MeshReport {
+    /// Aggregate accepted throughput in packets/cycle.
+    pub fn accepted_rate(&self) -> f64 {
+        self.delivered_in_window as f64 / self.measured_cycles as f64
+    }
+
+    /// Mean end-to-end packet latency in switch cycles.
+    pub fn avg_latency_cycles(&self) -> f64 {
+        if self.completed_measured == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.completed_measured as f64
+        }
+    }
+
+    /// Mean switch traversals per delivered packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.completed_measured == 0 {
+            0.0
+        } else {
+            self.hop_sum as f64 / self.completed_measured as f64
+        }
+    }
+
+    /// Whether the mesh kept up with the offered load.
+    pub fn is_stable(&self) -> bool {
+        self.completed_measured as f64 >= 0.99 * self.injected_measured as f64
+    }
+
+    /// Total cores injecting.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Measured packets injected during the window.
+    pub fn injected_measured(&self) -> u64 {
+        self.injected_measured
+    }
+
+    /// Measured packets that completed.
+    pub fn completed_measured(&self) -> u64 {
+        self.completed_measured
+    }
+}
+
+/// A packet in flight across the mesh, with routing state.
+#[derive(Clone, Copy, Debug)]
+struct MeshPacket {
+    inner: Packet,
+    /// Final destination core (global index).
+    dst_core: usize,
+    hops: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Transfer {
+    packet: MeshPacket,
+    flits_remaining: usize,
+    output: OutputId,
+}
+
+/// What a switch port is wired to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PortRole {
+    /// A mesh link in `dir` on spreading lane `lane`.
+    Link { dir: Direction, lane: usize },
+    /// Local core `local` (injection input / ejection output).
+    Core { local: usize },
+}
+
+/// The port assignment shared by every switch of the mesh.
+#[derive(Clone, Debug)]
+struct PortLayout {
+    /// `dir_ports[d][k]`: the port of direction `d`, lane `k`.
+    dir_ports: Vec<Vec<usize>>,
+    /// `core_ports[c]`: the port of local core `c`.
+    core_ports: Vec<usize>,
+    /// Inverse map.
+    roles: Vec<PortRole>,
+}
+
+impl PortLayout {
+    fn new(radix: usize, ports_per_direction: usize, map: MeshPortMap) -> Self {
+        let p = ports_per_direction;
+        let mut dir_ports = vec![vec![usize::MAX; p]; 4];
+        let mut taken = vec![false; radix];
+        match map {
+            MeshPortMap::Contiguous => {
+                for (d, bank) in dir_ports.iter_mut().enumerate() {
+                    for (k, port) in bank.iter_mut().enumerate() {
+                        *port = d * p + k;
+                        taken[d * p + k] = true;
+                    }
+                }
+            }
+            MeshPortMap::LayerAware { layers } => {
+                assert!(layers >= 1 && radix.is_multiple_of(layers), "bad layer count");
+                let per_layer = radix / layers;
+                for k in 0..p {
+                    let preferred = k % layers;
+                    for bank in dir_ports.iter_mut() {
+                        // First free port on the preferred layer, else
+                        // anywhere (keeps the layout total).
+                        let start = preferred * per_layer;
+                        let slot = (start..start + per_layer)
+                            .find(|&q| !taken[q])
+                            .or_else(|| (0..radix).find(|&q| !taken[q]))
+                            .expect("more ports than direction lanes");
+                        bank[k] = slot;
+                        taken[slot] = true;
+                    }
+                }
+            }
+        }
+        let core_ports: Vec<usize> = (0..radix).filter(|&q| !taken[q]).collect();
+        let mut roles = vec![PortRole::Core { local: 0 }; radix];
+        for (d, bank) in dir_ports.iter().enumerate() {
+            for (k, &port) in bank.iter().enumerate() {
+                roles[port] = PortRole::Link {
+                    dir: match d {
+                        0 => Direction::North,
+                        1 => Direction::East,
+                        2 => Direction::South,
+                        _ => Direction::West,
+                    },
+                    lane: k,
+                };
+            }
+        }
+        for (c, &port) in core_ports.iter().enumerate() {
+            roles[port] = PortRole::Core { local: c };
+        }
+        Self {
+            dir_ports,
+            core_ports,
+            roles,
+        }
+    }
+}
+
+/// A cycle-accurate mesh of switch fabrics with XY routing.
+#[derive(Debug)]
+pub struct MeshSim<F> {
+    cfg: MeshSimConfig,
+    radix: usize,
+    cores_per_node: usize,
+    switches: Vec<F>,
+    /// Per node, per switch input port.
+    ports: Vec<Vec<InputPort>>,
+    layout: PortLayout,
+    /// Routing metadata for packets buffered at each node, by packet id.
+    meta: Vec<std::collections::HashMap<u64, MeshPacket>>,
+    transfers: Vec<Vec<Option<Transfer>>>,
+    rng: StdRng,
+    now: u64,
+    next_id: u64,
+}
+
+impl<F: Fabric> MeshSim<F> {
+    /// Builds the mesh, creating one switch per node via `make_switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switches are too small for the reserved direction
+    /// ports, or disagree in radix.
+    pub fn new(cfg: MeshSimConfig, mut make_switch: impl FnMut() -> F) -> Self {
+        let nodes = cfg.cols * cfg.rows;
+        let switches: Vec<F> = (0..nodes).map(|_| make_switch()).collect();
+        let radix = switches[0].radix();
+        assert!(
+            switches.iter().all(|s| s.radix() == radix),
+            "all mesh switches must share a radix"
+        );
+        assert!(
+            radix > 4 * cfg.ports_per_direction,
+            "radix {radix} cannot serve 4x{} direction ports and cores",
+            cfg.ports_per_direction
+        );
+        let cores_per_node = radix - 4 * cfg.ports_per_direction;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let layout = PortLayout::new(radix, cfg.ports_per_direction, cfg.port_map);
+        Self {
+            radix,
+            cores_per_node,
+            layout,
+            ports: (0..nodes)
+                .map(|_| (0..radix).map(|_| InputPort::new(cfg.vcs)).collect())
+                .collect(),
+            meta: vec![std::collections::HashMap::new(); nodes],
+            transfers: vec![vec![None; radix]; nodes],
+            switches,
+            rng,
+            now: 0,
+            next_id: 0,
+            cfg,
+        }
+    }
+
+    /// Total cores attached to the mesh.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_node * self.cfg.cols * self.cfg.rows
+    }
+
+    /// Cores per mesh node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    fn node_of_core(&self, core: usize) -> usize {
+        core / self.cores_per_node
+    }
+
+    fn node_xy(&self, node: usize) -> (usize, usize) {
+        (node % self.cfg.cols, node / self.cfg.cols)
+    }
+
+    fn neighbor(&self, node: usize, dir: Direction) -> usize {
+        let (x, y) = self.node_xy(node);
+        let (nx, ny) = match dir {
+            Direction::North => (x, y - 1),
+            Direction::East => (x + 1, y),
+            Direction::South => (x, y + 1),
+            Direction::West => (x - 1, y),
+        };
+        ny * self.cfg.cols + nx
+    }
+
+    /// XY next-hop output port at `node` for a packet to `dst_core`
+    /// with spreading lane `lane`.
+    fn route(&self, node: usize, dst_core: usize, lane: usize) -> OutputId {
+        let p = self.cfg.ports_per_direction;
+        let dst_node = self.node_of_core(dst_core);
+        let (x, y) = self.node_xy(node);
+        let (dx, dy) = self.node_xy(dst_node);
+        let dir = if x < dx {
+            Some(Direction::East)
+        } else if x > dx {
+            Some(Direction::West)
+        } else if y < dy {
+            Some(Direction::South)
+        } else if y > dy {
+            Some(Direction::North)
+        } else {
+            None
+        };
+        match dir {
+            Some(d) => OutputId::new(self.layout.dir_ports[d as usize][lane % p]),
+            None => OutputId::new(self.layout.core_ports[dst_core % self.cores_per_node]),
+        }
+    }
+
+    /// Which (node, input port) an output port of `node` feeds.
+    fn link_endpoint(&self, node: usize, output: OutputId) -> Option<(usize, usize)> {
+        match self.layout.roles[output.index()] {
+            PortRole::Core { .. } => None, // local ejection port
+            PortRole::Link { dir, lane } => {
+                let next = self.neighbor(node, dir);
+                Some((next, self.layout.dir_ports[dir.opposite() as usize][lane]))
+            }
+        }
+    }
+
+    /// Stores routing metadata for a packet buffered at `node`.
+    fn stash(&mut self, node: usize, packet: MeshPacket) {
+        let previous = self.meta[node].insert(packet.inner.id, packet);
+        debug_assert!(previous.is_none(), "duplicate packet id at node {node}");
+    }
+
+    fn unstash(&mut self, node: usize, id: u64) -> MeshPacket {
+        self.meta[node]
+            .remove(&id)
+            .expect("metadata present for buffered packet")
+    }
+
+    fn peek(&self, node: usize, id: u64) -> MeshPacket {
+        *self.meta[node].get(&id).expect("metadata present")
+    }
+
+    /// Runs the configured warmup + measurement + drain and reports.
+    pub fn run(&mut self, pattern: &mut dyn TrafficPattern) -> MeshReport {
+        let mut report = MeshReport {
+            measured_cycles: self.cfg.measure,
+            delivered_in_window: 0,
+            injected_measured: 0,
+            completed_measured: 0,
+            latency_sum: 0,
+            hop_sum: 0,
+            cores: self.total_cores(),
+        };
+        for _ in 0..self.cfg.warmup + self.cfg.measure {
+            self.step(pattern, &mut report);
+        }
+        let mut drained = 0;
+        while report.completed_measured < report.injected_measured && drained < self.cfg.drain {
+            self.step(pattern, &mut report);
+            drained += 1;
+        }
+        report
+    }
+
+    fn in_window(&self) -> bool {
+        self.now >= self.cfg.warmup && self.now < self.cfg.warmup + self.cfg.measure
+    }
+
+    fn step(&mut self, pattern: &mut dyn TrafficPattern, report: &mut MeshReport) {
+        let nodes = self.cfg.cols * self.cfg.rows;
+        let in_window = self.in_window();
+
+        // (a) Progress transfers: completions either eject (deliver) or
+        // forward into the neighbour's input buffer; the release beat
+        // follows one cycle later, as in the single-switch model.
+        for node in 0..nodes {
+            for input in 0..self.radix {
+                let Some(transfer) = &mut self.transfers[node][input] else {
+                    continue;
+                };
+                if transfer.flits_remaining > 0 {
+                    transfer.flits_remaining -= 1;
+                    if transfer.flits_remaining == 0 {
+                        let mut packet = transfer.packet;
+                        let output = transfer.output;
+                        packet.hops += 1;
+                        self.ports[node][input].complete_transfer();
+                        match self.link_endpoint(node, output) {
+                            None => {
+                                // Ejected at the destination node.
+                                if in_window {
+                                    report.delivered_in_window += 1;
+                                }
+                                if packet.inner.measured {
+                                    report.completed_measured += 1;
+                                    report.latency_sum += packet.inner.latency(self.now);
+                                    report.hop_sum += u64::from(packet.hops);
+                                }
+                            }
+                            Some((next_node, next_input)) => {
+                                // Hand the packet to the next switch.
+                                self.stash(next_node, packet);
+                                self.ports[next_node][next_input].inject(packet.inner);
+                            }
+                        }
+                    }
+                } else {
+                    self.switches[node].release(InputId::new(input));
+                    self.transfers[node][input] = None;
+                }
+            }
+        }
+
+        // (b) Injection at core ports.
+        for core in 0..self.total_cores() {
+            let Some(dst) =
+                pattern.next(InputId::new(core), self.cfg.injection_rate, &mut self.rng)
+            else {
+                continue;
+            };
+            let node = self.node_of_core(core);
+            let input_port = self.layout.core_ports[core % self.cores_per_node];
+            let inner = Packet {
+                id: self.next_id,
+                src: InputId::new(input_port),
+                dst: OutputId::new(dst.index()), // final core id, re-routed per hop
+                len_flits: self.cfg.packet_len_flits,
+                birth_cycle: self.now,
+                measured: in_window,
+            };
+            self.next_id += 1;
+            if in_window {
+                report.injected_measured += 1;
+            }
+            let packet = MeshPacket {
+                inner,
+                dst_core: dst.index(),
+                hops: 0,
+            };
+            self.stash(node, packet);
+            self.ports[node][input_port].inject(inner);
+        }
+
+        // (c) Buffer, select, arbitrate and launch per node.
+        for node in 0..nodes {
+            for port in &mut self.ports[node] {
+                port.fill_vcs();
+            }
+            let mut candidates: Vec<(usize, MeshPacket, OutputId)> = Vec::new();
+            let mut requests: Vec<Request> = Vec::new();
+            for input in 0..self.radix {
+                if self.transfers[node][input].is_some() {
+                    continue;
+                }
+                if let Some(inner) = self.ports[node][input].select_candidate() {
+                    let packet = self.peek(node, inner.id);
+                    let output = self.route(node, packet.dst_core, packet.inner.id as usize);
+                    // Credit check: the downstream port must have a free
+                    // slot before this hop may start (the in-flight hop
+                    // itself is the one slot we reserve).
+                    if let Some((next_node, next_input)) = self.link_endpoint(node, output) {
+                        if self.ports[next_node][next_input].occupancy()
+                            >= self.cfg.link_buffer_packets
+                        {
+                            self.ports[node][input].revoke_candidate();
+                            continue;
+                        }
+                    }
+                    candidates.push((input, packet, output));
+                    requests.push(Request::new(InputId::new(input), output));
+                }
+            }
+            let grants = self.switches[node].arbitrate(&requests);
+            let mut granted = vec![false; self.radix];
+            for grant in &grants {
+                granted[grant.input.index()] = true;
+            }
+            for (input, packet, output) in candidates {
+                if granted[input] {
+                    self.ports[node][input].confirm_grant();
+                    // Departing: the metadata leaves this node with it.
+                    let packet = self.unstash(node, packet.inner.id);
+                    self.transfers[node][input] = Some(Transfer {
+                        packet,
+                        flits_remaining: self.cfg.packet_len_flits,
+                        output,
+                    });
+                } else {
+                    self.ports[node][input].revoke_candidate();
+                }
+            }
+        }
+
+        self.now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Custom, UniformRandom};
+    use hirise_core::{HiRiseConfig, HiRiseSwitch};
+
+    fn small_mesh(cfg: MeshSimConfig) -> MeshSim<HiRiseSwitch> {
+        // 16-radix Hi-Rise switches over 2 layers; 2 ports per direction
+        // leaves 8 cores per node.
+        let switch_cfg = HiRiseConfig::builder(16, 2)
+            .channel_multiplicity(2)
+            .build()
+            .expect("valid configuration");
+        MeshSim::new(cfg, move || HiRiseSwitch::new(&switch_cfg))
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let sim = small_mesh(MeshSimConfig::new(3, 2, 2));
+        assert_eq!(sim.cores_per_node(), 8);
+        assert_eq!(sim.total_cores(), 48);
+    }
+
+    #[test]
+    fn single_packet_crosses_the_mesh() {
+        let mut sim = small_mesh(
+            MeshSimConfig::new(3, 2, 2)
+                .warmup(0)
+                .measure(200)
+                .drain(200),
+        );
+        // One packet from core 0 (node 0) to core 47 (node 5).
+        let mut fired = false;
+        let mut pattern = Custom::new("single", move |input: InputId, _r, _rng: &mut _| {
+            if input.index() == 0 && !fired {
+                fired = true;
+                Some(OutputId::new(47))
+            } else {
+                None
+            }
+        });
+        let report = sim.run(&mut pattern);
+        assert_eq!(report.completed_measured(), 1);
+        // Node 0 -> 1 -> 2 -> 5: 3 switch hops... XY: (0,0) to (2,1):
+        // East, East, South, then eject = 4 traversals.
+        assert_eq!(report.avg_hops(), 4.0);
+        assert!(
+            report.avg_latency_cycles() >= 12.0,
+            "{}",
+            report.avg_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn same_node_traffic_stays_local() {
+        let mut sim = small_mesh(
+            MeshSimConfig::new(2, 2, 2)
+                .warmup(0)
+                .measure(100)
+                .drain(100),
+        );
+        let mut fired = false;
+        let mut pattern = Custom::new("local", move |input: InputId, _r, _rng: &mut _| {
+            if input.index() == 1 && !fired {
+                fired = true;
+                Some(OutputId::new(3)) // same node 0
+            } else {
+                None
+            }
+        });
+        let report = sim.run(&mut pattern);
+        assert_eq!(report.completed_measured(), 1);
+        assert_eq!(report.avg_hops(), 1.0);
+    }
+
+    #[test]
+    fn low_load_uniform_random_is_stable() {
+        let mut sim = small_mesh(
+            MeshSimConfig::new(2, 2, 2)
+                .injection_rate(0.01)
+                .warmup(500)
+                .measure(4_000)
+                .drain(6_000),
+        );
+        let mut pattern = UniformRandom::new(32);
+        let report = sim.run(&mut pattern);
+        assert!(
+            report.is_stable(),
+            "{} of {} completed",
+            report.completed_measured(),
+            report.injected_measured()
+        );
+        assert!(report.avg_hops() >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = small_mesh(
+                MeshSimConfig::new(2, 2, 2)
+                    .injection_rate(0.02)
+                    .warmup(100)
+                    .measure(1_000)
+                    .seed(seed),
+            );
+            let mut pattern = UniformRandom::new(32);
+            let report = sim.run(&mut pattern);
+            (report.completed_measured(), report.latency_sum)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn port_layouts_are_permutations() {
+        for map in [
+            MeshPortMap::Contiguous,
+            MeshPortMap::LayerAware { layers: 2 },
+        ] {
+            let layout = PortLayout::new(16, 2, map);
+            let mut seen = [false; 16];
+            for bank in &layout.dir_ports {
+                for &port in bank {
+                    assert!(!seen[port], "{map:?}: port {port} assigned twice");
+                    seen[port] = true;
+                }
+            }
+            for &port in &layout.core_ports {
+                assert!(!seen[port], "{map:?}: port {port} assigned twice");
+                seen[port] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{map:?}: unassigned ports");
+            assert_eq!(layout.core_ports.len(), 8);
+        }
+    }
+
+    #[test]
+    fn layer_aware_aligns_opposite_directions() {
+        // Radix 16 over 2 layers: 8 ports per layer. Each lane's four
+        // direction ports must share a layer.
+        let layout = PortLayout::new(16, 2, MeshPortMap::LayerAware { layers: 2 });
+        let layer_of = |port: usize| port / 8;
+        for lane in 0..2 {
+            let layers: Vec<usize> = (0..4)
+                .map(|d| layer_of(layout.dir_ports[d][lane]))
+                .collect();
+            assert!(
+                layers.iter().all(|&l| l == layers[0]),
+                "lane {lane} spans layers {layers:?}"
+            );
+        }
+        // And the two lanes land on the two different layers.
+        assert_ne!(
+            layer_of(layout.dir_ports[0][0]),
+            layer_of(layout.dir_ports[0][1])
+        );
+    }
+
+    #[test]
+    fn layer_aware_mesh_delivers_traffic() {
+        let switch_cfg = HiRiseConfig::builder(16, 2)
+            .channel_multiplicity(2)
+            .build()
+            .expect("valid configuration");
+        let cfg = MeshSimConfig::new(3, 2, 2)
+            .port_map(MeshPortMap::LayerAware { layers: 2 })
+            .injection_rate(0.01)
+            .warmup(500)
+            .measure(3_000)
+            .drain(6_000);
+        let mut sim = MeshSim::new(cfg, move || HiRiseSwitch::new(&switch_cfg));
+        let mut pattern = UniformRandom::new(sim.total_cores());
+        let report = sim.run(&mut pattern);
+        assert!(report.is_stable());
+        assert!(report.avg_hops() >= 1.0);
+    }
+
+    #[test]
+    fn back_pressure_bounds_link_buffers() {
+        // Funnel traffic from every core to one corner node; with
+        // credit-based links the interior buffers must never exceed the
+        // advertised depth (the packets pile up at the sources instead).
+        let mut sim = small_mesh(
+            MeshSimConfig::new(3, 3, 2)
+                .injection_rate(0.05)
+                .link_buffer_packets(2)
+                .warmup(0)
+                .measure(2_000)
+                .drain(0),
+        );
+        let cores = sim.total_cores();
+        let mut pattern = Custom::new("corner", move |_input: InputId, rate, rng: &mut _| {
+            use rand::Rng;
+            rng.gen_bool(f64::clamp(rate, 0.0, 1.0))
+                .then(|| OutputId::new(cores - 1))
+        });
+        let report = sim.run(&mut pattern);
+        // The run should deliver something and never violate the credit
+        // invariant (checked below on the final state).
+        assert!(report.accepted_rate() > 0.0);
+        for node in 0..9 {
+            let p = 2 * 4; // link-fed ports are the first 4*p
+            for input in 0..p {
+                assert!(
+                    sim.ports[node][input].occupancy() <= 2,
+                    "node {node} port {input} overflowed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_raises_latency() {
+        let latency_at = |rate: f64| {
+            let mut sim = small_mesh(
+                MeshSimConfig::new(2, 2, 2)
+                    .injection_rate(rate)
+                    .warmup(500)
+                    .measure(3_000)
+                    .drain(8_000),
+            );
+            let mut pattern = UniformRandom::new(32);
+            sim.run(&mut pattern).avg_latency_cycles()
+        };
+        assert!(latency_at(0.02) > latency_at(0.002));
+    }
+}

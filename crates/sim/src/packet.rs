@@ -1,0 +1,52 @@
+//! Packets: the unit of transfer through a switch.
+//!
+//! The paper simulates 4-flit packets of 128-bit flits (512 bits per
+//! packet, matching the 64-byte cache line of its CMP evaluation). A
+//! packet occupies a switch connection for one cycle per flit after the
+//! single arbitration cycle that sets the connection up.
+
+use hirise_core::{InputId, OutputId};
+
+/// A packet travelling from a source input port to a destination output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Monotonically increasing identifier (unique within one simulation).
+    pub id: u64,
+    /// Source input port.
+    pub src: InputId,
+    /// Destination output port.
+    pub dst: OutputId,
+    /// Length in flits.
+    pub len_flits: usize,
+    /// Cycle at which the packet was created at the source.
+    pub birth_cycle: u64,
+    /// Whether the packet was injected during the measurement window and
+    /// therefore contributes to latency statistics.
+    pub measured: bool,
+}
+
+impl Packet {
+    /// Latency of the packet if its tail flit left at `completion_cycle`.
+    pub fn latency(&self, completion_cycle: u64) -> u64 {
+        completion_cycle.saturating_sub(self.birth_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_completion_minus_birth() {
+        let p = Packet {
+            id: 0,
+            src: InputId::new(1),
+            dst: OutputId::new(2),
+            len_flits: 4,
+            birth_cycle: 10,
+            measured: true,
+        };
+        assert_eq!(p.latency(17), 7);
+        assert_eq!(p.latency(5), 0, "saturates rather than underflows");
+    }
+}

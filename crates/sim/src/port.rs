@@ -1,0 +1,196 @@
+//! Input port model: source queue plus virtual channels.
+//!
+//! Matching §V of the paper, each input port has a small set of virtual
+//! channels (4 by default), each deep enough to hold one packet
+//! (4 flits). Packets wait in an unbounded source queue — standard
+//! open-loop injection methodology — move into a free VC one per cycle,
+//! and a rotating pointer picks which occupied VC competes for the
+//! switch each cycle (giving blocked packets head-of-line relief).
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// One input port of the simulated network.
+#[derive(Clone, Debug)]
+pub struct InputPort {
+    source_queue: VecDeque<Packet>,
+    vcs: Vec<Option<Packet>>,
+    /// VC currently transferring through the switch, if any.
+    active_vc: Option<usize>,
+    /// Rotating pointer for VC selection.
+    next_vc: usize,
+}
+
+impl InputPort {
+    /// Creates a port with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs` is zero.
+    pub fn new(vcs: usize) -> Self {
+        assert!(vcs > 0, "a port needs at least one virtual channel");
+        Self {
+            source_queue: VecDeque::new(),
+            vcs: vec![None; vcs],
+            active_vc: None,
+            next_vc: 0,
+        }
+    }
+
+    /// Queues a freshly injected packet.
+    pub fn inject(&mut self, packet: Packet) {
+        self.source_queue.push_back(packet);
+    }
+
+    /// Moves at most one packet from the source queue into a free VC.
+    pub fn fill_vcs(&mut self) {
+        if self.source_queue.is_empty() {
+            return;
+        }
+        if let Some(free) = self.vcs.iter().position(Option::is_none) {
+            self.vcs[free] = self.source_queue.pop_front();
+        }
+    }
+
+    /// Selects the VC that will request the switch this cycle, skipping
+    /// the VC that is mid-transfer. Returns the packet to request for.
+    ///
+    /// Rotates the selection pointer so a persistently blocked packet
+    /// does not monopolise the port's request slot.
+    pub fn select_candidate(&mut self) -> Option<Packet> {
+        if self.active_vc.is_some() {
+            return None; // port busy transferring
+        }
+        let n = self.vcs.len();
+        for offset in 0..n {
+            let vc = (self.next_vc + offset) % n;
+            if let Some(packet) = self.vcs[vc] {
+                self.next_vc = (vc + 1) % n;
+                self.active_vc = Some(vc); // tentative; confirmed on grant
+                return Some(packet);
+            }
+        }
+        None
+    }
+
+    /// Confirms that the candidate VC won arbitration and is now
+    /// transferring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate was selected this cycle.
+    pub fn confirm_grant(&mut self) {
+        assert!(self.active_vc.is_some(), "no candidate to confirm");
+    }
+
+    /// Reverts the tentative selection after losing arbitration.
+    pub fn revoke_candidate(&mut self) {
+        self.active_vc = None;
+    }
+
+    /// Completes the in-flight transfer, freeing its VC and returning the
+    /// packet that finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transfer is active.
+    pub fn complete_transfer(&mut self) -> Packet {
+        let vc = self.active_vc.take().expect("no active transfer");
+        self.vcs[vc].take().expect("active VC holds a packet")
+    }
+
+    /// Whether the port is mid-transfer.
+    pub fn is_transferring(&self) -> bool {
+        self.active_vc.is_some()
+    }
+
+    /// Packets currently waiting in the source queue.
+    pub fn queued(&self) -> usize {
+        self.source_queue.len()
+    }
+
+    /// Packets currently buffered in VCs.
+    pub fn buffered(&self) -> usize {
+        self.vcs.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Total packets held by this port (source queue + VCs) — what a
+    /// credit-based upstream link checks before forwarding.
+    pub fn occupancy(&self) -> usize {
+        self.queued() + self.buffered()
+    }
+
+    /// Whether the port holds no packets at all.
+    pub fn is_idle(&self) -> bool {
+        self.source_queue.is_empty() && self.buffered() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::{InputId, OutputId};
+
+    fn packet(id: u64, dst: usize) -> Packet {
+        Packet {
+            id,
+            src: InputId::new(0),
+            dst: OutputId::new(dst),
+            len_flits: 4,
+            birth_cycle: 0,
+            measured: false,
+        }
+    }
+
+    #[test]
+    fn packets_flow_queue_to_vc() {
+        let mut port = InputPort::new(2);
+        port.inject(packet(1, 5));
+        port.inject(packet(2, 6));
+        port.inject(packet(3, 7));
+        assert_eq!(port.queued(), 3);
+        port.fill_vcs();
+        port.fill_vcs();
+        assert_eq!(port.buffered(), 2);
+        assert_eq!(port.queued(), 1, "third packet waits for a free VC");
+    }
+
+    #[test]
+    fn candidate_selection_rotates() {
+        let mut port = InputPort::new(4);
+        port.inject(packet(1, 5));
+        port.inject(packet(2, 6));
+        port.fill_vcs();
+        port.fill_vcs();
+        let first = port.select_candidate().unwrap();
+        assert_eq!(first.id, 1);
+        port.revoke_candidate();
+        // After losing, the pointer has rotated: packet 2 goes next.
+        let second = port.select_candidate().unwrap();
+        assert_eq!(second.id, 2);
+        port.revoke_candidate();
+    }
+
+    #[test]
+    fn transfer_lifecycle() {
+        let mut port = InputPort::new(2);
+        port.inject(packet(1, 5));
+        port.fill_vcs();
+        let cand = port.select_candidate().unwrap();
+        assert_eq!(cand.id, 1);
+        port.confirm_grant();
+        assert!(port.is_transferring());
+        // While transferring, no new candidate is offered.
+        assert!(port.select_candidate().is_none());
+        let done = port.complete_transfer();
+        assert_eq!(done.id, 1);
+        assert!(port.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "no active transfer")]
+    fn completing_idle_port_panics() {
+        let mut port = InputPort::new(1);
+        let _ = port.complete_transfer();
+    }
+}

@@ -1,0 +1,237 @@
+//! Measurement collection: latency and throughput, aggregate and
+//! per-input (Fig. 11a needs per-input latency, Fig. 11c per-input
+//! throughput).
+
+/// Results of one simulation run, in switch cycles.
+///
+/// Convert to wall-clock units with the design's clock frequency (from
+/// `hirise-phys`): latency in ns is `cycles / f_GHz`, and accepted
+/// throughput in packets/ns is `packets_per_cycle * f_GHz`.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    radix: usize,
+    offered_rate: f64,
+    pattern: String,
+    measured_cycles: u64,
+    accepted_packets: u64,
+    injected_measured: u64,
+    completed_measured: u64,
+    latency_sum: u64,
+    latency_max: u64,
+    latencies: Vec<u32>,
+    per_input_accepted: Vec<u64>,
+    per_input_latency_sum: Vec<u64>,
+    per_input_completed: Vec<u64>,
+}
+
+/// Cap on stored per-packet latency samples (percentiles are computed
+/// from these; beyond the cap the distribution is already stable).
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+impl SimReport {
+    pub(crate) fn new(
+        radix: usize,
+        offered_rate: f64,
+        pattern: String,
+        measured_cycles: u64,
+    ) -> Self {
+        Self {
+            radix,
+            offered_rate,
+            pattern,
+            measured_cycles,
+            accepted_packets: 0,
+            injected_measured: 0,
+            completed_measured: 0,
+            latency_sum: 0,
+            latency_max: 0,
+            latencies: Vec::new(),
+            per_input_accepted: vec![0; radix],
+            per_input_latency_sum: vec![0; radix],
+            per_input_completed: vec![0; radix],
+        }
+    }
+
+    pub(crate) fn record_injection_measured(&mut self) {
+        self.injected_measured += 1;
+    }
+
+    pub(crate) fn record_completion(
+        &mut self,
+        src: usize,
+        latency: u64,
+        in_window: bool,
+        measured: bool,
+    ) {
+        if in_window {
+            self.accepted_packets += 1;
+            self.per_input_accepted[src] += 1;
+        }
+        if measured {
+            self.completed_measured += 1;
+            self.latency_sum += latency;
+            self.latency_max = self.latency_max.max(latency);
+            if self.latencies.len() < MAX_LATENCY_SAMPLES {
+                self.latencies.push(latency.min(u64::from(u32::MAX)) as u32);
+            }
+            self.per_input_latency_sum[src] += latency;
+            self.per_input_completed[src] += 1;
+        }
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Offered load in packets/input/cycle.
+    pub fn offered_rate(&self) -> f64 {
+        self.offered_rate
+    }
+
+    /// Name of the traffic pattern that generated the load.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Length of the measurement window in cycles.
+    pub fn measured_cycles(&self) -> u64 {
+        self.measured_cycles
+    }
+
+    /// Packets delivered during the measurement window (all sources).
+    pub fn accepted_packets(&self) -> u64 {
+        self.accepted_packets
+    }
+
+    /// Aggregate accepted throughput in packets per cycle.
+    pub fn accepted_rate(&self) -> f64 {
+        self.accepted_packets as f64 / self.measured_cycles as f64
+    }
+
+    /// Packets injected during the measurement window (these are the
+    /// latency-measured population).
+    pub fn injected_measured(&self) -> u64 {
+        self.injected_measured
+    }
+
+    /// How many of the measured packets completed before the simulation
+    /// ended. Below `injected_measured` the network is saturated or the
+    /// drain window was too short.
+    pub fn completed_measured(&self) -> u64 {
+        self.completed_measured
+    }
+
+    /// Mean packet latency in cycles over the measured population.
+    /// Returns 0 when nothing completed.
+    pub fn avg_latency_cycles(&self) -> f64 {
+        if self.completed_measured == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.completed_measured as f64
+        }
+    }
+
+    /// Worst-case measured packet latency in cycles.
+    pub fn max_latency_cycles(&self) -> u64 {
+        self.latency_max
+    }
+
+    /// The `p`-th latency percentile in cycles over the measured
+    /// population (`p` in `[0, 100]`), or `None` if nothing completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile_cycles(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        Some(f64::from(sorted[rank]))
+    }
+
+    /// Mean latency in cycles for packets sourced at `input`, or `None`
+    /// if none completed.
+    pub fn input_avg_latency_cycles(&self, input: usize) -> Option<f64> {
+        (self.per_input_completed[input] > 0).then(|| {
+            self.per_input_latency_sum[input] as f64 / self.per_input_completed[input] as f64
+        })
+    }
+
+    /// Accepted throughput of packets sourced at `input`, in packets per
+    /// cycle.
+    pub fn input_accepted_rate(&self, input: usize) -> f64 {
+        self.per_input_accepted[input] as f64 / self.measured_cycles as f64
+    }
+
+    /// Whether the run kept up with the offered load (at least 99% of
+    /// measured injections completed).
+    pub fn is_stable(&self) -> bool {
+        self.completed_measured as f64 >= 0.99 * self.injected_measured as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_follow_recorded_events() {
+        let mut r = SimReport::new(4, 0.5, "test".into(), 100);
+        r.record_injection_measured();
+        r.record_injection_measured();
+        r.record_completion(0, 10, true, true);
+        r.record_completion(1, 20, true, true);
+        r.record_completion(2, 99, true, false); // accepted but unmeasured
+        assert_eq!(r.accepted_packets(), 3);
+        assert_eq!(r.completed_measured(), 2);
+        assert!((r.avg_latency_cycles() - 15.0).abs() < 1e-9);
+        assert_eq!(r.max_latency_cycles(), 20);
+        assert!((r.accepted_rate() - 0.03).abs() < 1e-9);
+        assert_eq!(r.input_avg_latency_cycles(0), Some(10.0));
+        assert_eq!(r.input_avg_latency_cycles(3), None);
+        assert!(r.is_stable());
+    }
+
+    #[test]
+    fn percentiles_follow_the_distribution() {
+        let mut r = SimReport::new(1, 1.0, "test".into(), 100);
+        for latency in 1..=100u64 {
+            r.record_injection_measured();
+            r.record_completion(0, latency, true, true);
+        }
+        assert_eq!(r.latency_percentile_cycles(0.0), Some(1.0));
+        assert_eq!(r.latency_percentile_cycles(100.0), Some(100.0));
+        let p50 = r.latency_percentile_cycles(50.0).unwrap();
+        assert!((49.0..=52.0).contains(&p50), "p50 {p50}");
+        let p99 = r.latency_percentile_cycles(99.0).unwrap();
+        assert!(p99 >= 99.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn percentile_of_empty_report_is_none() {
+        let r = SimReport::new(1, 1.0, "test".into(), 100);
+        assert_eq!(r.latency_percentile_cycles(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        let r = SimReport::new(1, 1.0, "test".into(), 100);
+        let _ = r.latency_percentile_cycles(101.0);
+    }
+
+    #[test]
+    fn unstable_when_completions_lag() {
+        let mut r = SimReport::new(1, 1.0, "test".into(), 10);
+        for _ in 0..100 {
+            r.record_injection_measured();
+        }
+        r.record_completion(0, 5, true, true);
+        assert!(!r.is_stable());
+    }
+}

@@ -1,0 +1,107 @@
+//! Load sweeps and saturation search — the machinery behind the
+//! latency-vs-load curves (Fig. 10) and the saturation throughput
+//! numbers of Tables I/IV/V.
+
+use crate::sim::{NetworkSim, SimConfig};
+use crate::stats::SimReport;
+use crate::traffic::TrafficPattern;
+use hirise_core::Fabric;
+
+/// One point of a latency-vs-load curve.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered load in packets/input/cycle.
+    pub offered: f64,
+    /// Mean packet latency in cycles (see [`SimReport::avg_latency_cycles`]).
+    pub latency_cycles: f64,
+    /// Aggregate accepted throughput in packets/cycle.
+    pub accepted: f64,
+    /// Whether the network kept up with the offered load.
+    pub stable: bool,
+}
+
+/// Sweeps the offered load over `loads`, building a fresh fabric and
+/// pattern per point (switch state is not reused across loads).
+///
+/// `make_fabric` and `make_pattern` are factories so each point starts
+/// from a cold switch; `base` carries everything except the injection
+/// rate.
+pub fn latency_curve<F, T>(
+    mut make_fabric: impl FnMut() -> F,
+    mut make_pattern: impl FnMut() -> T,
+    loads: &[f64],
+    base: &SimConfig,
+) -> Vec<LoadPoint>
+where
+    F: Fabric,
+    T: TrafficPattern,
+{
+    loads
+        .iter()
+        .map(|&offered| {
+            let cfg = base.clone().injection_rate(offered);
+            let report = NetworkSim::new(make_fabric(), make_pattern(), cfg).run();
+            LoadPoint {
+                offered,
+                latency_cycles: report.avg_latency_cycles(),
+                accepted: report.accepted_rate(),
+                stable: report.is_stable(),
+            }
+        })
+        .collect()
+}
+
+/// Measures saturation throughput in packets/cycle by overloading every
+/// input (rate 1.0) and observing the accepted rate. This matches the
+/// standard open-loop definition: beyond saturation the network accepts
+/// its capacity regardless of offered load.
+pub fn saturation_throughput<F, T>(fabric: F, pattern: T, base: &SimConfig) -> f64
+where
+    F: Fabric,
+    T: TrafficPattern,
+{
+    let cfg = base.clone().injection_rate(1.0).drain(0);
+    NetworkSim::new(fabric, pattern, cfg).run().accepted_rate()
+}
+
+/// Runs a single load point and returns the full report (useful when
+/// per-input statistics are needed, e.g. Fig. 11a/11c).
+pub fn run_once<F, T>(fabric: F, pattern: T, cfg: SimConfig) -> SimReport
+where
+    F: Fabric,
+    T: TrafficPattern,
+{
+    NetworkSim::new(fabric, pattern, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::UniformRandom;
+    use hirise_core::Switch2d;
+
+    #[test]
+    fn latency_grows_with_load() {
+        let base = SimConfig::new(16).warmup(500).measure(4_000).seed(7);
+        let points = latency_curve(
+            || Switch2d::new(16),
+            || UniformRandom::new(16),
+            &[0.05, 0.10, 0.15],
+            &base,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points[0].latency_cycles <= points[1].latency_cycles);
+        assert!(points[1].latency_cycles <= points[2].latency_cycles);
+        assert!(points.iter().all(|p| p.stable));
+    }
+
+    #[test]
+    fn saturation_is_a_plateau() {
+        let base = SimConfig::new(16).warmup(1_000).measure(4_000).seed(7);
+        let sat = saturation_throughput(Switch2d::new(16), UniformRandom::new(16), &base);
+        // Within the physical ceiling of 0.2 packets/output/cycle
+        // (5-cycle occupancy per 4-flit packet).
+        assert!(sat / 16.0 <= 0.2 + 1e-9);
+        assert!(sat / 16.0 > 0.10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bursty traffic: a two-state (on/off) Markov-modulated process per
+//! input. During a burst the input injects at an elevated rate; between
+//! bursts it is silent. The duty cycle and mean burst length are
+//! configurable; the long-run average offered load equals the base rate.
+
+use super::{injects, TrafficPattern};
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Markov-modulated on/off traffic with uniform-random destinations.
+#[derive(Clone, Debug)]
+pub struct Bursty {
+    radix: usize,
+    /// Fraction of time each input spends in the ON state.
+    duty: f64,
+    /// Mean burst (ON period) length in cycles.
+    mean_burst: f64,
+    on: Vec<bool>,
+}
+
+impl Bursty {
+    /// Creates bursty traffic with the given duty cycle (0, 1] and mean
+    /// burst length in cycles (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero, `duty` is outside `(0, 1]`, or
+    /// `mean_burst < 1`.
+    pub fn new(radix: usize, duty: f64, mean_burst: f64) -> Self {
+        assert!(radix > 0, "radix must be at least 1");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        assert!(mean_burst >= 1.0, "mean burst must be at least 1 cycle");
+        Self {
+            radix,
+            duty,
+            mean_burst,
+            on: vec![false; radix],
+        }
+    }
+
+    /// The paper-style default: 25% duty, 20-cycle bursts.
+    pub fn with_defaults(radix: usize) -> Self {
+        Self::new(radix, 0.25, 20.0)
+    }
+}
+
+impl TrafficPattern for Bursty {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        let i = input.index();
+        // State transition first, then (maybe) inject.
+        let p_on_to_off = 1.0 / self.mean_burst;
+        let p_off_to_on = self.duty / (self.mean_burst * (1.0 - self.duty).max(1e-9));
+        if self.on[i] {
+            if rng.gen_bool(p_on_to_off.clamp(0.0, 1.0)) {
+                self.on[i] = false;
+            }
+        } else if rng.gen_bool(p_off_to_on.clamp(0.0, 1.0)) {
+            self.on[i] = true;
+        }
+        if !self.on[i] {
+            return None;
+        }
+        let burst_rate = (base_rate / self.duty).clamp(0.0, 1.0);
+        injects(burst_rate, rng).then(|| OutputId::new(rng.gen_range(0..self.radix)))
+    }
+
+    fn name(&self) -> &str {
+        "bursty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn long_run_rate_matches_base_rate() {
+        let mut pattern = Bursty::new(4, 0.25, 20.0);
+        let mut rng = rng();
+        let cycles = 200_000;
+        let mut injected = 0usize;
+        for _ in 0..cycles {
+            if pattern.next(InputId::new(0), 0.2, &mut rng).is_some() {
+                injected += 1;
+            }
+        }
+        let rate = injected as f64 / cycles as f64;
+        assert!((0.17..0.23).contains(&rate), "long-run rate {rate}");
+    }
+
+    #[test]
+    fn traffic_is_actually_bursty() {
+        // Compare the variance of per-window counts against a Bernoulli
+        // process with the same mean: bursty traffic must be overdispersed.
+        let mut pattern = Bursty::new(4, 0.25, 20.0);
+        let mut rng = rng();
+        let window = 50;
+        let mut counts = Vec::new();
+        for _ in 0..2_000 {
+            let mut c = 0;
+            for _ in 0..window {
+                if pattern.next(InputId::new(0), 0.2, &mut rng).is_some() {
+                    c += 1;
+                }
+            }
+            counts.push(c as f64);
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let bernoulli_var = window as f64 * 0.2 * 0.8;
+        assert!(
+            var > 2.0 * bernoulli_var,
+            "variance {var} vs bernoulli {bernoulli_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn rejects_bad_duty() {
+        let _ = Bursty::new(4, 0.0, 20.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Closure-backed traffic for bespoke experiments and tests.
+
+use super::TrafficPattern;
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+
+/// A traffic pattern defined by a closure. The closure receives the
+/// input being polled, the base rate, and the simulation RNG, and has
+/// full control over injection and destination choice.
+pub struct Custom<F> {
+    name: String,
+    generator: F,
+}
+
+impl<F> Custom<F>
+where
+    F: FnMut(InputId, f64, &mut StdRng) -> Option<OutputId>,
+{
+    /// Wraps `generator` as a traffic pattern called `name`.
+    pub fn new(name: impl Into<String>, generator: F) -> Self {
+        Self {
+            name: name.into(),
+            generator,
+        }
+    }
+}
+
+impl<F> TrafficPattern for Custom<F>
+where
+    F: FnMut(InputId, f64, &mut StdRng) -> Option<OutputId>,
+{
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        (self.generator)(input, base_rate, rng)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> std::fmt::Debug for Custom<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Custom").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn closure_controls_everything() {
+        let mut pattern = Custom::new("pairwise", |input: InputId, _rate, _rng: &mut StdRng| {
+            input
+                .index()
+                .is_multiple_of(2)
+                .then(|| OutputId::new(input.index() + 1))
+        });
+        let mut rng = rng();
+        assert_eq!(
+            pattern.next(InputId::new(0), 0.5, &mut rng),
+            Some(OutputId::new(1))
+        );
+        assert_eq!(pattern.next(InputId::new(1), 0.5, &mut rng), None);
+        assert_eq!(pattern.name(), "pairwise");
+    }
+}

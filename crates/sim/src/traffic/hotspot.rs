@@ -1,0 +1,90 @@
+//! Hotspot traffic: all (or a chosen subset of) inputs target one
+//! output. Fig. 11a uses the pattern "all inputs from layers 1, 2, 3
+//! and 4 requesting output 63"; Fig. 11c uses the paper's adversarial
+//! subset {3, 7, 11, 15, 20} → output 63.
+
+use super::{injects, TrafficPattern};
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+
+/// Hotspot traffic towards a single output.
+#[derive(Clone, Debug)]
+pub struct Hotspot {
+    target: OutputId,
+    injectors: Option<Vec<usize>>,
+    name: String,
+}
+
+impl Hotspot {
+    /// All inputs request `target`.
+    pub fn new(target: OutputId) -> Self {
+        Self {
+            target,
+            injectors: None,
+            name: format!("hotspot->{target}"),
+        }
+    }
+
+    /// Only the listed inputs request `target`; the rest stay idle.
+    pub fn with_injectors(target: OutputId, injectors: &[usize]) -> Self {
+        Self {
+            target,
+            injectors: Some(injectors.to_vec()),
+            name: format!("hotspot{injectors:?}->{target}"),
+        }
+    }
+
+    /// The hotspot output.
+    pub fn target(&self) -> OutputId {
+        self.target
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        if let Some(injectors) = &self.injectors {
+            if !injectors.contains(&input.index()) {
+                return None;
+            }
+        }
+        injects(base_rate, rng).then_some(self.target)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The adversarial pattern of §III-B / Fig. 11c: inputs {3, 7, 11, 15}
+/// from L1 and input {20} from L2, all requesting output 63 on L4.
+pub fn paper_adversarial() -> Hotspot {
+    Hotspot::with_injectors(OutputId::new(63), &[3, 7, 11, 15, 20])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn all_packets_hit_the_target() {
+        let mut pattern = Hotspot::new(OutputId::new(63));
+        let mut rng = rng();
+        for i in 0..64 {
+            if let Some(dst) = pattern.next(InputId::new(i), 1.0, &mut rng) {
+                assert_eq!(dst, OutputId::new(63));
+            }
+        }
+    }
+
+    #[test]
+    fn non_injectors_stay_idle() {
+        let mut pattern = paper_adversarial();
+        let mut rng = rng();
+        assert!(pattern.next(InputId::new(0), 1.0, &mut rng).is_none());
+        assert_eq!(
+            pattern.next(InputId::new(20), 1.0, &mut rng),
+            Some(OutputId::new(63))
+        );
+    }
+}

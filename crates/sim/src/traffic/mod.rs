@@ -1,0 +1,61 @@
+//! Synthetic traffic patterns (§V: uniform random, hotspot, bursty, and
+//! the custom corner-case/adversarial patterns of §VI-B).
+//!
+//! A [`TrafficPattern`] is polled once per input per cycle with the
+//! configured base injection rate (packets/input/cycle); it decides both
+//! whether a packet is injected this cycle and where it goes.
+
+mod bursty;
+mod custom;
+mod hotspot;
+mod pathological;
+mod permutation;
+mod uniform;
+
+pub use bursty::Bursty;
+pub use custom::Custom;
+pub use hotspot::{paper_adversarial, Hotspot};
+pub use pathological::{InterLayerOnly, WorstCaseL2lc};
+pub use permutation::{BitComplement, NeighborShift, RandomPermutation, Tornado, Transpose};
+pub use uniform::UniformRandom;
+
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+
+/// A synthetic traffic generator.
+pub trait TrafficPattern {
+    /// Polled once per input per cycle. Returns the destination of a
+    /// newly injected packet, or `None` when this input injects nothing
+    /// this cycle. `base_rate` is the configured offered load in
+    /// packets/input/cycle.
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId>;
+
+    /// Short label for reports.
+    fn name(&self) -> &str;
+}
+
+impl<T: TrafficPattern + ?Sized> TrafficPattern for Box<T> {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        (**self).next(input, base_rate, rng)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Bernoulli coin-flip helper shared by the pattern implementations.
+pub(crate) fn injects(base_rate: f64, rng: &mut StdRng) -> bool {
+    use rand::Rng;
+    rng.gen_bool(base_rate.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+}

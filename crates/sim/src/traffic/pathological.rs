@@ -1,0 +1,159 @@
+//! Pathological inter-layer patterns for the Hi-Rise switch (§VI-B).
+//!
+//! "A pathological case for the 3D switch is when we have only
+//! inter-layer traffic, but no within-layer traffic. [...] The worst
+//! case scenario is, all the four inputs using the same L2LC request
+//! for different outputs on another layer. In this corner case, the
+//! throughput of the 3D switch can get limited up to 1/4th of the flat
+//! 2D switch."
+
+use super::{injects, TrafficPattern};
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Only inter-layer traffic: destinations are uniform over the outputs
+/// of every layer *except* the source's.
+#[derive(Clone, Debug)]
+pub struct InterLayerOnly {
+    radix: usize,
+    layers: usize,
+}
+
+impl InterLayerOnly {
+    /// Creates the pattern for a switch of `radix` ports over `layers`
+    /// layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radix does not divide evenly over at least two
+    /// layers.
+    pub fn new(radix: usize, layers: usize) -> Self {
+        assert!(layers >= 2, "needs at least 2 layers");
+        assert!(
+            radix.is_multiple_of(layers),
+            "radix must divide over layers"
+        );
+        Self { radix, layers }
+    }
+}
+
+impl TrafficPattern for InterLayerOnly {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        if !injects(base_rate, rng) {
+            return None;
+        }
+        let ports = self.radix / self.layers;
+        let src_layer = input.index() / ports;
+        // Pick a destination layer uniformly among the other layers, then
+        // a uniform output within it.
+        let mut dst_layer = rng.gen_range(0..self.layers - 1);
+        if dst_layer >= src_layer {
+            dst_layer += 1;
+        }
+        Some(OutputId::new(dst_layer * ports + rng.gen_range(0..ports)))
+    }
+
+    fn name(&self) -> &str {
+        "inter-layer-only"
+    }
+}
+
+/// The worst case of §VI-B: every input targets the *next* layer, and
+/// the inputs sharing an (input-binned) L2LC all want different outputs,
+/// so one channel must serialise `N/(L*c)` distinct transfers.
+#[derive(Clone, Debug)]
+pub struct WorstCaseL2lc {
+    radix: usize,
+    layers: usize,
+}
+
+impl WorstCaseL2lc {
+    /// Creates the pattern for a switch of `radix` ports over `layers`
+    /// layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radix does not divide evenly over at least two
+    /// layers.
+    pub fn new(radix: usize, layers: usize) -> Self {
+        assert!(layers >= 2, "needs at least 2 layers");
+        assert!(
+            radix.is_multiple_of(layers),
+            "radix must divide over layers"
+        );
+        Self { radix, layers }
+    }
+}
+
+impl TrafficPattern for WorstCaseL2lc {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        if !injects(base_rate, rng) {
+            return None;
+        }
+        let ports = self.radix / self.layers;
+        let src_layer = input.index() / ports;
+        let local = input.index() % ports;
+        let dst_layer = (src_layer + 1) % self.layers;
+        // Same local index on the next layer: inputs that share a channel
+        // (same local % c under input binning) request distinct outputs.
+        Some(OutputId::new(dst_layer * ports + local))
+    }
+
+    fn name(&self) -> &str {
+        "worst-case-l2lc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn inter_layer_only_never_targets_own_layer() {
+        let mut pattern = InterLayerOnly::new(64, 4);
+        let mut rng = rng();
+        for i in 0..64 {
+            for _ in 0..50 {
+                if let Some(dst) = pattern.next(InputId::new(i), 1.0, &mut rng) {
+                    assert_ne!(dst.index() / 16, i / 16, "input {i} hit its own layer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_is_deterministic_next_layer() {
+        let mut pattern = WorstCaseL2lc::new(64, 4);
+        let mut rng = rng();
+        assert_eq!(
+            pattern.next(InputId::new(0), 1.0, &mut rng),
+            Some(OutputId::new(16))
+        );
+        assert_eq!(
+            pattern.next(InputId::new(20), 1.0, &mut rng),
+            Some(OutputId::new(36))
+        );
+        // Layer 3 wraps to layer 0.
+        assert_eq!(
+            pattern.next(InputId::new(63), 1.0, &mut rng),
+            Some(OutputId::new(15))
+        );
+    }
+
+    #[test]
+    fn worst_case_channel_sharers_want_distinct_outputs() {
+        let mut pattern = WorstCaseL2lc::new(64, 4);
+        let mut rng = rng();
+        // Inputs 0, 4, 8, 12 share channel 0 (c = 4, input binned).
+        let dsts: Vec<_> = [0usize, 4, 8, 12]
+            .iter()
+            .map(|&i| pattern.next(InputId::new(i), 1.0, &mut rng).unwrap())
+            .collect();
+        let mut unique = dsts.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+}

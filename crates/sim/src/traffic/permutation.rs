@@ -1,0 +1,273 @@
+//! Classic permutation patterns (transpose, bit-complement).
+//!
+//! Not in the paper's evaluation, but standard for exercising switch
+//! fabrics: each input sends to a fixed, distinct output, so an ideal
+//! non-blocking switch sustains full load while channel-constrained
+//! designs expose their bottlenecks.
+
+use super::{injects, TrafficPattern};
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+
+/// Transpose: input `i` of an `n = k*k` switch sends to
+/// `(i mod k) * k + i / k`.
+#[derive(Clone, Debug)]
+pub struct Transpose {
+    side: usize,
+}
+
+impl Transpose {
+    /// Creates transpose traffic; `radix` must be a perfect square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is not a perfect square.
+    pub fn new(radix: usize) -> Self {
+        let side = (radix as f64).sqrt().round() as usize;
+        assert_eq!(side * side, radix, "transpose needs a square radix");
+        Self { side }
+    }
+}
+
+impl TrafficPattern for Transpose {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        if !injects(base_rate, rng) {
+            return None;
+        }
+        let i = input.index();
+        Some(OutputId::new((i % self.side) * self.side + i / self.side))
+    }
+
+    fn name(&self) -> &str {
+        "transpose"
+    }
+}
+
+/// Bit complement: input `i` sends to `!i & (n-1)`; `n` must be a power
+/// of two.
+#[derive(Clone, Debug)]
+pub struct BitComplement {
+    mask: usize,
+}
+
+impl BitComplement {
+    /// Creates bit-complement traffic; `radix` must be a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is not a power of two.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix.is_power_of_two(), "bit complement needs a power of 2");
+        Self { mask: radix - 1 }
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        injects(base_rate, rng).then(|| OutputId::new(!input.index() & self.mask))
+    }
+
+    fn name(&self) -> &str {
+        "bit-complement"
+    }
+}
+
+/// Tornado: input `i` of an `n`-port switch sends to
+/// `(i + n/2 - 1) mod n` — the classic adversarial permutation for
+/// ring-like topologies; on a single switch it is simply a conflict-free
+/// permutation that is almost entirely inter-layer for a layered fabric.
+#[derive(Clone, Debug)]
+pub struct Tornado {
+    radix: usize,
+}
+
+impl Tornado {
+    /// Creates tornado traffic over `radix` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 2`.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix >= 2, "tornado needs at least 2 ports");
+        Self { radix }
+    }
+}
+
+impl TrafficPattern for Tornado {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        injects(base_rate, rng)
+            .then(|| OutputId::new((input.index() + self.radix / 2 - 1) % self.radix))
+    }
+
+    fn name(&self) -> &str {
+        "tornado"
+    }
+}
+
+/// Neighbor shift: input `i` sends to `(i + 1) mod n` — maximally
+/// local traffic, which for a layered fabric stays almost entirely
+/// within a layer (the opposite extreme to
+/// [`InterLayerOnly`](super::InterLayerOnly)).
+#[derive(Clone, Debug)]
+pub struct NeighborShift {
+    radix: usize,
+}
+
+impl NeighborShift {
+    /// Creates neighbor-shift traffic over `radix` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 2`.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix >= 2, "neighbor shift needs at least 2 ports");
+        Self { radix }
+    }
+}
+
+impl TrafficPattern for NeighborShift {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        injects(base_rate, rng).then(|| OutputId::new((input.index() + 1) % self.radix))
+    }
+
+    fn name(&self) -> &str {
+        "neighbor-shift"
+    }
+}
+
+/// A fixed random permutation drawn once from a seed: every input gets
+/// a distinct random output for the whole run.
+#[derive(Clone, Debug)]
+pub struct RandomPermutation {
+    mapping: Vec<usize>,
+}
+
+impl RandomPermutation {
+    /// Draws a permutation of `radix` outputs from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    pub fn new(radix: usize, seed: u64) -> Self {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        assert!(radix > 0, "radix must be at least 1");
+        let mut mapping: Vec<usize> = (0..radix).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        mapping.shuffle(&mut rng);
+        Self { mapping }
+    }
+
+    /// The fixed destination of `input`.
+    pub fn destination(&self, input: InputId) -> OutputId {
+        OutputId::new(self.mapping[input.index()])
+    }
+}
+
+impl TrafficPattern for RandomPermutation {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        injects(base_rate, rng).then(|| OutputId::new(self.mapping[input.index()]))
+    }
+
+    fn name(&self) -> &str {
+        "random-permutation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn tornado_is_a_permutation() {
+        let mut pattern = Tornado::new(64);
+        let mut rng = rng();
+        let mut dsts: Vec<usize> = (0..64)
+            .map(|i| {
+                pattern
+                    .next(InputId::new(i), 1.0, &mut rng)
+                    .unwrap()
+                    .index()
+            })
+            .collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tornado_offset_is_half_minus_one() {
+        let mut pattern = Tornado::new(64);
+        let mut rng = rng();
+        assert_eq!(
+            pattern.next(InputId::new(0), 1.0, &mut rng),
+            Some(OutputId::new(31))
+        );
+    }
+
+    #[test]
+    fn neighbor_shift_wraps() {
+        let mut pattern = NeighborShift::new(16);
+        let mut rng = rng();
+        assert_eq!(
+            pattern.next(InputId::new(15), 1.0, &mut rng),
+            Some(OutputId::new(0))
+        );
+    }
+
+    #[test]
+    fn random_permutation_is_fixed_and_seeded() {
+        let a = RandomPermutation::new(64, 1);
+        let b = RandomPermutation::new(64, 1);
+        let c = RandomPermutation::new(64, 2);
+        let mut all_equal_c = true;
+        let mut dsts = Vec::new();
+        for i in 0..64 {
+            let input = InputId::new(i);
+            assert_eq!(a.destination(input), b.destination(input));
+            if a.destination(input) != c.destination(input) {
+                all_equal_c = false;
+            }
+            dsts.push(a.destination(input).index());
+        }
+        assert!(!all_equal_c, "different seeds give different permutations");
+        dsts.sort_unstable();
+        assert_eq!(dsts, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transpose_is_a_permutation() {
+        let mut pattern = Transpose::new(64);
+        let mut rng = rng();
+        let mut dsts: Vec<usize> = (0..64)
+            .map(|i| {
+                pattern
+                    .next(InputId::new(i), 1.0, &mut rng)
+                    .unwrap()
+                    .index()
+            })
+            .collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bit_complement_pairs_extremes() {
+        let mut pattern = BitComplement::new(64);
+        let mut rng = rng();
+        assert_eq!(
+            pattern.next(InputId::new(0), 1.0, &mut rng),
+            Some(OutputId::new(63))
+        );
+        assert_eq!(
+            pattern.next(InputId::new(63), 1.0, &mut rng),
+            Some(OutputId::new(0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn transpose_rejects_non_square() {
+        let _ = Transpose::new(48);
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniform random traffic: every injected packet picks its destination
+//! uniformly over all outputs. This is the pattern behind the paper's
+//! headline throughput numbers (Tables I/IV/V, Figs. 10 and 11b).
+
+use super::{injects, TrafficPattern};
+use hirise_core::{InputId, OutputId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform random traffic over `radix` outputs.
+#[derive(Clone, Debug)]
+pub struct UniformRandom {
+    radix: usize,
+}
+
+impl UniformRandom {
+    /// Creates uniform random traffic for a switch of the given radix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    pub fn new(radix: usize) -> Self {
+        assert!(radix > 0, "radix must be at least 1");
+        Self { radix }
+    }
+}
+
+impl TrafficPattern for UniformRandom {
+    fn next(&mut self, _input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        injects(base_rate, rng).then(|| OutputId::new(rng.gen_range(0..self.radix)))
+    }
+
+    fn name(&self) -> &str {
+        "uniform-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn respects_injection_rate() {
+        let mut pattern = UniformRandom::new(64);
+        let mut rng = rng();
+        let injected = (0..10_000)
+            .filter(|_| pattern.next(InputId::new(0), 0.3, &mut rng).is_some())
+            .count();
+        assert!((2_700..3_300).contains(&injected), "got {injected}");
+    }
+
+    #[test]
+    fn destinations_cover_all_outputs() {
+        let mut pattern = UniformRandom::new(8);
+        let mut rng = rng();
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            if let Some(dst) = pattern.next(InputId::new(3), 1.0, &mut rng) {
+                seen[dst.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut pattern = UniformRandom::new(8);
+        let mut rng = rng();
+        assert!(pattern.next(InputId::new(0), 0.0, &mut rng).is_none());
+    }
+}

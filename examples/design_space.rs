@@ -1,0 +1,71 @@
+//! Design-space exploration with the circuit models: sweep radix,
+//! layer count and channel multiplicity, and print the
+//! frequency/area/energy landscape the paper explores in §VI-A —
+//! useful for picking a switch for your own system.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use hirise::core::{ArbitrationScheme, HiRiseConfig};
+use hirise::phys::SwitchDesign;
+
+fn main() {
+    println!("Hi-Rise design space (32 nm, 0.8 um TSVs, L-2-L LRG timing)\n");
+    println!(
+        "{:>6} {:>7} {:>9} {:>10} {:>10} {:>9} {:>7}",
+        "radix", "layers", "channels", "freq(GHz)", "area(mm2)", "E(pJ)", "TSVs"
+    );
+
+    let mut best: Option<(f64, String)> = None;
+    for radix in [32usize, 64, 96, 128] {
+        for layers in [2usize, 4, 8] {
+            if radix % layers != 0 {
+                continue;
+            }
+            for c in [1usize, 2, 4] {
+                let Ok(cfg) = HiRiseConfig::builder(radix, layers)
+                    .channel_multiplicity(c)
+                    .scheme(ArbitrationScheme::LayerToLayerLrg)
+                    .build()
+                else {
+                    continue;
+                };
+                let d = SwitchDesign::hirise(&cfg);
+                println!(
+                    "{:>6} {:>7} {:>9} {:>10.2} {:>10.3} {:>9.1} {:>7}",
+                    radix,
+                    layers,
+                    c,
+                    d.frequency_ghz(),
+                    d.area_mm2(),
+                    d.energy_per_transaction_pj(),
+                    d.tsv_count()
+                );
+                // A crude figure of merit: peak aggregate bandwidth per
+                // area-energy (GHz * radix / (mm2 * pJ)).
+                let fom = d.frequency_ghz() * radix as f64
+                    / (d.area_mm2() * d.energy_per_transaction_pj());
+                let label = format!("radix {radix}, {layers} layers, {c} channels");
+                if best.as_ref().is_none_or(|(f, _)| fom > *f) {
+                    best = Some((fom, label));
+                }
+            }
+        }
+    }
+
+    let (fom, label) = best.expect("at least one design point");
+    println!("\nbest bandwidth per area-energy: {label} (FoM {fom:.0})");
+    println!("\nThe 2D Swizzle-Switch for comparison:");
+    for radix in [32usize, 64, 128] {
+        let d = SwitchDesign::flat_2d(radix);
+        println!(
+            "{:>6}      2D         - {:>10.2} {:>10.3} {:>9.1} {:>7}",
+            radix,
+            d.frequency_ghz(),
+            d.area_mm2(),
+            d.energy_per_transaction_pj(),
+            0
+        );
+    }
+}

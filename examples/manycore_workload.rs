@@ -1,0 +1,55 @@
+//! Run one Table VI workload mix on the 64-core CMP with both
+//! interconnects and break the speedup down.
+//!
+//! ```sh
+//! cargo run --release --example manycore_workload [mix-number 1..8]
+//! ```
+
+use hirise::core::{HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::manycore::{table_vi_mixes, CmpSystem, SystemConfig};
+use hirise::phys::SwitchDesign;
+
+fn main() {
+    let index: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let mixes = table_vi_mixes();
+    let mix = &mixes[(index - 1).min(mixes.len() - 1)];
+
+    println!(
+        "workload       : {} (avg MPKI {:.1})",
+        mix.name,
+        mix.avg_mpki()
+    );
+    for (name, count) in &mix.entries {
+        print!("{name}({count}) ");
+    }
+    println!("\n");
+
+    let cfg = SystemConfig::new().instructions_per_core(20_000);
+    let hirise_cfg = HiRiseConfig::paper_optimal();
+    let f2d = SwitchDesign::flat_2d(64).frequency_ghz();
+    let f3d = SwitchDesign::hirise(&hirise_cfg).frequency_ghz();
+
+    let flat = CmpSystem::new(Switch2d::new(64), f2d, mix, cfg.clone()).run();
+    let hirise = CmpSystem::new(HiRiseSwitch::new(&hirise_cfg), f3d, mix, cfg).run();
+
+    println!(
+        "2D switch      : system IPC {:.1}, net latency {:.1} switch cycles over {} msgs",
+        flat.system_ipc(),
+        flat.net_avg_latency_cycles(),
+        flat.net_delivered()
+    );
+    println!(
+        "Hi-Rise CLRG   : system IPC {:.1}, net latency {:.1} switch cycles over {} msgs",
+        hirise.system_ipc(),
+        hirise.net_avg_latency_cycles(),
+        hirise.net_delivered()
+    );
+    println!(
+        "speedup        : {:.3} (paper Table VI: {:.2})",
+        hirise.system_ipc() / flat.system_ipc(),
+        mix.paper_speedup
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's optimal Hi-Rise switch, push some
+//! traffic through it, and print what the physical models say about it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hirise::core::{Fabric, HiRiseConfig, HiRiseSwitch, InputId, OutputId, Request};
+use hirise::phys::SwitchDesign;
+use hirise::sim::traffic::UniformRandom;
+use hirise::sim::{NetworkSim, SimConfig};
+
+fn main() {
+    // 1. The switch the paper settles on: 64-radix, 4 layers, channel
+    //    multiplicity 4, CLRG arbitration with 3 classes.
+    let cfg = HiRiseConfig::paper_optimal();
+    println!("configuration : {}", cfg.configuration_label());
+    println!("TSVs          : {}", cfg.tsv_count());
+
+    // 2. Drive it by hand: input 0 (layer 1) to output 63 (layer 4) —
+    //    the very connection Fig. 2 traces through the fabric.
+    let mut switch = HiRiseSwitch::new(&cfg);
+    let grants = switch.arbitrate(&[Request::new(InputId::new(0), OutputId::new(63))]);
+    println!(
+        "granted       : {} -> {}",
+        grants[0].input, grants[0].output
+    );
+    switch.release(InputId::new(0));
+
+    // 3. What does the circuit model say? (32 nm, 0.8 µm TSVs.)
+    let design = SwitchDesign::hirise(&cfg);
+    println!(
+        "physical      : {:.2} GHz, {:.3} mm2, {:.0} pJ/transaction",
+        design.frequency_ghz(),
+        design.area_mm2(),
+        design.energy_per_transaction_pj()
+    );
+
+    // 4. Simulate uniform random traffic at a moderate load.
+    let sim_cfg = SimConfig::new(64)
+        .injection_rate(0.08)
+        .warmup(1_000)
+        .measure(10_000);
+    let report = NetworkSim::new(HiRiseSwitch::new(&cfg), UniformRandom::new(64), sim_cfg).run();
+    let freq = design.frequency_ghz();
+    println!(
+        "simulated     : {:.2} packets/ns accepted, {:.2} ns mean latency",
+        report.accepted_rate() * freq,
+        report.avg_latency_cycles() / freq
+    );
+}

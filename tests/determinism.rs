@@ -1,0 +1,61 @@
+//! Reproducibility: every stochastic component is seeded, so identical
+//! configurations must give bit-identical results, and different seeds
+//! must actually differ.
+
+use hirise::core::{HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::manycore::{table_vi_mixes, CmpSystem, SystemConfig};
+use hirise::sim::traffic::{Bursty, UniformRandom};
+use hirise::sim::{NetworkSim, SimConfig};
+
+fn network_run(seed: u64) -> (u64, f64) {
+    let cfg = SimConfig::new(64)
+        .injection_rate(0.09)
+        .warmup(500)
+        .measure(4_000)
+        .seed(seed);
+    let report = NetworkSim::new(
+        HiRiseSwitch::new(&HiRiseConfig::paper_optimal()),
+        UniformRandom::new(64),
+        cfg,
+    )
+    .run();
+    (report.accepted_packets(), report.avg_latency_cycles())
+}
+
+#[test]
+fn network_sim_is_deterministic() {
+    assert_eq!(network_run(7), network_run(7));
+}
+
+#[test]
+fn network_sim_seeds_matter() {
+    assert_ne!(network_run(7).0, network_run(8).0);
+}
+
+#[test]
+fn bursty_traffic_is_deterministic_too() {
+    let run = || {
+        let cfg = SimConfig::new(16)
+            .injection_rate(0.1)
+            .warmup(200)
+            .measure(2_000)
+            .seed(3);
+        NetworkSim::new(Switch2d::new(16), Bursty::with_defaults(16), cfg)
+            .run()
+            .accepted_packets()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cmp_system_is_deterministic() {
+    let mix = &table_vi_mixes()[4];
+    let run = |seed: u64| {
+        let cfg = SystemConfig::new().instructions_per_core(2_000).seed(seed);
+        CmpSystem::new(Switch2d::new(64), 1.69, mix, cfg)
+            .run()
+            .system_ipc()
+    };
+    assert_eq!(run(1).to_bits(), run(1).to_bits());
+    assert_ne!(run(1).to_bits(), run(2).to_bits());
+}

@@ -1,0 +1,110 @@
+//! Integration of the CMP simulator with the switch fabrics: message
+//! conservation, the MPKI/IPC relationship, and the Table VI speedup
+//! direction.
+
+use hirise::core::{HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::manycore::{benchmark_profile, table_vi_mixes, CmpSystem, SystemConfig};
+
+fn quick_cfg() -> SystemConfig {
+    SystemConfig::new()
+        .instructions_per_core(2_000)
+        .max_core_cycles(10_000_000)
+}
+
+#[test]
+fn all_mixes_complete_on_both_fabrics() {
+    for mix in table_vi_mixes() {
+        let flat = CmpSystem::new(Switch2d::new(64), 1.69, &mix, quick_cfg()).run();
+        assert!(flat.finished(), "{} on 2D did not finish", mix.name);
+        let hirise = CmpSystem::new(
+            HiRiseSwitch::new(&HiRiseConfig::paper_optimal()),
+            2.2,
+            &mix,
+            quick_cfg(),
+        )
+        .run();
+        assert!(hirise.finished(), "{} on Hi-Rise did not finish", mix.name);
+    }
+}
+
+#[test]
+fn network_traffic_scales_with_mpki() {
+    let mixes = table_vi_mixes();
+    let delivered = |i: usize| {
+        CmpSystem::new(Switch2d::new(64), 1.69, &mixes[i], quick_cfg())
+            .run()
+            .net_delivered()
+    };
+    let light = delivered(0); // 15.0 MPKI
+    let heavy = delivered(7); // 76.0 MPKI
+    assert!(
+        heavy as f64 > 3.0 * light as f64,
+        "Mix8 should generate far more traffic: {heavy} vs {light}"
+    );
+}
+
+#[test]
+fn per_core_ipc_reflects_benchmark_weight() {
+    // Mix5 places mcf (145 MPKI) next to deal (11.5 MPKI): the deal
+    // cores must run much faster than the mcf cores.
+    let mix = &table_vi_mixes()[4];
+    let report = CmpSystem::new(Switch2d::new(64), 1.69, mix, quick_cfg()).run();
+    let cores = mix.assign_cores();
+    let ipc_of = |name: &str| {
+        let (sum, n) = cores
+            .iter()
+            .zip(report.per_core_ipc())
+            .filter(|(p, _)| p.name == name)
+            .fold((0.0, 0usize), |(s, n), (_, ipc)| (s + ipc, n + 1));
+        sum / n as f64
+    };
+    let mcf = ipc_of("mcf");
+    let deal = ipc_of("deal");
+    assert!(
+        deal > 2.0 * mcf,
+        "deal ({deal:.2}) should outpace mcf ({mcf:.2})"
+    );
+    // Sanity on the profile table too.
+    assert!(benchmark_profile("mcf").mpki_total > benchmark_profile("deal").mpki_total);
+}
+
+#[test]
+fn speedup_grows_with_network_load() {
+    let mixes = table_vi_mixes();
+    let speedup = |i: usize| {
+        let flat = CmpSystem::new(Switch2d::new(64), 1.69, &mixes[i], quick_cfg())
+            .run()
+            .system_ipc();
+        let hr = CmpSystem::new(
+            HiRiseSwitch::new(&HiRiseConfig::paper_optimal()),
+            2.2,
+            &mixes[i],
+            quick_cfg(),
+        )
+        .run()
+        .system_ipc();
+        hr / flat
+    };
+    let light = speedup(0); // Mix1, 15 MPKI
+    let heavy = speedup(7); // Mix8, 76 MPKI
+    assert!(
+        heavy > light,
+        "Table VI trend: Mix8 speedup {heavy} should exceed Mix1 {light}"
+    );
+    assert!(heavy > 1.02, "Mix8 must show a clear speedup: {heavy}");
+    assert!(light >= 0.99, "Mix1 must not regress: {light}");
+}
+
+#[test]
+fn identical_switch_means_no_speedup() {
+    // Control experiment: same fabric at the same frequency on both
+    // sides gives a speedup of exactly 1.
+    let mix = &table_vi_mixes()[2];
+    let a = CmpSystem::new(Switch2d::new(64), 1.69, mix, quick_cfg())
+        .run()
+        .system_ipc();
+    let b = CmpSystem::new(Switch2d::new(64), 1.69, mix, quick_cfg())
+        .run()
+        .system_ipc();
+    assert_eq!(a.to_bits(), b.to_bits());
+}

@@ -1,0 +1,154 @@
+//! End-to-end reproduction checks of the paper's headline claims,
+//! spanning the behavioural models (`hirise-core`), the simulator
+//! (`hirise-sim`) and the circuit models (`hirise-phys`).
+//!
+//! These run at a reduced scale compared to the recorded experiments in
+//! EXPERIMENTS.md, so the thresholds are set conservatively.
+
+use hirise::core::{ArbitrationScheme, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::phys::{tbps, SwitchDesign};
+use hirise::sim::traffic::UniformRandom;
+use hirise::sim::{saturation_throughput, SimConfig};
+
+fn sim_cfg() -> SimConfig {
+    SimConfig::new(64).warmup(1_500).measure(8_000).seed(11)
+}
+
+fn hirise_cfg(c: usize, scheme: ArbitrationScheme) -> HiRiseConfig {
+    HiRiseConfig::builder(64, 4)
+        .channel_multiplicity(c)
+        .scheme(scheme)
+        .build()
+        .expect("valid configuration")
+}
+
+fn saturation_tbps_of(design: &SwitchDesign) -> f64 {
+    let radix = design.point().radix();
+    let fabric = hirise_bench_like_fabric(design);
+    let pkts = saturation_throughput(fabric, UniformRandom::new(radix), &sim_cfg());
+    tbps(pkts, design.frequency_ghz(), 128, 4)
+}
+
+/// Local fabric builder (mirrors the bench harness, kept independent so
+/// this test exercises the public API directly).
+fn hirise_bench_like_fabric(design: &SwitchDesign) -> Box<dyn hirise::core::Fabric> {
+    use hirise::phys::DesignPoint;
+    match design.point() {
+        DesignPoint::Flat2d { radix, .. } => Box::new(Switch2d::new(*radix)),
+        DesignPoint::Folded { radix, layers, .. } => Box::new(FoldedSwitch::new(*radix, *layers)),
+        DesignPoint::HiRise(cfg) => Box::new(HiRiseSwitch::new(cfg)),
+        _ => unreachable!("all design points covered"),
+    }
+}
+
+/// §VI-A / Table IV: the Tbps ordering of the design space —
+/// 4-channel Hi-Rise beats 2D, which beats folded, 2-channel and
+/// 1-channel in that order.
+#[test]
+fn table_iv_throughput_ordering() {
+    let t_2d = saturation_tbps_of(&SwitchDesign::flat_2d(64));
+    let t_folded = saturation_tbps_of(&SwitchDesign::folded(64, 4));
+    let t4 = saturation_tbps_of(&SwitchDesign::hirise(&hirise_cfg(
+        4,
+        ArbitrationScheme::LayerToLayerLrg,
+    )));
+    let t2 = saturation_tbps_of(&SwitchDesign::hirise(&hirise_cfg(
+        2,
+        ArbitrationScheme::LayerToLayerLrg,
+    )));
+    let t1 = saturation_tbps_of(&SwitchDesign::hirise(&hirise_cfg(
+        1,
+        ArbitrationScheme::LayerToLayerLrg,
+    )));
+    assert!(t4 > t_2d, "4-channel {t4} must beat 2D {t_2d}");
+    assert!(t_2d > t_folded, "2D {t_2d} must beat folded {t_folded}");
+    assert!(t_folded > t2, "folded {t_folded} must beat 2-channel {t2}");
+    assert!(t2 > t1, "2-channel {t2} must beat 1-channel {t1}");
+    // Rough factors: 4-channel gains ~10-20%; 1-channel is less than
+    // two thirds of 2D (the paper measures 4.27 vs 9.24).
+    let gain = t4 / t_2d - 1.0;
+    assert!((0.05..0.30).contains(&gain), "4-channel gain {gain}");
+    assert!(t1 / t_2d < 0.67, "1-channel ratio {}", t1 / t_2d);
+}
+
+/// §I headline: area −33%, energy −38%, frequency 2.2 GHz for the
+/// CLRG switch.
+#[test]
+fn headline_physical_numbers() {
+    let flat = SwitchDesign::flat_2d(64);
+    let clrg = SwitchDesign::hirise(&hirise_cfg(4, ArbitrationScheme::class_based()));
+    assert!((clrg.frequency_ghz() - 2.2).abs() < 0.05);
+    let area_cut = 1.0 - clrg.area_mm2() / flat.area_mm2();
+    let energy_cut = 1.0 - clrg.energy_per_transaction_pj() / flat.energy_per_transaction_pj();
+    assert!((0.28..0.40).contains(&area_cut), "area cut {area_cut}");
+    assert!(
+        (0.33..0.43).contains(&energy_cut),
+        "energy cut {energy_cut}"
+    );
+}
+
+/// Table I: the folded baseline costs more area and energy than 2D and
+/// clocks slower, despite 8192 TSVs.
+#[test]
+fn folded_is_strictly_worse_than_2d() {
+    let flat = SwitchDesign::flat_2d(64);
+    let folded = SwitchDesign::folded(64, 4);
+    assert!(folded.area_mm2() > flat.area_mm2());
+    assert!(folded.frequency_ghz() < flat.frequency_ghz());
+    assert!(folded.energy_per_transaction_pj() > flat.energy_per_transaction_pj());
+    assert_eq!(folded.tsv_count(), 8192);
+}
+
+/// Table V: CLRG trades a sliver of frequency for fairness at zero
+/// area cost relative to L-2-L LRG.
+#[test]
+fn clrg_cost_versus_baseline() {
+    let base = SwitchDesign::hirise(&hirise_cfg(4, ArbitrationScheme::LayerToLayerLrg));
+    let clrg = SwitchDesign::hirise(&hirise_cfg(4, ArbitrationScheme::class_based()));
+    assert_eq!(base.area_mm2(), clrg.area_mm2());
+    assert!(clrg.frequency_ghz() < base.frequency_ghz());
+    assert!(base.frequency_ghz() / clrg.frequency_ghz() < 1.05);
+    assert!(clrg.energy_per_transaction_pj() > base.energy_per_transaction_pj());
+}
+
+/// Fig. 10: zero-load latency of the 3D switch is ~20% below 2D in ns
+/// (same cycles, faster clock).
+#[test]
+fn zero_load_latency_improvement() {
+    use hirise::sim::NetworkSim;
+    let measure = |design: &SwitchDesign| {
+        let cfg = sim_cfg().injection_rate(0.004);
+        let report = NetworkSim::new(
+            hirise_bench_like_fabric(design),
+            UniformRandom::new(64),
+            cfg,
+        )
+        .run();
+        report.avg_latency_cycles() / design.frequency_ghz()
+    };
+    let l_2d = measure(&SwitchDesign::flat_2d(64));
+    let l_3d = measure(&SwitchDesign::hirise(&hirise_cfg(
+        4,
+        ArbitrationScheme::class_based(),
+    )));
+    let cut = 1.0 - l_3d / l_2d;
+    assert!((0.10..0.35).contains(&cut), "latency cut {cut}");
+}
+
+/// §VI-B pathological case: with pure worst-case inter-layer traffic
+/// the Hi-Rise throughput drops to roughly a quarter of the 2D switch.
+#[test]
+fn pathological_corner_is_channel_limited() {
+    use hirise::sim::traffic::WorstCaseL2lc;
+    let cfg = sim_cfg().injection_rate(1.0).drain(0);
+    let flat = saturation_throughput(Switch2d::new(64), WorstCaseL2lc::new(64, 4), &cfg);
+    let hirise = saturation_throughput(
+        HiRiseSwitch::new(&HiRiseConfig::paper_optimal()),
+        WorstCaseL2lc::new(64, 4),
+        &cfg,
+    );
+    // In packets/cycle, each channel serialises 4 inputs: 1/4 ratio
+    // before clock scaling (the paper's "up to 1/4th" bound).
+    let ratio = hirise / flat;
+    assert!((0.15..0.40).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) of the fabric invariants that every
+//! switch implementation must uphold, run against random request
+//! streams on all three fabrics.
+
+use hirise::core::{
+    ArbitrationScheme, ChannelAllocation, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
+    InputId, OutputId, Request, Switch2d,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A scripted arbitration step: which inputs request which outputs, and
+/// which currently-held inputs release first.
+#[derive(Clone, Debug)]
+struct Step {
+    requests: Vec<(usize, usize)>,
+    releases: Vec<usize>,
+}
+
+fn steps(radix: usize, len: usize) -> impl Strategy<Value = Vec<Step>> {
+    let step = (
+        proptest::collection::vec((0..radix, 0..radix), 0..radix),
+        proptest::collection::vec(0..radix, 0..radix / 2),
+    )
+        .prop_map(|(requests, releases)| Step { requests, releases });
+    proptest::collection::vec(step, 1..len)
+}
+
+/// Drives a fabric through a request/release script, checking the
+/// structural invariants at every step.
+fn check_fabric_invariants<F: Fabric>(mut fabric: F, script: &[Step]) {
+    let radix = fabric.radix();
+    for step in script {
+        for &input in &step.releases {
+            fabric.release(InputId::new(input));
+        }
+        let requests: Vec<Request> = step
+            .requests
+            .iter()
+            .map(|&(i, o)| Request::new(InputId::new(i), OutputId::new(o)))
+            .collect();
+        // Busy outputs/inputs before arbitration: they must stay bound
+        // to the same pairs afterwards.
+        let held_before: Vec<(usize, usize)> = (0..radix)
+            .filter_map(|i| fabric.connection(InputId::new(i)).map(|o| (i, o.index())))
+            .collect();
+
+        let grants = fabric.arbitrate(&requests);
+
+        // 1. Every grant answers a request made this cycle.
+        for grant in &grants {
+            assert!(
+                step.requests
+                    .iter()
+                    .any(|&(i, o)| i == grant.input.index() && o == grant.output.index()),
+                "grant {grant:?} without a matching request"
+            );
+        }
+        // 2. No output or input appears in two grants.
+        let mut outs = HashSet::new();
+        let mut ins = HashSet::new();
+        for grant in &grants {
+            assert!(outs.insert(grant.output), "output double-granted");
+            assert!(ins.insert(grant.input), "input double-granted");
+        }
+        // 3. Pre-existing connections survive arbitration untouched.
+        for &(i, o) in &held_before {
+            assert_eq!(
+                fabric.connection(InputId::new(i)),
+                Some(OutputId::new(o)),
+                "held connection disturbed"
+            );
+        }
+        // 4. Connection table is consistent: every connected input's
+        //    output reports busy, and the active count matches.
+        let mut active = 0;
+        for i in 0..radix {
+            if let Some(o) = fabric.connection(InputId::new(i)) {
+                active += 1;
+                assert!(fabric.output_busy(o));
+            }
+        }
+        assert_eq!(active, fabric.active_connections());
+        // 5. No two inputs share an output.
+        let mut seen = HashSet::new();
+        for i in 0..radix {
+            if let Some(o) = fabric.connection(InputId::new(i)) {
+                assert!(seen.insert(o), "two inputs connected to {o}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn switch2d_invariants(script in steps(16, 20)) {
+        check_fabric_invariants(Switch2d::new(16), &script);
+    }
+
+    #[test]
+    fn folded_invariants(script in steps(16, 20)) {
+        check_fabric_invariants(FoldedSwitch::new(16, 4), &script);
+    }
+
+    #[test]
+    fn hirise_invariants_all_schemes(
+        script in steps(16, 16),
+        scheme_pick in 0u8..3,
+        c in prop_oneof![Just(1usize), Just(2)],
+    ) {
+        let scheme = match scheme_pick {
+            0 => ArbitrationScheme::LayerToLayerLrg,
+            1 => ArbitrationScheme::WeightedLrg,
+            _ => ArbitrationScheme::class_based(),
+        };
+        let cfg = HiRiseConfig::builder(16, 4)
+            .channel_multiplicity(c)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script);
+    }
+
+    #[test]
+    fn hirise_invariants_allocation_policies(
+        script in steps(16, 16),
+        alloc_pick in 0u8..3,
+    ) {
+        let allocation = match alloc_pick {
+            0 => ChannelAllocation::InputBinned,
+            1 => ChannelAllocation::OutputBinned,
+            _ => ChannelAllocation::PriorityBased,
+        };
+        let cfg = HiRiseConfig::builder(16, 4)
+            .channel_multiplicity(2)
+            .allocation(allocation)
+            .build()
+            .expect("valid configuration");
+        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script);
+    }
+
+    /// A persistent requestor is always served within a bounded number
+    /// of cycles (starvation freedom, §III-B1), whatever the contention.
+    #[test]
+    fn hirise_starvation_freedom(
+        contenders in proptest::collection::hash_set(0usize..64, 2..12),
+        target in 0usize..64,
+        scheme_pick in 0u8..3,
+    ) {
+        let scheme = match scheme_pick {
+            0 => ArbitrationScheme::LayerToLayerLrg,
+            1 => ArbitrationScheme::WeightedLrg,
+            _ => ArbitrationScheme::class_based(),
+        };
+        let cfg = HiRiseConfig::builder(64, 4)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        let mut sw = HiRiseSwitch::new(&cfg);
+        let contenders: Vec<usize> = contenders.into_iter().collect();
+        let mut pending: HashSet<usize> = contenders.iter().copied().collect();
+        // Everyone requests the same output every cycle until served
+        // once; all must be served within a generous bound.
+        for _ in 0..contenders.len() * 8 + 16 {
+            if pending.is_empty() {
+                break;
+            }
+            let requests: Vec<Request> = contenders
+                .iter()
+                .map(|&i| Request::new(InputId::new(i), OutputId::new(target)))
+                .collect();
+            let grants = sw.arbitrate(&requests);
+            for grant in grants {
+                pending.remove(&grant.input.index());
+                sw.release(grant.input);
+            }
+        }
+        prop_assert!(pending.is_empty(), "starved inputs: {pending:?}");
+    }
+}
