@@ -1,7 +1,8 @@
-//! Criterion benches of the arbitration primitives: LRG matrix grant
+//! Wall-clock micro-benches of the arbitration primitives: LRG matrix grant
 //! and update across sizes, and CLRG counter maintenance.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_bench::quickbench::{black_box, BenchmarkId, Criterion};
+use hirise_bench::{criterion_group, criterion_main};
 use hirise_core::{ClrgState, MatrixArbiter, WlrgState};
 
 fn bench_matrix_grant(c: &mut Criterion) {

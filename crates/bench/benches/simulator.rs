@@ -1,8 +1,9 @@
-//! Criterion benches of whole simulations: cycles/second of the
+//! Wall-clock micro-benches of whole simulations: cycles/second of the
 //! network simulator and end-to-end CMP runs (small instruction
 //! budgets so the bench suite stays fast).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hirise_bench::quickbench::Criterion;
+use hirise_bench::{criterion_group, criterion_main};
 use hirise_core::{HiRiseConfig, HiRiseSwitch, Switch2d};
 use hirise_manycore::{table_vi_mixes, CmpSystem, SystemConfig};
 use hirise_sim::mesh_sim::{MeshSim, MeshSimConfig};

@@ -1,7 +1,8 @@
-//! Criterion benches of a full arbitration cycle on each fabric: the
+//! Wall-clock micro-benches of a full arbitration cycle on each fabric: the
 //! cost of `Fabric::arbitrate` under a saturating request set.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirise_bench::quickbench::{black_box, BenchmarkId, Criterion};
+use hirise_bench::{criterion_group, criterion_main};
 use hirise_core::{
     ArbitrationScheme, Fabric, HiRiseConfig, HiRiseSwitch, InputId, OutputId, Request, Switch2d,
 };

@@ -122,7 +122,7 @@ fn allocation_sweep(scale: &RunScale) {
     // all of it towards the next layer.
     let anti_binning = |radix: usize, layers: usize| {
         hirise_sim::traffic::Custom::new("anti-binning", move |input: InputId, rate, rng| {
-            use rand::Rng;
+            use hirise_core::rng::Rng;
             let ports = radix / layers;
             let local = input.index() % ports;
             if !local.is_multiple_of(4) {

@@ -157,7 +157,12 @@ fn main() {
     let report = match &hirise_cfg {
         None => {
             drop(fabric);
-            NetworkSim::new(Switch2d::new(options.radix), options.make_pattern(), sim_cfg).run()
+            NetworkSim::new(
+                Switch2d::new(options.radix),
+                options.make_pattern(),
+                sim_cfg,
+            )
+            .run()
         }
         Some(cfg) => {
             drop(fabric);

@@ -79,7 +79,7 @@ fn main() {
             .drain(scale.drain);
         let mut sim = MeshSim::new(cfg, || HiRiseSwitch::new(&switch_cfg));
         let mut pattern = Custom::new("horizontal", move |input: InputId, r, rng| {
-            use rand::Rng;
+            use hirise_core::rng::Rng;
             let node = input.index() / cores_per_node;
             if !node.is_multiple_of(cols) {
                 return None; // only the west-edge column injects

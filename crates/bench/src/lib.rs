@@ -23,12 +23,14 @@
 //! | `explore` | ad-hoc CLI: any config × pattern × load |
 //!
 //! Pass `quick` as an argument to any binary for a shorter (but
-//! noisier) run. The `benches/` directory holds criterion benches of
-//! the arbiters, switches and simulator themselves.
+//! noisier) run. The `benches/` directory holds wall-clock micro-benches
+//! of the arbiters, switches and simulator themselves, built on the
+//! internal [`quickbench`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod quickbench;
 pub mod runs;
 pub mod table;
 

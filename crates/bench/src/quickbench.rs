@@ -1,0 +1,186 @@
+//! Minimal wall-clock micro-benchmark harness with a criterion-shaped
+//! API.
+//!
+//! The workspace previously used the external `criterion` crate for its
+//! `benches/`; that dependency is gone so the workspace builds offline.
+//! This module keeps the same call-site surface (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`/`criterion_main!`) backed by a simple
+//! warmup-then-sample timer. It reports the median ns/iteration per
+//! benchmark on stdout — no statistics machinery, no HTML reports, but
+//! good enough to compare arbitration and simulation hot paths across
+//! commits.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. by its input size.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one timed closure: calibrates an iteration count during warmup,
+/// then times `samples` batches and records the per-iteration medians.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the measured samples, filled in by `iter`.
+    median_ns: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: grow the batch until it takes >= 1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.iters_per_sample = batch;
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(full_name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: samples.max(3),
+        median_ns: 0.0,
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{full_name:<48} {:>12.1} ns/iter  ({} iters/sample, {} samples)",
+        bencher.median_ns, bencher.iters_per_sample, bencher.samples
+    );
+}
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a named runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::quickbench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

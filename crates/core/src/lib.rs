@@ -55,6 +55,7 @@ mod fabric;
 mod folded;
 pub mod hirise;
 mod ids;
+pub mod rng;
 mod switch2d;
 pub mod xpoint;
 

@@ -1,0 +1,279 @@
+//! Dependency-free deterministic PRNG (SplitMix64 seeding into
+//! xoshiro256\*\*), with a `rand`-compatible surface for the call sites
+//! this workspace actually uses.
+//!
+//! The simulator previously depended on the external `rand` crate for
+//! [`StdRng`]-style seeded generators. That made offline builds
+//! impossible and tied `tests/determinism.rs` to the stream stability of
+//! a third-party crate across versions. This module replaces it with the
+//! well-known xoshiro256\*\* generator (Blackman & Vigna), seeded via
+//! SplitMix64 exactly as the xoshiro authors recommend, so the stream for
+//! a given seed is fixed forever by this crate alone.
+//!
+//! The API mirrors the subset of `rand` the workspace used:
+//!
+//! * [`StdRng::seed_from_u64`] (via the [`SeedableRng`] trait),
+//! * [`Rng::gen_bool`] / [`Rng::gen_range`] over integer and float ranges,
+//! * [`SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! ```
+//! use hirise_core::rng::{Rng, SeedableRng, SliceRandom, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let i = rng.gen_range(0..64usize);
+//! assert!(i < 64);
+//! let mut v: Vec<u32> = (0..8).collect();
+//! v.shuffle(&mut rng);
+//! assert!(rng.gen_bool(1.0));
+//! ```
+
+use std::ops::Range;
+
+/// SplitMix64: expands a 64-bit seed into an arbitrary-length key stream.
+/// Used only to seed [`StdRng`]; it is the seeding procedure the xoshiro
+/// reference implementation prescribes.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream from `seed`.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64-bit output, advancing the state.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructs a generator deterministically from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`; equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256\*\* — the workspace's standard generator. The name `StdRng`
+/// is kept from the old `rand` surface so call sites read unchanged.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = sm.next_u64();
+        }
+        // An all-zero state is a fixed point of xoshiro; SplitMix64 cannot
+        // emit four consecutive zeros, but keep the guard explicit.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+/// Unbiased integer sampling in `[0, bound)` via Lemire-style rejection.
+fn uniform_u64<R: RngCore + ?Sized>(bound: u64, rng: &mut R) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection zone keeps the result exactly uniform.
+    let zone = bound.wrapping_neg() % bound; // = 2^64 mod bound
+    loop {
+        let v = rng.next_u64();
+        if v >= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + uniform_u64(span, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8);
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(range: Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// In-place uniform shuffling, as `rand::seq::SliceRandom::shuffle`.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64(i as u64 + 1, rng) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public SplitMix64
+        // test vectors.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0..8usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5..7usize);
+            assert!((5..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        // Out-of-range probabilities clamp rather than panic.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "shuffle moved something");
+    }
+
+    #[test]
+    fn uniform_sampling_is_unbiased_enough() {
+        // Chi-square-ish sanity check over 16 buckets.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0usize; 16];
+        for _ in 0..16_000 {
+            buckets[rng.gen_range(0..16usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((850..1_150).contains(&b), "bucket {i} = {b}");
+        }
+    }
+}

@@ -1,10 +1,11 @@
 //! Model-based property tests for the arbitration primitives: the
 //! matrix arbiter is checked against an explicit least-recently-granted
 //! list model, the bit set against `HashSet`, and the CLRG counters
-//! against their ordering invariants.
+//! against their ordering invariants. Cases are generated from the
+//! workspace's internal seeded PRNG so every failure is reproducible.
 
+use hirise_core::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 use hirise_core::{BitSet, ClrgState, MatrixArbiter};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// Reference model of LRG: an explicit priority list, front = highest.
@@ -33,28 +34,25 @@ impl LrgModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// The matrix arbiter agrees with the list model on every grant
-    /// across an arbitrary interleaving of grants and updates.
-    #[test]
-    fn matrix_arbiter_matches_list_model(
-        n in 2usize..24,
-        script in proptest::collection::vec(
-            (proptest::collection::vec(0usize..24, 1..12), any::<bool>()),
-            1..40,
-        ),
-    ) {
+/// The matrix arbiter agrees with the list model on every grant across
+/// an arbitrary interleaving of grants and updates.
+#[test]
+fn matrix_arbiter_matches_list_model() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x11A7 + seed);
+        let n = rng.gen_range(2..24usize);
         let mut arbiter = MatrixArbiter::new(n);
         let mut model = LrgModel::new(n);
-        for (raw_requests, do_update) in script {
-            let requests: Vec<usize> =
-                raw_requests.into_iter().map(|r| r % n).collect();
+        let steps = rng.gen_range(1..40usize);
+        for _ in 0..steps {
+            let n_req = rng.gen_range(1..12usize);
+            let requests: Vec<usize> = (0..n_req).map(|_| rng.gen_range(0..n)).collect();
             let got = arbiter.grant(&requests);
             let expected = model.grant(&requests);
-            prop_assert_eq!(got, expected);
-            if do_update {
+            assert_eq!(got, expected, "seed {seed}");
+            if rng.gen_bool(0.5) {
                 if let Some(winner) = got {
                     arbiter.update(winner);
                     model.update(winner);
@@ -62,37 +60,39 @@ proptest! {
             }
         }
     }
+}
 
-    /// Grants are always members of the request set, and total order
-    /// means a unique winner always exists for non-empty requests.
-    #[test]
-    fn matrix_grant_is_a_requestor(
-        n in 1usize..32,
-        raw in proptest::collection::vec(0usize..32, 0..16),
-        updates in proptest::collection::vec(0usize..32, 0..16),
-    ) {
+/// Grants are always members of the request set, and total order means a
+/// unique winner always exists for non-empty requests.
+#[test]
+fn matrix_grant_is_a_requestor() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6EA7 + seed);
+        let n = rng.gen_range(1..32usize);
         let mut arbiter = MatrixArbiter::new(n);
-        for u in updates {
-            arbiter.update(u % n);
+        for _ in 0..rng.gen_range(0..16usize) {
+            arbiter.update(rng.gen_range(0..n));
         }
-        let requests: Vec<usize> = raw.into_iter().map(|r| r % n).collect();
+        let n_req = rng.gen_range(0..16usize);
+        let requests: Vec<usize> = (0..n_req).map(|_| rng.gen_range(0..n)).collect();
         match arbiter.grant(&requests) {
-            Some(winner) => prop_assert!(requests.contains(&winner)),
-            None => prop_assert!(requests.is_empty()),
+            Some(winner) => assert!(requests.contains(&winner), "seed {seed}"),
+            None => assert!(requests.is_empty(), "seed {seed}"),
         }
     }
+}
 
-    /// BitSet behaves like a HashSet under inserts and removes.
-    #[test]
-    fn bitset_matches_hashset(
-        capacity in 1usize..200,
-        ops in proptest::collection::vec((any::<bool>(), 0usize..200), 0..60),
-    ) {
+/// BitSet behaves like a HashSet under inserts and removes.
+#[test]
+fn bitset_matches_hashset() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB175 + seed);
+        let capacity = rng.gen_range(1..200usize);
         let mut bits = BitSet::new(capacity);
         let mut model: HashSet<usize> = HashSet::new();
-        for (insert, raw) in ops {
-            let index = raw % capacity;
-            if insert {
+        for _ in 0..rng.gen_range(0..60usize) {
+            let index = rng.gen_range(0..capacity);
+            if rng.gen_bool(0.5) {
                 bits.insert(index);
                 model.insert(index);
             } else {
@@ -100,43 +100,42 @@ proptest! {
                 model.remove(&index);
             }
         }
-        prop_assert_eq!(bits.len(), model.len());
-        prop_assert_eq!(bits.is_empty(), model.is_empty());
+        assert_eq!(bits.len(), model.len(), "seed {seed}");
+        assert_eq!(bits.is_empty(), model.is_empty(), "seed {seed}");
         let mut from_bits: Vec<usize> = bits.iter().collect();
         let mut from_model: Vec<usize> = model.into_iter().collect();
         from_bits.sort_unstable();
         from_model.sort_unstable();
-        prop_assert_eq!(from_bits, from_model);
+        assert_eq!(from_bits, from_model, "seed {seed}");
     }
+}
 
-    /// CLRG counters stay within the class range, and halving preserves
-    /// the relative order of any two counters.
-    #[test]
-    fn clrg_counters_stay_ordered(
-        n in 2usize..32,
-        classes in 2u8..6,
-        wins in proptest::collection::vec(0usize..32, 1..200),
-    ) {
+/// CLRG counters stay within the class range, and halving preserves the
+/// relative order of any two counters.
+#[test]
+fn clrg_counters_stay_ordered() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC126 + seed);
+        let n = rng.gen_range(2..32usize);
+        let classes = rng.gen_range(2..6u8);
         let mut clrg = ClrgState::new(n, classes);
-        let mut model_wins = vec![0u64; n];
-        for raw in wins {
-            let input = raw % n;
+        for _ in 0..rng.gen_range(1..200usize) {
+            let input = rng.gen_range(0..n);
             // Snapshot relative order of all pairs before the win.
             let before: Vec<u8> = (0..n).map(|i| clrg.class_of(i)).collect();
             clrg.record_win(input);
-            model_wins[input] += 1;
             for i in 0..n {
                 let class = clrg.class_of(i);
-                prop_assert!(class < classes, "class {class} out of range");
+                assert!(class < classes, "seed {seed}: class {class} out of range");
                 // Only the winner's class may have increased relative to
                 // others; non-winners never gain class from halving more
                 // than any other non-winner (order preserved).
                 if i != input {
                     for j in 0..n {
                         if j != input && before[i] < before[j] {
-                            prop_assert!(
+                            assert!(
                                 clrg.class_of(i) <= clrg.class_of(j),
-                                "halving broke the order of {i} vs {j}"
+                                "seed {seed}: halving broke the order of {i} vs {j}"
                             );
                         }
                     }
@@ -144,16 +143,187 @@ proptest! {
             }
         }
     }
+}
 
-    /// Seeded matrix arbiters honour their initial order exactly.
-    #[test]
-    fn seeded_order_is_respected(order in Just(()).prop_flat_map(|()| {
-        (2usize..16).prop_flat_map(|n| Just((0..n).collect::<Vec<_>>()).prop_shuffle())
-    })) {
+/// CLRG saturation semantics, checked step by step: a win increments
+/// the winner's counter; a win at the saturated class first halves
+/// every counter in the sub-block (the `Div2` block of Fig. 7), so the
+/// winner lands exactly at `max/2 + 1`; non-winners never gain class
+/// from someone else's win.
+#[test]
+fn clrg_saturation_halves_then_increments() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5A70 + seed);
+        let n = rng.gen_range(2..24usize);
+        let classes = rng.gen_range(2..6u8);
+        let max = classes - 1;
+        let mut clrg = ClrgState::new(n, classes);
+        for _ in 0..rng.gen_range(1..300usize) {
+            let winner = rng.gen_range(0..n);
+            let before: Vec<u8> = (0..n).map(|i| clrg.class_of(i)).collect();
+            clrg.record_win(winner);
+            if before[winner] == max {
+                // Saturated: everyone halves, then the winner increments.
+                assert_eq!(
+                    clrg.class_of(winner),
+                    max / 2 + 1,
+                    "seed {seed}: winner class after saturation"
+                );
+                for (i, &class_before) in before.iter().enumerate() {
+                    if i != winner {
+                        assert_eq!(
+                            clrg.class_of(i),
+                            class_before / 2,
+                            "seed {seed}: non-winner {i} not halved"
+                        );
+                    }
+                }
+            } else {
+                assert_eq!(clrg.class_of(winner), before[winner] + 1, "seed {seed}");
+                for (i, &class_before) in before.iter().enumerate() {
+                    if i != winner {
+                        assert_eq!(
+                            clrg.class_of(i),
+                            class_before,
+                            "seed {seed}: bystander moved"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decay forgives hogs: once a saturated input stops winning, other
+/// inputs' wins eventually halve it back below the worst class, so a
+/// past burst cannot penalise it forever.
+#[test]
+fn clrg_decay_forgives_past_bursts() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDECA + seed);
+        let n = rng.gen_range(2..16usize);
+        let classes = rng.gen_range(2..6u8);
+        let max = classes - 1;
+        let mut clrg = ClrgState::new(n, classes);
+        let hog = rng.gen_range(0..n);
+        for _ in 0..max {
+            clrg.record_win(hog);
+        }
+        assert_eq!(clrg.class_of(hog), max, "seed {seed}: hog saturated");
+        // Another input now wins repeatedly; each of its saturations
+        // halves the hog. The hog must leave the worst class within a
+        // bounded number of foreign wins.
+        let rival = (hog + 1) % n;
+        let mut foreign_wins = 0;
+        while clrg.class_of(hog) == max {
+            clrg.record_win(rival);
+            foreign_wins += 1;
+            assert!(
+                foreign_wins <= 2 * classes as usize,
+                "seed {seed}: hog stuck at class {max} after {foreign_wins} rival wins"
+            );
+        }
+        // And without halving it would have been stuck forever.
+        let mut sticky = ClrgState::new(n, classes).without_halving();
+        for _ in 0..2 * max {
+            sticky.record_win(hog);
+        }
+        for _ in 0..4 * classes as usize {
+            sticky.record_win(rival);
+        }
+        assert_eq!(
+            sticky.class_of(hog),
+            max,
+            "seed {seed}: sticky mode must not decay"
+        );
+    }
+}
+
+/// `MatrixArbiter::grant` is pure: Hi-Rise calls it speculatively in
+/// phase 1 and only commits `update` when the speculative winner also
+/// wins the inter-layer stage (§III-B1). Uncommitted grants must leak
+/// no state — the same requests yield the same winner until a commit.
+#[test]
+fn uncommitted_grants_leak_no_state() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDEFE + seed);
+        let n = rng.gen_range(2..24usize);
+        let mut arbiter = MatrixArbiter::new(n);
+        for _ in 0..rng.gen_range(1..30usize) {
+            let n_req = rng.gen_range(1..12usize);
+            let requests: Vec<usize> = (0..n_req).map(|_| rng.gen_range(0..n)).collect();
+            let order_before = arbiter.priority_order();
+            let first = arbiter.grant(&requests);
+            // Phase-1 losers retry: arbitrary re-grants change nothing.
+            for _ in 0..rng.gen_range(1..4usize) {
+                assert_eq!(arbiter.grant(&requests), first, "seed {seed}");
+            }
+            assert_eq!(arbiter.priority_order(), order_before, "seed {seed}");
+            // The final winner commits only sometimes (deferred commit).
+            if rng.gen_bool(0.5) {
+                if let Some(winner) = first {
+                    arbiter.update(winner);
+                    // Committed winner drops to the lowest priority.
+                    assert_eq!(
+                        arbiter.priority_order().last().copied(),
+                        Some(winner),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under persistent contention with every final winner committing, LRG
+/// serves the contenders in strict round-robin: each window of `k`
+/// consecutive commits contains all `k` contenders exactly once.
+#[test]
+fn committed_lrg_is_round_robin_under_persistent_contention() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x206D + seed);
+        let n = rng.gen_range(2..20usize);
+        let mut arbiter = MatrixArbiter::new(n);
+        // Random warmup commits to reach an arbitrary LRG state.
+        for _ in 0..rng.gen_range(0..24usize) {
+            arbiter.update(rng.gen_range(0..n));
+        }
+        let k = rng.gen_range(2..n + 1);
+        let mut contenders: Vec<usize> = (0..n).collect();
+        contenders.shuffle(&mut rng);
+        contenders.truncate(k);
+        let mut wins = Vec::new();
+        for _ in 0..3 * k {
+            let winner = arbiter.grant(&contenders).expect("non-empty contention");
+            arbiter.update(winner);
+            wins.push(winner);
+        }
+        for window in wins.windows(k) {
+            let mut sorted: Vec<usize> = window.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                k,
+                "seed {seed}: window {window:?} repeats a winner before \
+                 serving all {k} contenders"
+            );
+        }
+    }
+}
+
+/// Seeded matrix arbiters honour their initial order exactly.
+#[test]
+fn seeded_order_is_respected() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0266 + seed);
+        let n = rng.gen_range(2..16usize);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
         let arbiter = MatrixArbiter::with_order(&order);
-        prop_assert_eq!(arbiter.priority_order(), order.clone());
+        assert_eq!(arbiter.priority_order(), order, "seed {seed}");
         // The top of the order wins against everyone.
-        let all: Vec<usize> = (0..order.len()).collect();
-        prop_assert_eq!(arbiter.grant(&all), Some(order[0]));
+        let all: Vec<usize> = (0..n).collect();
+        assert_eq!(arbiter.grant(&all), Some(order[0]), "seed {seed}");
     }
 }

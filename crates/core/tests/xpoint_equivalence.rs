@@ -1,58 +1,62 @@
 //! Property tests proving the signal-level cross-point circuits (§IV,
 //! Figs. 6 and 7) implement exactly the behavioural arbitration rules:
 //! wired-OR priority lines ≡ matrix-arbiter grant, and the class-grouped
-//! CLRG bus ≡ best-class-then-LRG.
+//! CLRG bus ≡ best-class-then-LRG. Cases come from the workspace's
+//! internal seeded PRNG so every failure is reproducible.
 
+use hirise_core::rng::{Rng, SeedableRng, StdRng};
 use hirise_core::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender, MatrixArbiter};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    /// Fig. 6 circuit == `MatrixArbiter::grant`, for every reachable
-    /// LRG state and request set.
-    #[test]
-    fn wired_or_equals_behavioural_grant(
-        n in 1usize..24,
-        updates in proptest::collection::vec(0usize..24, 0..32),
-        raw_requests in proptest::collection::vec(0usize..24, 0..16),
-    ) {
+/// Fig. 6 circuit == `MatrixArbiter::grant`, for every reachable LRG
+/// state and request set.
+#[test]
+fn wired_or_equals_behavioural_grant() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0166 + seed);
+        let n = rng.gen_range(1..24usize);
         let mut arbiter = MatrixArbiter::new(n);
-        for u in updates {
-            arbiter.update(u % n);
+        for _ in 0..rng.gen_range(0..32usize) {
+            arbiter.update(rng.gen_range(0..n));
         }
-        let requests: Vec<usize> = raw_requests.into_iter().map(|r| r % n).collect();
-        prop_assert_eq!(
+        let n_req = rng.gen_range(0..16usize);
+        let requests: Vec<usize> = (0..n_req).map(|_| rng.gen_range(0..n)).collect();
+        assert_eq!(
             arbitrate_wired_or(&requests, &arbiter),
-            arbiter.grant(&requests)
+            arbiter.grant(&requests),
+            "seed {seed}"
         );
     }
+}
 
-    /// Fig. 7 circuit == "lowest class wins, slot-LRG breaks ties", for
-    /// every reachable slot-LRG state and class assignment.
-    #[test]
-    fn clrg_column_equals_behavioural_rule(
-        slots in 2usize..16,
-        classes in 2u8..5,
-        updates in proptest::collection::vec(0usize..16, 0..24),
-        picks in proptest::collection::vec((0usize..16, 0u8..5), 1..12),
-    ) {
+/// Fig. 7 circuit == "lowest class wins, slot-LRG breaks ties", for
+/// every reachable slot-LRG state and class assignment.
+#[test]
+fn clrg_column_equals_behavioural_rule() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC01B + seed);
+        let slots = rng.gen_range(2..16usize);
+        let classes = rng.gen_range(2..5u8);
         let mut lrg = MatrixArbiter::new(slots);
-        for u in updates {
-            lrg.update(u % slots);
+        for _ in 0..rng.gen_range(0..24usize) {
+            lrg.update(rng.gen_range(0..slots));
         }
-        // Build a duplicate-free contender set.
+        // Build a duplicate-free, non-empty contender set.
         let mut used = vec![false; slots];
         let mut contenders = Vec::new();
-        for (raw_slot, raw_class) in picks {
-            let slot = raw_slot % slots;
+        for _ in 0..rng.gen_range(1..12usize) {
+            let slot = rng.gen_range(0..slots);
             if !used[slot] {
                 used[slot] = true;
                 contenders.push(ClassedContender {
                     slot,
-                    class: raw_class % classes,
+                    class: rng.gen_range(0..classes),
                 });
             }
+        }
+        if contenders.is_empty() {
+            continue;
         }
 
         // Behavioural rule: best class, then LRG among that class.
@@ -65,9 +69,10 @@ proptest! {
         let winning_slot = lrg.grant(&candidate_slots).unwrap();
         let expected = contenders.iter().position(|c| c.slot == winning_slot);
 
-        prop_assert_eq!(
+        assert_eq!(
             arbitrate_clrg_column(&contenders, &lrg, classes),
-            expected
+            expected,
+            "seed {seed}"
         );
     }
 }

@@ -8,8 +8,8 @@
 //! fraction. Streams are deterministic per (benchmark, seed).
 
 use crate::profiles::BenchmarkProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hirise_core::rng::StdRng;
+use hirise_core::rng::{Rng, SeedableRng};
 
 /// One memory access in a trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

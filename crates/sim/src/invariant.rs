@@ -1,0 +1,312 @@
+//! Runtime invariant checking for the simulator's cycle loop.
+//!
+//! [`InvariantChecker`] audits every cycle of a [`crate::NetworkSim`]
+//! run against three families of invariants that must hold for *any*
+//! correct fabric and port model:
+//!
+//! * **Flit conservation** — every flit ever injected is either still
+//!   held by an input port (source queue or VC buffer) or has been
+//!   delivered: `injected = in-flight + delivered`, checked in both
+//!   packets and flits at the end of every cycle.
+//! * **Buffer bounds** — a port never buffers more packets than it has
+//!   virtual channels, and a mid-transfer port always holds the packet
+//!   it is transferring.
+//! * **Per-flow order** — within one `(input, VC)` stream (and hence
+//!   within any `(input, output, VC)` flow), packets are delivered in
+//!   strictly increasing injection-id order: the switch cannot reorder
+//!   a FIFO lane.
+//!
+//! It also re-checks every arbitration result for grant legality: a
+//! grant must answer a request presented that cycle, no output or input
+//! may be granted twice, and no grant may land on an output that was
+//! already mid-transfer.
+//!
+//! The checker is wired into [`crate::NetworkSim`] and enabled by
+//! default in debug builds (`debug_assertions`); release builds skip it
+//! unless [`crate::SimConfig::check_invariants`] turns it on. A
+//! violation is a bug in the switch model or the simulator itself, so
+//! the checker panics with the offending cycle and state.
+
+use crate::packet::Packet;
+use crate::port::InputPort;
+use hirise_core::{Grant, Request};
+use std::collections::HashMap;
+
+/// Audits a simulation cycle-by-cycle for conservation, buffer-bound,
+/// ordering, and grant-legality invariants.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantChecker {
+    injected_packets: u64,
+    delivered_packets: u64,
+    injected_flits: u64,
+    delivered_flits: u64,
+    /// Last delivered packet id per `(input, vc)` FIFO lane.
+    last_delivered: HashMap<(usize, usize), u64>,
+    cycles_checked: u64,
+}
+
+impl InvariantChecker {
+    /// Creates a fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets injected so far.
+    pub fn injected_packets(&self) -> u64 {
+        self.injected_packets
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Cycles audited so far.
+    pub fn cycles_checked(&self) -> u64 {
+        self.cycles_checked
+    }
+
+    /// Records an injection.
+    pub fn on_injection(&mut self, packet: &Packet) {
+        self.injected_packets += 1;
+        self.injected_flits += packet.len_flits as u64;
+    }
+
+    /// Records a delivery from `input`'s virtual channel `vc`, checking
+    /// that the `(input, vc)` lane stays in FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane delivered a packet with a non-increasing id —
+    /// i.e. the switch reordered a FIFO stream.
+    pub fn on_delivery(&mut self, input: usize, vc: usize, packet: &Packet) {
+        self.delivered_packets += 1;
+        self.delivered_flits += packet.len_flits as u64;
+        if let Some(&last) = self.last_delivered.get(&(input, vc)) {
+            assert!(
+                packet.id > last,
+                "invariant violated: input {input} VC {vc} delivered packet \
+                 {} after packet {last} (FIFO lane reordered)",
+                packet.id
+            );
+        }
+        self.last_delivered.insert((input, vc), packet.id);
+    }
+
+    /// Checks one arbitration round for grant legality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a grant answers no presented request, an output or
+    /// input is granted twice, or a grant lands on an output that
+    /// `busy_out_before` marks as mid-transfer.
+    pub fn after_arbitration(
+        &mut self,
+        cycle: u64,
+        requests: &[Request],
+        grants: &[Grant],
+        busy_out_before: &[bool],
+    ) {
+        let radix = busy_out_before.len();
+        let mut out_granted = vec![false; radix];
+        let mut in_granted = vec![false; radix];
+        for grant in grants {
+            let input = grant.input.index();
+            let output = grant.output.index();
+            assert!(
+                requests
+                    .iter()
+                    .any(|r| r.input == grant.input && r.output == grant.output),
+                "invariant violated at cycle {cycle}: grant {input}->{output} \
+                 answers no presented request"
+            );
+            assert!(
+                !out_granted[output],
+                "invariant violated at cycle {cycle}: output {output} granted twice"
+            );
+            assert!(
+                !in_granted[input],
+                "invariant violated at cycle {cycle}: input {input} granted twice"
+            );
+            assert!(
+                !busy_out_before[output],
+                "invariant violated at cycle {cycle}: grant to busy output {output}"
+            );
+            out_granted[output] = true;
+            in_granted[input] = true;
+        }
+    }
+
+    /// End-of-cycle audit: flit conservation and buffer bounds across
+    /// all ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets or flits have leaked or been duplicated
+    /// (`injected != in-flight + delivered`), if a port buffers more
+    /// packets than it has VCs, or if a mid-transfer port holds no
+    /// packet.
+    pub fn end_of_cycle(&mut self, cycle: u64, ports: &[InputPort], vcs: usize) {
+        self.cycles_checked += 1;
+        let mut in_flight_packets = 0u64;
+        for (input, port) in ports.iter().enumerate() {
+            let buffered = port.buffered();
+            assert!(
+                buffered <= vcs,
+                "invariant violated at cycle {cycle}: input {input} buffers \
+                 {buffered} packets in {vcs} VCs"
+            );
+            if port.is_transferring() {
+                assert!(
+                    buffered >= 1,
+                    "invariant violated at cycle {cycle}: input {input} is \
+                     mid-transfer with empty VCs"
+                );
+                let vc = port
+                    .active_vc()
+                    .expect("transferring port has an active VC");
+                assert!(
+                    vc < vcs,
+                    "invariant violated at cycle {cycle}: input {input} active \
+                     VC {vc} out of range"
+                );
+            }
+            in_flight_packets += port.occupancy() as u64;
+        }
+        assert_eq!(
+            self.injected_packets,
+            self.delivered_packets + in_flight_packets,
+            "invariant violated at cycle {cycle}: packet conservation broken \
+             ({} injected != {} delivered + {in_flight_packets} in flight)",
+            self.injected_packets,
+            self.delivered_packets
+        );
+        // Flit conservation follows for completed packets; check the
+        // delivered side directly (a torn packet would break it).
+        assert!(
+            self.delivered_flits >= self.delivered_packets,
+            "invariant violated at cycle {cycle}: delivered flit count \
+             {} below packet count {}",
+            self.delivered_flits,
+            self.delivered_packets
+        );
+        assert!(
+            self.injected_flits >= self.delivered_flits,
+            "invariant violated at cycle {cycle}: delivered {} flits but \
+             only {} were injected",
+            self.delivered_flits,
+            self.injected_flits
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::{InputId, OutputId};
+
+    fn packet(id: u64, len: usize) -> Packet {
+        Packet {
+            id,
+            src: InputId::new(0),
+            dst: OutputId::new(1),
+            len_flits: len,
+            birth_cycle: 0,
+            measured: false,
+        }
+    }
+
+    #[test]
+    fn counts_injections_and_deliveries() {
+        let mut ck = InvariantChecker::new();
+        ck.on_injection(&packet(0, 4));
+        ck.on_injection(&packet(1, 4));
+        ck.on_delivery(0, 0, &packet(0, 4));
+        assert_eq!(ck.injected_packets(), 2);
+        assert_eq!(ck.delivered_packets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO lane reordered")]
+    fn reordered_lane_panics() {
+        let mut ck = InvariantChecker::new();
+        ck.on_delivery(3, 1, &packet(7, 4));
+        ck.on_delivery(3, 1, &packet(5, 4));
+    }
+
+    #[test]
+    fn different_lanes_may_interleave() {
+        let mut ck = InvariantChecker::new();
+        ck.on_delivery(3, 0, &packet(7, 4));
+        ck.on_delivery(3, 1, &packet(5, 4)); // other VC: fine
+        ck.on_delivery(2, 0, &packet(1, 4)); // other input: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "granted twice")]
+    fn double_granted_output_panics() {
+        let mut ck = InvariantChecker::new();
+        let requests = vec![
+            Request::new(InputId::new(0), OutputId::new(2)),
+            Request::new(InputId::new(1), OutputId::new(2)),
+        ];
+        let grants = vec![
+            Grant {
+                input: InputId::new(0),
+                output: OutputId::new(2),
+            },
+            Grant {
+                input: InputId::new(1),
+                output: OutputId::new(2),
+            },
+        ];
+        ck.after_arbitration(0, &requests, &grants, &[false; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy output")]
+    fn grant_to_busy_output_panics() {
+        let mut ck = InvariantChecker::new();
+        let requests = vec![Request::new(InputId::new(0), OutputId::new(1))];
+        let grants = vec![Grant {
+            input: InputId::new(0),
+            output: OutputId::new(1),
+        }];
+        let mut busy = vec![false; 4];
+        busy[1] = true;
+        ck.after_arbitration(0, &requests, &grants, &busy);
+    }
+
+    #[test]
+    #[should_panic(expected = "answers no presented request")]
+    fn unsolicited_grant_panics() {
+        let mut ck = InvariantChecker::new();
+        let grants = vec![Grant {
+            input: InputId::new(0),
+            output: OutputId::new(1),
+        }];
+        ck.after_arbitration(0, &[], &grants, &[false; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet conservation broken")]
+    fn leaked_packet_panics() {
+        let mut ck = InvariantChecker::new();
+        ck.on_injection(&packet(0, 4));
+        // Packet neither delivered nor in any port: conservation broken.
+        let ports = vec![InputPort::new(4)];
+        ck.end_of_cycle(0, &ports, 4);
+    }
+
+    #[test]
+    fn conserved_state_passes() {
+        let mut ck = InvariantChecker::new();
+        let mut port = InputPort::new(4);
+        let p = packet(0, 4);
+        ck.on_injection(&p);
+        port.inject(p);
+        let ports = vec![port];
+        ck.end_of_cycle(0, &ports, 4);
+        assert_eq!(ck.cycles_checked(), 1);
+    }
+}

@@ -18,6 +18,13 @@
 //! paper's Fig. 13 topology; [`mesh`] holds the matching graph-level
 //! analysis).
 //!
+//! Correctness is audited two ways: [`diff`] co-simulates every fabric
+//! against an ideal golden-model crossbar ([`RefSwitch`]) under
+//! identical schedules and shrinks any divergence to a minimal
+//! counterexample, while [`InvariantChecker`] (on by default in debug
+//! builds) asserts flit conservation, buffer bounds, FIFO-lane order
+//! and grant legality on every simulated cycle.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +51,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+mod invariant;
 pub mod mesh;
 pub mod mesh_sim;
 mod packet;
@@ -53,6 +62,11 @@ mod stats;
 mod sweep;
 pub mod traffic;
 
+pub use diff::{
+    check_schedule, fuzz, run_schedule, shrink, standard_fleet, CoSimOutcome, DiffFailure,
+    DiffFailureKind, FabricBuilder, RefSwitch, SchedPacket, Schedule, Violation,
+};
+pub use invariant::InvariantChecker;
 pub use packet::Packet;
 pub use port::InputPort;
 pub use sim::{NetworkSim, SimConfig};

@@ -17,9 +17,9 @@
 use crate::packet::Packet;
 use crate::port::InputPort;
 use crate::traffic::TrafficPattern;
+use hirise_core::rng::SeedableRng;
+use hirise_core::rng::StdRng;
 use hirise_core::{Fabric, InputId, OutputId, Request};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The four mesh directions, in port-bank order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -275,7 +275,10 @@ impl PortLayout {
                 }
             }
             MeshPortMap::LayerAware { layers } => {
-                assert!(layers >= 1 && radix.is_multiple_of(layers), "bad layer count");
+                assert!(
+                    layers >= 1 && radix.is_multiple_of(layers),
+                    "bad layer count"
+                );
                 let per_layer = radix / layers;
                 for k in 0..p {
                     let preferred = k % layers;
@@ -804,7 +807,7 @@ mod tests {
         );
         let cores = sim.total_cores();
         let mut pattern = Custom::new("corner", move |_input: InputId, rate, rng: &mut _| {
-            use rand::Rng;
+            use hirise_core::rng::Rng;
             rng.gen_bool(f64::clamp(rate, 0.0, 1.0))
                 .then(|| OutputId::new(cores - 1))
         });

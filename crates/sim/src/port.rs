@@ -104,6 +104,13 @@ impl InputPort {
         self.active_vc.is_some()
     }
 
+    /// Index of the VC currently selected or transferring, if any.
+    /// Exposed so the invariant checker can attribute deliveries to
+    /// their FIFO lane.
+    pub fn active_vc(&self) -> Option<usize> {
+        self.active_vc
+    }
+
     /// Packets currently waiting in the source queue.
     pub fn queued(&self) -> usize {
         self.source_queue.len()

@@ -1,13 +1,14 @@
 //! The cycle loop: injection, buffering, arbitration, transfer, and
 //! statistics, mirroring §V of the paper.
 
+use crate::invariant::InvariantChecker;
 use crate::packet::Packet;
 use crate::port::InputPort;
 use crate::stats::SimReport;
 use crate::traffic::TrafficPattern;
-use hirise_core::{Fabric, InputId, Request};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hirise_core::rng::SeedableRng;
+use hirise_core::rng::StdRng;
+use hirise_core::{Fabric, InputId, OutputId, Request};
 
 /// Simulation parameters. Defaults match the paper's methodology:
 /// 4 virtual channels of 4-flit depth per port and 4-flit packets.
@@ -23,6 +24,8 @@ pub struct SimConfig {
     measure: u64,
     drain: u64,
     seed: u64,
+    /// `None` follows `debug_assertions`; `Some` forces it either way.
+    invariants: Option<bool>,
 }
 
 impl SimConfig {
@@ -46,6 +49,7 @@ impl SimConfig {
             measure: 20_000,
             drain: 20_000,
             seed: 0x5EED_0001,
+            invariants: None,
         }
     }
 
@@ -107,6 +111,18 @@ impl SimConfig {
         self
     }
 
+    /// Forces the per-cycle [`InvariantChecker`] on or off. The default
+    /// follows the build profile: on under `debug_assertions`, off in
+    /// release builds (it costs a few percent of simulation speed).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.invariants = Some(on);
+        self
+    }
+
+    fn invariants_enabled(&self) -> bool {
+        self.invariants.unwrap_or(cfg!(debug_assertions))
+    }
+
     /// Switch radix.
     pub fn radix(&self) -> usize {
         self.radix
@@ -147,9 +163,11 @@ pub struct NetworkSim<F, T> {
     in_flight: Vec<usize>,
     now: u64,
     next_packet_id: u64,
+    checker: Option<InvariantChecker>,
     // Per-cycle scratch, reused to avoid churn.
     candidates: Vec<Packet>,
     requests: Vec<Request>,
+    busy_out: Vec<bool>,
 }
 
 impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
@@ -178,8 +196,10 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             in_flight: vec![0; radix],
             now: 0,
             next_packet_id: 0,
+            checker: cfg.invariants_enabled().then(InvariantChecker::new),
             candidates: Vec::with_capacity(radix),
             requests: Vec::with_capacity(radix),
+            busy_out: vec![false; radix],
             cfg,
         }
     }
@@ -214,6 +234,12 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
         &self.fabric
     }
 
+    /// The invariant checker, when enabled (debug builds by default,
+    /// or via [`SimConfig::check_invariants`]).
+    pub fn checker(&self) -> Option<&InvariantChecker> {
+        self.checker.as_ref()
+    }
+
     fn in_measure_window(&self) -> bool {
         self.now >= self.cfg.warmup && self.now < self.cfg.warmup + self.cfg.measure
     }
@@ -232,6 +258,12 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                         let latency = packet.latency(self.now);
                         report.record_completion(input, latency, in_window, packet.measured);
                         self.in_flight[input] -= 1;
+                        if let Some(checker) = &mut self.checker {
+                            let vc = self.ports[input]
+                                .active_vc()
+                                .expect("completing port has an active VC");
+                            checker.on_delivery(input, vc, &packet);
+                        }
                         self.ports[input].complete_transfer();
                     }
                 } else {
@@ -267,6 +299,9 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                     report.record_injection_measured();
                 }
                 self.in_flight[input] += 1;
+                if let Some(checker) = &mut self.checker {
+                    checker.on_injection(&packet);
+                }
                 self.ports[input].inject(packet);
             }
         }
@@ -289,7 +324,15 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                     .push(Request::new(InputId::new(input), packet.dst));
             }
         }
+        if self.checker.is_some() {
+            for output in 0..self.cfg.radix {
+                self.busy_out[output] = self.fabric.output_busy(OutputId::new(output));
+            }
+        }
         let grants = self.fabric.arbitrate(&self.requests);
+        if let Some(checker) = &mut self.checker {
+            checker.after_arbitration(self.now, &self.requests, &grants, &self.busy_out);
+        }
         // Start transfers for the winners; revoke the rest.
         let mut granted = vec![false; self.cfg.radix];
         for grant in &grants {
@@ -306,6 +349,10 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             } else {
                 self.ports[input].revoke_candidate();
             }
+        }
+
+        if let Some(checker) = &mut self.checker {
+            checker.end_of_cycle(self.now, &self.ports, self.cfg.vcs);
         }
 
         self.now += 1;

@@ -4,9 +4,9 @@
 //! configurable; the long-run average offered load equals the base rate.
 
 use super::{injects, TrafficPattern};
+use hirise_core::rng::Rng;
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Markov-modulated on/off traffic with uniform-random destinations.
 #[derive(Clone, Debug)]

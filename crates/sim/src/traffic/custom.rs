@@ -1,8 +1,8 @@
 //! Closure-backed traffic for bespoke experiments and tests.
 
 use super::TrafficPattern;
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
 
 /// A traffic pattern defined by a closure. The closure receives the
 /// input being polled, the base rate, and the simulation RNG, and has

@@ -4,8 +4,8 @@
 //! subset {3, 7, 11, 15, 20} → output 63.
 
 use super::{injects, TrafficPattern};
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
 
 /// Hotspot traffic towards a single output.
 #[derive(Clone, Debug)]

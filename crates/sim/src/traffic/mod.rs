@@ -19,8 +19,8 @@ pub use pathological::{InterLayerOnly, WorstCaseL2lc};
 pub use permutation::{BitComplement, NeighborShift, RandomPermutation, Tornado, Transpose};
 pub use uniform::UniformRandom;
 
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
 
 /// A synthetic traffic generator.
 pub trait TrafficPattern {
@@ -46,14 +46,14 @@ impl<T: TrafficPattern + ?Sized> TrafficPattern for Box<T> {
 
 /// Bernoulli coin-flip helper shared by the pattern implementations.
 pub(crate) fn injects(base_rate: f64, rng: &mut StdRng) -> bool {
-    use rand::Rng;
+    use hirise_core::rng::Rng;
     rng.gen_bool(base_rate.clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
 pub(crate) mod test_util {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hirise_core::rng::SeedableRng;
+    use hirise_core::rng::StdRng;
 
     pub fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)

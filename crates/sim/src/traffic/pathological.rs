@@ -8,9 +8,9 @@
 //! 2D switch."
 
 use super::{injects, TrafficPattern};
+use hirise_core::rng::Rng;
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Only inter-layer traffic: destinations are uniform over the outputs
 /// of every layer *except* the source's.

@@ -6,8 +6,8 @@
 //! designs expose their bottlenecks.
 
 use super::{injects, TrafficPattern};
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
 
 /// Transpose: input `i` of an `n = k*k` switch sends to
 /// `(i mod k) * k + i / k`.
@@ -149,8 +149,8 @@ impl RandomPermutation {
     ///
     /// Panics if `radix` is zero.
     pub fn new(radix: usize, seed: u64) -> Self {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+        use hirise_core::rng::SeedableRng;
+        use hirise_core::rng::SliceRandom;
         assert!(radix > 0, "radix must be at least 1");
         let mut mapping: Vec<usize> = (0..radix).collect();
         let mut rng = StdRng::seed_from_u64(seed);

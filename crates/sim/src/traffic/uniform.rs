@@ -3,9 +3,9 @@
 //! headline throughput numbers (Tables I/IV/V, Figs. 10 and 11b).
 
 use super::{injects, TrafficPattern};
+use hirise_core::rng::Rng;
+use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Uniform random traffic over `radix` outputs.
 #[derive(Clone, Debug)]

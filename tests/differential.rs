@@ -1,0 +1,138 @@
+//! Differential acceptance suite: every fabric in the standard fleet
+//! (golden-model crossbar, 2D Swizzle, 3D folded, and Hi-Rise under
+//! L-2-L LRG / WLRG / CLRG at channel multiplicities 1 and 2) is
+//! co-stepped for at least ten thousand randomized cycles, with zero
+//! grant-legality or delivery-equivalence violations, and the full
+//! simulator's invariant checker is held on for ten thousand cycles per
+//! arbitration scheme.
+
+use hirise::core::rng::{SeedableRng, StdRng};
+use hirise::core::{ArbitrationScheme, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::sim::diff::{run_schedule, standard_fleet, Schedule};
+use hirise::sim::traffic::UniformRandom;
+use hirise::sim::{NetworkSim, SimConfig};
+
+/// Co-steps every fleet member through identical random schedules until
+/// each has simulated >= 10k cycles, asserting per-cycle grant legality
+/// (inside `run_schedule`) and end-of-run delivery-set equivalence
+/// against the golden model.
+#[test]
+fn fleet_co_steps_ten_thousand_cycles_against_golden_model() {
+    const TARGET_CYCLES: u64 = 10_000;
+    let fleet = standard_fleet();
+    let mut cycles = vec![0u64; fleet.len()];
+    let mut round = 0u64;
+    while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+        let mut rng = StdRng::seed_from_u64(0xD1FF_0000 + round);
+        let schedule = Schedule::random(&mut rng, 16, 200, 0.15, 4);
+        let mut golden: Option<Vec<usize>> = None;
+        for (index, (name, build)) in fleet.iter().enumerate() {
+            let mut fabric = build(16);
+            let outcome = run_schedule(&mut fabric, &schedule)
+                .unwrap_or_else(|violation| panic!("round {round}, {name}: {violation}"));
+            cycles[index] += outcome.cycles;
+            let mut delivered = outcome.delivered.clone();
+            delivered.sort_unstable();
+            match &golden {
+                None => golden = Some(delivered),
+                Some(reference) => assert_eq!(
+                    &delivered, reference,
+                    "round {round}: {name} delivered a different packet set \
+                     than the golden model"
+                ),
+            }
+        }
+        round += 1;
+    }
+    for ((name, _), simulated) in fleet.iter().zip(&cycles) {
+        assert!(
+            *simulated >= TARGET_CYCLES,
+            "{name}: only {simulated} cycles co-stepped"
+        );
+    }
+}
+
+/// Adversarial fixed patterns: single hotspot (all inputs to one
+/// output) and a full permutation, checked across the whole fleet.
+#[test]
+fn hotspot_and_permutation_schedules_agree() {
+    let hotspot = Schedule {
+        radix: 16,
+        packets: (0..16)
+            .map(|src| hirise::sim::SchedPacket {
+                inject_cycle: 0,
+                src,
+                dst: 9,
+                len_flits: 4,
+            })
+            .collect(),
+    };
+    let permutation = Schedule {
+        radix: 16,
+        packets: (0..16)
+            .map(|src| hirise::sim::SchedPacket {
+                inject_cycle: 0,
+                src,
+                dst: (src + 5) % 16,
+                len_flits: 4,
+            })
+            .collect(),
+    };
+    for schedule in [&hotspot, &permutation] {
+        for (name, build) in standard_fleet() {
+            let mut fabric = build(16);
+            let outcome = run_schedule(&mut fabric, schedule)
+                .unwrap_or_else(|violation| panic!("{name}: {violation}"));
+            assert_eq!(outcome.delivered.len(), 16, "{name}");
+        }
+    }
+}
+
+/// The full simulator runs 10k cycles per arbitration scheme (plus the
+/// two baseline fabrics) with the per-cycle invariant checker forced on:
+/// flit conservation, buffer bounds, FIFO-lane order, grant legality.
+#[test]
+fn invariant_checker_clean_for_ten_thousand_cycles_per_scheme() {
+    let sim_cfg = || {
+        SimConfig::new(16)
+            .injection_rate(0.15)
+            .warmup(0)
+            .measure(10_000)
+            .drain(2_000)
+            .check_invariants(true)
+    };
+    let audit = |checker: Option<&hirise::sim::InvariantChecker>, label: &str| {
+        let checker = checker.expect("checker was forced on");
+        assert!(
+            checker.cycles_checked() >= 10_000,
+            "{label}: only {} cycles audited",
+            checker.cycles_checked()
+        );
+        assert!(
+            checker.injected_packets() > 0,
+            "{label}: no traffic simulated"
+        );
+    };
+
+    for scheme in [
+        ArbitrationScheme::LayerToLayerLrg,
+        ArbitrationScheme::WeightedLrg,
+        ArbitrationScheme::class_based(),
+    ] {
+        let cfg = HiRiseConfig::builder(16, 4)
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration");
+        let mut sim = NetworkSim::new(HiRiseSwitch::new(&cfg), UniformRandom::new(16), sim_cfg());
+        sim.run();
+        audit(sim.checker(), &format!("hirise {scheme:?}"));
+    }
+
+    let mut sim = NetworkSim::new(Switch2d::new(16), UniformRandom::new(16), sim_cfg());
+    sim.run();
+    audit(sim.checker(), "switch2d");
+
+    let mut sim = NetworkSim::new(FoldedSwitch::new(16, 4), UniformRandom::new(16), sim_cfg());
+    sim.run();
+    audit(sim.checker(), "folded");
+}

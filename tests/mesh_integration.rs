@@ -78,7 +78,7 @@ fn layer_aware_mapping_helps_cross_traffic() {
             .seed(3);
         let mut sim = MeshSim::new(cfg, || HiRiseSwitch::new(&switch_cfg));
         let mut pattern = Custom::new("horizontal", move |input: InputId, r, rng| {
-            use rand::Rng;
+            use hirise_core::rng::Rng;
             let node = input.index() / cores_per_node;
             if !node.is_multiple_of(cols) {
                 return None;

@@ -1,12 +1,14 @@
-//! Property-based tests (proptest) of the fabric invariants that every
-//! switch implementation must uphold, run against random request
-//! streams on all three fabrics.
+//! Property-based tests of the fabric invariants that every switch
+//! implementation must uphold, run against random request streams on all
+//! three fabrics. Randomness comes from the workspace's internal seeded
+//! PRNG (`hirise_core::rng`), so every case is reproducible from the
+//! printed seed.
 
+use hirise::core::rng::{Rng, SeedableRng, StdRng};
 use hirise::core::{
     ArbitrationScheme, ChannelAllocation, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
     InputId, OutputId, Request, Switch2d,
 };
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// A scripted arbitration step: which inputs request which outputs, and
@@ -17,18 +19,25 @@ struct Step {
     releases: Vec<usize>,
 }
 
-fn steps(radix: usize, len: usize) -> impl Strategy<Value = Vec<Step>> {
-    let step = (
-        proptest::collection::vec((0..radix, 0..radix), 0..radix),
-        proptest::collection::vec(0..radix, 0..radix / 2),
-    )
-        .prop_map(|(requests, releases)| Step { requests, releases });
-    proptest::collection::vec(step, 1..len)
+fn random_script(rng: &mut StdRng, radix: usize, max_len: usize) -> Vec<Step> {
+    let len = rng.gen_range(1..max_len.max(2));
+    (0..len)
+        .map(|_| {
+            let n_req = rng.gen_range(0..radix.max(1));
+            let n_rel = rng.gen_range(0..(radix / 2).max(1));
+            Step {
+                requests: (0..n_req)
+                    .map(|_| (rng.gen_range(0..radix), rng.gen_range(0..radix)))
+                    .collect(),
+                releases: (0..n_rel).map(|_| rng.gen_range(0..radix)).collect(),
+            }
+        })
+        .collect()
 }
 
 /// Drives a fabric through a request/release script, checking the
 /// structural invariants at every step.
-fn check_fabric_invariants<F: Fabric>(mut fabric: F, script: &[Step]) {
+fn check_fabric_invariants<F: Fabric>(mut fabric: F, script: &[Step], seed: u64) {
     let radix = fabric.radix();
     for step in script {
         for &input in &step.releases {
@@ -53,22 +62,25 @@ fn check_fabric_invariants<F: Fabric>(mut fabric: F, script: &[Step]) {
                 step.requests
                     .iter()
                     .any(|&(i, o)| i == grant.input.index() && o == grant.output.index()),
-                "grant {grant:?} without a matching request"
+                "seed {seed}: grant {grant:?} without a matching request"
             );
         }
         // 2. No output or input appears in two grants.
         let mut outs = HashSet::new();
         let mut ins = HashSet::new();
         for grant in &grants {
-            assert!(outs.insert(grant.output), "output double-granted");
-            assert!(ins.insert(grant.input), "input double-granted");
+            assert!(
+                outs.insert(grant.output),
+                "seed {seed}: output double-granted"
+            );
+            assert!(ins.insert(grant.input), "seed {seed}: input double-granted");
         }
         // 3. Pre-existing connections survive arbitration untouched.
         for &(i, o) in &held_before {
             assert_eq!(
                 fabric.connection(InputId::new(i)),
                 Some(OutputId::new(o)),
-                "held connection disturbed"
+                "seed {seed}: held connection disturbed"
             );
         }
         // 4. Connection table is consistent: every connected input's
@@ -77,58 +89,66 @@ fn check_fabric_invariants<F: Fabric>(mut fabric: F, script: &[Step]) {
         for i in 0..radix {
             if let Some(o) = fabric.connection(InputId::new(i)) {
                 active += 1;
-                assert!(fabric.output_busy(o));
+                assert!(fabric.output_busy(o), "seed {seed}: stale output state");
             }
         }
-        assert_eq!(active, fabric.active_connections());
+        assert_eq!(active, fabric.active_connections(), "seed {seed}");
         // 5. No two inputs share an output.
         let mut seen = HashSet::new();
         for i in 0..radix {
             if let Some(o) = fabric.connection(InputId::new(i)) {
-                assert!(seen.insert(o), "two inputs connected to {o}");
+                assert!(seen.insert(o), "seed {seed}: two inputs connected to {o}");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn switch2d_invariants(script in steps(16, 20)) {
-        check_fabric_invariants(Switch2d::new(16), &script);
+#[test]
+fn switch2d_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2D00 + seed);
+        let script = random_script(&mut rng, 16, 20);
+        check_fabric_invariants(Switch2d::new(16), &script, seed);
     }
+}
 
-    #[test]
-    fn folded_invariants(script in steps(16, 20)) {
-        check_fabric_invariants(FoldedSwitch::new(16, 4), &script);
+#[test]
+fn folded_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF01D + seed);
+        let script = random_script(&mut rng, 16, 20);
+        check_fabric_invariants(FoldedSwitch::new(16, 4), &script, seed);
     }
+}
 
-    #[test]
-    fn hirise_invariants_all_schemes(
-        script in steps(16, 16),
-        scheme_pick in 0u8..3,
-        c in prop_oneof![Just(1usize), Just(2)],
-    ) {
-        let scheme = match scheme_pick {
+#[test]
+fn hirise_invariants_all_schemes() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x31D0 + seed);
+        let script = random_script(&mut rng, 16, 16);
+        let scheme = match rng.gen_range(0..3u32) {
             0 => ArbitrationScheme::LayerToLayerLrg,
             1 => ArbitrationScheme::WeightedLrg,
             _ => ArbitrationScheme::class_based(),
         };
+        let c = rng.gen_range(1..3usize);
         let cfg = HiRiseConfig::builder(16, 4)
             .channel_multiplicity(c)
             .scheme(scheme)
             .build()
             .expect("valid configuration");
-        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script);
+        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script, seed);
     }
+}
 
-    #[test]
-    fn hirise_invariants_allocation_policies(
-        script in steps(16, 16),
-        alloc_pick in 0u8..3,
-    ) {
-        let allocation = match alloc_pick {
+#[test]
+fn hirise_invariants_allocation_policies() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA110 + seed);
+        let script = random_script(&mut rng, 16, 16);
+        let allocation = match rng.gen_range(0..3u32) {
             0 => ChannelAllocation::InputBinned,
             1 => ChannelAllocation::OutputBinned,
             _ => ChannelAllocation::PriorityBased,
@@ -138,28 +158,33 @@ proptest! {
             .allocation(allocation)
             .build()
             .expect("valid configuration");
-        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script);
+        check_fabric_invariants(HiRiseSwitch::new(&cfg), &script, seed);
     }
+}
 
-    /// A persistent requestor is always served within a bounded number
-    /// of cycles (starvation freedom, §III-B1), whatever the contention.
-    #[test]
-    fn hirise_starvation_freedom(
-        contenders in proptest::collection::hash_set(0usize..64, 2..12),
-        target in 0usize..64,
-        scheme_pick in 0u8..3,
-    ) {
-        let scheme = match scheme_pick {
+/// A persistent requestor is always served within a bounded number of
+/// cycles (starvation freedom, §III-B1), whatever the contention.
+#[test]
+fn hirise_starvation_freedom() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57A2 + seed);
+        let scheme = match rng.gen_range(0..3u32) {
             0 => ArbitrationScheme::LayerToLayerLrg,
             1 => ArbitrationScheme::WeightedLrg,
             _ => ArbitrationScheme::class_based(),
         };
+        let target = rng.gen_range(0..64usize);
+        let n_contenders = rng.gen_range(2..12usize);
+        let mut contender_set = HashSet::new();
+        while contender_set.len() < n_contenders {
+            contender_set.insert(rng.gen_range(0..64usize));
+        }
         let cfg = HiRiseConfig::builder(64, 4)
             .scheme(scheme)
             .build()
             .expect("valid configuration");
         let mut sw = HiRiseSwitch::new(&cfg);
-        let contenders: Vec<usize> = contenders.into_iter().collect();
+        let contenders: Vec<usize> = contender_set.into_iter().collect();
         let mut pending: HashSet<usize> = contenders.iter().copied().collect();
         // Everyone requests the same output every cycle until served
         // once; all must be served within a generous bound.
@@ -177,6 +202,9 @@ proptest! {
                 sw.release(grant.input);
             }
         }
-        prop_assert!(pending.is_empty(), "starved inputs: {pending:?}");
+        assert!(
+            pending.is_empty(),
+            "seed {seed}: starved inputs: {pending:?}"
+        );
     }
 }
