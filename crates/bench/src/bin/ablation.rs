@@ -12,6 +12,7 @@ use hirise_core::{
     ArbitrationScheme, ChannelAllocation, HiRiseConfig, HiRiseConfigBuilder, HiRiseSwitch, InputId,
     LocalArbiterKind, OutputId, Request,
 };
+use hirise_lab::saturation_throughput;
 use hirise_sim::traffic::{paper_adversarial, UniformRandom, WorstCaseL2lc};
 use hirise_sim::NetworkSim;
 
@@ -20,10 +21,11 @@ fn base_builder() -> HiRiseConfigBuilder {
 }
 
 fn ur_saturation(cfg: &HiRiseConfig, scale: &RunScale) -> f64 {
-    let sim = scale.sim_config(64).injection_rate(1.0).drain(0);
-    NetworkSim::new(HiRiseSwitch::new(cfg), UniformRandom::new(64), sim)
-        .run()
-        .accepted_rate()
+    saturation_throughput(
+        HiRiseSwitch::new(cfg),
+        UniformRandom::new(64),
+        &scale.sim_config(64),
+    )
 }
 
 /// Unfairness of the adversarial pattern: throughput of input 20 over
@@ -146,18 +148,16 @@ fn allocation_sweep(scale: &RunScale) {
             .allocation(policy)
             .build()
             .expect("valid configuration");
-        let worst = {
-            let sim = scale.sim_config(64).injection_rate(1.0).drain(0);
-            NetworkSim::new(HiRiseSwitch::new(&cfg), WorstCaseL2lc::new(64, 4), sim)
-                .run()
-                .accepted_rate()
-        };
-        let anti = {
-            let sim = scale.sim_config(64).injection_rate(1.0).drain(0);
-            NetworkSim::new(HiRiseSwitch::new(&cfg), anti_binning(64, 4), sim)
-                .run()
-                .accepted_rate()
-        };
+        let worst = saturation_throughput(
+            HiRiseSwitch::new(&cfg),
+            WorstCaseL2lc::new(64, 4),
+            &scale.sim_config(64),
+        );
+        let anti = saturation_throughput(
+            HiRiseSwitch::new(&cfg),
+            anti_binning(64, 4),
+            &scale.sim_config(64),
+        );
         table.add_row([
             name.to_string(),
             format!("{:.3}", ur_saturation(&cfg, scale)),

@@ -4,19 +4,25 @@
 //!
 //! Latency is simulated in cycles and scaled by each design's clock
 //! period; load in packets/input/ns is mapped to packets/input/cycle
-//! per design frequency, so the x-axis matches the paper's.
+//! per design frequency, so the x-axis matches the paper's. Each
+//! design's curve runs as a parallel `hirise_lab` campaign.
 
-use hirise_bench::{build_fabric, RunScale, Table};
+use hirise_bench::{RunScale, Table};
 use hirise_core::{ArbitrationScheme, HiRiseConfig};
-use hirise_phys::{ns_from_cycles, SwitchDesign};
-use hirise_sim::traffic::UniformRandom;
-use hirise_sim::NetworkSim;
+use hirise_lab::{default_threads, latency_curve, FabricSpec, PatternSpec, DEFAULT_SEED};
+use hirise_phys::ns_from_cycles;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut designs: Vec<(&str, SwitchDesign)> = vec![
-        ("2D", SwitchDesign::flat_2d(64)),
-        ("3D Folded", SwitchDesign::folded(64, 4)),
+    let mut specs: Vec<(&str, FabricSpec)> = vec![
+        ("2D", FabricSpec::Flat2d { radix: 64 }),
+        (
+            "3D Folded",
+            FabricSpec::Folded {
+                radix: 64,
+                layers: 4,
+            },
+        ),
     ];
     for c in [4usize, 2, 1] {
         let cfg = HiRiseConfig::builder(64, 4)
@@ -29,36 +35,52 @@ fn main() {
             2 => "3D 2-Channel",
             _ => "3D 1-Channel",
         };
-        designs.push((name, SwitchDesign::hirise(&cfg)));
+        specs.push((name, FabricSpec::hirise(cfg)));
     }
 
     println!("Fig. 10: latency (ns) vs load (packets/input/ns), uniform random\n");
     let loads_per_ns: Vec<f64> = (1..=7).map(|i| 0.05 * i as f64).collect();
     let mut headers = vec!["load(p/ns)".to_string()];
-    headers.extend(designs.iter().map(|(n, _)| n.to_string()));
+    headers.extend(specs.iter().map(|(n, _)| n.to_string()));
     let mut table = Table::new(headers);
 
-    for &load in &loads_per_ns {
+    let threads = default_threads();
+    let sim = scale.sim_params();
+    // One parallel curve per design; loads past 1 packet/cycle are
+    // unreachable for that clock and render as "-".
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for (_, fabric) in &specs {
+        let freq = fabric.design().frequency_ghz();
+        let feasible: Vec<f64> = loads_per_ns
+            .iter()
+            .map(|&load| load / freq)
+            .filter(|&rate| rate < 1.0)
+            .collect();
+        let points = latency_curve(
+            fabric,
+            &PatternSpec::Uniform,
+            &feasible,
+            &sim,
+            DEFAULT_SEED,
+            threads,
+        );
+        let mut column: Vec<String> = points
+            .iter()
+            .map(|p| {
+                if p.stable {
+                    format!("{:.2}", ns_from_cycles(p.latency_cycles, freq))
+                } else {
+                    "sat".into()
+                }
+            })
+            .collect();
+        column.resize(loads_per_ns.len(), "-".into());
+        columns.push(column);
+    }
+
+    for (row, &load) in loads_per_ns.iter().enumerate() {
         let mut cells = vec![format!("{load:.2}")];
-        for (_, design) in &designs {
-            let freq = design.frequency_ghz();
-            let rate_per_cycle = load / freq;
-            if rate_per_cycle >= 1.0 {
-                cells.push("-".into());
-                continue;
-            }
-            let cfg = scale.sim_config(64).injection_rate(rate_per_cycle);
-            let report =
-                NetworkSim::new(build_fabric(design.point()), UniformRandom::new(64), cfg).run();
-            if report.is_stable() {
-                cells.push(format!(
-                    "{:.2}",
-                    ns_from_cycles(report.avg_latency_cycles(), freq)
-                ));
-            } else {
-                cells.push("sat".into());
-            }
-        }
+        cells.extend(columns.iter().map(|col| col[row].clone()));
         table.add_row(cells);
     }
     table.print();

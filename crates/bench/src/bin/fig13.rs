@@ -3,12 +3,17 @@
 //! simulates it flit-by-flit — XY dimension-ordered routing in the
 //! plane, the 3D switch providing the Z dimension inside each hop —
 //! and reports latency/throughput at increasing load.
+//!
+//! The load sweep runs as one parallel `hirise_lab` campaign over a
+//! `Topology::Mesh`; the port-mapping comparison needs a closure-based
+//! traffic pattern and stays on the direct `MeshSim` API.
 
 use hirise_bench::{RunScale, Table};
 use hirise_core::{HiRiseConfig, HiRiseSwitch, InputId, OutputId};
+use hirise_lab::{default_threads, CampaignSpec, FabricSpec, PatternSpec, Topology};
 use hirise_phys::SwitchDesign;
 use hirise_sim::mesh_sim::{MeshPortMap, MeshSim, MeshSimConfig};
-use hirise_sim::traffic::{Custom, UniformRandom};
+use hirise_sim::traffic::Custom;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -26,6 +31,24 @@ fn main() {
          {freq:.2} GHz\n"
     );
 
+    let loads_per_ns: Vec<f64> = (1..=6).map(|step| 0.002 * step as f64).collect();
+    let spec = CampaignSpec::new("fig13-mesh")
+        .topology(Topology::Mesh {
+            cols,
+            rows,
+            ports_per_direction: ports_per_dir,
+            layer_aware: None,
+        })
+        .fabric(FabricSpec::hirise(switch_cfg.clone()))
+        .pattern(PatternSpec::Uniform)
+        .loads(loads_per_ns.iter().map(|&l| l / freq))
+        .sim(
+            scale
+                .sim_params()
+                .cycles(scale.warmup / 2, scale.measure / 2, scale.drain),
+        );
+    let results = spec.run(default_threads());
+
     let mut table = Table::new([
         "load(p/core/ns)",
         "accepted(p/ns)",
@@ -33,23 +56,13 @@ fn main() {
         "avg hops",
         "stable",
     ]);
-    for step in 1..=6 {
-        let load_per_ns = 0.002 * step as f64;
-        let rate = load_per_ns / freq;
-        let cfg = MeshSimConfig::new(cols, rows, ports_per_dir)
-            .injection_rate(rate)
-            .warmup(scale.warmup / 2)
-            .measure(scale.measure / 2)
-            .drain(scale.drain);
-        let mut sim = MeshSim::new(cfg, || HiRiseSwitch::new(&switch_cfg));
-        let mut pattern = UniformRandom::new(sim.total_cores());
-        let report = sim.run(&mut pattern);
+    for (result, &load_per_ns) in results.iter().zip(&loads_per_ns) {
         table.add_row([
             format!("{load_per_ns:.3}"),
-            format!("{:.2}", report.accepted_rate() * freq),
-            format!("{:.2}", report.avg_latency_cycles() / freq),
-            format!("{:.2}", report.avg_hops()),
-            format!("{}", report.is_stable()),
+            format!("{:.2}", result.metrics.accepted_rate * freq),
+            format!("{:.2}", result.metrics.avg_latency_cycles / freq),
+            format!("{:.2}", result.metrics.avg_hops.unwrap_or(f64::NAN)),
+            format!("{}", result.metrics.stable),
         ]);
     }
     table.print();

@@ -5,16 +5,32 @@
 //! Paper: 10.65 Tbps; +15% throughput, −33% area, −20% latency, −38%
 //! energy vs 2D.
 
-use hirise_bench::{build_fabric, saturation_tbps, RunScale};
+use hirise_bench::{saturation_tbps, RunScale};
 use hirise_core::HiRiseConfig;
+use hirise_lab::{default_threads, CampaignSpec, FabricSpec, PatternSpec};
 use hirise_phys::{ns_from_cycles, SwitchDesign};
-use hirise_sim::traffic::UniformRandom;
-use hirise_sim::NetworkSim;
 
-fn zero_load_latency_ns(design: &SwitchDesign, scale: &RunScale) -> f64 {
-    let cfg = scale.sim_config(64).injection_rate(0.005);
-    let report = NetworkSim::new(build_fabric(design.point()), UniformRandom::new(64), cfg).run();
-    ns_from_cycles(report.avg_latency_cycles(), design.frequency_ghz())
+/// Zero-load latency (ns) of both designs, simulated as one two-job
+/// `hirise_lab` campaign at a near-zero offered load.
+fn zero_load_latencies_ns(
+    flat: &SwitchDesign,
+    hirise: &SwitchDesign,
+    scale: &RunScale,
+) -> (f64, f64) {
+    let spec = CampaignSpec::new("headline-zero-load")
+        .fabric(FabricSpec::from_point(flat.point()))
+        .fabric(FabricSpec::from_point(hirise.point()))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.005])
+        .sim(scale.sim_params());
+    let results = spec.run(default_threads());
+    (
+        ns_from_cycles(results[0].metrics.avg_latency_cycles, flat.frequency_ghz()),
+        ns_from_cycles(
+            results[1].metrics.avg_latency_cycles,
+            hirise.frequency_ghz(),
+        ),
+    )
 }
 
 fn main() {
@@ -24,8 +40,7 @@ fn main() {
 
     let t_flat = saturation_tbps(&flat, &scale);
     let t_hirise = saturation_tbps(&hirise, &scale);
-    let l_flat = zero_load_latency_ns(&flat, &scale);
-    let l_hirise = zero_load_latency_ns(&hirise, &scale);
+    let (l_flat, l_hirise) = zero_load_latencies_ns(&flat, &hirise, &scale);
 
     println!("Headline: Hi-Rise 64-radix 4-channel 4-layer CLRG vs 2D\n");
     println!(

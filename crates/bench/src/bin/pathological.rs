@@ -3,20 +3,19 @@
 //! another layer. The paper bounds the 3D switch at 1/4 of the flat 2D
 //! throughput in this corner.
 
-use hirise_bench::{build_fabric, RunScale};
+use hirise_bench::RunScale;
 use hirise_core::HiRiseConfig;
-use hirise_phys::{packets_per_ns, SwitchDesign};
-use hirise_sim::traffic::{UniformRandom, WorstCaseL2lc};
-use hirise_sim::{NetworkSim, SimConfig};
+use hirise_lab::saturation_packets_per_ns;
+use hirise_phys::SwitchDesign;
+use hirise_sim::traffic::{TrafficPattern, UniformRandom, WorstCaseL2lc};
 
 fn saturation(design: &SwitchDesign, pattern_worst: bool, scale: &RunScale) -> f64 {
-    let cfg: SimConfig = scale.sim_config(64).injection_rate(1.0).drain(0);
-    let report = if pattern_worst {
-        NetworkSim::new(build_fabric(design.point()), WorstCaseL2lc::new(64, 4), cfg).run()
+    let pattern: Box<dyn TrafficPattern> = if pattern_worst {
+        Box::new(WorstCaseL2lc::new(64, 4))
     } else {
-        NetworkSim::new(build_fabric(design.point()), UniformRandom::new(64), cfg).run()
+        Box::new(UniformRandom::new(64))
     };
-    packets_per_ns(report.accepted_rate(), design.frequency_ghz())
+    saturation_packets_per_ns(design, pattern, &scale.sim_params())
 }
 
 fn main() {

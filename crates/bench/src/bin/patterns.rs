@@ -7,22 +7,20 @@
 //! its L2LCs; inter-layer-heavy permutations (tornado, bit complement)
 //! stress them.
 
-use hirise_bench::{build_fabric, RunScale, Table};
+use hirise_bench::{RunScale, Table};
 use hirise_core::HiRiseConfig;
-use hirise_phys::{packets_per_ns, SwitchDesign};
+use hirise_lab::saturation_packets_per_ns;
+use hirise_phys::SwitchDesign;
 use hirise_sim::traffic::{
     BitComplement, Bursty, InterLayerOnly, NeighborShift, RandomPermutation, Tornado,
     TrafficPattern, Transpose, UniformRandom,
 };
-use hirise_sim::NetworkSim;
 
 /// Factory for a boxed traffic pattern.
 type PatternFactory = fn() -> Box<dyn TrafficPattern>;
 
 fn saturation(design: &SwitchDesign, pattern: Box<dyn TrafficPattern>, scale: &RunScale) -> f64 {
-    let cfg = scale.sim_config(64).injection_rate(1.0).drain(0);
-    let report = NetworkSim::new(build_fabric(design.point()), pattern, cfg).run();
-    packets_per_ns(report.accepted_rate(), design.frequency_ghz())
+    saturation_packets_per_ns(design, pattern, &scale.sim_params())
 }
 
 fn main() {

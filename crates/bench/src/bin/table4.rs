@@ -2,15 +2,19 @@
 //! 64-radix — 2D, 3D folded, and Hi-Rise with channel multiplicity
 //! 4, 2 and 1 (baseline L-2-L LRG arbitration, as in the paper's
 //! datapath study §VI-A).
+//!
+//! The throughput column is the expensive part (five overload
+//! simulations), so it runs as one parallel `hirise_lab` campaign;
+//! the analytic cost-model columns are filled in per design.
 
 use hirise_bench::{CostRow, RunScale, Table};
 use hirise_core::{ArbitrationScheme, HiRiseConfig};
-use hirise_phys::SwitchDesign;
+use hirise_lab::{default_threads, CampaignSpec, FabricSpec, PatternSpec};
+use hirise_phys::{tbps, SwitchDesign};
 
 fn main() {
     let scale = RunScale::from_args();
     println!("Table IV: 64-radix design space, 4 layers, uniform random\n");
-    let mut table = Table::new(CostRow::headers());
     let mut rows = vec![
         ("2D", SwitchDesign::flat_2d(64)),
         ("3D Folded", SwitchDesign::folded(64, 4)),
@@ -30,8 +34,36 @@ fn main() {
             SwitchDesign::hirise(&cfg),
         ));
     }
-    for (name, design) in rows {
-        table.add_row(CostRow::measure(name, &design, &scale).cells());
+
+    // One overload job per design (rate 1.0, no drain: the standard
+    // saturation point — see `hirise_lab::saturation`). With a single
+    // pattern/load/replicate the job index equals the fabric index.
+    let mut spec = CampaignSpec::new("table4-throughput")
+        .pattern(PatternSpec::Uniform)
+        .loads([1.0])
+        .sim(scale.sim_params().drain(0));
+    for (_, design) in &rows {
+        spec = spec.fabric(FabricSpec::from_point(design.point()));
+    }
+    let results = spec.run(default_threads());
+
+    let mut table = Table::new(CostRow::headers());
+    for ((name, design), result) in rows.iter().zip(&results) {
+        let row = CostRow {
+            design: name.to_string(),
+            configuration: design.label(),
+            area_mm2: design.area_mm2(),
+            frequency_ghz: design.frequency_ghz(),
+            energy_pj: design.energy_per_transaction_pj(),
+            throughput_tbps: tbps(
+                result.metrics.accepted_rate,
+                design.frequency_ghz(),
+                design.point().flit_bits(),
+                4,
+            ),
+            tsvs: design.tsv_count(),
+        };
+        table.add_row(row.cells());
     }
     table.print();
     println!();

@@ -1,9 +1,10 @@
 //! Canonical experiment runs shared by the table/figure binaries.
 
-use hirise_core::{Fabric, FoldedSwitch, HiRiseSwitch, Switch2d};
+use hirise_core::Fabric;
+use hirise_lab::{saturation_throughput, FabricSpec, SimParams};
 use hirise_phys::{tbps, DesignPoint, SwitchDesign};
 use hirise_sim::traffic::UniformRandom;
-use hirise_sim::{saturation_throughput, SimConfig};
+use hirise_sim::SimConfig;
 
 /// Simulation lengths for experiments: `full` for the published
 /// numbers, `quick` for a fast smoke run (pass `quick` on the command
@@ -58,20 +59,21 @@ impl RunScale {
             .measure(self.measure)
             .drain(self.drain)
     }
+
+    /// The equivalent campaign-runner [`SimParams`] for this scale.
+    pub fn sim_params(&self) -> SimParams {
+        SimParams::new().cycles(self.warmup, self.measure, self.drain)
+    }
 }
 
 /// Builds the behavioural fabric for a physical design point.
 pub fn build_fabric(point: &DesignPoint) -> Box<dyn Fabric> {
-    match point {
-        DesignPoint::Flat2d { radix, .. } => Box::new(Switch2d::new(*radix)),
-        DesignPoint::Folded { radix, layers, .. } => Box::new(FoldedSwitch::new(*radix, *layers)),
-        DesignPoint::HiRise(cfg) => Box::new(HiRiseSwitch::new(cfg)),
-        _ => unreachable!("all design points are covered"),
-    }
+    FabricSpec::from_point(point).build()
 }
 
 /// Measures uniform-random saturation throughput in Tbps for a design
-/// (simulated packets/cycle scaled by the design's clock).
+/// (simulated packets/cycle scaled by the design's clock). The
+/// saturation methodology lives in `hirise_lab::saturation`.
 pub fn saturation_tbps(design: &SwitchDesign, scale: &RunScale) -> f64 {
     let radix = design.point().radix();
     let fabric = build_fabric(design.point());

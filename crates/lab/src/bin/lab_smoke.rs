@@ -1,0 +1,172 @@
+//! CI smoke check and speedup probe for the campaign runner.
+//!
+//! Default mode runs a small two-fabric × two-load campaign on two
+//! threads, writes its JSONL telemetry, then re-reads and validates
+//! every line — exercising the whole spec → runner → sink → parser
+//! path in a few seconds.
+//!
+//! `--speedup` runs a Fig. 10-scale campaign (five 64-radix fabrics ×
+//! seven loads at full methodology cycles) once on one thread and once
+//! on N threads, asserts the two JSONL files are byte-identical, and
+//! reports the wall-clock speedup.
+//!
+//! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup]`
+
+use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_lab::{
+    default_threads, json, CampaignSpec, FabricSpec, PatternSpec, Silent, SimParams, Stderr,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn parse_args() -> (usize, PathBuf, bool) {
+    let mut threads = 2;
+    let mut out =
+        std::env::temp_dir().join(format!("hirise-lab-smoke-{}.jsonl", std::process::id()));
+    let mut speedup = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a path"));
+            }
+            "--speedup" => speedup = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: lab_smoke [--threads N] [--out PATH] [--speedup]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (threads, out, speedup)
+}
+
+/// Validates a finalized campaign file: the header and every record
+/// must parse, record count must match, and job indices must be 0..n.
+fn validate_jsonl(path: &std::path::Path, expected_jobs: usize) {
+    let content = std::fs::read_to_string(path).expect("telemetry file readable");
+    let mut lines = content.lines();
+    let header = json::parse(lines.next().expect("header line")).expect("header parses");
+    assert_eq!(
+        header.get("jobs").and_then(json::Json::as_u64),
+        Some(expected_jobs as u64),
+        "header job count"
+    );
+    let mut count = 0usize;
+    for line in lines {
+        let record = json::parse(line).unwrap_or_else(|e| panic!("record {count} parses: {e}"));
+        assert_eq!(
+            record.get("job").and_then(json::Json::as_u64),
+            Some(count as u64),
+            "records are sorted by job index"
+        );
+        for field in ["accepted_rate", "avg_latency_cycles", "violations", "hist"] {
+            assert!(record.get(field).is_some(), "record has {field}");
+        }
+        count += 1;
+    }
+    assert_eq!(count, expected_jobs, "one record per job");
+}
+
+fn smoke(threads: usize, out: PathBuf) {
+    let spec = CampaignSpec::new("ci-smoke")
+        .fabric(FabricSpec::Flat2d { radix: 16 })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(16, 2)
+                .channel_multiplicity(2)
+                .build()
+                .expect("valid configuration"),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.05, 0.15])
+        .sim(SimParams::quick());
+    let jobs = spec.jobs().len();
+    let _ = std::fs::remove_file(&out);
+
+    let start = Instant::now();
+    let outcome = spec
+        .run_to_file(&out, threads, &Stderr)
+        .expect("campaign runs");
+    assert_eq!(outcome.ran, jobs);
+    validate_jsonl(&out, jobs);
+    println!(
+        "smoke ok: {jobs} jobs on {threads} threads in {:.2}s, telemetry at {}",
+        start.elapsed().as_secs_f64(),
+        out.display()
+    );
+}
+
+/// The Fig. 10 grid: 2D, folded, and the three Hi-Rise channel
+/// multiplicities at 64 radix, uniform random, seven loads.
+fn fig10_scale_spec(name: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(name)
+        .fabric(FabricSpec::Flat2d { radix: 64 })
+        .fabric(FabricSpec::Folded {
+            radix: 64,
+            layers: 4,
+        });
+    for c in [4usize, 2, 1] {
+        spec = spec.fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(64, 4)
+                .channel_multiplicity(c)
+                .scheme(ArbitrationScheme::LayerToLayerLrg)
+                .build()
+                .expect("valid configuration"),
+        ));
+    }
+    spec.pattern(PatternSpec::Uniform)
+        .loads((1..=7).map(|i| 0.02 * i as f64))
+        .sim(SimParams::full())
+}
+
+fn speedup(threads: usize, out: PathBuf) {
+    let threads = threads.max(default_threads().min(8));
+    let spec = fig10_scale_spec("fig10-speedup");
+    let jobs = spec.jobs().len();
+    let serial_out = out.with_extension("t1.jsonl");
+    let parallel_out = out.with_extension(format!("t{threads}.jsonl"));
+    let _ = std::fs::remove_file(&serial_out);
+    let _ = std::fs::remove_file(&parallel_out);
+
+    eprintln!("running {jobs} jobs on 1 thread...");
+    let start = Instant::now();
+    spec.run_to_file(&serial_out, 1, &Silent)
+        .expect("serial run");
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    eprintln!("running {jobs} jobs on {threads} threads...");
+    let start = Instant::now();
+    spec.run_to_file(&parallel_out, threads, &Silent)
+        .expect("parallel run");
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    let a = std::fs::read(&serial_out).expect("serial telemetry");
+    let b = std::fs::read(&parallel_out).expect("parallel telemetry");
+    assert_eq!(
+        a, b,
+        "1-thread and {threads}-thread JSONL must be byte-identical"
+    );
+    validate_jsonl(&serial_out, jobs);
+
+    println!(
+        "speedup ok: {jobs} jobs, 1 thread {serial_secs:.1}s vs {threads} threads \
+         {parallel_secs:.1}s -> {:.2}x, outputs byte-identical ({} bytes)",
+        serial_secs / parallel_secs,
+        a.len()
+    );
+}
+
+fn main() {
+    let (threads, out, want_speedup) = parse_args();
+    if want_speedup {
+        speedup(threads, out);
+    } else {
+        smoke(threads, out);
+    }
+}

@@ -1,0 +1,138 @@
+//! Campaign execution: expanding a spec, fanning jobs out over worker
+//! threads, and streaming telemetry to the JSONL checkpoint.
+
+use crate::progress::{Progress, Silent};
+use crate::result::JobResult;
+use crate::runner;
+use crate::sink::JsonlSink;
+use crate::spec::{CampaignSpec, Job};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// What a [`CampaignSpec::run_to_file`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Jobs in the campaign's expansion.
+    pub total: usize,
+    /// Jobs executed by this call.
+    pub ran: usize,
+    /// Jobs skipped because a resumed checkpoint already had them.
+    pub skipped: usize,
+}
+
+impl CampaignSpec {
+    /// Runs the whole campaign on `threads` workers, silently, and
+    /// returns the results in job order. Results are bit-identical for
+    /// any thread count.
+    pub fn run(&self, threads: usize) -> Vec<JobResult> {
+        self.run_with_progress(threads, &Silent)
+    }
+
+    /// [`run`](Self::run) with a progress observer.
+    pub fn run_with_progress(&self, threads: usize, progress: &dyn Progress) -> Vec<JobResult> {
+        let jobs = self.jobs();
+        runner::execute(self, &jobs, threads, progress, &|_, _| {})
+    }
+
+    /// Runs the campaign with JSONL telemetry and checkpoint/resume at
+    /// `path`.
+    ///
+    /// If `path` already holds a checkpoint of this exact campaign
+    /// (matching spec digest), its completed jobs are skipped and only
+    /// the remainder runs. Completed records are appended and flushed
+    /// as they finish; on completion the file is atomically rewritten
+    /// in job order, so the final bytes are identical regardless of
+    /// thread count or where an earlier run was interrupted.
+    pub fn run_to_file(
+        &self,
+        path: &Path,
+        threads: usize,
+        progress: &dyn Progress,
+    ) -> io::Result<CampaignOutcome> {
+        let jobs = self.jobs();
+        let sink = JsonlSink::create_or_resume(path, &self.name, self.digest(), jobs.len())?;
+        let done: BTreeSet<usize> = sink.completed().collect();
+        let pending: Vec<Job> = jobs
+            .iter()
+            .filter(|j| !done.contains(&j.index))
+            .cloned()
+            .collect();
+
+        let sink = Mutex::new(sink);
+        let sink_errors = Mutex::new(Vec::<io::Error>::new());
+        runner::execute(self, &pending, threads, progress, &|_, result| {
+            let mut guard = sink.lock().expect("sink poisoned");
+            if let Err(e) = guard.record(result) {
+                sink_errors.lock().expect("error list poisoned").push(e);
+            }
+        });
+        if let Some(e) = sink_errors
+            .into_inner()
+            .expect("error list poisoned")
+            .into_iter()
+            .next()
+        {
+            return Err(e);
+        }
+
+        let mut sink = sink.into_inner().expect("sink poisoned");
+        sink.finalize()?;
+        Ok(CampaignOutcome {
+            total: jobs.len(),
+            ran: pending.len(),
+            skipped: done.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FabricSpec, PatternSpec, SimParams};
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("campaign-test")
+            .fabric(FabricSpec::Flat2d { radix: 8 })
+            .pattern(PatternSpec::Uniform)
+            .loads([0.05, 0.15])
+            .sim(SimParams::new().cycles(100, 500, 500))
+    }
+
+    #[test]
+    fn run_returns_results_in_job_order() {
+        let results = spec().run(2);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
+        assert!(results.iter().all(|r| r.metrics.stable));
+    }
+
+    #[test]
+    fn run_to_file_reports_outcome_and_resumes() {
+        let path =
+            std::env::temp_dir().join(format!("hirise-lab-campaign-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let spec = spec();
+
+        let first = spec.run_to_file(&path, 2, &Silent).unwrap();
+        assert_eq!(
+            first,
+            CampaignOutcome {
+                total: 2,
+                ran: 2,
+                skipped: 0
+            }
+        );
+        let second = spec.run_to_file(&path, 2, &Silent).unwrap();
+        assert_eq!(
+            second,
+            CampaignOutcome {
+                total: 2,
+                ran: 0,
+                skipped: 2
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Deterministic parallel experiment campaigns for the Hi-Rise
+//! reproduction.
+//!
+//! The paper's evaluation is a grid: switch fabrics × arbitration
+//! schemes × channel allocations × traffic patterns × offered loads,
+//! replicated over seeds. This crate turns that grid into a first-class
+//! object — a [`CampaignSpec`] — and runs it:
+//!
+//! * **Declarative specs** ([`spec`]): a campaign expands into
+//!   independent [`Job`]s, each with a seed derived purely from the
+//!   master seed and the job's grid position.
+//! * **Deterministic parallelism** ([`runner`]): plain `std::thread`
+//!   workers pull jobs off a shared cursor; because seeds are
+//!   position-derived and results are reassembled in job order, output
+//!   is bit-identical at any thread count.
+//! * **Streaming observability**: every job keeps the full
+//!   `hirise_sim::LatencyHistogram` (log-bucketed, mergeable, no sample
+//!   cap), per-port counters, and any invariant violations recorded by
+//!   the simulator instead of panicking.
+//! * **Telemetry and checkpointing** ([`sink`]): results stream to a
+//!   JSONL file that doubles as a checkpoint — an interrupted campaign
+//!   resumes by skipping completed jobs, and the finalized file is
+//!   byte-identical to an uninterrupted run. CSV export rides along.
+//! * **Shared methodology** ([`saturation`], [`sweep`]): the single
+//!   definitions of saturation measurement, the stability criterion,
+//!   and latency-vs-load curves that the experiment binaries build on.
+//!
+//! # Example
+//!
+//! ```
+//! use hirise_lab::{CampaignSpec, FabricSpec, PatternSpec, SimParams};
+//!
+//! let spec = CampaignSpec::new("doc-example")
+//!     .fabric(FabricSpec::Flat2d { radix: 8 })
+//!     .pattern(PatternSpec::Uniform)
+//!     .loads([0.05, 0.15])
+//!     .sim(SimParams::new().cycles(100, 500, 500));
+//! let results = spec.run(2);
+//! assert_eq!(results.len(), 2);
+//! assert!(results.iter().all(|r| r.metrics.stable));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod json;
+pub mod progress;
+pub mod result;
+pub mod runner;
+pub mod saturation;
+pub mod sink;
+pub mod spec;
+pub mod sweep;
+
+pub use campaign::CampaignOutcome;
+pub use progress::{Progress, Silent, Stderr};
+pub use result::{JobResult, Metrics};
+pub use runner::default_threads;
+pub use saturation::{overload_report, saturation_packets_per_ns, saturation_throughput};
+pub use sink::{write_csv, JsonlSink};
+pub use spec::{
+    derive_seed, CampaignSpec, FabricSpec, Job, PatternSpec, SimParams, Topology, DEFAULT_SEED,
+};
+pub use sweep::{latency_curve, LoadPoint};

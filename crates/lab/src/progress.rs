@@ -1,0 +1,76 @@
+//! Campaign progress reporting.
+//!
+//! The runner calls [`Progress::job_done`] from worker threads as each
+//! job completes; implementations must be `Sync`. Progress is pure
+//! observability — it never influences results, so campaigns report
+//! identically whether run silently or verbosely.
+
+use crate::result::JobResult;
+use crate::spec::Job;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Observer of campaign progress.
+pub trait Progress: Sync {
+    /// Called once per completed job, from the worker thread that ran
+    /// it. `finished` counts completions so far (including this one)
+    /// out of `total` jobs scheduled this run.
+    fn job_done(&self, finished: usize, total: usize, job: &Job, result: &JobResult);
+}
+
+/// Reports nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl Progress for Silent {
+    fn job_done(&self, _finished: usize, _total: usize, _job: &Job, _result: &JobResult) {}
+}
+
+/// One status line per completed job on stderr, e.g.
+/// `[ 12/40] hirise64x4c4-clrg3-in uniform load 0.15: stable, 41.2 cyc`.
+#[derive(Debug, Default)]
+pub struct Stderr;
+
+impl Progress for Stderr {
+    fn job_done(&self, finished: usize, total: usize, job: &Job, result: &JobResult) {
+        let width = total.to_string().len();
+        let stability = if result.metrics.stable {
+            "stable"
+        } else {
+            "saturated"
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[{finished:>width$}/{total}] {} {} load {:.4}: {stability}, {:.1} cyc avg",
+            job.fabric.label(),
+            job.pattern.label(),
+            job.load,
+            result.metrics.avg_latency_cycles,
+        );
+    }
+}
+
+/// Shared completion counter used by the runner to hand monotonically
+/// increasing `finished` counts to a [`Progress`] implementation.
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicUsize);
+
+impl Counter {
+    /// Increments and returns the post-increment count.
+    pub(crate) fn bump(&self) -> usize {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::default();
+        assert_eq!(c.bump(), 1);
+        assert_eq!(c.bump(), 2);
+    }
+}

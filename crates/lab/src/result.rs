@@ -1,0 +1,269 @@
+//! Per-job result records and their serialised forms.
+//!
+//! A [`JobResult`] is everything a campaign keeps from one simulation:
+//! the identifying grid coordinates, scalar metrics, any recorded
+//! invariant violations, and the full streaming latency histogram
+//! (sparse-encoded). Records serialise to one JSON line each with a
+//! fixed field order, so a campaign's output file is byte-identical
+//! across runs and thread counts, and to a flat CSV row for
+//! spreadsheet-style consumers.
+
+use crate::json::{self, Json};
+use hirise_sim::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Scalar metrics of one run, in switch cycles and packets/cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Aggregate accepted throughput in packets/cycle.
+    pub accepted_rate: f64,
+    /// Mean latency over the measured population.
+    pub avg_latency_cycles: f64,
+    /// Median latency, `None` when nothing completed.
+    pub p50: Option<f64>,
+    /// 95th-percentile latency.
+    pub p95: Option<f64>,
+    /// 99th-percentile latency.
+    pub p99: Option<f64>,
+    /// Worst-case measured latency.
+    pub max_latency_cycles: u64,
+    /// Packets injected during the measurement window.
+    pub injected: u64,
+    /// Measured packets that completed before the run ended.
+    pub completed: u64,
+    /// Whether the run kept up with the offered load (the workspace's
+    /// single stability criterion, `SimReport::is_stable`).
+    pub stable: bool,
+    /// Mean hop count (mesh topologies only).
+    pub avg_hops: Option<f64>,
+}
+
+/// The complete result record of one campaign job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// The job's index in the campaign expansion.
+    pub index: usize,
+    /// Fabric label (see `FabricSpec::label`).
+    pub fabric: String,
+    /// Pattern label (see `PatternSpec::label`).
+    pub pattern: String,
+    /// Offered load in packets/input/cycle.
+    pub load: f64,
+    /// Replicate number.
+    pub replicate: usize,
+    /// The derived seed the job ran with.
+    pub seed: u64,
+    /// Scalar metrics.
+    pub metrics: Metrics,
+    /// Total invariant violations observed (0 when the checker was off
+    /// or the run was clean).
+    pub violations: u64,
+    /// Up to the first three violation messages, for diagnosis.
+    pub violation_messages: Vec<String>,
+    /// Packets accepted per input port during the measurement window
+    /// (single-switch topologies; `None` for meshes).
+    pub per_input_accepted: Option<Vec<u64>>,
+    /// The full streaming latency histogram.
+    pub histogram: LatencyHistogram,
+}
+
+impl JobResult {
+    /// The record as one JSON line (no trailing newline). Field order
+    /// is fixed; every value is deterministic given the job's seed, so
+    /// identical campaigns produce identical lines.
+    pub fn to_jsonl_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(s, "{{\"job\":{}", self.index);
+        s.push_str(",\"fabric\":");
+        json::write_escaped(&mut s, &self.fabric);
+        s.push_str(",\"pattern\":");
+        json::write_escaped(&mut s, &self.pattern);
+        s.push_str(",\"load\":");
+        json::write_f64(&mut s, self.load);
+        let _ = write!(
+            s,
+            ",\"replicate\":{},\"seed\":{}",
+            self.replicate, self.seed
+        );
+        s.push_str(",\"accepted_rate\":");
+        json::write_f64(&mut s, self.metrics.accepted_rate);
+        s.push_str(",\"avg_latency_cycles\":");
+        json::write_f64(&mut s, self.metrics.avg_latency_cycles);
+        for (name, v) in [
+            ("p50", self.metrics.p50),
+            ("p95", self.metrics.p95),
+            ("p99", self.metrics.p99),
+        ] {
+            let _ = write!(s, ",\"{name}\":");
+            match v {
+                Some(v) => json::write_f64(&mut s, v),
+                None => s.push_str("null"),
+            }
+        }
+        let _ = write!(
+            s,
+            ",\"max_latency_cycles\":{},\"injected\":{},\"completed\":{},\"stable\":{}",
+            self.metrics.max_latency_cycles,
+            self.metrics.injected,
+            self.metrics.completed,
+            self.metrics.stable
+        );
+        if let Some(hops) = self.metrics.avg_hops {
+            s.push_str(",\"avg_hops\":");
+            json::write_f64(&mut s, hops);
+        }
+        let _ = write!(s, ",\"violations\":{}", self.violations);
+        if !self.violation_messages.is_empty() {
+            s.push_str(",\"violation_messages\":[");
+            for (i, m) in self.violation_messages.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json::write_escaped(&mut s, m);
+            }
+            s.push(']');
+        }
+        if let Some(per_input) = &self.per_input_accepted {
+            s.push_str(",\"per_input_accepted\":[");
+            for (i, &n) in per_input.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{n}");
+            }
+            s.push(']');
+        }
+        s.push_str(",\"hist\":[");
+        for (i, (bucket, count)) in self.histogram.sparse().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{bucket},{count}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Header row matching [`to_csv_row`](Self::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "job,fabric,pattern,load,replicate,seed,accepted_rate,avg_latency_cycles,\
+         p50,p95,p99,max_latency_cycles,injected,completed,stable,avg_hops,violations"
+    }
+
+    /// The scalar portion of the record as one CSV row (the histogram
+    /// and per-port counters only appear in the JSONL form). Optional
+    /// fields serialise as empty cells.
+    pub fn to_csv_row(&self) -> String {
+        let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.index,
+            self.fabric,
+            self.pattern,
+            self.load,
+            self.replicate,
+            self.seed,
+            self.metrics.accepted_rate,
+            self.metrics.avg_latency_cycles,
+            opt(self.metrics.p50),
+            opt(self.metrics.p95),
+            opt(self.metrics.p99),
+            self.metrics.max_latency_cycles,
+            self.metrics.injected,
+            self.metrics.completed,
+            self.metrics.stable,
+            opt(self.metrics.avg_hops),
+            self.violations,
+        )
+    }
+}
+
+/// Extracts the job index from a serialised result line; `None` when
+/// the line does not parse (e.g. a partial write from an interrupted
+/// run) or has no `"job"` member. This is what checkpoint/resume keys
+/// completed work on.
+pub fn job_index_of_line(line: &str) -> Option<usize> {
+    let parsed = json::parse(line).ok()?;
+    let idx = parsed.get("job").and_then(Json::as_u64)?;
+    usize::try_from(idx).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobResult {
+        let mut histogram = LatencyHistogram::new();
+        for v in [4, 4, 5, 9, 70] {
+            histogram.record(v);
+        }
+        JobResult {
+            index: 7,
+            fabric: "2d8".into(),
+            pattern: "uniform".into(),
+            load: 0.15,
+            replicate: 1,
+            seed: 42,
+            metrics: Metrics {
+                accepted_rate: 1.17,
+                avg_latency_cycles: 18.4,
+                p50: Some(5.0),
+                p95: Some(70.0),
+                p99: Some(70.0),
+                max_latency_cycles: 70,
+                injected: 1000,
+                completed: 998,
+                stable: true,
+                avg_hops: None,
+            },
+            violations: 0,
+            violation_messages: Vec::new(),
+            per_input_accepted: Some(vec![3, 1, 0, 1]),
+            histogram,
+        }
+    }
+
+    #[test]
+    fn jsonl_line_is_valid_json_with_expected_members() {
+        let line = sample().to_jsonl_line();
+        assert!(!line.contains('\n'));
+        let parsed = json::parse(&line).expect("line parses");
+        assert_eq!(parsed.get("job").and_then(Json::as_u64), Some(7));
+        assert_eq!(parsed.get("fabric").and_then(Json::as_str), Some("2d8"));
+        assert_eq!(parsed.get("load").and_then(Json::as_f64), Some(0.15));
+        assert_eq!(parsed.get("stable").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("violations").and_then(Json::as_u64), Some(0));
+        // Optional members follow their presence rules.
+        assert!(parsed.get("avg_hops").is_none());
+        assert!(parsed.get("violation_messages").is_none());
+        let per_input = parsed
+            .get("per_input_accepted")
+            .and_then(Json::as_arr)
+            .expect("per-input counters present");
+        assert_eq!(per_input.len(), 4);
+        // The sparse histogram round-trips count mass.
+        let hist = parsed.get("hist").and_then(Json::as_arr).unwrap();
+        let total: u64 = hist
+            .iter()
+            .map(|pair| pair.as_arr().unwrap()[1].as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn line_index_extraction_tolerates_garbage() {
+        assert_eq!(job_index_of_line(&sample().to_jsonl_line()), Some(7));
+        assert_eq!(job_index_of_line("{\"job\":3}"), Some(3));
+        assert_eq!(job_index_of_line("{\"job\":3,\"trunc"), None);
+        assert_eq!(job_index_of_line("not json"), None);
+        assert_eq!(job_index_of_line("{\"other\":1}"), None);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = JobResult::csv_header().split(',').count();
+        let row = sample().to_csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("7,2d8,uniform,0.15,1,42,"));
+    }
+}

@@ -1,0 +1,94 @@
+//! The workspace's single definition of saturation measurement.
+//!
+//! Several experiment binaries used to carry their own copy of "drive
+//! every input at rate 1.0, no drain, read the accepted rate" with
+//! subtly different knobs. This module is now the one home for that
+//! methodology, and for the stability criterion that partners it:
+//! a run is *stable* iff `SimReport::is_stable` holds (at least 99% of
+//! measured injections completed before the run ended) — nothing else
+//! in the workspace defines its own threshold.
+
+use crate::spec::{SimParams, DEFAULT_SEED};
+use hirise_core::Fabric;
+use hirise_phys::{packets_per_ns, SwitchDesign};
+use hirise_sim::traffic::TrafficPattern;
+use hirise_sim::SimReport;
+use hirise_sim::{NetworkSim, SimConfig};
+
+/// Runs `fabric` under `pattern` at the standard overload point (every
+/// input offered rate 1.0, drain capped at 0 so only the measurement
+/// window counts) and returns the full report. The accepted rate of
+/// this run is the open-loop saturation throughput: beyond saturation a
+/// network accepts its capacity regardless of offered load.
+pub fn overload_report<F, T>(fabric: F, pattern: T, base: &SimConfig) -> SimReport
+where
+    F: Fabric,
+    T: TrafficPattern,
+{
+    let cfg = base.clone().injection_rate(1.0).drain(0);
+    NetworkSim::new(fabric, pattern, cfg).run()
+}
+
+/// Saturation throughput in packets/cycle — the accepted rate of
+/// [`overload_report`].
+pub fn saturation_throughput<F, T>(fabric: F, pattern: T, base: &SimConfig) -> f64
+where
+    F: Fabric,
+    T: TrafficPattern,
+{
+    overload_report(fabric, pattern, base).accepted_rate()
+}
+
+/// Saturation throughput of a physical design in packets/ns: the
+/// simulated packets/cycle scaled by the design's clock. This is the
+/// helper the pattern/pathological/ablation experiments share.
+pub fn saturation_packets_per_ns(
+    design: &SwitchDesign,
+    pattern: Box<dyn TrafficPattern>,
+    sim: &SimParams,
+) -> f64 {
+    let radix = design.point().radix();
+    let fabric = crate::spec::FabricSpec::from_point(design.point()).build();
+    let cfg = sim.to_sim_config(radix, 1.0, DEFAULT_SEED);
+    let rate = saturation_throughput(fabric, pattern, &cfg);
+    packets_per_ns(rate, design.frequency_ghz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_core::Switch2d;
+    use hirise_sim::traffic::UniformRandom;
+
+    #[test]
+    fn saturation_is_a_plateau() {
+        let base = SimConfig::new(16).warmup(1_000).measure(4_000).seed(7);
+        let sat = saturation_throughput(Switch2d::new(16), UniformRandom::new(16), &base);
+        // Within the physical ceiling of 0.2 packets/output/cycle
+        // (5-cycle occupancy per 4-flit packet).
+        assert!(sat / 16.0 <= 0.2 + 1e-9);
+        assert!(sat / 16.0 > 0.10);
+    }
+
+    #[test]
+    fn overload_report_is_unstable_by_definition() {
+        let base = SimConfig::new(16).warmup(500).measure(2_000).seed(7);
+        let report = overload_report(Switch2d::new(16), UniformRandom::new(16), &base);
+        assert!(!report.is_stable());
+        assert_eq!(report.offered_rate(), 1.0);
+    }
+
+    #[test]
+    fn physical_scaling_multiplies_by_frequency() {
+        let design = SwitchDesign::flat_2d(16);
+        let sim = SimParams::quick();
+        let per_ns = saturation_packets_per_ns(&design, Box::new(UniformRandom::new(16)), &sim);
+        let cfg = sim.to_sim_config(16, 1.0, DEFAULT_SEED);
+        let per_cycle = saturation_throughput(
+            crate::spec::FabricSpec::Flat2d { radix: 16 }.build(),
+            UniformRandom::new(16),
+            &cfg,
+        );
+        assert!((per_ns - per_cycle * design.frequency_ghz()).abs() < 1e-9);
+    }
+}

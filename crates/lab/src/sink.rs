@@ -1,0 +1,256 @@
+//! Telemetry sinks: the JSONL checkpoint file and the CSV export.
+//!
+//! A campaign's JSONL file is both its result artifact and its
+//! checkpoint. The first line is a header identifying the campaign
+//! (name, spec digest, job count); each subsequent line is one job's
+//! record. While a campaign runs, completed records are appended in
+//! completion order and flushed, so an interrupted run loses at most
+//! the in-flight jobs. On completion the file is atomically rewritten
+//! (temp file + rename) with records sorted by job index — the final
+//! bytes are therefore identical no matter how many threads ran the
+//! campaign or where a previous run was interrupted.
+//!
+//! Resume: reopening a file whose header matches the spec's digest
+//! yields the set of already-completed job indices; a header mismatch
+//! means the file belongs to a different campaign and it is started
+//! afresh. A trailing partial line (torn write) is ignored.
+
+use crate::result::{job_index_of_line, JobResult};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The JSONL checkpoint/result sink for one campaign.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    file: File,
+    header: String,
+    /// Raw serialised lines of completed jobs, keyed by job index.
+    /// Resumed lines are kept verbatim so a resumed campaign's final
+    /// file is byte-identical to an uninterrupted run's.
+    lines: BTreeMap<usize, String>,
+}
+
+impl JsonlSink {
+    /// Opens the sink at `path`, resuming from an existing compatible
+    /// checkpoint if one is present.
+    ///
+    /// `name`, `digest` and `total_jobs` identify the campaign; they
+    /// form the header line. An existing file with a matching header
+    /// contributes its parseable records as already-completed jobs; a
+    /// mismatched or absent file starts a fresh checkpoint.
+    pub fn create_or_resume(
+        path: &Path,
+        name: &str,
+        digest: u64,
+        total_jobs: usize,
+    ) -> io::Result<Self> {
+        let mut header = String::from("{\"campaign\":");
+        crate::json::write_escaped(&mut header, name);
+        header.push_str(&format!(
+            ",\"digest\":\"{digest:016x}\",\"jobs\":{total_jobs},\"format\":1}}"
+        ));
+
+        let mut lines = BTreeMap::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            let mut it = existing.lines();
+            if it.next() == Some(header.as_str()) {
+                for line in it {
+                    if let Some(index) = job_index_of_line(line) {
+                        if index < total_jobs {
+                            lines.insert(index, line.to_string());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rewrite the file to exactly header + known-good lines (drops
+        // torn trailing writes), then keep it open for appends.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        writeln!(file, "{header}")?;
+        for line in lines.values() {
+            writeln!(file, "{line}")?;
+        }
+        file.flush()?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            header,
+            lines,
+        })
+    }
+
+    /// Indices of jobs already recorded (completed in a previous run or
+    /// via [`record`](Self::record)).
+    pub fn completed(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lines.keys().copied()
+    }
+
+    /// Number of recorded jobs.
+    pub fn recorded(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Appends one completed job's record and flushes, so the
+    /// checkpoint survives an interruption immediately after.
+    pub fn record(&mut self, result: &JobResult) -> io::Result<()> {
+        let line = result.to_jsonl_line();
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.lines.insert(result.index, line);
+        Ok(())
+    }
+
+    /// Rewrites the file with records sorted by job index, via a
+    /// temporary file renamed over the original. After this, the bytes
+    /// on disk are a pure function of the campaign spec.
+    pub fn finalize(&mut self) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("jsonl.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            writeln!(tmp, "{}", self.header)?;
+            for line in self.lines.values() {
+                writeln!(tmp, "{line}")?;
+            }
+            tmp.flush()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen the (renamed-over) file for any further appends.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Writes `results` as a CSV file (header plus one row per job, in the
+/// given order). The CSV carries the scalar metrics only; histograms
+/// and per-port counters live in the JSONL form.
+pub fn write_csv(path: &Path, results: &[JobResult]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    writeln!(file, "{}", JobResult::csv_header())?;
+    for result in results {
+        writeln!(file, "{}", result.to_csv_row())?;
+    }
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Metrics;
+    use hirise_sim::LatencyHistogram;
+
+    fn result(index: usize) -> JobResult {
+        JobResult {
+            index,
+            fabric: "2d4".into(),
+            pattern: "uniform".into(),
+            load: 0.1,
+            replicate: 0,
+            seed: index as u64 * 31,
+            metrics: Metrics {
+                accepted_rate: 0.3,
+                avg_latency_cycles: 5.0,
+                p50: Some(5.0),
+                p95: Some(6.0),
+                p99: Some(6.0),
+                max_latency_cycles: 6,
+                injected: 10,
+                completed: 10,
+                stable: true,
+                avg_hops: None,
+            },
+            violations: 0,
+            violation_messages: Vec::new(),
+            per_input_accepted: None,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "hirise-lab-sink-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn records_resume_and_finalize_sorted() {
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+
+        let mut sink = JsonlSink::create_or_resume(&path, "t", 0xABCD, 4).unwrap();
+        sink.record(&result(2)).unwrap();
+        sink.record(&result(0)).unwrap();
+        drop(sink); // simulate interruption before jobs 1 and 3
+
+        let sink = JsonlSink::create_or_resume(&path, "t", 0xABCD, 4).unwrap();
+        let completed: Vec<usize> = sink.completed().collect();
+        assert_eq!(completed, vec![0, 2]);
+        let mut sink = sink;
+        sink.record(&result(1)).unwrap();
+        sink.record(&result(3)).unwrap();
+        sink.finalize().unwrap();
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"digest\":\"000000000000abcd\""));
+        for (i, line) in lines[1..].iter().enumerate() {
+            assert_eq!(job_index_of_line(line), Some(i));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn digest_mismatch_starts_fresh() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlSink::create_or_resume(&path, "t", 1, 2).unwrap();
+        sink.record(&result(0)).unwrap();
+        drop(sink);
+
+        let sink = JsonlSink::create_or_resume(&path, "t", 2, 2).unwrap();
+        assert_eq!(sink.recorded(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_on_resume() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlSink::create_or_resume(&path, "t", 9, 3).unwrap();
+        sink.record(&result(0)).unwrap();
+        drop(sink);
+        // Simulate a torn write: append half a record with no newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"job\":1,\"fab");
+        std::fs::write(&path, content).unwrap();
+
+        let sink = JsonlSink::create_or_resume(&path, "t", 9, 3).unwrap();
+        let completed: Vec<usize> = sink.completed().collect();
+        assert_eq!(completed, vec![0]);
+        // The rewrite dropped the torn bytes.
+        let cleaned = std::fs::read_to_string(&path).unwrap();
+        assert!(!cleaned.contains("fab\n") && cleaned.ends_with('\n'));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let path = temp_path("csv");
+        write_csv(&path, &[result(0), result(1)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], JobResult::csv_header());
+        assert!(lines[1].starts_with("0,2d4,uniform,"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,920 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names a grid — fabrics × arbitration schemes ×
+//! channel allocations × traffic patterns × offered loads × replicates
+//! — and expands it into a flat list of independent [`Job`]s. Each job
+//! carries a seed derived purely from the campaign's master seed and
+//! the job's position in the expansion, so results are bit-identical
+//! regardless of how many worker threads execute the list or in what
+//! order they pick jobs up.
+
+use crate::result::{JobResult, Metrics};
+use hirise_core::rng::SplitMix64;
+use hirise_core::{
+    ArbitrationScheme, ChannelAllocation, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
+    LocalArbiterKind, OutputId, Switch2d,
+};
+use hirise_phys::{DesignPoint, SwitchDesign};
+use hirise_sim::mesh_sim::{MeshPortMap, MeshSim, MeshSimConfig};
+use hirise_sim::traffic::{
+    BitComplement, Bursty, Hotspot, InterLayerOnly, NeighborShift, RandomPermutation, Tornado,
+    TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
+};
+use hirise_sim::{NetworkSim, SimConfig};
+use std::fmt::Write as _;
+
+/// The default base seed, matching [`SimConfig::new`]'s default so
+/// single-job campaigns reproduce the historical bench numbers.
+pub const DEFAULT_SEED: u64 = 0x5EED_0001;
+
+/// A switch fabric under test, in declarative form. Mirrors
+/// `hirise_phys::DesignPoint` but is constructible without a
+/// technology and knows how to build the behavioural model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FabricSpec {
+    /// Flat 2D Swizzle-Switch baseline.
+    Flat2d {
+        /// Switch radix.
+        radix: usize,
+    },
+    /// The 2D switch folded over silicon layers.
+    Folded {
+        /// Switch radix.
+        radix: usize,
+        /// Stacked layer count.
+        layers: usize,
+    },
+    /// The hierarchical Hi-Rise switch.
+    HiRise(HiRiseConfig),
+}
+
+impl FabricSpec {
+    /// A Hi-Rise spec from an already-validated configuration.
+    pub fn hirise(cfg: HiRiseConfig) -> Self {
+        FabricSpec::HiRise(cfg)
+    }
+
+    /// The spec for a physical design point.
+    pub fn from_point(point: &DesignPoint) -> Self {
+        match point {
+            DesignPoint::Flat2d { radix, .. } => FabricSpec::Flat2d { radix: *radix },
+            DesignPoint::Folded { radix, layers, .. } => FabricSpec::Folded {
+                radix: *radix,
+                layers: *layers,
+            },
+            DesignPoint::HiRise(cfg) => FabricSpec::HiRise(cfg.clone()),
+            _ => unreachable!("all design points are covered"),
+        }
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        match self {
+            FabricSpec::Flat2d { radix } | FabricSpec::Folded { radix, .. } => *radix,
+            FabricSpec::HiRise(cfg) => cfg.radix(),
+        }
+    }
+
+    /// Compact label used in telemetry records, e.g. `2d64`,
+    /// `folded64x4`, `hirise64x4c4-clrg3-in`.
+    pub fn label(&self) -> String {
+        match self {
+            FabricSpec::Flat2d { radix } => format!("2d{radix}"),
+            FabricSpec::Folded { radix, layers } => format!("folded{radix}x{layers}"),
+            FabricSpec::HiRise(cfg) => format!(
+                "hirise{}x{}c{}-{}-{}",
+                cfg.radix(),
+                cfg.layers(),
+                cfg.channel_multiplicity(),
+                scheme_label(cfg.scheme()),
+                allocation_label(cfg.allocation()),
+            ),
+        }
+    }
+
+    /// Builds the behavioural fabric.
+    pub fn build(&self) -> Box<dyn Fabric> {
+        match self {
+            FabricSpec::Flat2d { radix } => Box::new(Switch2d::new(*radix)),
+            FabricSpec::Folded { radix, layers } => Box::new(FoldedSwitch::new(*radix, *layers)),
+            FabricSpec::HiRise(cfg) => Box::new(HiRiseSwitch::new(cfg)),
+        }
+    }
+
+    /// The physical design point (128-bit bus for the 2D/folded
+    /// baselines, matching `hirise_phys`'s constructors).
+    pub fn design(&self) -> SwitchDesign {
+        match self {
+            FabricSpec::Flat2d { radix } => SwitchDesign::flat_2d(*radix),
+            FabricSpec::Folded { radix, layers } => SwitchDesign::folded(*radix, *layers),
+            FabricSpec::HiRise(cfg) => SwitchDesign::hirise(cfg),
+        }
+    }
+
+    /// This spec with the inter-layer scheme replaced (Hi-Rise only;
+    /// `None` for non-Hi-Rise fabrics, where the axis does not apply).
+    pub fn with_scheme(&self, scheme: ArbitrationScheme) -> Option<Self> {
+        match self {
+            FabricSpec::HiRise(cfg) => {
+                rebuild(cfg, scheme, cfg.allocation()).map(FabricSpec::HiRise)
+            }
+            _ => None,
+        }
+    }
+
+    /// This spec with the channel allocation replaced (Hi-Rise only;
+    /// `None` when the axis does not apply or the geometry cannot bin
+    /// evenly under the new policy).
+    pub fn with_allocation(&self, allocation: ChannelAllocation) -> Option<Self> {
+        match self {
+            FabricSpec::HiRise(cfg) => {
+                rebuild(cfg, cfg.scheme(), allocation).map(FabricSpec::HiRise)
+            }
+            _ => None,
+        }
+    }
+
+    fn canonical_json(&self, out: &mut String) {
+        match self {
+            FabricSpec::Flat2d { radix } => {
+                let _ = write!(out, r#"{{"kind":"2d","radix":{radix}}}"#);
+            }
+            FabricSpec::Folded { radix, layers } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"folded","radix":{radix},"layers":{layers}}}"#
+                );
+            }
+            FabricSpec::HiRise(cfg) => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"hirise","radix":{},"layers":{},"c":{},"flit_bits":{},"scheme":"{}","alloc":"{}","local":"{}"}}"#,
+                    cfg.radix(),
+                    cfg.layers(),
+                    cfg.channel_multiplicity(),
+                    cfg.flit_bits(),
+                    scheme_label(cfg.scheme()),
+                    allocation_label(cfg.allocation()),
+                    match cfg.local_arbiter() {
+                        LocalArbiterKind::Lrg => "lrg",
+                        LocalArbiterKind::RoundRobin => "rr",
+                        _ => "other",
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn scheme_label(scheme: ArbitrationScheme) -> String {
+    match scheme {
+        ArbitrationScheme::LayerToLayerLrg => "lrg".to_string(),
+        ArbitrationScheme::WeightedLrg => "wlrg".to_string(),
+        ArbitrationScheme::ClassBased { classes } => format!("clrg{classes}"),
+    }
+}
+
+fn allocation_label(allocation: ChannelAllocation) -> &'static str {
+    match allocation {
+        ChannelAllocation::InputBinned => "in",
+        ChannelAllocation::OutputBinned => "out",
+        ChannelAllocation::PriorityBased => "pri",
+        _ => "other",
+    }
+}
+
+fn rebuild(
+    cfg: &HiRiseConfig,
+    scheme: ArbitrationScheme,
+    allocation: ChannelAllocation,
+) -> Option<HiRiseConfig> {
+    HiRiseConfig::builder(cfg.radix(), cfg.layers())
+        .channel_multiplicity(cfg.channel_multiplicity())
+        .flit_bits(cfg.flit_bits())
+        .scheme(scheme)
+        .allocation(allocation)
+        .local_arbiter(cfg.local_arbiter())
+        .build()
+        .ok()
+}
+
+/// A synthetic traffic pattern, in declarative form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PatternSpec {
+    /// Uniform random destinations.
+    Uniform,
+    /// All traffic to one output.
+    Hotspot {
+        /// Target output index.
+        output: usize,
+    },
+    /// On/off bursts with the crate's default duty cycle and burst
+    /// length.
+    Bursty,
+    /// Matrix-transpose permutation.
+    Transpose,
+    /// Bit-complement permutation.
+    BitComplement,
+    /// Tornado (half-way rotation) permutation.
+    Tornado,
+    /// Nearest-neighbour shift.
+    NeighborShift,
+    /// A fixed random permutation drawn from `salt`.
+    RandomPermutation {
+        /// Seed for drawing the permutation (independent of the job
+        /// seed so every job in a campaign sees the same permutation).
+        salt: u64,
+    },
+    /// Only inter-layer destinations (§VI-B).
+    InterLayerOnly {
+        /// Stacked layer count of the switch under test.
+        layers: usize,
+    },
+    /// The paper's pathological L2LC corner case (§VI-B).
+    WorstCaseL2lc {
+        /// Stacked layer count of the switch under test.
+        layers: usize,
+    },
+}
+
+impl PatternSpec {
+    /// Compact label used in telemetry records.
+    pub fn label(&self) -> String {
+        match self {
+            PatternSpec::Uniform => "uniform".to_string(),
+            PatternSpec::Hotspot { output } => format!("hotspot{output}"),
+            PatternSpec::Bursty => "bursty".to_string(),
+            PatternSpec::Transpose => "transpose".to_string(),
+            PatternSpec::BitComplement => "bitcomp".to_string(),
+            PatternSpec::Tornado => "tornado".to_string(),
+            PatternSpec::NeighborShift => "neighbor".to_string(),
+            PatternSpec::RandomPermutation { salt } => format!("randperm{salt}"),
+            PatternSpec::InterLayerOnly { layers } => format!("interlayer{layers}"),
+            PatternSpec::WorstCaseL2lc { layers } => format!("worstl2lc{layers}"),
+        }
+    }
+
+    /// Builds the generator for `n` endpoints (the switch radix, or the
+    /// core count for mesh topologies).
+    pub fn build(&self, n: usize) -> Box<dyn TrafficPattern> {
+        match self {
+            PatternSpec::Uniform => Box::new(UniformRandom::new(n)),
+            PatternSpec::Hotspot { output } => Box::new(Hotspot::new(OutputId::new(*output))),
+            PatternSpec::Bursty => Box::new(Bursty::with_defaults(n)),
+            PatternSpec::Transpose => Box::new(Transpose::new(n)),
+            PatternSpec::BitComplement => Box::new(BitComplement::new(n)),
+            PatternSpec::Tornado => Box::new(Tornado::new(n)),
+            PatternSpec::NeighborShift => Box::new(NeighborShift::new(n)),
+            PatternSpec::RandomPermutation { salt } => Box::new(RandomPermutation::new(n, *salt)),
+            PatternSpec::InterLayerOnly { layers } => Box::new(InterLayerOnly::new(n, *layers)),
+            PatternSpec::WorstCaseL2lc { layers } => Box::new(WorstCaseL2lc::new(n, *layers)),
+        }
+    }
+
+    fn canonical_json(&self, out: &mut String) {
+        let _ = write!(out, "\"{}\"", self.label());
+    }
+}
+
+/// Simulation methodology shared by every job of a campaign:
+/// everything except the fabric, the pattern, the offered load and the
+/// seed. Defaults match the paper's methodology (4 VCs × 4 flits,
+/// 4-flit packets, 2k warmup / 20k measure / 20k drain).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimParams {
+    /// Virtual channels per input port (single-switch topology only).
+    pub vcs: usize,
+    /// VC buffer depth in flits (single-switch topology only).
+    pub vc_depth_flits: usize,
+    /// Packet length in flits.
+    pub packet_len_flits: usize,
+    /// Warmup cycles (statistics ignored).
+    pub warmup: u64,
+    /// Measurement window in cycles.
+    pub measure: u64,
+    /// Drain cap in cycles.
+    pub drain: u64,
+    /// Closed-loop window (max packets in flight per input), `None`
+    /// for the standard open-loop methodology.
+    pub window: Option<usize>,
+    /// Run the invariant checker in recording mode so violations end
+    /// up in the job's result record instead of panicking (on by
+    /// default; costs a few percent of simulation speed).
+    pub record_invariants: bool,
+}
+
+impl SimParams {
+    /// The paper's defaults (see [`SimConfig::new`]), with invariant
+    /// recording on.
+    pub fn new() -> Self {
+        Self {
+            vcs: 4,
+            vc_depth_flits: 4,
+            packet_len_flits: 4,
+            warmup: 2_000,
+            measure: 20_000,
+            drain: 20_000,
+            window: None,
+            record_invariants: true,
+        }
+    }
+
+    /// The scale behind the recorded EXPERIMENTS.md numbers
+    /// (3k warmup / 30k measure / 30k drain).
+    pub fn full() -> Self {
+        Self::new().cycles(3_000, 30_000, 30_000)
+    }
+
+    /// A fast smoke scale (500 / 3k / 3k; noisier).
+    pub fn quick() -> Self {
+        Self::new().cycles(500, 3_000, 3_000)
+    }
+
+    /// Sets warmup, measurement and drain lengths together.
+    pub fn cycles(mut self, warmup: u64, measure: u64, drain: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self.drain = drain;
+        self
+    }
+
+    /// Sets the drain cap (0 for saturation measurements).
+    pub fn drain(mut self, cycles: u64) -> Self {
+        self.drain = cycles;
+        self
+    }
+
+    /// Sets the closed-loop window.
+    pub fn window(mut self, window: Option<usize>) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Turns invariant recording on or off.
+    pub fn record_invariants(mut self, on: bool) -> Self {
+        self.record_invariants = on;
+        self
+    }
+
+    /// The concrete [`SimConfig`] for one job.
+    pub fn to_sim_config(&self, radix: usize, load: f64, seed: u64) -> SimConfig {
+        SimConfig::new(radix)
+            .vcs(self.vcs)
+            .vc_depth_flits(self.vc_depth_flits)
+            .packet_len_flits(self.packet_len_flits)
+            .injection_rate(load)
+            .window(self.window)
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .drain(self.drain)
+            .seed(seed)
+            .record_invariants(self.record_invariants)
+    }
+
+    fn canonical_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"vcs":{},"vc_depth":{},"packet_len":{},"warmup":{},"measure":{},"drain":{},"window":{},"record_invariants":{}}}"#,
+            self.vcs,
+            self.vc_depth_flits,
+            self.packet_len_flits,
+            self.warmup,
+            self.measure,
+            self.drain,
+            match self.window {
+                Some(w) => w.to_string(),
+                None => "null".to_string(),
+            },
+            self.record_invariants,
+        );
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What the fabric under test is embedded in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A single switch driven directly by the traffic pattern (the
+    /// paper's main methodology).
+    SingleSwitch,
+    /// A `cols x rows` mesh of switches with XY routing (§VI-E); the
+    /// pattern addresses cores, `radix - 4*ports_per_direction` per
+    /// node.
+    Mesh {
+        /// Mesh columns.
+        cols: usize,
+        /// Mesh rows.
+        rows: usize,
+        /// Switch ports reserved per mesh direction.
+        ports_per_direction: usize,
+        /// `Some(layers)` uses the layer-aware port mapping of §VI-E;
+        /// `None` the contiguous default.
+        layer_aware: Option<usize>,
+    },
+}
+
+impl Topology {
+    fn canonical_json(&self, out: &mut String) {
+        match self {
+            Topology::SingleSwitch => out.push_str(r#""single-switch""#),
+            Topology::Mesh {
+                cols,
+                rows,
+                ports_per_direction,
+                layer_aware,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"mesh","cols":{cols},"rows":{rows},"ports_per_direction":{ports_per_direction},"layer_aware":{}}}"#,
+                    match layer_aware {
+                        Some(l) => l.to_string(),
+                        None => "null".to_string(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// One expanded grid point: everything needed to run one simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// Position in the campaign's expansion (stable across runs; keys
+    /// the checkpoint file).
+    pub index: usize,
+    /// The fabric under test.
+    pub fabric: FabricSpec,
+    /// The traffic pattern.
+    pub pattern: PatternSpec,
+    /// Offered load in packets/input/cycle.
+    pub load: f64,
+    /// Replicate number (seeds differ between replicates).
+    pub replicate: usize,
+    /// The derived RNG seed, a pure function of the campaign's master
+    /// seed and this job's expansion position.
+    pub seed: u64,
+}
+
+/// Derives a job seed from the campaign master seed and the job's
+/// expansion index. Pure and order-free: the seed depends only on
+/// `(master, index)`, never on which thread runs the job or when.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    SplitMix64::new(master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
+}
+
+/// A declarative experiment campaign: the grid axes plus the shared
+/// methodology. Expand with [`jobs`](Self::jobs), run with
+/// [`run`](Self::run) or [`run_to_file`](Self::run_to_file).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (recorded in the telemetry header).
+    pub name: String,
+    /// Master seed; per-job seeds derive from it via [`derive_seed`].
+    pub master_seed: u64,
+    /// What the fabrics are embedded in.
+    pub topology: Topology,
+    /// Fabrics under test.
+    pub fabrics: Vec<FabricSpec>,
+    /// Inter-layer arbitration schemes to sweep on each Hi-Rise fabric
+    /// (empty keeps each fabric's own scheme; the axis collapses for
+    /// non-Hi-Rise fabrics).
+    pub schemes: Vec<ArbitrationScheme>,
+    /// Channel allocations to sweep on each Hi-Rise fabric (empty
+    /// keeps each fabric's own; collapses for non-Hi-Rise fabrics).
+    pub allocations: Vec<ChannelAllocation>,
+    /// Traffic patterns.
+    pub patterns: Vec<PatternSpec>,
+    /// Offered loads in packets/input/cycle.
+    pub loads: Vec<f64>,
+    /// Independent repetitions per grid point (different seeds).
+    pub replicates: usize,
+    /// Shared simulation methodology.
+    pub sim: SimParams,
+}
+
+impl CampaignSpec {
+    /// An empty single-switch campaign with the paper's methodology
+    /// and [`DEFAULT_SEED`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            master_seed: DEFAULT_SEED,
+            topology: Topology::SingleSwitch,
+            fabrics: Vec::new(),
+            schemes: Vec::new(),
+            allocations: Vec::new(),
+            patterns: Vec::new(),
+            loads: Vec::new(),
+            replicates: 1,
+            sim: SimParams::new(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Adds a fabric to the grid.
+    pub fn fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabrics.push(fabric);
+        self
+    }
+
+    /// Adds an arbitration scheme to the grid.
+    pub fn scheme(mut self, scheme: ArbitrationScheme) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Adds a channel allocation to the grid.
+    pub fn allocation(mut self, allocation: ChannelAllocation) -> Self {
+        self.allocations.push(allocation);
+        self
+    }
+
+    /// Adds a traffic pattern to the grid.
+    pub fn pattern(mut self, pattern: PatternSpec) -> Self {
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// Sets the offered-load axis.
+    pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Sets the replicate count (minimum 1).
+    pub fn replicates(mut self, n: usize) -> Self {
+        self.replicates = n.max(1);
+        self
+    }
+
+    /// Sets the shared methodology.
+    pub fn sim(mut self, sim: SimParams) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The fabric axis after applying the scheme and allocation sweeps.
+    /// Hi-Rise fabrics fan out over `schemes x allocations`
+    /// (combinations the geometry rejects are skipped); 2D and folded
+    /// fabrics appear exactly once since those axes do not apply to
+    /// them.
+    pub fn expanded_fabrics(&self) -> Vec<FabricSpec> {
+        let mut out = Vec::new();
+        for fabric in &self.fabrics {
+            if !matches!(fabric, FabricSpec::HiRise(_))
+                || (self.schemes.is_empty() && self.allocations.is_empty())
+            {
+                out.push(fabric.clone());
+                continue;
+            }
+            let schemed: Vec<FabricSpec> = if self.schemes.is_empty() {
+                vec![fabric.clone()]
+            } else {
+                self.schemes
+                    .iter()
+                    .filter_map(|&s| fabric.with_scheme(s))
+                    .collect()
+            };
+            for f in schemed {
+                if self.allocations.is_empty() {
+                    out.push(f);
+                } else {
+                    out.extend(
+                        self.allocations
+                            .iter()
+                            .filter_map(|&a| f.with_allocation(a)),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands the grid into its job list. The expansion order (fabric,
+    /// then pattern, then load, then replicate) is part of the
+    /// campaign's identity: job indices key the checkpoint file and
+    /// feed the per-job seeds.
+    pub fn jobs(&self) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for fabric in self.expanded_fabrics() {
+            for pattern in &self.patterns {
+                for &load in &self.loads {
+                    for replicate in 0..self.replicates.max(1) {
+                        let index = jobs.len();
+                        jobs.push(Job {
+                            index,
+                            fabric: fabric.clone(),
+                            pattern: pattern.clone(),
+                            load,
+                            replicate,
+                            seed: derive_seed(self.master_seed, index as u64),
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// A canonical JSON encoding of the spec, the input to
+    /// [`digest`](Self::digest). Field order is fixed so equal specs
+    /// produce equal strings.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        crate::json::write_escaped(&mut out, &self.name);
+        let _ = write!(out, ",\"master_seed\":{}", self.master_seed);
+        out.push_str(",\"topology\":");
+        self.topology.canonical_json(&mut out);
+        out.push_str(",\"fabrics\":[");
+        for (i, f) in self.fabrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            f.canonical_json(&mut out);
+        }
+        out.push_str("],\"schemes\":[");
+        for (i, &s) in self.schemes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", scheme_label(s));
+        }
+        out.push_str("],\"allocations\":[");
+        for (i, &a) in self.allocations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", allocation_label(a));
+        }
+        out.push_str("],\"patterns\":[");
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            p.canonical_json(&mut out);
+        }
+        out.push_str("],\"loads\":[");
+        for (i, &l) in self.loads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_f64(&mut out, l);
+        }
+        let _ = write!(out, "],\"replicates\":{},\"sim\":", self.replicates.max(1));
+        self.sim.canonical_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// FNV-1a 64-bit digest of [`canonical_json`](Self::canonical_json).
+    /// Identifies the campaign in the telemetry header; a checkpoint
+    /// file whose digest disagrees belongs to a different campaign and
+    /// is not resumed from.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.canonical_json().as_bytes())
+    }
+
+    /// Runs one job to completion, producing its result record. This
+    /// is the only place a job touches a simulator; everything it reads
+    /// is in the job and the spec, so calls are independent and can run
+    /// on any thread.
+    pub fn run_job(&self, job: &Job) -> JobResult {
+        match &self.topology {
+            Topology::SingleSwitch => {
+                let radix = job.fabric.radix();
+                let cfg = self.sim.to_sim_config(radix, job.load, job.seed);
+                let mut sim = NetworkSim::new(job.fabric.build(), job.pattern.build(radix), cfg);
+                let report = sim.run();
+                let (violations, messages) = match sim.checker() {
+                    Some(checker) => (
+                        checker.violation_count(),
+                        checker
+                            .violations()
+                            .iter()
+                            .take(3)
+                            .map(|v| match v.cycle {
+                                Some(c) => format!("cycle {c}: {}", v.message),
+                                None => v.message.clone(),
+                            })
+                            .collect(),
+                    ),
+                    None => (0, Vec::new()),
+                };
+                JobResult {
+                    index: job.index,
+                    fabric: job.fabric.label(),
+                    pattern: job.pattern.label(),
+                    load: job.load,
+                    replicate: job.replicate,
+                    seed: job.seed,
+                    metrics: Metrics {
+                        accepted_rate: report.accepted_rate(),
+                        avg_latency_cycles: report.avg_latency_cycles(),
+                        p50: report.latency_percentile_cycles(50.0),
+                        p95: report.latency_percentile_cycles(95.0),
+                        p99: report.latency_percentile_cycles(99.0),
+                        max_latency_cycles: report.max_latency_cycles(),
+                        injected: report.injected_measured(),
+                        completed: report.completed_measured(),
+                        stable: report.is_stable(),
+                        avg_hops: None,
+                    },
+                    violations,
+                    violation_messages: messages,
+                    per_input_accepted: Some(report.per_input_accepted().to_vec()),
+                    histogram: report.latency_histogram().clone(),
+                }
+            }
+            Topology::Mesh {
+                cols,
+                rows,
+                ports_per_direction,
+                layer_aware,
+            } => {
+                let cfg = MeshSimConfig::new(*cols, *rows, *ports_per_direction)
+                    .injection_rate(job.load)
+                    .packet_len_flits(self.sim.packet_len_flits)
+                    .warmup(self.sim.warmup)
+                    .measure(self.sim.measure)
+                    .drain(self.sim.drain)
+                    .seed(job.seed)
+                    .port_map(match layer_aware {
+                        Some(layers) => MeshPortMap::LayerAware { layers: *layers },
+                        None => MeshPortMap::Contiguous,
+                    });
+                let mut sim = MeshSim::new(cfg, || job.fabric.build());
+                let mut pattern = job.pattern.build(sim.total_cores());
+                let report = sim.run(&mut *pattern);
+                JobResult {
+                    index: job.index,
+                    fabric: job.fabric.label(),
+                    pattern: job.pattern.label(),
+                    load: job.load,
+                    replicate: job.replicate,
+                    seed: job.seed,
+                    metrics: Metrics {
+                        accepted_rate: report.accepted_rate(),
+                        avg_latency_cycles: report.avg_latency_cycles(),
+                        p50: report.latency_percentile_cycles(50.0),
+                        p95: report.latency_percentile_cycles(95.0),
+                        p99: report.latency_percentile_cycles(99.0),
+                        max_latency_cycles: report.latency_histogram().max().unwrap_or(0),
+                        injected: report.injected_measured(),
+                        completed: report.completed_measured(),
+                        stable: report.is_stable(),
+                        avg_hops: Some(report.avg_hops()),
+                    },
+                    violations: 0,
+                    violation_messages: Vec::new(),
+                    per_input_accepted: None,
+                    histogram: report.latency_histogram().clone(),
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_fabric_spec() -> CampaignSpec {
+        CampaignSpec::new("test")
+            .fabric(FabricSpec::Flat2d { radix: 8 })
+            .fabric(FabricSpec::hirise(
+                HiRiseConfig::builder(8, 2).build().unwrap(),
+            ))
+            .pattern(PatternSpec::Uniform)
+            .pattern(PatternSpec::Transpose)
+            .loads([0.05, 0.2])
+            .replicates(2)
+    }
+
+    #[test]
+    fn expansion_order_is_fabric_pattern_load_replicate() {
+        let jobs = two_fabric_spec().jobs();
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 2);
+        assert_eq!(jobs[0].fabric.label(), "2d8");
+        assert_eq!(jobs[0].pattern.label(), "uniform");
+        assert_eq!(jobs[0].load, 0.05);
+        assert_eq!(jobs[0].replicate, 0);
+        assert_eq!(jobs[1].replicate, 1);
+        assert_eq!(jobs[2].load, 0.2);
+        assert_eq!(jobs[4].pattern.label(), "transpose");
+        assert_eq!(jobs[8].fabric.label(), "hirise8x2c1-clrg3-in");
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.index == i));
+    }
+
+    #[test]
+    fn seeds_are_a_pure_function_of_master_and_index() {
+        let a = two_fabric_spec().jobs();
+        let b = two_fabric_spec().jobs();
+        assert_eq!(a, b);
+        let c = two_fabric_spec().master_seed(99).jobs();
+        assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
+        // All seeds within a campaign are distinct.
+        let mut seeds: Vec<u64> = a.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn scheme_axis_fans_out_hirise_only() {
+        let spec = two_fabric_spec()
+            .scheme(ArbitrationScheme::LayerToLayerLrg)
+            .scheme(ArbitrationScheme::class_based());
+        let fabrics = spec.expanded_fabrics();
+        // 2D once + Hi-Rise twice.
+        assert_eq!(fabrics.len(), 3);
+        assert_eq!(fabrics[0].label(), "2d8");
+        assert_eq!(fabrics[1].label(), "hirise8x2c1-lrg-in");
+        assert_eq!(fabrics[2].label(), "hirise8x2c1-clrg3-in");
+    }
+
+    #[test]
+    fn invalid_grid_combinations_are_skipped() {
+        // 8 radix / 2 layers -> 4 inputs per layer; c=4 with input
+        // binning is fine, but an 8x2c3 rebuild is impossible, so
+        // with_allocation on a c=3 priority-based config cannot switch
+        // to binned.
+        let cfg = HiRiseConfig::builder(48, 3)
+            .channel_multiplicity(3)
+            .allocation(ChannelAllocation::PriorityBased)
+            .build()
+            .unwrap();
+        let spec = FabricSpec::hirise(cfg);
+        assert!(spec
+            .with_allocation(ChannelAllocation::InputBinned)
+            .is_none());
+        assert!(spec
+            .with_allocation(ChannelAllocation::PriorityBased)
+            .is_some());
+    }
+
+    #[test]
+    fn digest_identifies_the_campaign() {
+        let a = two_fabric_spec();
+        assert_eq!(a.digest(), two_fabric_spec().digest());
+        assert_ne!(a.digest(), a.clone().loads([0.05]).digest());
+        assert_ne!(a.digest(), a.clone().master_seed(7).digest());
+        assert_ne!(
+            a.digest(),
+            a.clone().sim(SimParams::new().drain(0)).digest()
+        );
+    }
+
+    #[test]
+    fn canonical_json_parses_as_json() {
+        let spec = two_fabric_spec()
+            .scheme(ArbitrationScheme::WeightedLrg)
+            .allocation(ChannelAllocation::OutputBinned)
+            .topology(Topology::Mesh {
+                cols: 2,
+                rows: 2,
+                ports_per_direction: 1,
+                layer_aware: Some(2),
+            });
+        let parsed = crate::json::parse(&spec.canonical_json()).expect("canonical json is valid");
+        assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("test"));
+    }
+
+    #[test]
+    fn from_point_round_trips_radix_and_label_style() {
+        let spec = FabricSpec::from_point(&DesignPoint::Folded {
+            radix: 64,
+            layers: 4,
+            flit_bits: 128,
+        });
+        assert_eq!(spec.radix(), 64);
+        assert_eq!(spec.label(), "folded64x4");
+        assert_eq!(spec.design().label(), "[16x64]x4");
+    }
+}

@@ -1,0 +1,93 @@
+//! Latency-vs-load curves (Fig. 10 and friends), built on the parallel
+//! campaign runner.
+//!
+//! This is the spec-based successor of the old serial
+//! `hirise_sim::sweep::latency_curve`: each load point is one campaign
+//! job, so the points of a curve run concurrently and the results are
+//! deterministic for a given seed regardless of thread count.
+
+use crate::result::JobResult;
+use crate::spec::{CampaignSpec, FabricSpec, PatternSpec, SimParams};
+
+/// One point of a latency-vs-load curve.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered load in packets/input/cycle.
+    pub offered: f64,
+    /// Mean packet latency in cycles.
+    pub latency_cycles: f64,
+    /// Aggregate accepted throughput in packets/cycle.
+    pub accepted: f64,
+    /// Whether the network kept up with the offered load (the
+    /// workspace's single stability criterion; see `crate::saturation`).
+    pub stable: bool,
+}
+
+impl From<&JobResult> for LoadPoint {
+    fn from(result: &JobResult) -> Self {
+        LoadPoint {
+            offered: result.load,
+            latency_cycles: result.metrics.avg_latency_cycles,
+            accepted: result.metrics.accepted_rate,
+            stable: result.metrics.stable,
+        }
+    }
+}
+
+/// Sweeps the offered load over `loads` for one fabric and pattern,
+/// running the points in parallel on `threads` workers. Each point is
+/// a cold-start simulation (no switch state carries over between
+/// loads) with a seed derived from `seed` and the point's position.
+pub fn latency_curve(
+    fabric: &FabricSpec,
+    pattern: &PatternSpec,
+    loads: &[f64],
+    sim: &SimParams,
+    seed: u64,
+    threads: usize,
+) -> Vec<LoadPoint> {
+    let spec = CampaignSpec::new("latency-curve")
+        .master_seed(seed)
+        .fabric(fabric.clone())
+        .pattern(pattern.clone())
+        .loads(loads.iter().copied())
+        .sim(sim.clone());
+    spec.run(threads).iter().map(LoadPoint::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_load() {
+        let sim = SimParams::new().cycles(500, 4_000, 4_000);
+        let points = latency_curve(
+            &FabricSpec::Flat2d { radix: 16 },
+            &PatternSpec::Uniform,
+            &[0.05, 0.10, 0.15],
+            &sim,
+            7,
+            2,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points[0].latency_cycles <= points[1].latency_cycles);
+        assert!(points[1].latency_cycles <= points[2].latency_cycles);
+        assert!(points.iter().all(|p| p.stable));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_curve() {
+        let sim = SimParams::new().cycles(200, 1_000, 1_000);
+        let fabric = FabricSpec::Flat2d { radix: 8 };
+        let loads = [0.05, 0.1, 0.15, 0.2];
+        let serial = latency_curve(&fabric, &PatternSpec::Uniform, &loads, &sim, 3, 1);
+        let parallel = latency_curve(&fabric, &PatternSpec::Uniform, &loads, &sim, 3, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.offered, b.offered);
+            assert_eq!(a.latency_cycles, b.latency_cycles);
+            assert_eq!(a.accepted, b.accepted);
+            assert_eq!(a.stable, b.stable);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Determinism guarantees of the campaign runner: byte-identical JSONL
+//! output across thread counts, checkpoint/resume transparency, and the
+//! histogram merge algebra the parallel aggregation relies on.
+
+use hirise_core::rng::{Rng, SeedableRng, StdRng};
+use hirise_core::HiRiseConfig;
+use hirise_lab::{CampaignSpec, FabricSpec, PatternSpec, Silent, SimParams, Topology};
+use hirise_sim::LatencyHistogram;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hirise-lab-determinism-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn mixed_campaign() -> CampaignSpec {
+    CampaignSpec::new("determinism")
+        .master_seed(0xDE7E_2214)
+        .fabric(FabricSpec::Flat2d { radix: 16 })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(16, 2).build().unwrap(),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .pattern(PatternSpec::Transpose)
+        .loads([0.1, 0.3])
+        .replicates(2)
+        .sim(SimParams::new().cycles(100, 1_000, 1_000))
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_thread_counts() {
+    let spec = mixed_campaign();
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let path = temp_path(&format!("threads{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let outcome = spec.run_to_file(&path, threads, &Silent).unwrap();
+        assert_eq!(outcome.ran, 16);
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+    assert!(!outputs[0].is_empty());
+}
+
+#[test]
+fn resumed_campaign_reproduces_identical_bytes() {
+    let spec = mixed_campaign();
+
+    let fresh_path = temp_path("fresh");
+    let _ = std::fs::remove_file(&fresh_path);
+    spec.run_to_file(&fresh_path, 2, &Silent).unwrap();
+    let fresh = std::fs::read_to_string(&fresh_path).unwrap();
+    std::fs::remove_file(&fresh_path).unwrap();
+
+    // Simulate an interrupted run: keep the header and the first three
+    // records (one of them torn mid-line), then resume.
+    let resumed_path = temp_path("resumed");
+    let mut partial: Vec<&str> = fresh.lines().take(4).collect();
+    let torn = &fresh.lines().nth(4).unwrap()[..20];
+    partial.push(torn);
+    std::fs::write(&resumed_path, partial.join("\n")).unwrap();
+
+    let outcome = spec.run_to_file(&resumed_path, 4, &Silent).unwrap();
+    assert_eq!(outcome.total, 16);
+    assert_eq!(outcome.skipped, 3, "three intact records were resumed");
+    assert_eq!(outcome.ran, 13);
+
+    let resumed = std::fs::read_to_string(&resumed_path).unwrap();
+    assert_eq!(resumed, fresh, "resume must not change the final bytes");
+    std::fs::remove_file(&resumed_path).unwrap();
+}
+
+#[test]
+fn in_memory_results_match_across_thread_counts() {
+    let spec = mixed_campaign();
+    let serial = spec.run(1);
+    let parallel = spec.run(8);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn mesh_topology_campaigns_are_deterministic_too() {
+    let spec = CampaignSpec::new("mesh-determinism")
+        .topology(Topology::Mesh {
+            cols: 2,
+            rows: 2,
+            ports_per_direction: 1,
+            layer_aware: None,
+        })
+        .fabric(FabricSpec::Flat2d { radix: 8 })
+        .pattern(PatternSpec::Uniform)
+        .loads([0.01, 0.02])
+        .sim(SimParams::new().cycles(100, 500, 500));
+    let serial = spec.run(1);
+    let parallel = spec.run(4);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|r| r.metrics.avg_hops.is_some()));
+    assert!(serial.iter().all(|r| r.per_input_accepted.is_none()));
+}
+
+/// Seeded property test: histogram merging is associative and
+/// commutative, and merging partitions of a stream equals recording
+/// the whole stream — the algebra that makes parallel per-thread
+/// aggregation exact.
+#[test]
+fn histogram_merge_is_associative_commutative_and_partition_exact() {
+    let mut rng = StdRng::seed_from_u64(0x1157_0621);
+    for round in 0..50 {
+        // Three random streams with occasionally huge values to cross
+        // octave boundaries.
+        let streams: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                let len = rng.gen_range(0usize..200);
+                (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.1) {
+                            rng.gen_range(0u64..1_000_000)
+                        } else {
+                            rng.gen_range(0u64..500)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let hist = |values: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist(&streams[0]), hist(&streams[1]), hist(&streams[2]));
+
+        // Associativity: (a + b) + c == a + (b + c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "associativity failed in round {round}");
+
+        // Commutativity: a + b == b + a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity failed in round {round}");
+
+        // Partition exactness: merging the three parts equals one
+        // histogram over the concatenated stream.
+        let concatenated: Vec<u64> = streams.concat();
+        assert_eq!(
+            left,
+            hist(&concatenated),
+            "partition failed in round {round}"
+        );
+        if left.count() > 0 {
+            for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                assert_eq!(
+                    left.percentile(p),
+                    hist(&concatenated).percentile(p),
+                    "percentile {p} disagreed in round {round}"
+                );
+            }
+        }
+    }
+}
+
+/// Invariant recording is on by default in campaigns: the plumbing puts
+/// the violation count in every record (zero on these healthy runs, but
+/// present and machine-readable either way).
+#[test]
+fn violations_are_recorded_not_panicked() {
+    let spec = CampaignSpec::new("violations")
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(8, 2).build().unwrap(),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.2])
+        .sim(SimParams::new().cycles(100, 500, 500));
+    assert!(spec.sim.record_invariants);
+    let results = spec.run(1);
+    assert_eq!(results[0].violations, 0);
+    let line = results[0].to_jsonl_line();
+    assert!(line.contains("\"violations\":0"));
+}

@@ -23,14 +23,46 @@
 //!
 //! The checker is wired into [`crate::NetworkSim`] and enabled by
 //! default in debug builds (`debug_assertions`); release builds skip it
-//! unless [`crate::SimConfig::check_invariants`] turns it on. A
-//! violation is a bug in the switch model or the simulator itself, so
-//! the checker panics with the offending cycle and state.
+//! unless [`crate::SimConfig::check_invariants`] turns it on.
+//!
+//! The checker runs in one of two modes. In the default *panic* mode
+//! ([`InvariantChecker::new`]) a violation aborts with the offending
+//! cycle and state — a violation is a bug in the switch model or the
+//! simulator itself. In *recording* mode
+//! ([`InvariantChecker::recording`], selected by
+//! [`crate::SimConfig::record_invariants`]) violations are collected as
+//! [`InvariantViolation`] records instead, so a long experiment
+//! campaign can finish and report *which configuration* tripped an
+//! invariant rather than dying mid-run (the `hirise-lab` runner
+//! surfaces them in its per-job result records).
 
 use crate::packet::Packet;
 use crate::port::InputPort;
 use hirise_core::{Grant, Request};
 use std::collections::HashMap;
+
+/// One recorded invariant violation (recording mode only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Simulation cycle of the violation, when known at the check site.
+    pub cycle: Option<u64>,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+/// How the checker reacts to a violation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Mode {
+    /// Panic at the violation site (the default; a violation is a bug).
+    #[default]
+    Panic,
+    /// Record the violation and keep simulating.
+    Record,
+}
+
+/// Cap on stored violation records; beyond it only the count grows (one
+/// broken invariant usually re-fires every subsequent cycle).
+const MAX_RECORDED: usize = 16;
 
 /// Audits a simulation cycle-by-cycle for conservation, buffer-bound,
 /// ordering, and grant-legality invariants.
@@ -43,12 +75,41 @@ pub struct InvariantChecker {
     /// Last delivered packet id per `(input, vc)` FIFO lane.
     last_delivered: HashMap<(usize, usize), u64>,
     cycles_checked: u64,
+    mode: Mode,
+    violations: Vec<InvariantViolation>,
+    violation_count: u64,
 }
 
 impl InvariantChecker {
-    /// Creates a fresh checker.
+    /// Creates a fresh checker that panics on the first violation.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a checker that records violations instead of panicking,
+    /// for campaign runs that must survive a misbehaving configuration.
+    pub fn recording() -> Self {
+        Self {
+            mode: Mode::Record,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this checker records violations rather than panicking.
+    pub fn is_recording(&self) -> bool {
+        self.mode == Mode::Record
+    }
+
+    /// Violations recorded so far (empty in panic mode, which never
+    /// survives one). At most the first 16 are kept;
+    /// [`violation_count`](Self::violation_count) keeps the true total.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including those beyond the record cap.
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
     }
 
     /// Packets injected so far.
@@ -66,6 +127,25 @@ impl InvariantChecker {
         self.cycles_checked
     }
 
+    /// Fails one invariant: panics in panic mode, records otherwise.
+    fn fail(&mut self, cycle: Option<u64>, message: String) {
+        match self.mode {
+            Mode::Panic => panic!("{message}"),
+            Mode::Record => {
+                self.violation_count += 1;
+                if self.violations.len() < MAX_RECORDED {
+                    self.violations.push(InvariantViolation { cycle, message });
+                }
+            }
+        }
+    }
+
+    fn check(&mut self, ok: bool, cycle: Option<u64>, message: impl FnOnce() -> String) {
+        if !ok {
+            self.fail(cycle, message());
+        }
+    }
+
     /// Records an injection.
     pub fn on_injection(&mut self, packet: &Packet) {
         self.injected_packets += 1;
@@ -77,18 +157,19 @@ impl InvariantChecker {
     ///
     /// # Panics
     ///
-    /// Panics if the lane delivered a packet with a non-increasing id —
-    /// i.e. the switch reordered a FIFO stream.
+    /// In panic mode, panics if the lane delivered a packet with a
+    /// non-increasing id — i.e. the switch reordered a FIFO stream.
     pub fn on_delivery(&mut self, input: usize, vc: usize, packet: &Packet) {
         self.delivered_packets += 1;
         self.delivered_flits += packet.len_flits as u64;
         if let Some(&last) = self.last_delivered.get(&(input, vc)) {
-            assert!(
-                packet.id > last,
-                "invariant violated: input {input} VC {vc} delivered packet \
-                 {} after packet {last} (FIFO lane reordered)",
-                packet.id
-            );
+            self.check(packet.id > last, None, || {
+                format!(
+                    "invariant violated: input {input} VC {vc} delivered packet \
+                     {} after packet {last} (FIFO lane reordered)",
+                    packet.id
+                )
+            });
         }
         self.last_delivered.insert((input, vc), packet.id);
     }
@@ -97,9 +178,9 @@ impl InvariantChecker {
     ///
     /// # Panics
     ///
-    /// Panics if a grant answers no presented request, an output or
-    /// input is granted twice, or a grant lands on an output that
-    /// `busy_out_before` marks as mid-transfer.
+    /// In panic mode, panics if a grant answers no presented request, an
+    /// output or input is granted twice, or a grant lands on an output
+    /// that `busy_out_before` marks as mid-transfer.
     pub fn after_arbitration(
         &mut self,
         cycle: u64,
@@ -113,25 +194,27 @@ impl InvariantChecker {
         for grant in grants {
             let input = grant.input.index();
             let output = grant.output.index();
-            assert!(
+            self.check(
                 requests
                     .iter()
                     .any(|r| r.input == grant.input && r.output == grant.output),
-                "invariant violated at cycle {cycle}: grant {input}->{output} \
-                 answers no presented request"
+                Some(cycle),
+                || {
+                    format!(
+                        "invariant violated at cycle {cycle}: grant {input}->{output} \
+                         answers no presented request"
+                    )
+                },
             );
-            assert!(
-                !out_granted[output],
-                "invariant violated at cycle {cycle}: output {output} granted twice"
-            );
-            assert!(
-                !in_granted[input],
-                "invariant violated at cycle {cycle}: input {input} granted twice"
-            );
-            assert!(
-                !busy_out_before[output],
-                "invariant violated at cycle {cycle}: grant to busy output {output}"
-            );
+            self.check(!out_granted[output], Some(cycle), || {
+                format!("invariant violated at cycle {cycle}: output {output} granted twice")
+            });
+            self.check(!in_granted[input], Some(cycle), || {
+                format!("invariant violated at cycle {cycle}: input {input} granted twice")
+            });
+            self.check(!busy_out_before[output], Some(cycle), || {
+                format!("invariant violated at cycle {cycle}: grant to busy output {output}")
+            });
             out_granted[output] = true;
             in_granted[input] = true;
         }
@@ -142,61 +225,74 @@ impl InvariantChecker {
     ///
     /// # Panics
     ///
-    /// Panics if packets or flits have leaked or been duplicated
-    /// (`injected != in-flight + delivered`), if a port buffers more
-    /// packets than it has VCs, or if a mid-transfer port holds no
-    /// packet.
+    /// In panic mode, panics if packets or flits have leaked or been
+    /// duplicated (`injected != in-flight + delivered`), if a port
+    /// buffers more packets than it has VCs, or if a mid-transfer port
+    /// holds no packet.
     pub fn end_of_cycle(&mut self, cycle: u64, ports: &[InputPort], vcs: usize) {
         self.cycles_checked += 1;
         let mut in_flight_packets = 0u64;
         for (input, port) in ports.iter().enumerate() {
             let buffered = port.buffered();
-            assert!(
-                buffered <= vcs,
-                "invariant violated at cycle {cycle}: input {input} buffers \
-                 {buffered} packets in {vcs} VCs"
-            );
+            self.check(buffered <= vcs, Some(cycle), || {
+                format!(
+                    "invariant violated at cycle {cycle}: input {input} buffers \
+                     {buffered} packets in {vcs} VCs"
+                )
+            });
             if port.is_transferring() {
-                assert!(
-                    buffered >= 1,
-                    "invariant violated at cycle {cycle}: input {input} is \
-                     mid-transfer with empty VCs"
-                );
-                let vc = port
-                    .active_vc()
-                    .expect("transferring port has an active VC");
-                assert!(
-                    vc < vcs,
-                    "invariant violated at cycle {cycle}: input {input} active \
-                     VC {vc} out of range"
-                );
+                self.check(buffered >= 1, Some(cycle), || {
+                    format!(
+                        "invariant violated at cycle {cycle}: input {input} is \
+                         mid-transfer with empty VCs"
+                    )
+                });
+                if let Some(vc) = port.active_vc() {
+                    self.check(vc < vcs, Some(cycle), || {
+                        format!(
+                            "invariant violated at cycle {cycle}: input {input} active \
+                             VC {vc} out of range"
+                        )
+                    });
+                } else {
+                    self.fail(
+                        Some(cycle),
+                        format!(
+                            "invariant violated at cycle {cycle}: input {input} is \
+                             transferring with no active VC"
+                        ),
+                    );
+                }
             }
             in_flight_packets += port.occupancy() as u64;
         }
-        assert_eq!(
-            self.injected_packets,
-            self.delivered_packets + in_flight_packets,
-            "invariant violated at cycle {cycle}: packet conservation broken \
-             ({} injected != {} delivered + {in_flight_packets} in flight)",
-            self.injected_packets,
-            self.delivered_packets
+        let (injected_packets, delivered_packets) = (self.injected_packets, self.delivered_packets);
+        let (injected_flits, delivered_flits) = (self.injected_flits, self.delivered_flits);
+        self.check(
+            injected_packets == delivered_packets + in_flight_packets,
+            Some(cycle),
+            || {
+                format!(
+                    "invariant violated at cycle {cycle}: packet conservation broken \
+                     ({injected_packets} injected != {delivered_packets} delivered + \
+                     {in_flight_packets} in flight)"
+                )
+            },
         );
         // Flit conservation follows for completed packets; check the
         // delivered side directly (a torn packet would break it).
-        assert!(
-            self.delivered_flits >= self.delivered_packets,
-            "invariant violated at cycle {cycle}: delivered flit count \
-             {} below packet count {}",
-            self.delivered_flits,
-            self.delivered_packets
-        );
-        assert!(
-            self.injected_flits >= self.delivered_flits,
-            "invariant violated at cycle {cycle}: delivered {} flits but \
-             only {} were injected",
-            self.delivered_flits,
-            self.injected_flits
-        );
+        self.check(delivered_flits >= delivered_packets, Some(cycle), || {
+            format!(
+                "invariant violated at cycle {cycle}: delivered flit count \
+                 {delivered_flits} below packet count {delivered_packets}"
+            )
+        });
+        self.check(injected_flits >= delivered_flits, Some(cycle), || {
+            format!(
+                "invariant violated at cycle {cycle}: delivered {delivered_flits} flits but \
+                 only {injected_flits} were injected"
+            )
+        });
     }
 }
 
@@ -308,5 +404,30 @@ mod tests {
         let ports = vec![port];
         ck.end_of_cycle(0, &ports, 4);
         assert_eq!(ck.cycles_checked(), 1);
+    }
+
+    #[test]
+    fn recording_mode_survives_and_records() {
+        let mut ck = InvariantChecker::recording();
+        assert!(ck.is_recording());
+        ck.on_delivery(3, 1, &packet(7, 4));
+        ck.on_delivery(3, 1, &packet(5, 4)); // reordered: would panic
+        assert_eq!(ck.violation_count(), 1);
+        assert_eq!(ck.violations().len(), 1);
+        assert!(ck.violations()[0].message.contains("FIFO lane reordered"));
+        assert_eq!(ck.violations()[0].cycle, None);
+    }
+
+    #[test]
+    fn recording_mode_caps_stored_records_not_the_count() {
+        let mut ck = InvariantChecker::recording();
+        ck.on_injection(&packet(0, 4));
+        let ports = vec![InputPort::new(4)];
+        for cycle in 0..40 {
+            ck.end_of_cycle(cycle, &ports, 4); // conservation broken every cycle
+        }
+        assert_eq!(ck.violation_count(), 40);
+        assert_eq!(ck.violations().len(), 16);
+        assert_eq!(ck.violations()[3].cycle, Some(3));
     }
 }

@@ -11,12 +11,15 @@
 //! frequency, which the `hirise-phys` crate provides.
 //!
 //! Beyond the paper's single-switch methodology this crate also offers
-//! closed-loop (windowed) injection ([`SimConfig::window`]), latency
-//! percentiles ([`SimReport::latency_percentile_cycles`]), and a
-//! flit-level simulator for 2D meshes of Hi-Rise switches with XY
-//! routing and credit-based back-pressure ([`mesh_sim`], realising the
-//! paper's Fig. 13 topology; [`mesh`] holds the matching graph-level
-//! analysis).
+//! closed-loop (windowed) injection ([`SimConfig::window`]), streaming
+//! log-bucketed latency percentiles
+//! ([`SimReport::latency_percentile_cycles`], backed by the mergeable
+//! [`LatencyHistogram`]), and a flit-level simulator for 2D meshes of
+//! Hi-Rise switches with XY routing and credit-based back-pressure
+//! ([`mesh_sim`], realising the paper's Fig. 13 topology; [`mesh`]
+//! holds the matching graph-level analysis). Load sweeps and the
+//! saturation search live in the `hirise-lab` experiment-campaign crate,
+//! which drives this simulator in parallel across configurations.
 //!
 //! Correctness is audited two ways: [`diff`] co-simulates every fabric
 //! against an ideal golden-model crossbar ([`RefSwitch`]) under
@@ -59,16 +62,14 @@ mod packet;
 mod port;
 mod sim;
 mod stats;
-mod sweep;
 pub mod traffic;
 
 pub use diff::{
     check_schedule, fuzz, run_schedule, shrink, standard_fleet, CoSimOutcome, DiffFailure,
     DiffFailureKind, FabricBuilder, RefSwitch, SchedPacket, Schedule, Violation,
 };
-pub use invariant::InvariantChecker;
+pub use invariant::{InvariantChecker, InvariantViolation};
 pub use packet::Packet;
 pub use port::InputPort;
 pub use sim::{NetworkSim, SimConfig};
-pub use stats::SimReport;
-pub use sweep::{latency_curve, run_once, saturation_throughput, LoadPoint};
+pub use stats::{LatencyHistogram, SimReport};

@@ -16,6 +16,7 @@
 
 use crate::packet::Packet;
 use crate::port::InputPort;
+use crate::stats::LatencyHistogram;
 use crate::traffic::TrafficPattern;
 use hirise_core::rng::SeedableRng;
 use hirise_core::rng::StdRng;
@@ -177,6 +178,7 @@ pub struct MeshReport {
     latency_sum: u64,
     hop_sum: u64,
     cores: usize,
+    histogram: LatencyHistogram,
 }
 
 impl MeshReport {
@@ -221,6 +223,22 @@ impl MeshReport {
     /// Measured packets that completed.
     pub fn completed_measured(&self) -> u64 {
         self.completed_measured
+    }
+
+    /// The streaming end-to-end latency histogram over the measured
+    /// population.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
+    /// The `p`-th end-to-end latency percentile in cycles (`p` in
+    /// `[0, 100]`), or `None` if nothing completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile_cycles(&self, p: f64) -> Option<f64> {
+        self.histogram.percentile(p)
     }
 }
 
@@ -470,6 +488,7 @@ impl<F: Fabric> MeshSim<F> {
             latency_sum: 0,
             hop_sum: 0,
             cores: self.total_cores(),
+            histogram: LatencyHistogram::new(),
         };
         for _ in 0..self.cfg.warmup + self.cfg.measure {
             self.step(pattern, &mut report);
@@ -513,7 +532,9 @@ impl<F: Fabric> MeshSim<F> {
                                 }
                                 if packet.inner.measured {
                                     report.completed_measured += 1;
-                                    report.latency_sum += packet.inner.latency(self.now);
+                                    let latency = packet.inner.latency(self.now);
+                                    report.latency_sum += latency;
+                                    report.histogram.record(latency);
                                     report.hop_sum += u64::from(packet.hops);
                                 }
                             }

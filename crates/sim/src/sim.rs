@@ -26,6 +26,9 @@ pub struct SimConfig {
     seed: u64,
     /// `None` follows `debug_assertions`; `Some` forces it either way.
     invariants: Option<bool>,
+    /// Record invariant violations instead of panicking (implies the
+    /// checker is on).
+    record_invariants: bool,
 }
 
 impl SimConfig {
@@ -50,6 +53,7 @@ impl SimConfig {
             drain: 20_000,
             seed: 0x5EED_0001,
             invariants: None,
+            record_invariants: false,
         }
     }
 
@@ -119,8 +123,18 @@ impl SimConfig {
         self
     }
 
+    /// Runs the [`InvariantChecker`] in recording mode: violations are
+    /// collected on the checker (see [`NetworkSim::checker`]) instead of
+    /// panicking, and the checker is enabled regardless of build
+    /// profile. This is how `hirise-lab` campaigns surface the offending
+    /// configuration instead of dying mid-run.
+    pub fn record_invariants(mut self, on: bool) -> Self {
+        self.record_invariants = on;
+        self
+    }
+
     fn invariants_enabled(&self) -> bool {
-        self.invariants.unwrap_or(cfg!(debug_assertions))
+        self.record_invariants || self.invariants.unwrap_or(cfg!(debug_assertions))
     }
 
     /// Switch radix.
@@ -196,7 +210,13 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             in_flight: vec![0; radix],
             now: 0,
             next_packet_id: 0,
-            checker: cfg.invariants_enabled().then(InvariantChecker::new),
+            checker: cfg.invariants_enabled().then(|| {
+                if cfg.record_invariants {
+                    InvariantChecker::recording()
+                } else {
+                    InvariantChecker::new()
+                }
+            }),
             candidates: Vec::with_capacity(radix),
             requests: Vec::with_capacity(radix),
             busy_out: vec![false; radix],

@@ -1,6 +1,183 @@
 //! Measurement collection: latency and throughput, aggregate and
 //! per-input (Fig. 11a needs per-input latency, Fig. 11c per-input
-//! throughput).
+//! throughput), with a streaming log-bucketed latency histogram that
+//! replaces the old capped per-packet sample vector.
+
+/// A streaming, mergeable, log-bucketed histogram of latency values.
+///
+/// Latencies below [`Self::EXACT_LIMIT`] cycles land in exact unit-wide
+/// buckets; above that, each power-of-two octave is split into 32
+/// sub-buckets, bounding the relative quantisation error at ~3% while
+/// keeping memory constant regardless of run length. Unlike a stored
+/// sample vector there is no cap: every recorded value contributes to
+/// every percentile, so the tail of arbitrarily long runs is never
+/// silently dropped.
+///
+/// Histograms [`merge`](Self::merge) exactly: merging the histograms of
+/// two streams gives the histogram of the concatenated stream, which is
+/// what lets `hirise-lab` combine per-job statistics across worker
+/// threads (the operation is associative and commutative).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    /// Bucket occupancy, grown on demand; trailing buckets are
+    /// implicitly zero.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Sub-buckets per octave above the exact range.
+const SUBS: usize = 32;
+
+impl LatencyHistogram {
+    /// Values below this limit are counted in exact unit-wide buckets.
+    pub const EXACT_LIMIT: u64 = 64;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a value falls into.
+    fn bucket_of(v: u64) -> usize {
+        if v < Self::EXACT_LIMIT {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros() as usize; // >= 6
+            let sub = ((v >> (msb - 5)) & 31) as usize;
+            Self::EXACT_LIMIT as usize + (msb - 6) * SUBS + sub
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    fn bucket_high(i: usize) -> u64 {
+        let exact = Self::EXACT_LIMIT as usize;
+        if i < exact {
+            i as u64
+        } else {
+            let oct = (i - exact) / SUBS + 6;
+            let sub = ((i - exact) % SUBS) as u64;
+            let width = 1u64 << (oct - 5);
+            (32 + sub) * width + width - 1
+        }
+    }
+
+    /// Records one latency value.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = if self.count == 1 { v } else { self.min.min(v) };
+    }
+
+    /// Folds `other` into `self`. The result is exactly the histogram of
+    /// both streams concatenated; the operation is associative and
+    /// commutative.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (exact, not quantised).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded values (exact), or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) of the recorded stream.
+    /// Values in the exact range are returned exactly; above it the
+    /// bucket's inclusive upper bound is returned (clamped to the
+    /// observed maximum), so tail percentiles never under-report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p / 100.0 * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(Self::bucket_high(i).min(self.max).max(self.min) as f64);
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Sparse `(bucket, count)` view of the non-empty buckets, for
+    /// compact serialisation.
+    pub fn sparse(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+impl PartialEq for LatencyHistogram {
+    /// Logical equality: trailing empty buckets are ignored, so two
+    /// histograms built by different merge orders compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        if (self.count, self.sum) != (other.count, other.sum) {
+            return false;
+        }
+        if self.count > 0 && (self.min, self.max) != (other.min, other.max) {
+            return false;
+        }
+        let longest = self.counts.len().max(other.counts.len());
+        (0..longest).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for LatencyHistogram {}
 
 /// Results of one simulation run, in switch cycles.
 ///
@@ -18,15 +195,11 @@ pub struct SimReport {
     completed_measured: u64,
     latency_sum: u64,
     latency_max: u64,
-    latencies: Vec<u32>,
+    histogram: LatencyHistogram,
     per_input_accepted: Vec<u64>,
     per_input_latency_sum: Vec<u64>,
     per_input_completed: Vec<u64>,
 }
-
-/// Cap on stored per-packet latency samples (percentiles are computed
-/// from these; beyond the cap the distribution is already stable).
-const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
 impl SimReport {
     pub(crate) fn new(
@@ -45,7 +218,7 @@ impl SimReport {
             completed_measured: 0,
             latency_sum: 0,
             latency_max: 0,
-            latencies: Vec::new(),
+            histogram: LatencyHistogram::new(),
             per_input_accepted: vec![0; radix],
             per_input_latency_sum: vec![0; radix],
             per_input_completed: vec![0; radix],
@@ -71,9 +244,7 @@ impl SimReport {
             self.completed_measured += 1;
             self.latency_sum += latency;
             self.latency_max = self.latency_max.max(latency);
-            if self.latencies.len() < MAX_LATENCY_SAMPLES {
-                self.latencies.push(latency.min(u64::from(u32::MAX)) as u32);
-            }
+            self.histogram.record(latency);
             self.per_input_latency_sum[src] += latency;
             self.per_input_completed[src] += 1;
         }
@@ -137,21 +308,21 @@ impl SimReport {
         self.latency_max
     }
 
+    /// The streaming latency histogram over the measured population.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+
     /// The `p`-th latency percentile in cycles over the measured
     /// population (`p` in `[0, 100]`), or `None` if nothing completed.
+    /// Computed from the streaming histogram, so every measured packet
+    /// contributes — long runs no longer drop their tail.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn latency_percentile_cycles(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-        Some(f64::from(sorted[rank]))
+        self.histogram.percentile(p)
     }
 
     /// Mean latency in cycles for packets sourced at `input`, or `None`
@@ -166,6 +337,11 @@ impl SimReport {
     /// cycle.
     pub fn input_accepted_rate(&self, input: usize) -> f64 {
         self.per_input_accepted[input] as f64 / self.measured_cycles as f64
+    }
+
+    /// Packets accepted per input during the measurement window.
+    pub fn per_input_accepted(&self) -> &[u64] {
+        &self.per_input_accepted
     }
 
     /// Whether the run kept up with the offered load (at least 99% of
@@ -194,6 +370,7 @@ mod tests {
         assert!((r.accepted_rate() - 0.03).abs() < 1e-9);
         assert_eq!(r.input_avg_latency_cycles(0), Some(10.0));
         assert_eq!(r.input_avg_latency_cycles(3), None);
+        assert_eq!(r.per_input_accepted(), &[1, 1, 1, 0]);
         assert!(r.is_stable());
     }
 
@@ -233,5 +410,87 @@ mod tests {
         }
         r.record_completion(0, 5, true, true);
         assert!(!r.is_stable());
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_below_the_limit() {
+        for v in 0..LatencyHistogram::EXACT_LIMIT {
+            let i = LatencyHistogram::bucket_of(v);
+            assert_eq!(LatencyHistogram::bucket_high(i), v);
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_bracket_their_values() {
+        for v in [64u64, 65, 100, 127, 128, 1000, 1 << 20, u64::MAX / 2] {
+            let i = LatencyHistogram::bucket_of(v);
+            let high = LatencyHistogram::bucket_high(i);
+            assert!(high >= v, "bucket high {high} below value {v}");
+            // Relative quantisation error bounded by one sub-bucket.
+            assert!((high - v) as f64 <= v as f64 / 32.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [1u64, 5, 64, 200, 9_000, 3] {
+            all.record(v);
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        let mut other_way = b;
+        other_way.merge(&a);
+        assert_eq!(other_way, all);
+    }
+
+    #[test]
+    fn histogram_has_no_sample_cap() {
+        // The old SimReport capped stored samples at 2^20, so a long
+        // run's tail never reached the percentiles. Stream 1.3M values
+        // whose final 300k are large: p95+ must see them.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1_000_000u32 {
+            h.record(10);
+        }
+        for _ in 0..300_000u32 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 1_300_000);
+        let p95 = h.percentile(95.0).unwrap();
+        assert!(p95 >= 9_000.0, "p95 {p95} ignored the post-cap tail");
+        assert_eq!(h.percentile(50.0), Some(10.0));
+        assert_eq!(h.max(), Some(10_000));
+        assert_eq!(h.min(), Some(10));
+    }
+
+    #[test]
+    fn empty_histogram_is_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.sparse().count(), 0);
+    }
+
+    #[test]
+    fn sparse_round_trips_counts() {
+        let mut h = LatencyHistogram::new();
+        for v in [4u64, 4, 4, 77, 2_000] {
+            h.record(v);
+        }
+        let total: u64 = h.sparse().map(|(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        assert_eq!(h.sparse().count(), 3);
     }
 }

@@ -8,8 +8,11 @@
 //! * [`phys`] — circuit delay/area/energy/TSV models ([`hirise_phys`]).
 //! * [`manycore`] — the trace-driven 64-core CMP simulator
 //!   ([`hirise_manycore`]).
+//! * [`lab`] — the deterministic parallel experiment-campaign runner
+//!   ([`hirise_lab`]).
 
 pub use hirise_core as core;
+pub use hirise_lab as lab;
 pub use hirise_manycore as manycore;
 pub use hirise_phys as phys;
 pub use hirise_sim as sim;

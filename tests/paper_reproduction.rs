@@ -6,9 +6,10 @@
 //! EXPERIMENTS.md, so the thresholds are set conservatively.
 
 use hirise::core::{ArbitrationScheme, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::lab::saturation_throughput;
 use hirise::phys::{tbps, SwitchDesign};
 use hirise::sim::traffic::UniformRandom;
-use hirise::sim::{saturation_throughput, SimConfig};
+use hirise::sim::SimConfig;
 
 fn sim_cfg() -> SimConfig {
     SimConfig::new(64).warmup(1_500).measure(8_000).seed(11)
