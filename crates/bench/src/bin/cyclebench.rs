@@ -1,0 +1,377 @@
+//! Simulation-throughput benchmark: simulated **cycles/sec** and
+//! **packets/sec** for each fabric (2D Swizzle, 3D folded, Hi-Rise)
+//! at radix 16/32/64 under uniform-random load, recorded to
+//! `BENCH_sim.json` at the repo root.
+//!
+//! This is the repo's performance trajectory file: the `before` column
+//! was measured on the allocating hot path (pre-`arbitrate_into`), the
+//! `after` column on the allocation-free scratch path, both on the same
+//! machine at the same scale. Re-running with `--label after` refreshes
+//! the `after` column in place and recomputes the speedups without
+//! touching the recorded `before` baseline (and vice versa).
+//!
+//! ```text
+//! cyclebench [--quick] [--label before|after] [--out PATH]
+//! cyclebench --check PATH    # validate an existing file's schema
+//! ```
+//!
+//! Methodology: per (fabric, radix) one `NetworkSim` under uniform
+//! random traffic at 0.1 packets/input/cycle (comfortably below the
+//! 0.2 serialization bound, so queues are in steady state) is warmed
+//! up untimed, then stepped through `reps` timed segments of
+//! `cycles_per_rep` cycles each via `NetworkSim::run_cycles`; the
+//! reported numbers are the medians across segments. The invariant
+//! checker is off (it is a debugging aid, not part of the cycle loop).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hirise_core::{ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise_lab::json::{self, Json};
+use hirise_sim::traffic::UniformRandom;
+use hirise_sim::{NetworkSim, SimConfig};
+
+const SCHEMA: &str = "hirise-cyclebench/v1";
+const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
+const RADICES: [usize; 3] = [16, 32, 64];
+const INJECTION_RATE: f64 = 0.1;
+const LAYERS: usize = 4;
+const SEED: u64 = 0xC1C1_EB00;
+
+/// Benchmark scale: timed cycles per segment and segment count.
+struct Scale {
+    warmup_cycles: u64,
+    cycles_per_rep: u64,
+    reps: usize,
+    quick: bool,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            warmup_cycles: 2_000,
+            cycles_per_rep: 20_000,
+            reps: 5,
+            quick: false,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            warmup_cycles: 500,
+            cycles_per_rep: 2_000,
+            reps: 3,
+            quick: true,
+        }
+    }
+}
+
+/// One measured (cycles/sec, packets/sec) pair.
+#[derive(Clone, Copy, Debug)]
+struct Throughput {
+    cycles_per_sec: f64,
+    packets_per_sec: f64,
+}
+
+/// One (fabric, radix) row with up to two labelled measurements.
+#[derive(Clone, Copy, Debug)]
+struct Row {
+    fabric: &'static str,
+    radix: usize,
+    before: Option<Throughput>,
+    after: Option<Throughput>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        match (self.before, self.after) {
+            (Some(b), Some(a)) if b.cycles_per_sec > 0.0 => {
+                Some(a.cycles_per_sec / b.cycles_per_sec)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn build_fabric(name: &str, radix: usize) -> Box<dyn Fabric> {
+    match name {
+        "switch2d" => Box::new(Switch2d::new(radix)),
+        "folded3d" => Box::new(FoldedSwitch::new(radix, LAYERS)),
+        "hirise" => {
+            let cfg = HiRiseConfig::builder(radix, LAYERS)
+                .channel_multiplicity(4)
+                .scheme(ArbitrationScheme::LayerToLayerLrg)
+                .build()
+                .expect("valid Hi-Rise configuration");
+            Box::new(HiRiseSwitch::new(&cfg))
+        }
+        other => panic!("unknown fabric {other}"),
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+    values[values.len() / 2]
+}
+
+/// Benchmarks one (fabric, radix) combination.
+fn measure(fabric: &'static str, radix: usize, scale: &Scale) -> Throughput {
+    let cfg = SimConfig::new(radix)
+        .injection_rate(INJECTION_RATE)
+        .warmup(0)
+        .measure(u64::MAX / 2)
+        .seed(SEED)
+        .check_invariants(false);
+    let mut sim = NetworkSim::new(build_fabric(fabric, radix), UniformRandom::new(radix), cfg);
+    let mut report = sim.report();
+    sim.run_cycles(&mut report, scale.warmup_cycles);
+    let mut cycles_per_sec = Vec::with_capacity(scale.reps);
+    let mut packets_per_sec = Vec::with_capacity(scale.reps);
+    for _ in 0..scale.reps {
+        let packets_at_start = report.accepted_packets();
+        let start = Instant::now();
+        sim.run_cycles(&mut report, scale.cycles_per_rep);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let packets = report.accepted_packets() - packets_at_start;
+        cycles_per_sec.push(scale.cycles_per_rep as f64 / secs);
+        packets_per_sec.push(packets as f64 / secs);
+    }
+    Throughput {
+        cycles_per_sec: median(&mut cycles_per_sec),
+        packets_per_sec: median(&mut packets_per_sec),
+    }
+}
+
+fn parse_throughput(value: &Json) -> Option<Throughput> {
+    Some(Throughput {
+        cycles_per_sec: value.get("cycles_per_sec")?.as_f64()?,
+        packets_per_sec: value.get("packets_per_sec")?.as_f64()?,
+    })
+}
+
+/// Loads the labelled measurements from an existing results file so a
+/// re-run under one label preserves the other label's column.
+fn load_existing(path: &str, rows: &mut [Row]) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("warning: {path} is not valid JSON; starting fresh");
+        return;
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        eprintln!("warning: {path} has an unknown schema; starting fresh");
+        return;
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        return;
+    };
+    for entry in results {
+        let fabric = entry.get("fabric").and_then(Json::as_str);
+        let radix = entry.get("radix").and_then(Json::as_u64);
+        let (Some(fabric), Some(radix)) = (fabric, radix) else {
+            continue;
+        };
+        for row in rows.iter_mut() {
+            if row.fabric == fabric && row.radix as u64 == radix {
+                row.before = entry.get("before").and_then(parse_throughput);
+                row.after = entry.get("after").and_then(parse_throughput);
+            }
+        }
+    }
+}
+
+fn write_throughput(out: &mut String, value: Option<Throughput>) {
+    match value {
+        None => out.push_str("null"),
+        Some(t) => {
+            out.push_str("{\"cycles_per_sec\":");
+            json::write_f64(out, t.cycles_per_sec);
+            out.push_str(",\"packets_per_sec\":");
+            json::write_f64(out, t.packets_per_sec);
+            out.push('}');
+        }
+    }
+}
+
+fn render(rows: &[Row], scale: &Scale) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\":");
+    json::write_escaped(&mut out, SCHEMA);
+    out.push_str(",\n  \"pattern\":\"uniform-random\"");
+    out.push_str(",\n  \"injection_rate\":");
+    json::write_f64(&mut out, INJECTION_RATE);
+    out.push_str(",\n  \"packet_len_flits\":4");
+    out.push_str(",\n  \"quick\":");
+    out.push_str(if scale.quick { "true" } else { "false" });
+    out.push_str(",\n  \"warmup_cycles\":");
+    out.push_str(&scale.warmup_cycles.to_string());
+    out.push_str(",\n  \"cycles_per_rep\":");
+    out.push_str(&scale.cycles_per_rep.to_string());
+    out.push_str(",\n  \"reps\":");
+    out.push_str(&scale.reps.to_string());
+    out.push_str(",\n  \"results\":[\n");
+    for (index, row) in rows.iter().enumerate() {
+        out.push_str("    {\"fabric\":");
+        json::write_escaped(&mut out, row.fabric);
+        out.push_str(",\"radix\":");
+        out.push_str(&row.radix.to_string());
+        out.push_str(",\"before\":");
+        write_throughput(&mut out, row.before);
+        out.push_str(",\"after\":");
+        write_throughput(&mut out, row.after);
+        out.push_str(",\"speedup_cycles_per_sec\":");
+        match row.speedup() {
+            Some(s) => json::write_f64(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a results file: schema tag, full fabric × radix coverage,
+/// and positive throughput on every present measurement. Absolute
+/// numbers are machine-dependent and deliberately not checked.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("{path}: missing or unexpected schema tag"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    for fabric in FABRICS {
+        for radix in RADICES {
+            let entry = results
+                .iter()
+                .find(|e| {
+                    e.get("fabric").and_then(Json::as_str) == Some(fabric)
+                        && e.get("radix").and_then(Json::as_u64) == Some(radix as u64)
+                })
+                .ok_or_else(|| format!("{path}: no entry for {fabric} radix {radix}"))?;
+            let mut measured = 0;
+            for label in ["before", "after"] {
+                match entry.get(label) {
+                    None | Some(Json::Null) => {}
+                    Some(value) => {
+                        let t = parse_throughput(value).ok_or_else(|| {
+                            format!("{path}: malformed {label} for {fabric} radix {radix}")
+                        })?;
+                        if t.cycles_per_sec <= 0.0 || t.packets_per_sec <= 0.0 {
+                            return Err(format!(
+                                "{path}: non-positive {label} throughput for {fabric} radix {radix}"
+                            ));
+                        }
+                        measured += 1;
+                    }
+                }
+            }
+            if measured == 0 {
+                return Err(format!(
+                    "{path}: {fabric} radix {radix} has neither before nor after"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: cyclebench [--quick] [--label before|after] [--out PATH]");
+    eprintln!("       cyclebench --check PATH");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut label = "after".to_string();
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" | "quick" => quick = true,
+            "--label" => label = iter.next().unwrap_or_else(|| usage()),
+            "--out" => out_path = iter.next().unwrap_or_else(|| usage()),
+            "--check" => check_path = Some(iter.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if let Some(path) = check_path {
+        return match check(&path) {
+            Ok(()) => {
+                println!("{path}: OK");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if label != "before" && label != "after" {
+        usage();
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    let mut rows: Vec<Row> = FABRICS
+        .iter()
+        .flat_map(|&fabric| {
+            RADICES.iter().map(move |&radix| Row {
+                fabric,
+                radix,
+                before: None,
+                after: None,
+            })
+        })
+        .collect();
+    load_existing(&out_path, &mut rows);
+
+    println!(
+        "cyclebench: label={label}, {} cycles x {} reps per combination\n",
+        scale.cycles_per_rep, scale.reps
+    );
+    println!(
+        "{:<10} {:>5} {:>15} {:>15} {:>9}",
+        "fabric", "radix", "cycles/sec", "packets/sec", "speedup"
+    );
+    for row in rows.iter_mut() {
+        let throughput = measure(row.fabric, row.radix, &scale);
+        if label == "before" {
+            row.before = Some(throughput);
+        } else {
+            row.after = Some(throughput);
+        }
+        let speedup = row
+            .speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:>5} {:>15.0} {:>15.0} {:>9}",
+            row.fabric, row.radix, throughput.cycles_per_sec, throughput.packets_per_sec, speedup
+        );
+    }
+
+    let rendered = render(&rows, &scale);
+    if let Err(error) = std::fs::write(&out_path, &rendered) {
+        eprintln!("cyclebench: cannot write {out_path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    match check(&out_path) {
+        Ok(()) => {
+            println!("\nwrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("cyclebench: self-check failed: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! | `ablation` | CLRG class count, halving, allocation, local arbiter |
 //! | `patterns` | locality sweep across all synthetic traffic patterns |
 //! | `explore` | ad-hoc CLI: any config × pattern × load |
+//! | `cyclebench` | simulator throughput baseline (`BENCH_sim.json`, not a paper artifact) |
 //!
 //! Pass `quick` as an argument to any binary for a shorter (but
 //! noisier) run. The `benches/` directory holds wall-clock micro-benches

@@ -50,9 +50,16 @@ impl MatrixArbiter {
             seen[r] = true;
         }
         let mut rows = vec![BitSet::new(n); n];
-        for (rank, &winner) in order.iter().enumerate() {
-            for &lower in &order[rank + 1..] {
-                rows[winner].insert(lower);
+        // A requestor's row is exactly the set of requestors ranked below
+        // it, so a running "everyone not yet placed" set fills each row
+        // with one word-level copy instead of an O(n²) per-bit loop.
+        if let Some((&first, rest)) = order.split_first() {
+            let mut below = BitSet::new(n);
+            below.set_all_except(first);
+            rows[first].copy_from(&below);
+            for &winner in rest {
+                below.remove(winner);
+                rows[winner].copy_from(&below);
             }
         }
         Self { rows, n }
@@ -118,9 +125,11 @@ impl MatrixArbiter {
     pub fn update(&mut self, winner: usize) {
         assert!(winner < self.n, "winner {winner} out of range");
         self.rows[winner].clear();
+        let word = winner / 64;
+        let mask = 1u64 << (winner % 64);
         for (other, row) in self.rows.iter_mut().enumerate() {
             if other != winner {
-                row.insert(winner);
+                row.or_word(word, mask);
             }
         }
     }

@@ -7,6 +7,8 @@
 //! it separates `grant` from `update` so callers can apply the Hi-Rise
 //! back-propagated update rule.
 
+use crate::bits::BitSet;
+
 /// An `n`-way round-robin arbiter with a rotating highest-priority pointer.
 #[derive(Clone, Debug)]
 pub struct RoundRobinArbiter {
@@ -47,6 +49,20 @@ impl RoundRobinArbiter {
             .iter()
             .inspect(|&&r| assert!(r < self.n, "requestor {r} out of range"))
             .copied()
+            .min_by_key(|&r| (r + self.n - self.next) % self.n)
+    }
+
+    /// As [`grant`](Self::grant), but taking a pre-built request mask —
+    /// the allocation-free hot path, mirroring
+    /// [`MatrixArbiter::grant_mask`](super::matrix::MatrixArbiter::grant_mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask capacity differs from the arbiter size.
+    pub fn grant_mask(&self, requests: &BitSet) -> Option<usize> {
+        assert_eq!(requests.capacity(), self.n, "request mask size mismatch");
+        requests
+            .iter()
             .min_by_key(|&r| (r + self.n - self.next) % self.n)
     }
 
@@ -96,5 +112,20 @@ mod tests {
         let arb = RoundRobinArbiter::new(4);
         assert_eq!(arb.grant(&[2, 3]), Some(2));
         assert_eq!(arb.grant(&[2, 3]), Some(2));
+    }
+
+    #[test]
+    fn grant_mask_matches_grant() {
+        let mut arb = RoundRobinArbiter::new(5);
+        for rotate in 0..5 {
+            let requests = [0usize, 2, 4];
+            let mut mask = BitSet::new(5);
+            for &r in &requests {
+                mask.insert(r);
+            }
+            assert_eq!(arb.grant_mask(&mask), arb.grant(&requests), "{rotate}");
+            arb.update(rotate);
+        }
+        assert_eq!(arb.grant_mask(&BitSet::new(5)), None);
     }
 }

@@ -64,6 +64,57 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Sets every bit `0..capacity` in one word-level pass. Bits at or
+    /// beyond `capacity` stay zero, preserving the invariants `len`,
+    /// `iter` and the superset tests rely on.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0);
+        self.mask_tail();
+    }
+
+    /// Sets every bit `0..capacity` except `skip` in one word-level
+    /// pass — the priority-matrix "new winner outranks nobody, everyone
+    /// outranks the winner" reset, without a per-bit loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip >= capacity`.
+    pub fn set_all_except(&mut self, skip: usize) {
+        assert!(skip < self.capacity, "bit index {skip} out of range");
+        self.words.fill(!0);
+        self.words[skip / 64] &= !(1u64 << (skip % 64));
+        self.mask_tail();
+    }
+
+    /// Makes `self` an exact copy of `other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// ORs a raw mask into word `word`; the arbiter update loop uses
+    /// this to splice one precomputed bit into every row without
+    /// re-deriving the word index and shift per row.
+    #[inline]
+    pub(crate) fn or_word(&mut self, word: usize, mask: u64) {
+        debug_assert!(word < self.words.len(), "word index {word} out of range");
+        self.words[word] |= mask;
+    }
+
+    /// Zeroes any bits at or beyond `capacity` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
     /// Returns whether no bits are set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -144,6 +195,15 @@ impl Iterator for Iter<'_> {
             }
             self.current = self.set.words[self.word_index];
         }
+    }
+}
+
+impl Default for BitSet {
+    /// An empty zero-capacity set; placeholder for scratch structures
+    /// that are sized later (allocation-free, `vec![0; 0]` does not
+    /// allocate).
+    fn default() -> Self {
+        Self::new(0)
     }
 }
 
@@ -237,6 +297,59 @@ mod tests {
         let set: BitSet = [3usize, 9, 1].into_iter().collect();
         assert_eq!(set.capacity(), 10);
         assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn set_all_masks_the_tail_word() {
+        for capacity in [1usize, 63, 64, 65, 70, 128, 130] {
+            let mut set = BitSet::new(capacity);
+            set.set_all();
+            assert_eq!(set.len(), capacity, "capacity {capacity}");
+            assert_eq!(set.iter().count(), capacity);
+            assert!(set.contains(capacity - 1));
+        }
+    }
+
+    #[test]
+    fn set_all_except_drops_exactly_one_bit() {
+        for capacity in [1usize, 64, 70, 130] {
+            for skip in [0, capacity / 2, capacity - 1] {
+                let mut set = BitSet::new(capacity);
+                set.set_all_except(skip);
+                assert_eq!(set.len(), capacity - 1, "capacity {capacity} skip {skip}");
+                assert!(!set.contains(skip));
+                // Matches the reference formulation: set_all then remove.
+                let mut reference = BitSet::new(capacity);
+                reference.set_all();
+                reference.remove(skip);
+                assert_eq!(set, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_from_replicates_contents() {
+        let mut src = BitSet::new(130);
+        src.insert(0);
+        src.insert(129);
+        let mut dst = BitSet::new(130);
+        dst.insert(5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn copy_from_rejects_capacity_mismatch() {
+        let mut dst = BitSet::new(8);
+        dst.copy_from(&BitSet::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_all_except_out_of_range_panics() {
+        let mut set = BitSet::new(8);
+        set.set_all_except(8);
     }
 
     #[test]

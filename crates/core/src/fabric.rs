@@ -56,6 +56,21 @@ pub trait Fabric {
     /// Implementations panic if a request references an out-of-range port.
     fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant>;
 
+    /// Runs one arbitration cycle like [`arbitrate`](Self::arbitrate),
+    /// but writes the winners into a caller-owned buffer instead of
+    /// allocating one. `grants` is cleared first, then filled; its
+    /// capacity is reused across calls, which is what makes the
+    /// simulator's steady-state cycle loop allocation-free.
+    ///
+    /// The default implementation delegates to `arbitrate`; the fabrics
+    /// in this crate override it with natively buffer-filling paths and
+    /// re-express `arbitrate` on top of it, so both entry points always
+    /// produce identical grant sets.
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        grants.clear();
+        grants.extend(self.arbitrate(requests));
+    }
+
     /// Releases the connection held by `input`, freeing the output and
     /// all internal resources. Does nothing if `input` holds none.
     ///
@@ -90,6 +105,10 @@ impl<F: Fabric + ?Sized> Fabric for Box<F> {
 
     fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
         (**self).arbitrate(requests)
+    }
+
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        (**self).arbitrate_into(requests, grants)
     }
 
     fn release(&mut self, input: InputId) {

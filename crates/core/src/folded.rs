@@ -101,6 +101,10 @@ impl Fabric for FoldedSwitch {
         self.inner.arbitrate(requests)
     }
 
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        self.inner.arbitrate_into(requests, grants)
+    }
+
     fn release(&mut self, input: InputId) {
         self.inner.release(input);
     }

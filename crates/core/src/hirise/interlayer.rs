@@ -11,6 +11,7 @@ use crate::arbiter::clrg::ClrgState;
 use crate::arbiter::matrix::MatrixArbiter;
 use crate::arbiter::wlrg::WlrgState;
 use crate::arbiter::ArbitrationScheme;
+use crate::bits::BitSet;
 use crate::ids::InputId;
 
 /// A contender presented to a sub-block for one arbitration cycle.
@@ -35,6 +36,9 @@ pub(crate) struct SubBlock {
     /// model of `crate::xpoint` (debug aid; see
     /// [`HiRiseSwitch::enable_signal_validation`](crate::HiRiseSwitch::enable_signal_validation)).
     validate_signals: bool,
+    /// Candidate-slot mask, reused across cycles so the hot path stays
+    /// allocation-free.
+    mask: BitSet,
 }
 
 impl SubBlock {
@@ -53,6 +57,7 @@ impl SubBlock {
             wlrg,
             clrg,
             validate_signals: false,
+            mask: BitSet::new(slots),
         }
     }
 
@@ -73,16 +78,24 @@ impl SubBlock {
         if contenders.is_empty() {
             return None;
         }
-        debug_assert!(
-            {
-                let mut slots: Vec<usize> = contenders.iter().map(|c| c.slot).collect();
-                slots.sort_unstable();
-                slots.windows(2).all(|w| w[0] != w[1])
-            },
-            "contender slots must be unique"
-        );
 
-        let winner_index = if let Some(clrg) = &self.clrg {
+        // Debug-only duplicate-slot check, via the reused mask instead of
+        // the old sort-a-Vec formulation (the mask is rebuilt below).
+        #[cfg(debug_assertions)]
+        {
+            self.mask.clear();
+            for contender in contenders {
+                assert!(
+                    !self.mask.contains(contender.slot),
+                    "contender slots must be unique"
+                );
+                self.mask.insert(contender.slot);
+            }
+        }
+
+        // Build the candidate-slot mask in the reused scratch set.
+        self.mask.clear();
+        if let Some(clrg) = &self.clrg {
             // Class-based LRG: best (lowest-count) class wins; LRG breaks
             // ties within that class. The slot-level LRG is updated every
             // cycle even when the class decided the winner (Fig. 5,
@@ -93,21 +106,21 @@ impl SubBlock {
                 .map(|c| clrg.class_of(c.input.index()))
                 .min()
                 .expect("non-empty contender set");
-            let candidate_slots: Vec<usize> = contenders
-                .iter()
-                .filter(|c| clrg.class_of(c.input.index()) == best)
-                .map(|c| c.slot)
-                .collect();
-            let slot = self
-                .lrg
-                .grant(&candidate_slots)
-                .expect("non-empty candidate set");
-            contenders.iter().position(|c| c.slot == slot).unwrap()
+            for contender in contenders {
+                if clrg.class_of(contender.input.index()) == best {
+                    self.mask.insert(contender.slot);
+                }
+            }
         } else {
-            let slots: Vec<usize> = contenders.iter().map(|c| c.slot).collect();
-            let slot = self.lrg.grant(&slots).expect("non-empty contender set");
-            contenders.iter().position(|c| c.slot == slot).unwrap()
-        };
+            for contender in contenders {
+                self.mask.insert(contender.slot);
+            }
+        }
+        let slot = self
+            .lrg
+            .grant_mask(&self.mask)
+            .expect("non-empty candidate set");
+        let winner_index = contenders.iter().position(|c| c.slot == slot).unwrap();
 
         if self.validate_signals {
             let classed: Vec<crate::xpoint::ClassedContender> = contenders

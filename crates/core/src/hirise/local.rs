@@ -10,6 +10,7 @@
 
 use crate::arbiter::matrix::MatrixArbiter;
 use crate::arbiter::round_robin::RoundRobinArbiter;
+use crate::bits::BitSet;
 use crate::config::LocalArbiterKind;
 
 /// One arbitration column of the local switch.
@@ -27,10 +28,20 @@ impl ColumnArbiter {
         }
     }
 
+    /// Slice-path reference implementation; the hot path uses
+    /// [`grant_mask`](Self::grant_mask).
+    #[cfg(test)]
     pub(crate) fn grant(&self, requests: &[usize]) -> Option<usize> {
         match self {
             ColumnArbiter::Lrg(a) => a.grant(requests),
             ColumnArbiter::RoundRobin(a) => a.grant(requests),
+        }
+    }
+
+    pub(crate) fn grant_mask(&self, requests: &BitSet) -> Option<usize> {
+        match self {
+            ColumnArbiter::Lrg(a) => a.grant_mask(requests),
+            ColumnArbiter::RoundRobin(a) => a.grant_mask(requests),
         }
     }
 
@@ -86,8 +97,17 @@ impl LocalSwitch {
         self.ports + compressed_dst * self.multiplicity + k
     }
 
+    /// Slice-path reference implementation; the hot path uses
+    /// [`grant_mask`](Self::grant_mask).
+    #[cfg(test)]
     pub(crate) fn grant(&self, column: usize, requests: &[usize]) -> Option<usize> {
         self.columns[column].grant(requests)
+    }
+
+    /// As [`grant`](Self::grant), but over a pre-built request mask of
+    /// local-input bits — the allocation-free hot path.
+    pub(crate) fn grant_mask(&self, column: usize, requests: &BitSet) -> Option<usize> {
+        self.columns[column].grant_mask(requests)
     }
 
     pub(crate) fn update(&mut self, column: usize, winner: usize) {
@@ -132,6 +152,23 @@ mod tests {
         // Column 0's update must not affect column 1.
         assert_eq!(local.grant(0, &[1, 2]), Some(2));
         assert_eq!(local.grant(1, &[1, 2]), Some(1));
+    }
+
+    #[test]
+    fn grant_mask_matches_grant_for_both_kinds() {
+        for kind in [LocalArbiterKind::Lrg, LocalArbiterKind::RoundRobin] {
+            let local = LocalSwitch::new(kind, 4, 2, 1);
+            let mut mask = BitSet::new(4);
+            mask.insert(1);
+            mask.insert(3);
+            for column in 0..local.column_count() {
+                assert_eq!(
+                    local.grant_mask(column, &mask),
+                    local.grant(column, &[1, 3]),
+                    "{kind:?} column {column}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod channel;
 mod interlayer;
 mod local;
 
+use crate::bits::BitSet;
 use crate::config::HiRiseConfig;
 use crate::fabric::{Fabric, Grant, Request};
 use crate::ids::{ChannelId, InputId, LayerId, OutputId};
@@ -73,6 +74,69 @@ enum ColumnKind {
     Channel { compressed_dst: usize, k: usize },
 }
 
+/// Persistent per-cycle scratch for the arbitration hot path: flat
+/// clear-and-reuse arenas replacing the `Vec<Vec<...>>` structures the
+/// original implementation allocated on every call. After a few warmup
+/// cycles every inner vector has reached its steady-state capacity and
+/// an arbitration cycle performs zero heap allocations.
+///
+/// `Default` is allocation-free (empty vectors, zero-capacity mask), so
+/// [`std::mem::take`] can move the scratch out of the switch for the
+/// duration of a cycle without touching the allocator.
+#[derive(Clone, Debug, Default)]
+struct ArbScratch {
+    /// Per-input duplicate-request filter.
+    seen: Vec<bool>,
+    /// `layer * columns + column` -> statically-binned admitted requests.
+    column_reqs: Vec<Vec<ColumnRequest>>,
+    /// `src * layers + dst` -> priority-based allocation pools.
+    pools: Vec<Vec<ColumnRequest>>,
+    /// Phase-1 winners of the current cycle.
+    winners: Vec<Phase1Winner>,
+    /// Local-input request mask handed to the column arbiters.
+    local_mask: BitSet,
+    /// Per final output: indices into `winners`.
+    per_output: Vec<Vec<usize>>,
+    /// Outputs with contenders, in first-seen order.
+    touched_outputs: Vec<usize>,
+    /// Contender list for one sub-block at a time.
+    contenders: Vec<Contender>,
+}
+
+impl ArbScratch {
+    fn new(cfg: &HiRiseConfig) -> Self {
+        let l = cfg.layers();
+        let cols = cfg.ports_per_layer() + cfg.channels_per_layer();
+        Self {
+            seen: vec![false; cfg.radix()],
+            column_reqs: vec![Vec::new(); l * cols],
+            pools: vec![Vec::new(); l * l],
+            winners: Vec::new(),
+            local_mask: BitSet::new(cfg.ports_per_layer()),
+            per_output: vec![Vec::new(); cfg.radix()],
+            touched_outputs: Vec::new(),
+            contenders: Vec::new(),
+        }
+    }
+
+    /// Empties every arena while keeping its capacity.
+    fn reset(&mut self) {
+        self.seen.fill(false);
+        for list in &mut self.column_reqs {
+            list.clear();
+        }
+        for pool in &mut self.pools {
+            pool.clear();
+        }
+        for list in &mut self.per_output {
+            list.clear();
+        }
+        self.winners.clear();
+        self.touched_outputs.clear();
+        self.contenders.clear();
+    }
+}
+
 /// The Hi-Rise hierarchical 3D switch.
 ///
 /// See the [module documentation](self) for the architecture and the
@@ -90,6 +154,8 @@ pub struct HiRiseSwitch {
     channel_grants: Vec<u64>,
     /// Grants that used the local intermediate path, per layer.
     local_grants: Vec<u64>,
+    /// Per-cycle arbitration scratch, reused across calls.
+    scratch: ArbScratch,
 }
 
 impl HiRiseSwitch {
@@ -123,6 +189,7 @@ impl HiRiseSwitch {
             column_kinds,
             channel_grants: vec![0; l * (l - 1) * c],
             local_grants: vec![0; l],
+            scratch: ArbScratch::new(cfg),
         }
     }
 
@@ -297,14 +364,12 @@ impl HiRiseSwitch {
     }
 
     /// Phase 1: admit requests into local columns (or priority pools) and
-    /// elect one winner per column.
-    fn phase1(&mut self, requests: &[Request]) -> Vec<Phase1Winner> {
+    /// elect one winner per column. Winners accumulate in
+    /// `scratch.winners`; all working memory comes from `scratch`.
+    fn phase1(&self, requests: &[Request], scratch: &mut ArbScratch) {
         let l = self.cfg.layers();
         let c = self.cfg.channel_multiplicity();
         let cols = self.column_count();
-        let mut column_reqs: Vec<Vec<ColumnRequest>> = vec![Vec::new(); l * cols];
-        let mut pools: Vec<Vec<ColumnRequest>> = vec![Vec::new(); l * l];
-        let mut seen = vec![false; self.cfg.radix()];
 
         for request in requests {
             let input = request.input;
@@ -317,10 +382,10 @@ impl HiRiseSwitch {
                 output.index() < self.cfg.radix(),
                 "output {output} out of range"
             );
-            if seen[input.index()] || self.connections[input.index()].is_some() {
+            if scratch.seen[input.index()] || self.connections[input.index()].is_some() {
                 continue;
             }
-            seen[input.index()] = true;
+            scratch.seen[input.index()] = true;
             let src = self.cfg.layer_of_input(input).index();
             let dst = self.cfg.layer_of_output(output).index();
             let col_req = ColumnRequest {
@@ -331,7 +396,7 @@ impl HiRiseSwitch {
             if src == dst {
                 let column =
                     self.locals[src].intermediate_column(self.cfg.local_output_index(output));
-                column_reqs[src * cols + column].push(col_req);
+                scratch.column_reqs[src * cols + column].push(col_req);
             } else {
                 match self.cfg.bound_channel(input, output) {
                     Some(k) => {
@@ -340,25 +405,26 @@ impl HiRiseSwitch {
                         }
                         let compressed_dst = if dst < src { dst } else { dst - 1 };
                         let column = self.locals[src].channel_column(compressed_dst, k.index());
-                        column_reqs[src * cols + column].push(col_req);
+                        scratch.column_reqs[src * cols + column].push(col_req);
                     }
-                    None => pools[src * l + dst].push(col_req),
+                    None => scratch.pools[src * l + dst].push(col_req),
                 }
             }
         }
 
-        let mut winners = Vec::new();
-
         // Statically-binned columns arbitrate in parallel.
         for layer in 0..l {
             for column in 0..cols {
-                let list = &column_reqs[layer * cols + column];
+                let list = &scratch.column_reqs[layer * cols + column];
                 if list.is_empty() {
                     continue;
                 }
-                let locals: Vec<usize> = list.iter().map(|r| r.local_input).collect();
+                scratch.local_mask.clear();
+                for request in list {
+                    scratch.local_mask.insert(request.local_input);
+                }
                 let winner_local = self.locals[layer]
-                    .grant(column, &locals)
+                    .grant_mask(column, &scratch.local_mask)
                     .expect("non-empty request set");
                 let request = *list
                     .iter()
@@ -372,7 +438,7 @@ impl HiRiseSwitch {
                         k,
                     },
                 };
-                winners.push(Phase1Winner {
+                scratch.winners.push(Phase1Winner {
                     layer,
                     column,
                     request,
@@ -390,7 +456,7 @@ impl HiRiseSwitch {
                 if src == dst {
                     continue;
                 }
-                let pool = &mut pools[src * l + dst];
+                let pool = &mut scratch.pools[src * l + dst];
                 if pool.is_empty() {
                     continue;
                 }
@@ -403,9 +469,12 @@ impl HiRiseSwitch {
                         continue;
                     }
                     let column = self.locals[src].channel_column(compressed_dst, k);
-                    let locals: Vec<usize> = pool.iter().map(|r| r.local_input).collect();
+                    scratch.local_mask.clear();
+                    for request in pool.iter() {
+                        scratch.local_mask.insert(request.local_input);
+                    }
                     let winner_local = self.locals[src]
-                        .grant(column, &locals)
+                        .grant_mask(column, &scratch.local_mask)
                         .expect("non-empty pool");
                     let pos = pool
                         .iter()
@@ -413,7 +482,7 @@ impl HiRiseSwitch {
                         .expect("winner comes from the pool");
                     let weight = pool.len() as u32;
                     let request = pool.swap_remove(pos);
-                    winners.push(Phase1Winner {
+                    scratch.winners.push(Phase1Winner {
                         layer: src,
                         column,
                         request,
@@ -423,8 +492,6 @@ impl HiRiseSwitch {
                 }
             }
         }
-
-        winners
     }
 }
 
@@ -434,48 +501,52 @@ impl Fabric for HiRiseSwitch {
     }
 
     fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
-        let winners = self.phase1(requests);
+        let mut grants = Vec::new();
+        self.arbitrate_into(requests, &mut grants);
+        grants
+    }
+
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        grants.clear();
+        // Detach the scratch arenas so phase 1 and 2 can borrow `self`
+        // freely; reattached below.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset();
+        self.phase1(requests, &mut scratch);
 
         // Phase 2: group phase-1 winners per final output and run the
         // sub-block arbitration.
-        let mut per_output: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.radix()];
-        let mut touched_outputs = Vec::new();
-        for (index, winner) in winners.iter().enumerate() {
+        for (index, winner) in scratch.winners.iter().enumerate() {
             let output = winner.request.output.index();
-            if per_output[output].is_empty() {
-                touched_outputs.push(output);
+            if scratch.per_output[output].is_empty() {
+                scratch.touched_outputs.push(output);
             }
-            per_output[output].push(index);
+            scratch.per_output[output].push(index);
         }
 
-        let mut grants = Vec::new();
-        for &output in &touched_outputs {
+        for &output in &scratch.touched_outputs {
             if self.output_owner[output].is_some() {
                 continue; // output mid-transfer: contenders lose silently
             }
-            let contenders: Vec<Contender> = per_output[output]
-                .iter()
-                .map(|&index| {
-                    let w = &winners[index];
-                    let slot = match w.resource {
-                        PathResource::Intermediate => self.local_subblock_slot(),
-                        PathResource::Channel { src, dst, k } => self.subblock_slot(
-                            LayerId::new(src),
-                            ChannelId::new(k),
-                            LayerId::new(dst),
-                        ),
-                    };
-                    Contender {
-                        slot,
-                        input: w.request.input,
-                        weight: w.weight,
+            scratch.contenders.clear();
+            for &index in &scratch.per_output[output] {
+                let w = &scratch.winners[index];
+                let slot = match w.resource {
+                    PathResource::Intermediate => self.local_subblock_slot(),
+                    PathResource::Channel { src, dst, k } => {
+                        self.subblock_slot(LayerId::new(src), ChannelId::new(k), LayerId::new(dst))
                     }
-                })
-                .collect();
+                };
+                scratch.contenders.push(Contender {
+                    slot,
+                    input: w.request.input,
+                    weight: w.weight,
+                });
+            }
             let winner_pos = self.subblocks[output]
-                .arbitrate(&contenders)
+                .arbitrate(&scratch.contenders)
                 .expect("non-empty contender set");
-            let winner = winners[per_output[output][winner_pos]];
+            let winner = scratch.winners[scratch.per_output[output][winner_pos]];
 
             // Commit: back-propagate the local priority update, seize the
             // path resources, and record the connection.
@@ -503,7 +574,7 @@ impl Fabric for HiRiseSwitch {
                 output: OutputId::new(output),
             });
         }
-        grants
+        self.scratch = scratch;
     }
 
     fn release(&mut self, input: InputId) {

@@ -15,6 +15,7 @@
 //! uses with counters (Fig. 7), with static class inputs instead.
 
 use crate::arbiter::matrix::MatrixArbiter;
+use crate::bits::BitSet;
 use crate::fabric::{Fabric, Grant, Request};
 use crate::ids::{InputId, OutputId};
 
@@ -32,6 +33,8 @@ pub struct Switch2d {
     radix: usize,
     // Scratch reused across arbitration cycles to avoid reallocations.
     requestors: Vec<Vec<usize>>,
+    seen: Vec<bool>,
+    mask: BitSet,
 }
 
 impl Switch2d {
@@ -49,6 +52,8 @@ impl Switch2d {
             qos: None,
             radix,
             requestors: vec![Vec::new(); radix],
+            seen: vec![false; radix],
+            mask: BitSet::new(radix),
         }
     }
 
@@ -90,26 +95,32 @@ impl Fabric for Switch2d {
     }
 
     fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        self.arbitrate_into(requests, &mut grants);
+        grants
+    }
+
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        grants.clear();
         for list in &mut self.requestors {
             list.clear();
         }
-        let mut seen = vec![false; self.radix];
+        self.seen.fill(false);
         for request in requests {
             let input = request.input.index();
             let output = request.output.index();
             assert!(input < self.radix, "input {input} out of range");
             assert!(output < self.radix, "output {output} out of range");
-            if seen[input] || self.connections[input].is_some() {
+            if self.seen[input] || self.connections[input].is_some() {
                 continue; // duplicate or already transferring
             }
-            seen[input] = true;
+            self.seen[input] = true;
             if self.owners[output].is_some() {
                 continue; // output busy: request simply loses this cycle
             }
             self.requestors[output].push(input);
         }
 
-        let mut grants = Vec::new();
         for output in 0..self.radix {
             let list = &self.requestors[output];
             if list.is_empty() {
@@ -117,22 +128,28 @@ impl Fabric for Switch2d {
             }
             // With QoS enabled, only the best (lowest) class competes;
             // LRG decides within it.
-            let candidates: Vec<usize> = match &self.qos {
-                None => list.clone(),
+            self.mask.clear();
+            match &self.qos {
+                None => {
+                    for &input in list {
+                        self.mask.insert(input);
+                    }
+                }
                 Some(classes) => {
                     let best = list
                         .iter()
                         .map(|&i| classes[i])
                         .min()
                         .expect("non-empty request set");
-                    list.iter()
-                        .copied()
-                        .filter(|&i| classes[i] == best)
-                        .collect()
+                    for &input in list {
+                        if classes[input] == best {
+                            self.mask.insert(input);
+                        }
+                    }
                 }
-            };
+            }
             let winner = self.arbiters[output]
-                .grant(&candidates)
+                .grant_mask(&self.mask)
                 .expect("non-empty request set always has an LRG winner");
             self.arbiters[output].update(winner);
             self.connections[winner] = Some(OutputId::new(output));
@@ -142,7 +159,6 @@ impl Fabric for Switch2d {
                 output: OutputId::new(output),
             });
         }
-        grants
     }
 
     fn release(&mut self, input: InputId) {

@@ -2,6 +2,9 @@
 //! (golden-model crossbar, 2D Swizzle, 3D folded, Hi-Rise under L-2-L
 //! LRG / WLRG / CLRG at channel multiplicities 1 and 2) on random
 //! schedules, and shrinks any divergence to a minimal counterexample.
+//! Every round also co-steps twin instances of each fabric to check
+//! that the allocating `arbitrate` and the buffer-reusing
+//! `arbitrate_into` entry points grant identically.
 //!
 //! ```text
 //! cargo run -p hirise-sim --bin diff_fuzz -- \
@@ -12,7 +15,9 @@
 //! printed so it can be pasted into a regression test.
 
 use hirise_core::rng::{SeedableRng, StdRng};
-use hirise_sim::diff::{check_schedule, fuzz_once, standard_fleet, Schedule};
+use hirise_sim::diff::{
+    check_arbitrate_into_equivalence, check_schedule, fuzz_once, standard_fleet, Schedule,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -85,12 +90,18 @@ fn main() -> ExitCode {
     let mut total_packets = 0usize;
     for round in 0..options.rounds {
         let seed = options.seed + round;
-        // Re-derive the schedule for reporting (fuzz_once uses the same
-        // construction internally).
+        // Re-derive the schedule for reporting and for the entry-point
+        // equivalence pass (fuzz_once uses the same construction
+        // internally).
         let mut rng = StdRng::seed_from_u64(seed);
-        total_packets += Schedule::random(&mut rng, options.radix, options.cycles, options.rate, 4)
-            .packets
-            .len();
+        let schedule = Schedule::random(&mut rng, options.radix, options.cycles, options.rate, 4);
+        total_packets += schedule.packets.len();
+        for (name, build) in &fleet {
+            if let Err(divergence) = check_arbitrate_into_equivalence(*build, &schedule) {
+                eprintln!("seed {seed}: [{name}] arbitrate/arbitrate_into split: {divergence}");
+                return ExitCode::FAILURE;
+            }
+        }
         if let Some((minimal, failure)) =
             fuzz_once(&fleet, options.radix, options.cycles, options.rate, seed)
         {

@@ -65,8 +65,9 @@ mod stats;
 pub mod traffic;
 
 pub use diff::{
-    check_schedule, fuzz, run_schedule, shrink, standard_fleet, CoSimOutcome, DiffFailure,
-    DiffFailureKind, FabricBuilder, RefSwitch, SchedPacket, Schedule, Violation,
+    check_arbitrate_into_equivalence, check_schedule, fuzz, run_schedule, shrink, standard_fleet,
+    ArbitrateIntoDivergence, CoSimOutcome, DiffFailure, DiffFailureKind, FabricBuilder, RefSwitch,
+    SchedPacket, Schedule, Violation,
 };
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use packet::Packet;

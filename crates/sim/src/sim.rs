@@ -8,7 +8,7 @@ use crate::stats::SimReport;
 use crate::traffic::TrafficPattern;
 use hirise_core::rng::SeedableRng;
 use hirise_core::rng::StdRng;
-use hirise_core::{Fabric, InputId, OutputId, Request};
+use hirise_core::{Fabric, Grant, InputId, OutputId, Request};
 
 /// Simulation parameters. Defaults match the paper's methodology:
 /// 4 virtual channels of 4-flit depth per port and 4-flit packets.
@@ -182,6 +182,8 @@ pub struct NetworkSim<F, T> {
     candidates: Vec<Packet>,
     requests: Vec<Request>,
     busy_out: Vec<bool>,
+    grants: Vec<Grant>,
+    granted: Vec<bool>,
 }
 
 impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
@@ -220,6 +222,8 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             candidates: Vec::with_capacity(radix),
             requests: Vec::with_capacity(radix),
             busy_out: vec![false; radix],
+            grants: Vec::with_capacity(radix),
+            granted: vec![false; radix],
             cfg,
         }
     }
@@ -242,6 +246,30 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             drained += 1;
         }
         report
+    }
+
+    /// Creates an empty [`SimReport`] compatible with this simulation's
+    /// configuration, for use with [`NetworkSim::run_cycles`].
+    pub fn report(&self) -> SimReport {
+        SimReport::new(
+            self.cfg.radix,
+            self.cfg.injection_rate,
+            self.pattern.name().to_string(),
+            self.cfg.measure,
+        )
+    }
+
+    /// Steps the simulation forward by exactly `cycles` cycles,
+    /// recording into `report`. Lower-level than [`NetworkSim::run`]:
+    /// no warmup/measure/drain policy is applied, which makes it the
+    /// building block for throughput benchmarks (`cyclebench`) and
+    /// allocation audits that need to time or instrument a precise
+    /// cycle count. Whether a cycle's statistics count is still
+    /// governed by the configured warmup/measure window.
+    pub fn run_cycles(&mut self, report: &mut SimReport, cycles: u64) {
+        for _ in 0..cycles {
+            self.step(report);
+        }
     }
 
     /// Current simulation cycle.
@@ -349,18 +377,18 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                 self.busy_out[output] = self.fabric.output_busy(OutputId::new(output));
             }
         }
-        let grants = self.fabric.arbitrate(&self.requests);
+        self.fabric.arbitrate_into(&self.requests, &mut self.grants);
         if let Some(checker) = &mut self.checker {
-            checker.after_arbitration(self.now, &self.requests, &grants, &self.busy_out);
+            checker.after_arbitration(self.now, &self.requests, &self.grants, &self.busy_out);
         }
         // Start transfers for the winners; revoke the rest.
-        let mut granted = vec![false; self.cfg.radix];
-        for grant in &grants {
-            granted[grant.input.index()] = true;
+        self.granted.fill(false);
+        for grant in &self.grants {
+            self.granted[grant.input.index()] = true;
         }
         for packet in &self.candidates {
             let input = packet.src.index();
-            if granted[input] {
+            if self.granted[input] {
                 self.ports[input].confirm_grant();
                 self.transfers[input] = Some(Transfer {
                     packet: *packet,

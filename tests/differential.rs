@@ -8,7 +8,7 @@
 
 use hirise::core::rng::{SeedableRng, StdRng};
 use hirise::core::{ArbitrationScheme, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
-use hirise::sim::diff::{run_schedule, standard_fleet, Schedule};
+use hirise::sim::diff::{check_arbitrate_into_equivalence, run_schedule, standard_fleet, Schedule};
 use hirise::sim::traffic::UniformRandom;
 use hirise::sim::{NetworkSim, SimConfig};
 
@@ -48,6 +48,36 @@ fn fleet_co_steps_ten_thousand_cycles_against_golden_model() {
         assert!(
             *simulated >= TARGET_CYCLES,
             "{name}: only {simulated} cycles co-stepped"
+        );
+    }
+}
+
+/// The allocating [`Fabric::arbitrate`] and the buffer-reusing
+/// [`Fabric::arbitrate_into`] entry points must produce bit-identical
+/// grant vectors: twin instances of every fleet member (covering all
+/// three Hi-Rise arbitration schemes at two channel multiplicities plus
+/// both baselines) are co-stepped through identical fuzzed schedules for
+/// >= 10k cycles each, diverging nowhere.
+#[test]
+fn arbitrate_into_matches_arbitrate_for_ten_thousand_cycles() {
+    const TARGET_CYCLES: u64 = 10_000;
+    let fleet = standard_fleet();
+    let mut cycles = vec![0u64; fleet.len()];
+    let mut round = 0u64;
+    while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+        let mut rng = StdRng::seed_from_u64(0x1AB0_0000 + round);
+        let schedule = Schedule::random(&mut rng, 16, 200, 0.15, 4);
+        for (index, (name, build)) in fleet.iter().enumerate() {
+            let compared = check_arbitrate_into_equivalence(*build, &schedule)
+                .unwrap_or_else(|divergence| panic!("round {round}, {name}: {divergence}"));
+            cycles[index] += compared;
+        }
+        round += 1;
+    }
+    for ((name, _), compared) in fleet.iter().zip(&cycles) {
+        assert!(
+            *compared >= TARGET_CYCLES,
+            "{name}: only {compared} cycles compared"
         );
     }
 }
