@@ -26,12 +26,15 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use hirise_bench::args::arg_error;
 use hirise_core::{ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
 use hirise_lab::json::{self, Json};
 use hirise_sim::traffic::UniformRandom;
 use hirise_sim::{NetworkSim, SimConfig};
 
 const SCHEMA: &str = "hirise-cyclebench/v1";
+const USAGE: &str =
+    "cyclebench [--quick] [--label before|after] [--out PATH]\n       cyclebench --check PATH";
 const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
 const RADICES: [usize; 3] = [16, 32, 64];
 const INJECTION_RATE: f64 = 0.1;
@@ -105,7 +108,7 @@ fn build_fabric(name: &str, radix: usize) -> Box<dyn Fabric> {
                 .expect("valid Hi-Rise configuration");
             Box::new(HiRiseSwitch::new(&cfg))
         }
-        other => panic!("unknown fabric {other}"),
+        other => arg_error(format!("unknown fabric {other:?}"), USAGE),
     }
 }
 
@@ -282,12 +285,6 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn usage() -> ! {
-    eprintln!("usage: cyclebench [--quick] [--label before|after] [--out PATH]");
-    eprintln!("       cyclebench --check PATH");
-    std::process::exit(2);
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -295,13 +292,14 @@ fn main() -> ExitCode {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
     let mut iter = args.into_iter();
+    let missing = |flag: &str| -> String { arg_error(format!("missing value for {flag}"), USAGE) };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "quick" => quick = true,
-            "--label" => label = iter.next().unwrap_or_else(|| usage()),
-            "--out" => out_path = iter.next().unwrap_or_else(|| usage()),
-            "--check" => check_path = Some(iter.next().unwrap_or_else(|| usage())),
-            _ => usage(),
+            "--label" => label = iter.next().unwrap_or_else(|| missing("--label")),
+            "--out" => out_path = iter.next().unwrap_or_else(|| missing("--out")),
+            "--check" => check_path = Some(iter.next().unwrap_or_else(|| missing("--check"))),
+            other => arg_error(format!("unknown flag {other:?}"), USAGE),
         }
     }
     if let Some(path) = check_path {
@@ -317,7 +315,7 @@ fn main() -> ExitCode {
         };
     }
     if label != "before" && label != "after" {
-        usage();
+        arg_error(format!("invalid value {label:?} for --label"), USAGE);
     }
     let scale = if quick { Scale::quick() } else { Scale::full() };
 

@@ -15,6 +15,7 @@
 //! `transpose|bitcomp|interlayer|worstcase` `--load packets/input/cycle`
 //! `--cycles N` `--seed S`
 
+use hirise_bench::args::{arg_error, parse_flag_value};
 use hirise_core::{
     ArbitrationScheme, ChannelAllocation, Fabric, HiRiseConfig, HiRiseSwitch, OutputId, Switch2d,
 };
@@ -24,6 +25,11 @@ use hirise_sim::traffic::{
     TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
 };
 use hirise_sim::{NetworkSim, SimConfig};
+
+const USAGE: &str = "explore [--radix N] [--layers L] [--channels C] \
+[--scheme l2l|wlrg|clrg] [--alloc input|output|priority] \
+[--pattern uniform|hotspot|adversarial|bursty|tornado|neighbor|transpose|\
+bitcomp|interlayer|worstcase] [--load RATE] [--cycles N] [--seed S]";
 
 #[derive(Debug)]
 struct Options {
@@ -58,19 +64,19 @@ impl Options {
                 args.iter()
                     .skip_while(|a| *a != flag)
                     .nth(1)
-                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+                    .unwrap_or_else(|| arg_error(format!("missing value for {flag}"), USAGE))
                     .clone()
             };
             match flag.as_str() {
-                "--radix" => options.radix = value().parse().expect("radix"),
-                "--layers" => options.layers = value().parse().expect("layers"),
-                "--channels" => options.channels = value().parse().expect("channels"),
+                "--radix" => options.radix = parse_flag_value(flag, &value(), USAGE),
+                "--layers" => options.layers = parse_flag_value(flag, &value(), USAGE),
+                "--channels" => options.channels = parse_flag_value(flag, &value(), USAGE),
                 "--scheme" => {
                     options.scheme = match value().as_str() {
                         "l2l" => ArbitrationScheme::LayerToLayerLrg,
                         "wlrg" => ArbitrationScheme::WeightedLrg,
                         "clrg" => ArbitrationScheme::class_based(),
-                        other => panic!("unknown scheme {other}"),
+                        other => arg_error(format!("unknown scheme {other:?}"), USAGE),
                     }
                 }
                 "--alloc" => {
@@ -78,14 +84,16 @@ impl Options {
                         "input" => ChannelAllocation::InputBinned,
                         "output" => ChannelAllocation::OutputBinned,
                         "priority" => ChannelAllocation::PriorityBased,
-                        other => panic!("unknown allocation {other}"),
+                        other => arg_error(format!("unknown allocation {other:?}"), USAGE),
                     }
                 }
                 "--pattern" => options.pattern = value(),
-                "--load" => options.load = value().parse().expect("load"),
-                "--cycles" => options.cycles = value().parse().expect("cycles"),
-                "--seed" => options.seed = value().parse().expect("seed"),
-                other if other.starts_with("--") => panic!("unknown flag {other}"),
+                "--load" => options.load = parse_flag_value(flag, &value(), USAGE),
+                "--cycles" => options.cycles = parse_flag_value(flag, &value(), USAGE),
+                "--seed" => options.seed = parse_flag_value(flag, &value(), USAGE),
+                other if other.starts_with("--") => {
+                    arg_error(format!("unknown flag {other}"), USAGE)
+                }
                 _ => {}
             }
             if flag.starts_with("--") {
@@ -109,7 +117,7 @@ impl Options {
             "bitcomp" => Box::new(BitComplement::new(n)),
             "interlayer" => Box::new(InterLayerOnly::new(n, l)),
             "worstcase" => Box::new(WorstCaseL2lc::new(n, l)),
-            other => panic!("unknown pattern {other}"),
+            other => arg_error(format!("unknown pattern {other:?}"), USAGE),
         }
     }
 }

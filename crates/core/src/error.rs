@@ -43,6 +43,18 @@ pub enum ConfigError {
         /// The offending class count.
         classes: usize,
     },
+    /// A fault referenced a resource outside the fabric's geometry.
+    FaultSiteOutOfRange {
+        /// The offending site.
+        site: crate::fault::FaultSite,
+    },
+    /// A flaky fault's per-cycle probability was not a finite value in
+    /// `[0, 1]`.
+    InvalidFaultProbability,
+    /// The fabric does not model fault injection.
+    FaultsUnsupported,
+    /// Priority seeding was requested on a non-LRG local arbiter.
+    SeedingRequiresLrg,
 }
 
 impl fmt::Display for ConfigError {
@@ -69,6 +81,21 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroFlitBits => write!(f, "flit width must be non-zero"),
             ConfigError::TooFewClasses { classes } => {
                 write!(f, "CLRG needs at least 2 priority classes, got {classes}")
+            }
+            ConfigError::FaultSiteOutOfRange { site } => {
+                write!(f, "fault site {site:?} is outside the fabric's geometry")
+            }
+            ConfigError::InvalidFaultProbability => {
+                write!(
+                    f,
+                    "flaky fault probability must be a finite value in [0, 1]"
+                )
+            }
+            ConfigError::FaultsUnsupported => {
+                write!(f, "this fabric does not support fault injection")
+            }
+            ConfigError::SeedingRequiresLrg => {
+                write!(f, "priority seeding requires the LRG local arbiter")
             }
         }
     }

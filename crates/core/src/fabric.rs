@@ -1,5 +1,7 @@
 //! The common interface all switch fabrics expose to the simulator.
 
+use crate::error::ConfigError;
+use crate::fault::{Fault, FaultLog};
 use crate::ids::{InputId, OutputId};
 
 /// A request from an input port to connect to an output port, presented
@@ -96,6 +98,47 @@ pub trait Fabric {
             .filter(|&i| self.connection(InputId::new(i)).is_some())
             .count()
     }
+
+    /// Number of TSV bundles this fabric models as fault sites. Zero
+    /// for fabrics without TSVs (the flat 2D baseline) — injecting a
+    /// [`FaultSite::TsvBundle`](crate::fault::FaultSite::TsvBundle)
+    /// fault into such a fabric is rejected as out of range.
+    fn tsv_bundle_count(&self) -> usize {
+        0
+    }
+
+    /// Enables deterministic fault injection, seeding the dedicated
+    /// flaky-fault sampler (independent of any traffic PRNG, so
+    /// enabling faults never perturbs a fault-free simulation).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::FaultsUnsupported`] when the fabric does not
+    /// model faults (the default).
+    fn enable_faults(&mut self, _seed: u64) -> Result<(), ConfigError> {
+        Err(ConfigError::FaultsUnsupported)
+    }
+
+    /// Injects `fault`, enabling fault support with seed 0 first if
+    /// [`enable_faults`](Self::enable_faults) was never called. A down
+    /// resource refuses new arbitration and channel allocation;
+    /// in-flight connections complete normally.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::FaultSiteOutOfRange`] for a site outside the
+    /// fabric's geometry, [`ConfigError::InvalidFaultProbability`] for
+    /// a flaky probability outside `[0, 1]`, or
+    /// [`ConfigError::FaultsUnsupported`] when the fabric does not
+    /// model faults (the default).
+    fn inject_fault(&mut self, _fault: Fault) -> Result<(), ConfigError> {
+        Err(ConfigError::FaultsUnsupported)
+    }
+
+    /// The fault-event log, if fault support was enabled.
+    fn fault_log(&self) -> Option<&FaultLog> {
+        None
+    }
 }
 
 impl<F: Fabric + ?Sized> Fabric for Box<F> {
@@ -121,6 +164,22 @@ impl<F: Fabric + ?Sized> Fabric for Box<F> {
 
     fn output_busy(&self, output: OutputId) -> bool {
         (**self).output_busy(output)
+    }
+
+    fn tsv_bundle_count(&self) -> usize {
+        (**self).tsv_bundle_count()
+    }
+
+    fn enable_faults(&mut self, seed: u64) -> Result<(), ConfigError> {
+        (**self).enable_faults(seed)
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        (**self).inject_fault(fault)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        (**self).fault_log()
     }
 }
 

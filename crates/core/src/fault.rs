@@ -1,0 +1,495 @@
+//! Deterministic fault injection and graceful degradation.
+//!
+//! Hi-Rise's premise is vertical integration over TSVs, and TSV
+//! yield/wear is the canonical risk of 3D stacking. This module models
+//! three classes of fault site — inter-layer **TSV bundles**, switch
+//! **input ports**, and individual crossbar **crosspoints** — each of
+//! which can be *stuck-at-dead* (permanent) or *transiently flaky*
+//! (down with a per-cycle probability sampled from a dedicated,
+//! seed-driven PRNG that is independent of the traffic stream).
+//!
+//! Fabrics degrade gracefully instead of misbehaving: arbitration masks
+//! out requests whose port or crosspoint is down, and Hi-Rise's channel
+//! allocation re-bins around dead L2LCs (see
+//! [`Fabric`](crate::Fabric)'s `enable_faults` / `inject_fault`
+//! methods). Every up/down transition is appended to a recording-mode
+//! [`FaultLog`] — bounded storage, unbounded count — so long campaigns
+//! log degradation without allocating in the steady-state cycle loop.
+//!
+//! Semantics of a *down* resource: it refuses **new** arbitration and
+//! channel allocation while down; connections already in flight
+//! complete normally (a transfer drains before the fault bites).
+
+use crate::bits::BitSet;
+use crate::error::ConfigError;
+use crate::rng::{Rng, SeedableRng, StdRng};
+
+/// A physical resource that can fail.
+///
+/// TSV-bundle indices are interpreted by the owning fabric: for
+/// Hi-Rise a bundle is one layer-to-layer channel (flat L2LC index,
+/// `layers * (layers-1) * multiplicity` of them); for the folded
+/// baseline it is one output bus crossing one layer boundary
+/// (`output * (layers-1) + boundary`, `radix * (layers-1)` of them);
+/// the flat 2D switch has none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// An inter-layer TSV bundle, by fabric-interpreted flat index.
+    TsvBundle {
+        /// Flat bundle index, `0..tsv_bundle_count()`.
+        index: usize,
+    },
+    /// A switch input port.
+    Port {
+        /// Input port index, `0..radix`.
+        input: usize,
+    },
+    /// A single crossbar crosspoint.
+    Crosspoint {
+        /// Input port index, `0..radix`.
+        input: usize,
+        /// Output port index, `0..radix`.
+        output: usize,
+    },
+}
+
+/// How a fault manifests over time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Permanently stuck-at-dead from injection onwards.
+    Dead,
+    /// Transiently flaky: each cycle the site is down independently
+    /// with the given probability.
+    Flaky {
+        /// Per-cycle down probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// One injected fault: a site and how it fails.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    /// Where the fault is.
+    pub site: FaultSite,
+    /// How it manifests.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A permanently dead `site`.
+    pub const fn dead(site: FaultSite) -> Self {
+        Self {
+            site,
+            kind: FaultKind::Dead,
+        }
+    }
+
+    /// A flaky `site`, down each cycle with `probability`.
+    pub const fn flaky(site: FaultSite, probability: f64) -> Self {
+        Self {
+            site,
+            kind: FaultKind::Flaky { probability },
+        }
+    }
+}
+
+/// One recorded up/down transition of a fault site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Fabric arbitration cycle at which the transition took effect
+    /// (0 for faults injected before the first cycle).
+    pub cycle: u64,
+    /// The site that changed state.
+    pub site: FaultSite,
+    /// `true` when the site went down, `false` when it recovered.
+    pub went_down: bool,
+}
+
+/// Recording-mode stream of fault transitions.
+///
+/// Mirrors the simulator's invariant checker: the first
+/// [`MAX_RECORDED`](Self::MAX_RECORDED) events are stored verbatim for
+/// inspection, every further event only bumps [`total`](Self::total).
+/// The storage is preallocated, so pushing events never allocates —
+/// flaky faults stay compatible with the allocation-free cycle loop.
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    recorded: Vec<FaultEvent>,
+    total: u64,
+}
+
+impl FaultLog {
+    /// Cap on stored events; the total count is unbounded.
+    pub const MAX_RECORDED: usize = 16;
+
+    fn new() -> Self {
+        Self {
+            recorded: Vec::with_capacity(Self::MAX_RECORDED),
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, event: FaultEvent) {
+        self.total += 1;
+        if self.recorded.len() < Self::MAX_RECORDED {
+            self.recorded.push(event);
+        }
+    }
+
+    /// Total transitions observed, including those beyond the cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The first [`MAX_RECORDED`](Self::MAX_RECORDED) transitions.
+    pub fn recorded(&self) -> &[FaultEvent] {
+        &self.recorded
+    }
+}
+
+/// How abstract TSV-bundle indices map onto datapath resources beyond
+/// the direct `tsv_down` lookup the owning fabric performs itself.
+#[derive(Clone, Debug)]
+pub(crate) enum TsvMap {
+    /// The fabric consults `tsv_down` directly (Hi-Rise checks its
+    /// L2LCs), or has no TSVs at all (flat 2D).
+    Direct,
+    /// Folded baseline: bundle `output * (layers-1) + boundary` carries
+    /// `output`'s bus across layer boundary `boundary`; while down it
+    /// kills every crosspoint whose input→output path crosses that
+    /// boundary.
+    Folded {
+        layers: usize,
+        ports_per_layer: usize,
+    },
+}
+
+/// Marks `site` in the given down-sets, expanding TSV bundles through
+/// the fabric's [`TsvMap`].
+fn apply_site(
+    site: FaultSite,
+    inputs: &mut BitSet,
+    xpoints: &mut BitSet,
+    tsvs: &mut BitSet,
+    radix: usize,
+    map: &TsvMap,
+) {
+    match site {
+        FaultSite::Port { input } => inputs.insert(input),
+        FaultSite::Crosspoint { input, output } => xpoints.insert(input * radix + output),
+        FaultSite::TsvBundle { index } => {
+            tsvs.insert(index);
+            if let TsvMap::Folded {
+                layers,
+                ports_per_layer,
+            } = *map
+            {
+                let output = index / (layers - 1);
+                let boundary = index % (layers - 1);
+                let layer_o = output / ports_per_layer;
+                for input in 0..radix {
+                    let layer_i = input / ports_per_layer;
+                    let (low, high) = (layer_i.min(layer_o), layer_i.max(layer_o));
+                    if low <= boundary && boundary < high {
+                        xpoints.insert(input * radix + output);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-fabric fault state: the permanent dead sets, the per-cycle
+/// effective down sets (dead ∪ currently-down flaky), the flaky fault
+/// list with its dedicated PRNG, and the transition log.
+///
+/// The hot-path queries (`input_down`, `xpoint_down`, `tsv_down`) are
+/// single `BitSet` tests; [`advance`](Self::advance) is a no-op beyond
+/// a counter bump unless flaky faults exist.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    radix: usize,
+    dead_inputs: BitSet,
+    dead_xpoints: BitSet,
+    dead_tsvs: BitSet,
+    down_inputs: BitSet,
+    down_xpoints: BitSet,
+    down_tsvs: BitSet,
+    flaky: Vec<Fault>,
+    flaky_down: Vec<bool>,
+    rng: StdRng,
+    log: FaultLog,
+    cycle: u64,
+    map: TsvMap,
+}
+
+impl FaultState {
+    pub(crate) fn new(radix: usize, tsv_count: usize, map: TsvMap, seed: u64) -> Self {
+        Self {
+            radix,
+            dead_inputs: BitSet::new(radix),
+            dead_xpoints: BitSet::new(radix * radix),
+            dead_tsvs: BitSet::new(tsv_count),
+            down_inputs: BitSet::new(radix),
+            down_xpoints: BitSet::new(radix * radix),
+            down_tsvs: BitSet::new(tsv_count),
+            flaky: Vec::new(),
+            flaky_down: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            log: FaultLog::new(),
+            cycle: 0,
+            map,
+        }
+    }
+
+    fn validate_site(&self, site: FaultSite) -> Result<(), ConfigError> {
+        let in_range = match site {
+            FaultSite::Port { input } => input < self.radix,
+            FaultSite::Crosspoint { input, output } => input < self.radix && output < self.radix,
+            FaultSite::TsvBundle { index } => index < self.dead_tsvs.capacity(),
+        };
+        if in_range {
+            Ok(())
+        } else {
+            Err(ConfigError::FaultSiteOutOfRange { site })
+        }
+    }
+
+    pub(crate) fn inject(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        self.validate_site(fault.site)?;
+        match fault.kind {
+            FaultKind::Dead => {
+                apply_site(
+                    fault.site,
+                    &mut self.dead_inputs,
+                    &mut self.dead_xpoints,
+                    &mut self.dead_tsvs,
+                    self.radix,
+                    &self.map,
+                );
+                apply_site(
+                    fault.site,
+                    &mut self.down_inputs,
+                    &mut self.down_xpoints,
+                    &mut self.down_tsvs,
+                    self.radix,
+                    &self.map,
+                );
+                self.log.push(FaultEvent {
+                    cycle: self.cycle,
+                    site: fault.site,
+                    went_down: true,
+                });
+            }
+            FaultKind::Flaky { probability } => {
+                if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+                    return Err(ConfigError::InvalidFaultProbability);
+                }
+                self.flaky.push(fault);
+                self.flaky_down.push(false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances one arbitration cycle: re-samples every flaky fault and
+    /// rebuilds the effective down sets. Allocation-free: word-level
+    /// `BitSet` copies plus one PRNG draw per flaky fault, and the log
+    /// stores into preallocated capacity.
+    pub(crate) fn advance(&mut self) {
+        self.cycle += 1;
+        if self.flaky.is_empty() {
+            return; // down == dead, maintained at injection time
+        }
+        self.down_inputs.copy_from(&self.dead_inputs);
+        self.down_xpoints.copy_from(&self.dead_xpoints);
+        self.down_tsvs.copy_from(&self.dead_tsvs);
+        for i in 0..self.flaky.len() {
+            let fault = self.flaky[i];
+            let FaultKind::Flaky { probability } = fault.kind else {
+                continue;
+            };
+            let down = self.rng.gen_bool(probability);
+            if down != self.flaky_down[i] {
+                self.flaky_down[i] = down;
+                self.log.push(FaultEvent {
+                    cycle: self.cycle,
+                    site: fault.site,
+                    went_down: down,
+                });
+            }
+            if down {
+                apply_site(
+                    fault.site,
+                    &mut self.down_inputs,
+                    &mut self.down_xpoints,
+                    &mut self.down_tsvs,
+                    self.radix,
+                    &self.map,
+                );
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn input_down(&self, input: usize) -> bool {
+        self.down_inputs.contains(input)
+    }
+
+    #[inline]
+    pub(crate) fn xpoint_down(&self, input: usize, output: usize) -> bool {
+        self.down_xpoints.contains(input * self.radix + output)
+    }
+
+    #[inline]
+    pub(crate) fn tsv_down(&self, index: usize) -> bool {
+        self.down_tsvs.contains(index)
+    }
+
+    pub(crate) fn log(&self) -> &FaultLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_faults_take_effect_immediately_and_log_once() {
+        let mut state = FaultState::new(8, 4, TsvMap::Direct, 1);
+        state
+            .inject(Fault::dead(FaultSite::Port { input: 3 }))
+            .unwrap();
+        state
+            .inject(Fault::dead(FaultSite::TsvBundle { index: 2 }))
+            .unwrap();
+        assert!(state.input_down(3));
+        assert!(!state.input_down(2));
+        assert!(state.tsv_down(2));
+        assert_eq!(state.log().total(), 2);
+        // Dead faults survive advancement with no flaky faults present.
+        for _ in 0..100 {
+            state.advance();
+        }
+        assert!(state.input_down(3));
+        assert!(state.tsv_down(2));
+        assert_eq!(state.log().total(), 2);
+    }
+
+    #[test]
+    fn out_of_range_sites_are_rejected() {
+        let mut state = FaultState::new(4, 2, TsvMap::Direct, 1);
+        let site = FaultSite::TsvBundle { index: 2 };
+        assert_eq!(
+            state.inject(Fault::dead(site)),
+            Err(ConfigError::FaultSiteOutOfRange { site })
+        );
+        let site = FaultSite::Crosspoint {
+            input: 0,
+            output: 4,
+        };
+        assert_eq!(
+            state.inject(Fault::dead(site)),
+            Err(ConfigError::FaultSiteOutOfRange { site })
+        );
+    }
+
+    #[test]
+    fn flaky_probability_is_validated() {
+        let mut state = FaultState::new(4, 0, TsvMap::Direct, 1);
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                state.inject(Fault::flaky(FaultSite::Port { input: 0 }, bad)),
+                Err(ConfigError::InvalidFaultProbability)
+            );
+        }
+        assert!(state
+            .inject(Fault::flaky(FaultSite::Port { input: 0 }, 0.5))
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_probability_flaky_fault_never_goes_down() {
+        let mut state = FaultState::new(4, 0, TsvMap::Direct, 7);
+        state
+            .inject(Fault::flaky(FaultSite::Port { input: 1 }, 0.0))
+            .unwrap();
+        for _ in 0..10_000 {
+            state.advance();
+            assert!(!state.input_down(1));
+        }
+        assert_eq!(state.log().total(), 0);
+    }
+
+    #[test]
+    fn always_down_flaky_fault_logs_one_transition() {
+        let mut state = FaultState::new(4, 0, TsvMap::Direct, 7);
+        state
+            .inject(Fault::flaky(FaultSite::Port { input: 1 }, 1.0))
+            .unwrap();
+        for _ in 0..50 {
+            state.advance();
+            assert!(state.input_down(1));
+        }
+        assert_eq!(state.log().total(), 1);
+        assert_eq!(state.log().recorded()[0].site, FaultSite::Port { input: 1 });
+    }
+
+    #[test]
+    fn flaky_sampling_is_seed_deterministic() {
+        let run = |seed| {
+            let mut state = FaultState::new(4, 0, TsvMap::Direct, seed);
+            state
+                .inject(Fault::flaky(FaultSite::Port { input: 0 }, 0.5))
+                .unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..256 {
+                state.advance();
+                trace.push(state.input_down(0));
+            }
+            (trace, state.log().total())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn log_storage_is_capped_but_total_is_not() {
+        let mut state = FaultState::new(4, 0, TsvMap::Direct, 3);
+        state
+            .inject(Fault::flaky(FaultSite::Port { input: 0 }, 0.5))
+            .unwrap();
+        for _ in 0..10_000 {
+            state.advance();
+        }
+        assert!(state.log().total() > FaultLog::MAX_RECORDED as u64);
+        assert_eq!(state.log().recorded().len(), FaultLog::MAX_RECORDED);
+    }
+
+    #[test]
+    fn folded_tsv_bundle_kills_boundary_crossing_crosspoints() {
+        // 8 ports over 4 layers (2 per layer), bundle for output 6
+        // (layer 3) at boundary 1: inputs on layers 0..=1 cross it,
+        // inputs on layers 2..=3 do not.
+        let map = TsvMap::Folded {
+            layers: 4,
+            ports_per_layer: 2,
+        };
+        let mut state = FaultState::new(8, 8 * 3, map, 1);
+        let index = 6 * 3 + 1; // output 6, boundary 1
+        state
+            .inject(Fault::dead(FaultSite::TsvBundle { index }))
+            .unwrap();
+        for input in 0..8 {
+            let crosses = input / 2 <= 1; // layers 0 and 1 are below boundary 1
+            assert_eq!(
+                state.xpoint_down(input, 6),
+                crosses,
+                "input {input} -> output 6"
+            );
+            // Other outputs are untouched.
+            assert!(!state.xpoint_down(input, 5));
+        }
+    }
+}

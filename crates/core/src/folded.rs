@@ -10,7 +10,9 @@
 //! slows the clock. The behavioural model here delegates to
 //! [`Switch2d`]; the physical differences live in `hirise-phys`.
 
+use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
+use crate::fault::{Fault, FaultLog, TsvMap};
 use crate::ids::{InputId, LayerId, OutputId};
 use crate::switch2d::Switch2d;
 
@@ -116,6 +118,34 @@ impl Fabric for FoldedSwitch {
     fn output_busy(&self, output: OutputId) -> bool {
         self.inner.output_busy(output)
     }
+
+    /// One fault-site bundle per (output bus, layer boundary): a bundle
+    /// is the `flit_bits` vertical wires carrying one output bus across
+    /// one boundary, indexed `output * (layers-1) + boundary`.
+    fn tsv_bundle_count(&self) -> usize {
+        self.inner.radix() * (self.layers - 1)
+    }
+
+    fn enable_faults(&mut self, seed: u64) -> Result<(), ConfigError> {
+        let bundles = self.inner.radix() * (self.layers - 1);
+        let map = TsvMap::Folded {
+            layers: self.layers,
+            ports_per_layer: self.ports_per_layer(),
+        };
+        self.inner.enable_faults_mapped(bundles, map, seed);
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        if !self.inner.faults_enabled() {
+            Fabric::enable_faults(self, 0)?;
+        }
+        self.inner.inject_fault_inner(fault)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        self.inner.fault_log()
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +183,28 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn rejects_uneven_fold() {
         let _ = FoldedSwitch::new(65, 4);
+    }
+
+    #[test]
+    fn dead_tsv_bundle_blocks_boundary_crossing_paths_only() {
+        use crate::fabric::Request;
+        use crate::fault::{Fault, FaultSite};
+
+        let mut sw = FoldedSwitch::new(8, 4); // 2 ports per layer
+        assert_eq!(Fabric::tsv_bundle_count(&sw), 8 * 3);
+        // Output 6 lives on layer 3; kill its bus at boundary 1.
+        sw.inject_fault(Fault::dead(FaultSite::TsvBundle { index: 6 * 3 + 1 }))
+            .unwrap();
+        // Input 0 (layer 0) must cross boundary 1 to reach output 6.
+        let blocked = sw.arbitrate(&[Request::new(InputId::new(0), OutputId::new(6))]);
+        assert!(blocked.is_empty());
+        // Input 4 (layer 2) sits above the break: unaffected.
+        let ok = sw.arbitrate(&[Request::new(InputId::new(4), OutputId::new(6))]);
+        assert_eq!(ok.len(), 1);
+        sw.release(InputId::new(4));
+        // Other outputs of the blocked input are fine too.
+        let ok = sw.arbitrate(&[Request::new(InputId::new(0), OutputId::new(7))]);
+        assert_eq!(ok.len(), 1);
+        assert_eq!(sw.fault_log().unwrap().total(), 1);
     }
 }

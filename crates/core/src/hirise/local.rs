@@ -12,6 +12,7 @@ use crate::arbiter::matrix::MatrixArbiter;
 use crate::arbiter::round_robin::RoundRobinArbiter;
 use crate::bits::BitSet;
 use crate::config::LocalArbiterKind;
+use crate::error::ConfigError;
 
 /// One arbitration column of the local switch.
 #[derive(Clone, Debug)]
@@ -117,15 +118,22 @@ impl LocalSwitch {
     /// Replaces a column's arbiter with a seeded LRG order (tests and
     /// worked examples).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the local arbiter kind is not LRG.
-    pub(crate) fn seed_column(&mut self, column: usize, order: &[usize]) {
+    /// [`ConfigError::SeedingRequiresLrg`] when the local arbiter kind
+    /// is not LRG — an invalid fabric x scheme combination that callers
+    /// must reject before simulation starts.
+    pub(crate) fn seed_column(
+        &mut self,
+        column: usize,
+        order: &[usize],
+    ) -> Result<(), ConfigError> {
         match &mut self.columns[column] {
-            ColumnArbiter::Lrg(a) => *a = MatrixArbiter::with_order(order),
-            ColumnArbiter::RoundRobin(_) => {
-                panic!("priority seeding requires the LRG local arbiter")
+            ColumnArbiter::Lrg(a) => {
+                *a = MatrixArbiter::with_order(order);
+                Ok(())
             }
+            ColumnArbiter::RoundRobin(_) => Err(ConfigError::SeedingRequiresLrg),
         }
     }
 }
@@ -180,9 +188,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "LRG local arbiter")]
-    fn seeding_round_robin_panics() {
+    fn seeding_round_robin_is_a_typed_error() {
         let mut local = LocalSwitch::new(LocalArbiterKind::RoundRobin, 4, 0, 1);
-        local.seed_column(0, &[3, 2, 1, 0]);
+        assert_eq!(
+            local.seed_column(0, &[3, 2, 1, 0]),
+            Err(ConfigError::SeedingRequiresLrg)
+        );
+        let mut local = LocalSwitch::new(LocalArbiterKind::Lrg, 4, 0, 1);
+        assert_eq!(local.seed_column(0, &[3, 2, 1, 0]), Ok(()));
     }
 }

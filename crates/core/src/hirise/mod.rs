@@ -27,7 +27,9 @@ mod local;
 
 use crate::bits::BitSet;
 use crate::config::HiRiseConfig;
+use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
+use crate::fault::{Fault, FaultLog, FaultState, TsvMap};
 use crate::ids::{ChannelId, InputId, LayerId, OutputId};
 use channel::ChannelTable;
 use interlayer::{Contender, SubBlock};
@@ -156,6 +158,8 @@ pub struct HiRiseSwitch {
     local_grants: Vec<u64>,
     /// Per-cycle arbitration scratch, reused across calls.
     scratch: ArbScratch,
+    /// Fault-injection state; `None` until faults are enabled.
+    faults: Option<FaultState>,
 }
 
 impl HiRiseSwitch {
@@ -190,6 +194,7 @@ impl HiRiseSwitch {
             channel_grants: vec![0; l * (l - 1) * c],
             local_grants: vec![0; l],
             scratch: ArbScratch::new(cfg),
+            faults: None,
         }
     }
 
@@ -248,17 +253,24 @@ impl HiRiseSwitch {
     /// from `src` towards `dst`, highest-priority local input first.
     /// For reproducing the paper's worked examples (Figs. 4 and 5).
     ///
+    /// # Errors
+    ///
+    /// [`ConfigError::SeedingRequiresLrg`] when the switch was built
+    /// with a non-LRG local arbiter — priority seeding has no meaning
+    /// for round-robin columns, so the combination is rejected before
+    /// any simulation starts instead of panicking mid-run.
+    ///
     /// # Panics
     ///
-    /// Panics if the local arbiter is not LRG, `src == dst`, an index is
-    /// out of range, or `order` is not a permutation of `0..N/L`.
+    /// Panics if `src == dst`, an index is out of range, or `order` is
+    /// not a permutation of `0..N/L`.
     pub fn seed_local_channel_priority(
         &mut self,
         src: LayerId,
         dst: LayerId,
         k: ChannelId,
         order: &[usize],
-    ) {
+    ) -> Result<(), ConfigError> {
         assert!(src != dst, "no channel from a layer to itself");
         let compressed_dst = if dst.index() < src.index() {
             dst.index()
@@ -266,20 +278,29 @@ impl HiRiseSwitch {
             dst.index() - 1
         };
         let column = self.locals[src.index()].channel_column(compressed_dst, k.index());
-        self.locals[src.index()].seed_column(column, order);
+        self.locals[src.index()].seed_column(column, order)
     }
 
     /// Seeds the LRG order of the local-switch column feeding the
     /// intermediate output for `output` (which selects the layer too).
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`seed_local_channel_priority`](Self::seed_local_channel_priority).
-    pub fn seed_local_intermediate_priority(&mut self, output: OutputId, order: &[usize]) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `order` is not a
+    /// permutation of `0..N/L`.
+    pub fn seed_local_intermediate_priority(
+        &mut self,
+        output: OutputId,
+        order: &[usize],
+    ) -> Result<(), ConfigError> {
         let layer = self.cfg.layer_of_output(output);
         let column =
             self.locals[layer.index()].intermediate_column(self.cfg.local_output_index(output));
-        self.locals[layer.index()].seed_column(column, order);
+        self.locals[layer.index()].seed_column(column, order)
     }
 
     /// Seeds the slot-level LRG order of `output`'s sub-block, highest
@@ -363,6 +384,20 @@ impl HiRiseSwitch {
         }
     }
 
+    /// First usable channel from `src` to `dst`, scanning forward from
+    /// the statically-bound channel `k0` (graceful degradation: a dead
+    /// L2LC re-bins its traffic onto the next live channel of the same
+    /// layer pair). `None` when every channel of the pair is down.
+    fn usable_channel(&self, src: usize, dst: usize, k0: usize) -> Option<usize> {
+        let Some(faults) = &self.faults else {
+            return Some(k0);
+        };
+        let c = self.cfg.channel_multiplicity();
+        (0..c)
+            .map(|d| (k0 + d) % c)
+            .find(|&k| !faults.tsv_down(self.channels.index(src, dst, k)))
+    }
+
     /// Phase 1: admit requests into local columns (or priority pools) and
     /// elect one winner per column. Winners accumulate in
     /// `scratch.winners`; all working memory comes from `scratch`.
@@ -385,6 +420,13 @@ impl HiRiseSwitch {
             if scratch.seen[input.index()] || self.connections[input.index()].is_some() {
                 continue;
             }
+            if let Some(faults) = &self.faults {
+                if faults.input_down(input.index())
+                    || faults.xpoint_down(input.index(), output.index())
+                {
+                    continue; // dead port or crosspoint: request is masked out
+                }
+            }
             scratch.seen[input.index()] = true;
             let src = self.cfg.layer_of_input(input).index();
             let dst = self.cfg.layer_of_output(output).index();
@@ -400,11 +442,16 @@ impl HiRiseSwitch {
             } else {
                 match self.cfg.bound_channel(input, output) {
                     Some(k) => {
-                        if self.channels.is_busy(src, dst, k.index()) {
+                        // Graceful degradation: if the bound L2LC is dead,
+                        // re-bin onto the next live channel of the pair.
+                        let Some(k) = self.usable_channel(src, dst, k.index()) else {
+                            continue; // every channel of the pair is down
+                        };
+                        if self.channels.is_busy(src, dst, k) {
                             continue; // channel held by a transfer; retry later
                         }
                         let compressed_dst = if dst < src { dst } else { dst - 1 };
-                        let column = self.locals[src].channel_column(compressed_dst, k.index());
+                        let column = self.locals[src].channel_column(compressed_dst, k);
                         scratch.column_reqs[src * cols + column].push(col_req);
                     }
                     None => scratch.pools[src * l + dst].push(col_req),
@@ -468,6 +515,11 @@ impl HiRiseSwitch {
                     if self.channels.is_busy(src, dst, k) {
                         continue;
                     }
+                    if let Some(faults) = &self.faults {
+                        if faults.tsv_down(self.channels.index(src, dst, k)) {
+                            continue; // dead L2LC: skip it, later channels absorb
+                        }
+                    }
                     let column = self.locals[src].channel_column(compressed_dst, k);
                     scratch.local_mask.clear();
                     for request in pool.iter() {
@@ -508,6 +560,9 @@ impl Fabric for HiRiseSwitch {
 
     fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
         grants.clear();
+        if let Some(faults) = &mut self.faults {
+            faults.advance();
+        }
         // Detach the scratch arenas so phase 1 and 2 can borrow `self`
         // freely; reattached below.
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -597,6 +652,38 @@ impl Fabric for HiRiseSwitch {
     fn output_busy(&self, output: OutputId) -> bool {
         self.output_owner[output.index()].is_some()
     }
+
+    /// One fault-site bundle per L2LC: `L * (L-1) * c` bundles, indexed
+    /// `(src * (L-1) + compressed_dst) * c + k` like the channel table.
+    fn tsv_bundle_count(&self) -> usize {
+        let l = self.cfg.layers();
+        l * (l - 1) * self.cfg.channel_multiplicity()
+    }
+
+    fn enable_faults(&mut self, seed: u64) -> Result<(), ConfigError> {
+        let tsvs = Fabric::tsv_bundle_count(self);
+        self.faults = Some(FaultState::new(
+            self.cfg.radix(),
+            tsvs,
+            TsvMap::Direct,
+            seed,
+        ));
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        if self.faults.is_none() {
+            Fabric::enable_faults(self, 0)?;
+        }
+        self.faults
+            .as_mut()
+            .expect("fault state enabled above")
+            .inject(fault)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        self.faults.as_ref().map(|f| f.log())
+    }
 }
 
 #[cfg(test)]
@@ -636,7 +723,8 @@ mod tests {
         // to bottom in the figure); the rest of the order is immaterial.
         let mut order = vec![15, 11, 7, 3];
         order.extend((0..16).filter(|i| ![15, 11, 7, 3].contains(i)));
-        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order);
+        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order)
+            .expect("default local arbiter is LRG");
         // Fig. 4 cycle 1: "Input 15 wins as C1,4 has higher priority than
         // C2,4" — the default slot order (C1,4 first) already encodes it.
 
@@ -654,7 +742,8 @@ mod tests {
         let mut sw = one_channel_switch(ArbitrationScheme::class_based());
         let mut order = vec![15, 11, 7, 3];
         order.extend((0..16).filter(|i| ![15, 11, 7, 3].contains(i)));
-        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order);
+        sw.seed_local_channel_priority(LayerId::new(0), LayerId::new(3), ChannelId::new(0), &order)
+            .expect("default local arbiter is LRG");
         // Fig. 5 cycle 1: "Input 20 wins, as C2,4 has higher LRG priority
         // than C1,4" — seed the sub-block so slot C2,4 outranks C1,4.
         let c14 = sw.subblock_slot(LayerId::new(0), ChannelId::new(0), LayerId::new(3));
@@ -958,5 +1047,99 @@ mod tests {
     fn baseline_switch_has_no_clrg_state() {
         let sw = one_channel_switch(ArbitrationScheme::LayerToLayerLrg);
         assert_eq!(sw.clrg_class(OutputId::new(63), InputId::new(20)), None);
+    }
+
+    #[test]
+    fn seeding_a_round_robin_switch_is_a_typed_error() {
+        use crate::config::LocalArbiterKind;
+        let cfg = HiRiseConfig::builder(64, 4)
+            .local_arbiter(LocalArbiterKind::RoundRobin)
+            .build()
+            .unwrap();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        let order: Vec<usize> = (0..16).collect();
+        let err = sw
+            .seed_local_channel_priority(
+                LayerId::new(0),
+                LayerId::new(3),
+                ChannelId::new(0),
+                &order,
+            )
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SeedingRequiresLrg);
+        let err = sw
+            .seed_local_intermediate_priority(OutputId::new(5), &order)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SeedingRequiresLrg);
+    }
+
+    #[test]
+    fn dead_l2lc_rebins_input_binned_traffic() {
+        use crate::fault::{Fault, FaultSite};
+        let cfg = HiRiseConfig::paper_optimal(); // input-binned, c = 4
+        let mut sw = HiRiseSwitch::new(&cfg);
+        assert_eq!(Fabric::tsv_bundle_count(&sw), 4 * 3 * 4);
+        // Input 0 (layer 0, local 0) binds to channel 0 towards layer 3.
+        // Kill that bundle: (src 0 * 3 + compressed_dst 2) * 4 + k 0.
+        sw.inject_fault(Fault::dead(FaultSite::TsvBundle { index: 2 * 4 }))
+            .unwrap();
+        // The request still connects, re-binned onto channel 1.
+        let grants = sw.arbitrate(&[req(0, 63)]);
+        assert_eq!(grants.len(), 1);
+        assert!(!sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(0)));
+        assert!(sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(1)));
+    }
+
+    #[test]
+    fn all_channels_dead_blocks_the_pair_gracefully() {
+        use crate::fault::{Fault, FaultSite};
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        for k in 0..4 {
+            sw.inject_fault(Fault::dead(FaultSite::TsvBundle { index: 2 * 4 + k }))
+                .unwrap();
+        }
+        // Layer 0 -> layer 3 has no live channel left: the request
+        // simply loses this cycle instead of panicking or deadlocking.
+        assert!(sw.arbitrate(&[req(0, 63)]).is_empty());
+        // Other layer pairs are untouched.
+        assert_eq!(sw.arbitrate(&[req(0, 16)]).len(), 1);
+        assert_eq!(sw.fault_log().unwrap().total(), 4);
+    }
+
+    #[test]
+    fn dead_l2lc_is_skipped_by_priority_allocation() {
+        use crate::fault::{Fault, FaultSite};
+        let cfg = HiRiseConfig::builder(64, 4)
+            .channel_multiplicity(4)
+            .allocation(ChannelAllocation::PriorityBased)
+            .build()
+            .unwrap();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        sw.inject_fault(Fault::dead(FaultSite::TsvBundle { index: 2 * 4 }))
+            .unwrap();
+        // Four contenders for layer 0 -> 3 but only three live channels:
+        // exactly three connect, none over the dead channel.
+        let grants = sw.arbitrate(&[req(0, 60), req(4, 61), req(8, 62), req(12, 63)]);
+        assert_eq!(grants.len(), 3);
+        assert!(!sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(0)));
+    }
+
+    #[test]
+    fn dead_port_and_crosspoint_are_masked() {
+        use crate::fault::{Fault, FaultSite};
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut sw = HiRiseSwitch::new(&cfg);
+        sw.inject_fault(Fault::dead(FaultSite::Port { input: 0 }))
+            .unwrap();
+        sw.inject_fault(Fault::dead(FaultSite::Crosspoint {
+            input: 1,
+            output: 63,
+        }))
+        .unwrap();
+        assert!(sw.arbitrate(&[req(0, 63)]).is_empty());
+        assert!(sw.arbitrate(&[req(1, 63)]).is_empty());
+        // Input 1's other outputs still work.
+        assert_eq!(sw.arbitrate(&[req(1, 62)]).len(), 1);
     }
 }

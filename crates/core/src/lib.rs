@@ -52,6 +52,7 @@ mod bits;
 pub mod config;
 mod error;
 mod fabric;
+pub mod fault;
 mod folded;
 pub mod hirise;
 mod ids;
@@ -67,6 +68,7 @@ pub use bits::BitSet;
 pub use config::{ChannelAllocation, HiRiseConfig, HiRiseConfigBuilder, LocalArbiterKind};
 pub use error::ConfigError;
 pub use fabric::{Fabric, Grant, Request};
+pub use fault::{Fault, FaultEvent, FaultKind, FaultLog, FaultSite};
 pub use folded::FoldedSwitch;
 pub use hirise::HiRiseSwitch;
 pub use ids::{ChannelId, InputId, LayerId, OutputId};

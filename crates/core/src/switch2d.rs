@@ -16,7 +16,9 @@
 
 use crate::arbiter::matrix::MatrixArbiter;
 use crate::bits::BitSet;
+use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
+use crate::fault::{Fault, FaultLog, FaultState, TsvMap};
 use crate::ids::{InputId, OutputId};
 
 /// A flat 2D Swizzle-Switch with per-output LRG arbitration and
@@ -35,6 +37,8 @@ pub struct Switch2d {
     requestors: Vec<Vec<usize>>,
     seen: Vec<bool>,
     mask: BitSet,
+    /// Fault-injection state; `None` until faults are enabled.
+    faults: Option<FaultState>,
 }
 
 impl Switch2d {
@@ -54,7 +58,26 @@ impl Switch2d {
             requestors: vec![Vec::new(); radix],
             seen: vec![false; radix],
             mask: BitSet::new(radix),
+            faults: None,
         }
+    }
+
+    /// Installs fault state with a fabric-specific TSV geometry; the
+    /// folded baseline uses this to route its bundle faults through the
+    /// shared 2D datapath.
+    pub(crate) fn enable_faults_mapped(&mut self, tsv_count: usize, map: TsvMap, seed: u64) {
+        self.faults = Some(FaultState::new(self.radix, tsv_count, map, seed));
+    }
+
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    pub(crate) fn inject_fault_inner(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        self.faults
+            .as_mut()
+            .expect("fault state enabled before injection")
+            .inject(fault)
     }
 
     /// Enables static QoS: `classes[i]` is input `i`'s priority class
@@ -102,6 +125,9 @@ impl Fabric for Switch2d {
 
     fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
         grants.clear();
+        if let Some(faults) = &mut self.faults {
+            faults.advance();
+        }
         for list in &mut self.requestors {
             list.clear();
         }
@@ -113,6 +139,11 @@ impl Fabric for Switch2d {
             assert!(output < self.radix, "output {output} out of range");
             if self.seen[input] || self.connections[input].is_some() {
                 continue; // duplicate or already transferring
+            }
+            if let Some(faults) = &self.faults {
+                if faults.input_down(input) || faults.xpoint_down(input, output) {
+                    continue; // masked out: the request loses silently
+                }
             }
             self.seen[input] = true;
             if self.owners[output].is_some() {
@@ -175,11 +206,28 @@ impl Fabric for Switch2d {
     fn output_busy(&self, output: OutputId) -> bool {
         self.owners[output.index()].is_some()
     }
+
+    fn enable_faults(&mut self, seed: u64) -> Result<(), ConfigError> {
+        self.enable_faults_mapped(0, TsvMap::Direct, seed);
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, fault: Fault) -> Result<(), ConfigError> {
+        if self.faults.is_none() {
+            Fabric::enable_faults(self, 0)?;
+        }
+        self.inject_fault_inner(fault)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        self.faults.as_ref().map(|f| f.log())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSite;
 
     fn req(i: usize, o: usize) -> Request {
         Request::new(InputId::new(i), OutputId::new(o))
@@ -313,5 +361,53 @@ mod tests {
             sw.release(winner);
         }
         assert_eq!(sequence, vec![20, 15, 11, 7, 3, 20, 15, 11, 7, 3]);
+    }
+
+    #[test]
+    fn dead_port_is_masked_out_of_arbitration() {
+        let mut sw = Switch2d::new(4);
+        sw.inject_fault(Fault::dead(FaultSite::Port { input: 1 }))
+            .unwrap();
+        // Input 1 can never win; input 2 takes the output unopposed.
+        let grants = sw.arbitrate(&[req(1, 3), req(2, 3)]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].input, InputId::new(2));
+        assert_eq!(sw.fault_log().unwrap().total(), 1);
+    }
+
+    #[test]
+    fn dead_crosspoint_blocks_only_its_path() {
+        let mut sw = Switch2d::new(4);
+        sw.inject_fault(Fault::dead(FaultSite::Crosspoint {
+            input: 0,
+            output: 2,
+        }))
+        .unwrap();
+        assert!(sw.arbitrate(&[req(0, 2)]).is_empty());
+        // The same input reaches every other output.
+        assert_eq!(sw.arbitrate(&[req(0, 1)]).len(), 1);
+    }
+
+    #[test]
+    fn flat_switch_has_no_tsv_bundles() {
+        let mut sw = Switch2d::new(4);
+        assert_eq!(sw.tsv_bundle_count(), 0);
+        let site = FaultSite::TsvBundle { index: 0 };
+        assert_eq!(
+            sw.inject_fault(Fault::dead(site)),
+            Err(ConfigError::FaultSiteOutOfRange { site })
+        );
+    }
+
+    #[test]
+    fn in_flight_connection_survives_a_late_fault() {
+        let mut sw = Switch2d::new(4);
+        assert_eq!(sw.arbitrate(&[req(0, 1)]).len(), 1);
+        sw.inject_fault(Fault::dead(FaultSite::Port { input: 0 }))
+            .unwrap();
+        // The held connection is untouched; only new arbitration fails.
+        assert_eq!(sw.connection(InputId::new(0)), Some(OutputId::new(1)));
+        sw.release(InputId::new(0));
+        assert!(sw.arbitrate(&[req(0, 1)]).is_empty());
     }
 }

@@ -10,20 +10,33 @@
 //! on N threads, asserts the two JSONL files are byte-identical, and
 //! reports the wall-clock speedup.
 //!
-//! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup]`
+//! `--faults` runs a tiny campaign over all three fabrics with a
+//! fault axis (fault-free plus one dead TSV bundle) at 1, 2 and 8
+//! threads, asserts the three JSONL files are byte-identical, and
+//! checks every faulty record stayed invariant-clean while still
+//! delivering traffic.
+//!
+//! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup | --faults]`
 
 use hirise_core::{ArbitrationScheme, HiRiseConfig};
 use hirise_lab::{
-    default_threads, json, CampaignSpec, FabricSpec, PatternSpec, Silent, SimParams, Stderr,
+    default_threads, json, CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams,
+    Stderr,
 };
 use std::path::PathBuf;
 use std::time::Instant;
 
-fn parse_args() -> (usize, PathBuf, bool) {
+enum Mode {
+    Smoke,
+    Speedup,
+    Faults,
+}
+
+fn parse_args() -> (usize, PathBuf, Mode) {
     let mut threads = 2;
     let mut out =
         std::env::temp_dir().join(format!("hirise-lab-smoke-{}.jsonl", std::process::id()));
-    let mut speedup = false;
+    let mut mode = Mode::Smoke;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,15 +49,16 @@ fn parse_args() -> (usize, PathBuf, bool) {
             "--out" => {
                 out = PathBuf::from(args.next().expect("--out needs a path"));
             }
-            "--speedup" => speedup = true,
+            "--speedup" => mode = Mode::Speedup,
+            "--faults" => mode = Mode::Faults,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: lab_smoke [--threads N] [--out PATH] [--speedup]");
+                eprintln!("usage: lab_smoke [--threads N] [--out PATH] [--speedup | --faults]");
                 std::process::exit(2);
             }
         }
     }
-    (threads, out, speedup)
+    (threads, out, mode)
 }
 
 /// Validates a finalized campaign file: the header and every record
@@ -162,11 +176,98 @@ fn speedup(threads: usize, out: PathBuf) {
     );
 }
 
+/// A tiny fault campaign across all three fabrics — fault-free plus one
+/// dead TSV bundle — run at 1, 2 and 8 threads. Asserts the three JSONL
+/// files are byte-identical (fault sampling is a pure function of the
+/// job seed), every record is invariant-clean with nonzero deliveries,
+/// and the fabrics that model TSVs actually logged fault events.
+fn faults(out: PathBuf) {
+    let spec = CampaignSpec::new("fault-smoke")
+        .fabric(FabricSpec::Flat2d { radix: 16 })
+        .fabric(FabricSpec::Folded {
+            radix: 16,
+            layers: 4,
+        })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(16, 4)
+                .channel_multiplicity(2)
+                .build()
+                .expect("valid configuration"),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.1])
+        .fault(FaultSpec::none())
+        .fault(FaultSpec::dead_tsv_bundles(1))
+        .sim(SimParams::quick());
+    let jobs = spec.jobs().len();
+
+    let start = Instant::now();
+    let mut reference: Option<Vec<u8>> = None;
+    for threads in [1usize, 2, 8] {
+        let path = out.with_extension(format!("faults-t{threads}.jsonl"));
+        let _ = std::fs::remove_file(&path);
+        spec.run_to_file(&path, threads, &Silent)
+            .expect("fault campaign runs");
+        validate_jsonl(&path, jobs);
+        let bytes = std::fs::read(&path).expect("fault telemetry");
+        if let Some(reference) = &reference {
+            assert_eq!(
+                reference, &bytes,
+                "fault-campaign JSONL must be byte-identical at any thread count"
+            );
+        } else {
+            reference = Some(bytes);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let content = String::from_utf8(reference.expect("at least one run")).expect("utf8 telemetry");
+    let mut faulty_events = 0u64;
+    for line in content.lines().skip(1) {
+        let record = json::parse(line).expect("record parses");
+        let fabric = record
+            .get("fabric")
+            .and_then(json::Json::as_str)
+            .expect("fabric label")
+            .to_string();
+        let fault = record
+            .get("fault")
+            .and_then(json::Json::as_str)
+            .expect("fault label")
+            .to_string();
+        let violations = record
+            .get("violations")
+            .and_then(json::Json::as_u64)
+            .expect("violations count");
+        let completed = record
+            .get("completed")
+            .and_then(json::Json::as_u64)
+            .expect("completed count");
+        assert_eq!(violations, 0, "{fabric}/{fault}: invariant violations");
+        assert!(completed > 0, "{fabric}/{fault}: no packets delivered");
+        if fault != "none" {
+            faulty_events += record
+                .get("fault_events")
+                .and_then(json::Json::as_u64)
+                .expect("fault_events count");
+        }
+    }
+    assert!(
+        faulty_events > 0,
+        "no fabric logged a fault event under the dead-TSV scenario"
+    );
+    println!(
+        "faults ok: {jobs} jobs x 3 thread counts in {:.2}s, byte-identical, \
+         all records clean, {faulty_events} fault events logged",
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
-    let (threads, out, want_speedup) = parse_args();
-    if want_speedup {
-        speedup(threads, out);
-    } else {
-        smoke(threads, out);
+    let (threads, out, mode) = parse_args();
+    match mode {
+        Mode::Speedup => speedup(threads, out),
+        Mode::Faults => faults(out),
+        Mode::Smoke => smoke(threads, out),
     }
 }

@@ -60,6 +60,7 @@ pub use runner::default_threads;
 pub use saturation::{overload_report, saturation_packets_per_ns, saturation_throughput};
 pub use sink::{write_csv, JsonlSink};
 pub use spec::{
-    derive_seed, CampaignSpec, FabricSpec, Job, PatternSpec, SimParams, Topology, DEFAULT_SEED,
+    derive_seed, CampaignSpec, FabricSpec, FaultSpec, Job, PatternSpec, SimParams, Topology,
+    DEFAULT_SEED,
 };
 pub use sweep::{latency_curve, LoadPoint};

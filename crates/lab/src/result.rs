@@ -49,6 +49,9 @@ pub struct JobResult {
     pub pattern: String,
     /// Offered load in packets/input/cycle.
     pub load: f64,
+    /// Fault-scenario label (see `FaultSpec::label`; `none` for
+    /// fault-free runs).
+    pub fault: String,
     /// Replicate number.
     pub replicate: usize,
     /// The derived seed the job ran with.
@@ -60,6 +63,10 @@ pub struct JobResult {
     pub violations: u64,
     /// Up to the first three violation messages, for diagnosis.
     pub violation_messages: Vec<String>,
+    /// Total fault transitions logged by the fabric (0 when fault
+    /// injection was off; equals the dead-fault count plus every flaky
+    /// up/down flip for faulty runs).
+    pub fault_events: u64,
     /// Packets accepted per input port during the measurement window
     /// (single-switch topologies; `None` for meshes).
     pub per_input_accepted: Option<Vec<u64>>,
@@ -80,6 +87,8 @@ impl JobResult {
         json::write_escaped(&mut s, &self.pattern);
         s.push_str(",\"load\":");
         json::write_f64(&mut s, self.load);
+        s.push_str(",\"fault\":");
+        json::write_escaped(&mut s, &self.fault);
         let _ = write!(
             s,
             ",\"replicate\":{},\"seed\":{}",
@@ -112,7 +121,11 @@ impl JobResult {
             s.push_str(",\"avg_hops\":");
             json::write_f64(&mut s, hops);
         }
-        let _ = write!(s, ",\"violations\":{}", self.violations);
+        let _ = write!(
+            s,
+            ",\"violations\":{},\"fault_events\":{}",
+            self.violations, self.fault_events
+        );
         if !self.violation_messages.is_empty() {
             s.push_str(",\"violation_messages\":[");
             for (i, m) in self.violation_messages.iter().enumerate() {
@@ -146,8 +159,9 @@ impl JobResult {
 
     /// Header row matching [`to_csv_row`](Self::to_csv_row).
     pub fn csv_header() -> &'static str {
-        "job,fabric,pattern,load,replicate,seed,accepted_rate,avg_latency_cycles,\
-         p50,p95,p99,max_latency_cycles,injected,completed,stable,avg_hops,violations"
+        "job,fabric,pattern,load,fault,replicate,seed,accepted_rate,avg_latency_cycles,\
+         p50,p95,p99,max_latency_cycles,injected,completed,stable,avg_hops,violations,\
+         fault_events"
     }
 
     /// The scalar portion of the record as one CSV row (the histogram
@@ -156,11 +170,12 @@ impl JobResult {
     pub fn to_csv_row(&self) -> String {
         let opt = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.index,
             self.fabric,
             self.pattern,
             self.load,
+            self.fault,
             self.replicate,
             self.seed,
             self.metrics.accepted_rate,
@@ -174,6 +189,7 @@ impl JobResult {
             self.metrics.stable,
             opt(self.metrics.avg_hops),
             self.violations,
+            self.fault_events,
         )
     }
 }
@@ -202,6 +218,7 @@ mod tests {
             fabric: "2d8".into(),
             pattern: "uniform".into(),
             load: 0.15,
+            fault: "none".into(),
             replicate: 1,
             seed: 42,
             metrics: Metrics {
@@ -218,6 +235,7 @@ mod tests {
             },
             violations: 0,
             violation_messages: Vec::new(),
+            fault_events: 0,
             per_input_accepted: Some(vec![3, 1, 0, 1]),
             histogram,
         }
@@ -233,6 +251,8 @@ mod tests {
         assert_eq!(parsed.get("load").and_then(Json::as_f64), Some(0.15));
         assert_eq!(parsed.get("stable").and_then(Json::as_bool), Some(true));
         assert_eq!(parsed.get("violations").and_then(Json::as_u64), Some(0));
+        assert_eq!(parsed.get("fault").and_then(Json::as_str), Some("none"));
+        assert_eq!(parsed.get("fault_events").and_then(Json::as_u64), Some(0));
         // Optional members follow their presence rules.
         assert!(parsed.get("avg_hops").is_none());
         assert!(parsed.get("violation_messages").is_none());
@@ -264,6 +284,6 @@ mod tests {
         let header_cols = JobResult::csv_header().split(',').count();
         let row = sample().to_csv_row();
         assert_eq!(row.split(',').count(), header_cols);
-        assert!(row.starts_with("7,2d8,uniform,0.15,1,42,"));
+        assert!(row.starts_with("7,2d8,uniform,0.15,none,1,42,"));
     }
 }

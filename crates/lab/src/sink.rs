@@ -152,6 +152,7 @@ mod tests {
             fabric: "2d4".into(),
             pattern: "uniform".into(),
             load: 0.1,
+            fault: "none".into(),
             replicate: 0,
             seed: index as u64 * 31,
             metrics: Metrics {
@@ -168,6 +169,7 @@ mod tests {
             },
             violations: 0,
             violation_messages: Vec::new(),
+            fault_events: 0,
             per_input_accepted: None,
             histogram: LatencyHistogram::new(),
         }

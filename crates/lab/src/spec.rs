@@ -9,10 +9,10 @@
 //! order they pick jobs up.
 
 use crate::result::{JobResult, Metrics};
-use hirise_core::rng::SplitMix64;
+use hirise_core::rng::{Rng, SeedableRng, SliceRandom, SplitMix64, StdRng};
 use hirise_core::{
-    ArbitrationScheme, ChannelAllocation, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
-    LocalArbiterKind, OutputId, Switch2d,
+    ArbitrationScheme, ChannelAllocation, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig,
+    HiRiseSwitch, LocalArbiterKind, OutputId, Switch2d,
 };
 use hirise_phys::{DesignPoint, SwitchDesign};
 use hirise_sim::mesh_sim::{MeshPortMap, MeshSim, MeshSimConfig};
@@ -276,6 +276,192 @@ impl PatternSpec {
     }
 }
 
+/// A deterministic fault-injection scenario: how many of each fault
+/// site class go down before the run starts. Sites are *sampled*, not
+/// enumerated — the concrete dead TSV bundles, ports and crosspoints
+/// are drawn from a PRNG seeded purely by the job's seed and this
+/// spec's `salt`, so a campaign produces byte-identical results at any
+/// thread count, and two replicates of the same grid point see
+/// different fault placements.
+///
+/// Counts are clamped to what the fabric's geometry offers (the flat
+/// 2D switch has zero TSV bundles, so a TSV axis collapses there).
+/// A spec with all counts zero — [`FaultSpec::none`] — never touches
+/// the fabric's fault machinery at all, which keeps zero-fault runs
+/// bit-identical to fault-free fabrics.
+///
+/// Faults apply to single-switch campaigns; mesh topologies record the
+/// spec's label but run fault-free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Number of TSV bundles (L2LCs for Hi-Rise, output-bus boundary
+    /// crossings for the folded switch) stuck permanently dead.
+    pub dead_tsvs: usize,
+    /// Number of input ports stuck permanently dead.
+    pub dead_ports: usize,
+    /// Number of individual crosspoints stuck permanently dead.
+    pub dead_crosspoints: usize,
+    /// Number of TSV bundles that are transiently flaky (down with
+    /// probability [`flake_probability`](Self::flake_probability) each
+    /// cycle). Sampled distinct from the dead bundles.
+    pub flaky_tsvs: usize,
+    /// Per-cycle down probability of each flaky bundle, clamped to
+    /// `[0, 1]` at application time.
+    pub flake_probability: f64,
+    /// Extra entropy for fault-site sampling, so several fault axes
+    /// with the same counts place faults differently.
+    pub salt: u64,
+}
+
+impl FaultSpec {
+    /// The fault-free scenario.
+    pub fn none() -> Self {
+        Self {
+            dead_tsvs: 0,
+            dead_ports: 0,
+            dead_crosspoints: 0,
+            flaky_tsvs: 0,
+            flake_probability: 0.0,
+            salt: 0,
+        }
+    }
+
+    /// `n` dead TSV bundles, nothing else.
+    pub fn dead_tsv_bundles(n: usize) -> Self {
+        Self {
+            dead_tsvs: n,
+            ..Self::none()
+        }
+    }
+
+    /// This spec with `n` dead ports.
+    pub fn with_dead_ports(mut self, n: usize) -> Self {
+        self.dead_ports = n;
+        self
+    }
+
+    /// This spec with `n` dead crosspoints.
+    pub fn with_dead_crosspoints(mut self, n: usize) -> Self {
+        self.dead_crosspoints = n;
+        self
+    }
+
+    /// This spec with `n` flaky TSV bundles at per-cycle probability `p`.
+    pub fn with_flaky_tsvs(mut self, n: usize, p: f64) -> Self {
+        self.flaky_tsvs = n;
+        self.flake_probability = p;
+        self
+    }
+
+    /// This spec with a different sampling salt.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Whether this is the fault-free scenario (all counts zero).
+    pub fn is_none(&self) -> bool {
+        self.dead_tsvs == 0
+            && self.dead_ports == 0
+            && self.dead_crosspoints == 0
+            && self.flaky_tsvs == 0
+    }
+
+    /// Compact label used in telemetry records, e.g. `none` or
+    /// `dt4`, `dt1dp2ft2q0.01s7`.
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        let mut s = String::new();
+        if self.dead_tsvs > 0 {
+            let _ = write!(s, "dt{}", self.dead_tsvs);
+        }
+        if self.dead_ports > 0 {
+            let _ = write!(s, "dp{}", self.dead_ports);
+        }
+        if self.dead_crosspoints > 0 {
+            let _ = write!(s, "dx{}", self.dead_crosspoints);
+        }
+        if self.flaky_tsvs > 0 {
+            let _ = write!(s, "ft{}q{}", self.flaky_tsvs, self.flake_probability);
+        }
+        if self.salt != 0 {
+            let _ = write!(s, "s{}", self.salt);
+        }
+        s
+    }
+
+    /// Samples this scenario's concrete fault sites and injects them
+    /// into `fabric`. Deterministic in `(job_seed, self)` alone — no
+    /// shared state, so any thread applying the same job gets the same
+    /// faults. A [`FaultSpec::none`] spec is a no-op that leaves the
+    /// fabric's fault machinery disabled entirely.
+    pub fn apply<F: Fabric + ?Sized>(&self, fabric: &mut F, job_seed: u64) {
+        if self.is_none() {
+            return;
+        }
+        let sampler_seed = derive_seed(job_seed ^ 0xFA17_BA5E_D00D_F00D, self.salt);
+        fabric
+            .enable_faults(derive_seed(sampler_seed, 1))
+            .expect("all workspace fabrics support fault injection");
+        let mut rng = StdRng::seed_from_u64(sampler_seed);
+        let inject = |fabric: &mut F, fault: Fault| {
+            fabric
+                .inject_fault(fault)
+                .expect("sampled fault sites are in range");
+        };
+        // One shuffled permutation of the bundles: the first `dead_tsvs`
+        // die, the next `flaky_tsvs` flake — always distinct sites.
+        let tsvs = fabric.tsv_bundle_count();
+        let mut bundles: Vec<usize> = (0..tsvs).collect();
+        bundles.shuffle(&mut rng);
+        let dead = self.dead_tsvs.min(tsvs);
+        let flaky = self.flaky_tsvs.min(tsvs - dead);
+        let p = if self.flake_probability.is_finite() {
+            self.flake_probability.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        for &index in &bundles[..dead] {
+            inject(fabric, Fault::dead(FaultSite::TsvBundle { index }));
+        }
+        for &index in &bundles[dead..dead + flaky] {
+            inject(fabric, Fault::flaky(FaultSite::TsvBundle { index }, p));
+        }
+        let radix = fabric.radix();
+        let mut ports: Vec<usize> = (0..radix).collect();
+        ports.shuffle(&mut rng);
+        for &input in &ports[..self.dead_ports.min(radix)] {
+            inject(fabric, Fault::dead(FaultSite::Port { input }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < self.dead_crosspoints.min(radix * radix) {
+            let input = rng.gen_range(0..radix);
+            let output = rng.gen_range(0..radix);
+            if seen.insert((input, output)) {
+                inject(fabric, Fault::dead(FaultSite::Crosspoint { input, output }));
+            }
+        }
+    }
+
+    fn canonical_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"dead_tsvs":{},"dead_ports":{},"dead_crosspoints":{},"flaky_tsvs":{},"flake_probability":"#,
+            self.dead_tsvs, self.dead_ports, self.dead_crosspoints, self.flaky_tsvs,
+        );
+        crate::json::write_f64(out, self.flake_probability);
+        let _ = write!(out, r#","salt":{}}}"#, self.salt);
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Simulation methodology shared by every job of a campaign:
 /// everything except the fabric, the pattern, the offered load and the
 /// seed. Defaults match the paper's methodology (4 VCs × 4 flits,
@@ -453,6 +639,8 @@ pub struct Job {
     pub pattern: PatternSpec,
     /// Offered load in packets/input/cycle.
     pub load: f64,
+    /// The fault scenario this job runs under.
+    pub fault: FaultSpec,
     /// Replicate number (seeds differ between replicates).
     pub replicate: usize,
     /// The derived RNG seed, a pure function of the campaign's master
@@ -491,6 +679,9 @@ pub struct CampaignSpec {
     pub patterns: Vec<PatternSpec>,
     /// Offered loads in packets/input/cycle.
     pub loads: Vec<f64>,
+    /// Fault scenarios to sweep (empty means one fault-free run per
+    /// grid point, identical to a campaign with no fault axis at all).
+    pub faults: Vec<FaultSpec>,
     /// Independent repetitions per grid point (different seeds).
     pub replicates: usize,
     /// Shared simulation methodology.
@@ -510,6 +701,7 @@ impl CampaignSpec {
             allocations: Vec::new(),
             patterns: Vec::new(),
             loads: Vec::new(),
+            faults: Vec::new(),
             replicates: 1,
             sim: SimParams::new(),
         }
@@ -554,6 +746,15 @@ impl CampaignSpec {
     /// Sets the offered-load axis.
     pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
         self.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Adds a fault scenario to the grid. An empty fault axis (the
+    /// default) behaves like a single [`FaultSpec::none`] entry; to
+    /// compare degraded fabrics against a healthy baseline, add
+    /// `FaultSpec::none()` explicitly alongside the faulty scenarios.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
         self
     }
 
@@ -607,24 +808,32 @@ impl CampaignSpec {
     }
 
     /// Expands the grid into its job list. The expansion order (fabric,
-    /// then pattern, then load, then replicate) is part of the
-    /// campaign's identity: job indices key the checkpoint file and
+    /// then pattern, then load, then fault, then replicate) is part of
+    /// the campaign's identity: job indices key the checkpoint file and
     /// feed the per-job seeds.
     pub fn jobs(&self) -> Vec<Job> {
+        let fault_axis: Vec<FaultSpec> = if self.faults.is_empty() {
+            vec![FaultSpec::none()]
+        } else {
+            self.faults.clone()
+        };
         let mut jobs = Vec::new();
         for fabric in self.expanded_fabrics() {
             for pattern in &self.patterns {
                 for &load in &self.loads {
-                    for replicate in 0..self.replicates.max(1) {
-                        let index = jobs.len();
-                        jobs.push(Job {
-                            index,
-                            fabric: fabric.clone(),
-                            pattern: pattern.clone(),
-                            load,
-                            replicate,
-                            seed: derive_seed(self.master_seed, index as u64),
-                        });
+                    for fault in &fault_axis {
+                        for replicate in 0..self.replicates.max(1) {
+                            let index = jobs.len();
+                            jobs.push(Job {
+                                index,
+                                fabric: fabric.clone(),
+                                pattern: pattern.clone(),
+                                load,
+                                fault: fault.clone(),
+                                replicate,
+                                seed: derive_seed(self.master_seed, index as u64),
+                            });
+                        }
                     }
                 }
             }
@@ -677,6 +886,13 @@ impl CampaignSpec {
             }
             crate::json::write_f64(&mut out, l);
         }
+        out.push_str("],\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            f.canonical_json(&mut out);
+        }
         let _ = write!(out, "],\"replicates\":{},\"sim\":", self.replicates.max(1));
         self.sim.canonical_json(&mut out);
         out.push('}');
@@ -700,8 +916,11 @@ impl CampaignSpec {
             Topology::SingleSwitch => {
                 let radix = job.fabric.radix();
                 let cfg = self.sim.to_sim_config(radix, job.load, job.seed);
-                let mut sim = NetworkSim::new(job.fabric.build(), job.pattern.build(radix), cfg);
+                let mut fabric = job.fabric.build();
+                job.fault.apply(&mut fabric, job.seed);
+                let mut sim = NetworkSim::new(fabric, job.pattern.build(radix), cfg);
                 let report = sim.run();
+                let fault_events = sim.fault_event_count();
                 let (violations, messages) = match sim.checker() {
                     Some(checker) => (
                         checker.violation_count(),
@@ -722,6 +941,7 @@ impl CampaignSpec {
                     fabric: job.fabric.label(),
                     pattern: job.pattern.label(),
                     load: job.load,
+                    fault: job.fault.label(),
                     replicate: job.replicate,
                     seed: job.seed,
                     metrics: Metrics {
@@ -738,6 +958,7 @@ impl CampaignSpec {
                     },
                     violations,
                     violation_messages: messages,
+                    fault_events,
                     per_input_accepted: Some(report.per_input_accepted().to_vec()),
                     histogram: report.latency_histogram().clone(),
                 }
@@ -767,6 +988,7 @@ impl CampaignSpec {
                     fabric: job.fabric.label(),
                     pattern: job.pattern.label(),
                     load: job.load,
+                    fault: job.fault.label(),
                     replicate: job.replicate,
                     seed: job.seed,
                     metrics: Metrics {
@@ -783,6 +1005,7 @@ impl CampaignSpec {
                     },
                     violations: 0,
                     violation_messages: Vec::new(),
+                    fault_events: 0,
                     per_input_accepted: None,
                     histogram: report.latency_histogram().clone(),
                 }

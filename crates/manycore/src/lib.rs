@@ -64,7 +64,7 @@ pub use cache::L2Bank;
 pub use core_model::Core;
 pub use memory::MemoryController;
 pub use message::Message;
-pub use netif::SwitchNet;
+pub use netif::{DeliveryTimeout, SwitchNet};
 pub use profiles::{benchmark_profile, table_vi_mixes, BenchmarkProfile, WorkloadMix};
 pub use system::{CmpSystem, SystemConfig, SystemReport};
 pub use trace::SyntheticTrace;

@@ -14,13 +14,44 @@ struct Transfer {
     flits_remaining: usize,
 }
 
+/// A bounded wait for a delivery expired: the network stepped the
+/// requested number of cycles without any message arriving. Carries the
+/// oldest undelivered message so the caller can report *which* request
+/// stalled and for how long — a faulty or saturated switch surfaces as
+/// a diagnosable error instead of an `expect` panic deep in a test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryTimeout {
+    /// Id (as returned by [`SwitchNet::send`]) of the oldest message
+    /// still undelivered, `None` when nothing was in flight at all.
+    pub id: Option<u64>,
+    /// Age in cycles of that message at the time the wait expired.
+    pub age_cycles: u64,
+}
+
+impl std::fmt::Display for DeliveryTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.id {
+            Some(id) => write!(
+                f,
+                "no delivery within the wait; oldest undelivered message \
+                 {id} is {} cycles old",
+                self.age_cycles
+            ),
+            None => write!(f, "no delivery within the wait; nothing in flight"),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryTimeout {}
+
 /// A switch plus per-tile injection ports carrying [`Message`]s.
 #[derive(Debug)]
 pub struct SwitchNet<F> {
     fabric: F,
     ports: Vec<InputPort>,
     transfers: Vec<Option<Transfer>>,
-    payloads: HashMap<u64, Message>,
+    /// Message payload and birth cycle, keyed by packet id.
+    payloads: HashMap<u64, (Message, u64)>,
     arrivals: VecDeque<(usize, Message)>,
     next_id: u64,
     now: u64,
@@ -50,26 +81,30 @@ impl<F: Fabric> SwitchNet<F> {
         }
     }
 
-    /// Queues `message` for transmission from tile `src` to tile `dst`.
+    /// Queues `message` for transmission from tile `src` to tile `dst`,
+    /// returning the message's id (reported by [`DeliveryTimeout`] if
+    /// the message later stalls).
     ///
     /// # Panics
     ///
     /// Panics if either tile index is out of range or `src == dst`
     /// (same-tile traffic should bypass the network).
-    pub fn send(&mut self, src: usize, dst: usize, message: Message) {
+    pub fn send(&mut self, src: usize, dst: usize, message: Message) -> u64 {
         assert!(src < self.ports.len() && dst < self.ports.len());
         assert_ne!(src, dst, "same-tile messages bypass the switch");
+        let id = self.next_id;
         let packet = Packet {
-            id: self.next_id,
+            id,
             src: InputId::new(src),
             dst: OutputId::new(dst),
             len_flits: message.len_flits(),
             birth_cycle: self.now,
             measured: false,
         };
-        self.payloads.insert(self.next_id, message);
+        self.payloads.insert(id, (message, self.now));
         self.next_id += 1;
         self.ports[src].inject(packet);
+        id
     }
 
     /// Advances the network one switch cycle.
@@ -82,7 +117,7 @@ impl<F: Fabric> SwitchNet<F> {
                     transfer.flits_remaining -= 1;
                     if transfer.flits_remaining == 0 {
                         let packet = transfer.packet;
-                        let message = self
+                        let (message, _birth) = self
                             .payloads
                             .remove(&packet.id)
                             .expect("payload recorded at send time");
@@ -138,6 +173,40 @@ impl<F: Fabric> SwitchNet<F> {
         self.arrivals.pop_front()
     }
 
+    /// Steps the network until a message arrives, for at most
+    /// `max_cycles` cycles, returning the arrival. Already-queued
+    /// arrivals are returned without stepping.
+    ///
+    /// # Errors
+    ///
+    /// [`DeliveryTimeout`] when the bound expires with no delivery,
+    /// naming the oldest undelivered message and its age — the typed
+    /// replacement for "step N times then panic" wait loops, and the
+    /// way a dead-port fault or saturated switch shows up in tests.
+    pub fn step_until_arrival(
+        &mut self,
+        max_cycles: u64,
+    ) -> Result<(usize, Message), DeliveryTimeout> {
+        for _ in 0..max_cycles {
+            if let Some(arrival) = self.pop_arrival() {
+                return Ok(arrival);
+            }
+            self.step();
+        }
+        if let Some(arrival) = self.pop_arrival() {
+            return Ok(arrival);
+        }
+        let oldest = self
+            .payloads
+            .iter()
+            .min_by_key(|(&id, &(_, birth))| (birth, id))
+            .map(|(&id, &(_, birth))| (id, self.now - birth));
+        Err(DeliveryTimeout {
+            id: oldest.map(|(id, _)| id),
+            age_cycles: oldest.map_or(0, |(_, age)| age),
+        })
+    }
+
     /// Messages still queued, buffered or in flight.
     pub fn in_flight(&self) -> usize {
         self.payloads.len()
@@ -190,13 +259,8 @@ mod tests {
         let latency_of = |message: Message| {
             let mut net = SwitchNet::new(Switch2d::new(8));
             net.send(1, 2, message);
-            for _ in 0..20 {
-                net.step();
-                if net.pop_arrival().is_some() {
-                    return net.avg_latency_cycles();
-                }
-            }
-            panic!("message never arrived");
+            net.step_until_arrival(20).expect("uncontended delivery");
+            net.avg_latency_cycles()
         };
         let control = latency_of(Message::L2Request {
             core: 0,
@@ -205,6 +269,39 @@ mod tests {
         let data = latency_of(Message::L2Reply { core: 0 });
         assert_eq!(control, 1.0);
         assert_eq!(data, 4.0);
+    }
+
+    #[test]
+    fn stalled_delivery_is_a_typed_timeout_not_a_panic() {
+        use hirise_core::{Fault, FaultSite};
+        // Kill input port 1, then send from it: the message can never
+        // win arbitration, and the bounded wait reports exactly which
+        // message stalled and for how long.
+        let mut fabric = Switch2d::new(8);
+        fabric
+            .inject_fault(Fault::dead(FaultSite::Port { input: 1 }))
+            .unwrap();
+        let mut net = SwitchNet::new(fabric);
+        let id = net.send(1, 2, Message::L2Reply { core: 0 });
+        let err = net.step_until_arrival(30).unwrap_err();
+        assert_eq!(err.id, Some(id));
+        assert_eq!(err.age_cycles, 30);
+        assert!(err.to_string().contains("30 cycles old"));
+        assert_eq!(net.in_flight(), 1);
+    }
+
+    #[test]
+    fn empty_network_timeout_reports_nothing_in_flight() {
+        let mut net = SwitchNet::new(Switch2d::new(8));
+        let err = net.step_until_arrival(3).unwrap_err();
+        assert_eq!(
+            err,
+            DeliveryTimeout {
+                id: None,
+                age_cycles: 0
+            }
+        );
+        assert!(err.to_string().contains("nothing in flight"));
     }
 
     #[test]

@@ -282,10 +282,30 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
         &self.fabric
     }
 
+    /// Mutable access to the fabric under test, e.g. for injecting
+    /// faults before (or between) runs.
+    pub fn fabric_mut(&mut self) -> &mut F {
+        &mut self.fabric
+    }
+
     /// The invariant checker, when enabled (debug builds by default,
     /// or via [`SimConfig::check_invariants`]).
     pub fn checker(&self) -> Option<&InvariantChecker> {
         self.checker.as_ref()
+    }
+
+    /// The fabric's fault-event log, when fault injection was enabled
+    /// (see [`Fabric::enable_faults`]). Campaigns read it after a run to
+    /// report degradation events alongside invariant violations rather
+    /// than crashing on a faulty fabric.
+    pub fn fault_log(&self) -> Option<&hirise_core::FaultLog> {
+        self.fabric.fault_log()
+    }
+
+    /// Total fault transitions observed by the fabric, `0` when fault
+    /// injection is disabled.
+    pub fn fault_event_count(&self) -> u64 {
+        self.fault_log().map_or(0, |log| log.total())
     }
 
     fn in_measure_window(&self) -> bool {

@@ -11,7 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use hirise_core::{ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise_core::{
+    ArbitrationScheme, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+};
 use hirise_sim::traffic::UniformRandom;
 use hirise_sim::{NetworkSim, SimConfig};
 
@@ -94,6 +96,21 @@ fn steady_state_cycles_allocate_nothing() {
         .build()
         .expect("valid Hi-Rise configuration");
 
+    // Fault masking must not re-introduce allocations: one dead and one
+    // flaky TSV bundle keep the per-cycle resampling, masking, and
+    // event-logging paths hot. (The fault log preallocates its bounded
+    // recording buffer at enable time.)
+    let mut faulty = HiRiseSwitch::new(&hirise_cfg);
+    faulty
+        .enable_faults(0xFA17_A110)
+        .expect("Hi-Rise supports fault injection");
+    faulty
+        .inject_fault(Fault::dead(FaultSite::TsvBundle { index: 0 }))
+        .expect("bundle 0 in range");
+    faulty
+        .inject_fault(Fault::flaky(FaultSite::TsvBundle { index: 1 }, 0.5))
+        .expect("bundle 1 in range");
+
     let allocations = [
         (
             "switch2d",
@@ -107,6 +124,7 @@ fn steady_state_cycles_allocate_nothing() {
             "hirise",
             count_steady_state_allocations(HiRiseSwitch::new(&hirise_cfg)),
         ),
+        ("hirise+faults", count_steady_state_allocations(faulty)),
     ];
 
     for (fabric, count) in allocations {

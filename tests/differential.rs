@@ -118,6 +118,144 @@ fn hotspot_and_permutation_schedules_agree() {
     }
 }
 
+/// Co-steps a fault-free fabric against a twin with the fault machinery
+/// enabled and loaded with only zero-probability flaky faults, demanding
+/// bit-identical grant vectors every cycle. Returns cycles compared.
+///
+/// The engine mirrors `check_arbitrate_into_equivalence`'s cycle loop:
+/// winners hold their connection for `len_flits` beats plus a release
+/// beat, and the run stops at the schedule deadline.
+fn co_step_zero_fault_twin(
+    name: &str,
+    build: fn(usize) -> Box<dyn hirise::core::Fabric>,
+    schedule: &Schedule,
+) -> u64 {
+    use hirise::core::{Fabric, Fault, FaultSite, Grant, InputId, OutputId, Request};
+    use std::collections::VecDeque;
+
+    let radix = schedule.radix;
+    let mut vanilla = build(radix);
+    let mut faulty = build(radix);
+    faulty
+        .enable_faults(0xFA17_0000)
+        .unwrap_or_else(|e| panic!("{name}: fault injection unsupported: {e}"));
+    // Zero-probability flaky faults never take a resource down, so the
+    // twin must behave exactly like the fault-free fabric — but the
+    // masking and per-cycle resampling code paths are all live.
+    let mut sites = vec![
+        FaultSite::Port { input: 0 },
+        FaultSite::Crosspoint {
+            input: 0,
+            output: 1,
+        },
+    ];
+    if faulty.tsv_bundle_count() > 0 {
+        sites.push(FaultSite::TsvBundle { index: 0 });
+    }
+    for site in sites {
+        faulty
+            .inject_fault(Fault::flaky(site, 0.0))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+
+    let deadline = schedule.deadline();
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); radix];
+    let mut next_packet = 0usize;
+    let mut by_cycle: Vec<usize> = (0..schedule.packets.len()).collect();
+    by_cycle.sort_by_key(|&i| schedule.packets[i].inject_cycle);
+
+    let mut transfers: Vec<Option<(usize, usize)>> = vec![None; radix];
+    let mut delivered = 0usize;
+    let mut grants_vanilla: Vec<Grant> = Vec::new();
+    let mut grants_faulty: Vec<Grant> = Vec::new();
+    let mut now = 0u64;
+
+    while delivered < schedule.packets.len() && now <= deadline {
+        for (input, transfer) in transfers.iter_mut().enumerate() {
+            if let Some((_, flits)) = transfer {
+                if *flits > 0 {
+                    *flits -= 1;
+                    if *flits == 0 {
+                        delivered += 1;
+                    }
+                } else {
+                    vanilla.release(InputId::new(input));
+                    faulty.release(InputId::new(input));
+                    *transfer = None;
+                }
+            }
+        }
+
+        while next_packet < by_cycle.len()
+            && schedule.packets[by_cycle[next_packet]].inject_cycle <= now
+        {
+            let index = by_cycle[next_packet];
+            queues[schedule.packets[index].src].push_back(index);
+            next_packet += 1;
+        }
+
+        let mut requests = Vec::new();
+        for (input, queue) in queues.iter().enumerate() {
+            if transfers[input].is_some() {
+                continue;
+            }
+            if let Some(&index) = queue.front() {
+                requests.push(Request::new(
+                    InputId::new(input),
+                    OutputId::new(schedule.packets[index].dst),
+                ));
+            }
+        }
+
+        vanilla.arbitrate_into(&requests, &mut grants_vanilla);
+        faulty.arbitrate_into(&requests, &mut grants_faulty);
+        assert_eq!(
+            grants_vanilla, grants_faulty,
+            "{name}: cycle {now}: zero-probability faults perturbed arbitration"
+        );
+
+        for grant in &grants_vanilla {
+            let input = grant.input.index();
+            let index = queues[input]
+                .pop_front()
+                .expect("granted input has a queued packet");
+            transfers[input] = Some((index, schedule.packets[index].len_flits));
+        }
+
+        now += 1;
+    }
+    now
+}
+
+/// A fabric whose fault layer holds only zero-probability flaky faults
+/// must be bit-identical to a fault-free twin: every fabric that models
+/// faults (all but the golden reference) is co-stepped for >= 10k cycles
+/// of randomized traffic with identical grant vectors demanded per cycle.
+#[test]
+fn zero_probability_faults_are_bit_identical_to_fault_free() {
+    const TARGET_CYCLES: u64 = 10_000;
+    let fleet: Vec<_> = standard_fleet()
+        .into_iter()
+        .filter(|(name, _)| name != "ref")
+        .collect();
+    let mut cycles = vec![0u64; fleet.len()];
+    let mut round = 0u64;
+    while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+        let mut rng = StdRng::seed_from_u64(0xFA17_0000 + round);
+        let schedule = Schedule::random(&mut rng, 16, 200, 0.15, 4);
+        for (index, (name, build)) in fleet.iter().enumerate() {
+            cycles[index] += co_step_zero_fault_twin(name, *build, &schedule);
+        }
+        round += 1;
+    }
+    for ((name, _), compared) in fleet.iter().zip(&cycles) {
+        assert!(
+            *compared >= TARGET_CYCLES,
+            "{name}: only {compared} cycles compared"
+        );
+    }
+}
+
 /// The full simulator runs 10k cycles per arbitration scheme (plus the
 /// two baseline fabrics) with the per-cycle invariant checker forced on:
 /// flit conservation, buffer bounds, FIFO-lane order, grant legality.
