@@ -3,43 +3,65 @@
 //! at radix 16/32/64 under uniform-random load, recorded to
 //! `BENCH_sim.json` at the repo root.
 //!
-//! This is the repo's performance trajectory file: the `before` column
-//! was measured on the allocating hot path (pre-`arbitrate_into`), the
-//! `after` column on the allocation-free scratch path, both on the same
-//! machine at the same scale. Re-running with `--label after` refreshes
-//! the `after` column in place and recomputes the speedups without
-//! touching the recorded `before` baseline (and vice versa).
+//! This is the repo's performance trajectory file. Labels map to
+//! arbitration kernels: `--label before` benchmarks the **scalar**
+//! kernel, `--label after` the **word-parallel** kernel (the default
+//! for every fabric constructor), so the recorded speedup is the word
+//! kernel's gain over the scalar loops on the same simulator harness.
+//! Re-running with one label refreshes that column in place and
+//! recomputes the speedups without touching the other column.
 //!
 //! ```text
 //! cyclebench [--quick] [--label before|after] [--out PATH]
 //! cyclebench --check PATH    # validate an existing file's schema
+//! cyclebench --smoke         # quick word-vs-scalar regression gate
 //! ```
+//!
+//! `--smoke` runs the quick grid under both kernels and fails if the
+//! word kernel falls below `SMOKE_FLOOR` x the scalar kernel's
+//! throughput on any combination — a cheap CI gate against the word
+//! path silently regressing to slower-than-scalar.
 //!
 //! Methodology: per (fabric, radix) one `NetworkSim` under uniform
 //! random traffic at 0.1 packets/input/cycle (comfortably below the
 //! 0.2 serialization bound, so queues are in steady state) is warmed
 //! up untimed, then stepped through `reps` timed segments of
 //! `cycles_per_rep` cycles each via `NetworkSim::run_cycles`; the
-//! reported numbers are the medians across segments. The invariant
-//! checker is off (it is a debugging aid, not part of the cycle loop).
+//! reported numbers are the medians across segments (mean of the two
+//! middle segments when `reps` is even). The invariant checker is off
+//! (it is a debugging aid, not part of the cycle loop).
+//!
+//! Schema history: `v1` files were written by a median that returned
+//! the upper-middle element for even-length samples (biased high) and
+//! carried an allocating-vs-scratch before/after split; `v2` fixes the
+//! median and redefines the labels as scalar-vs-word kernels. `v1`
+//! files are deliberately not loaded — their numbers are not
+//! comparable.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hirise_bench::args::arg_error;
-use hirise_core::{ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise_core::config::DEFAULT_FLIT_BITS;
+use hirise_core::{
+    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+};
 use hirise_lab::json::{self, Json};
 use hirise_sim::traffic::UniformRandom;
 use hirise_sim::{NetworkSim, SimConfig};
 
-const SCHEMA: &str = "hirise-cyclebench/v1";
-const USAGE: &str =
-    "cyclebench [--quick] [--label before|after] [--out PATH]\n       cyclebench --check PATH";
+const SCHEMA: &str = "hirise-cyclebench/v2";
+const USAGE: &str = "cyclebench [--quick] [--label before|after] [--out PATH]\n       \
+     cyclebench --check PATH\n       cyclebench --smoke";
 const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
 const RADICES: [usize; 3] = [16, 32, 64];
 const INJECTION_RATE: f64 = 0.1;
 const LAYERS: usize = 4;
 const SEED: u64 = 0xC1C1_EB00;
+/// Minimum word/scalar throughput ratio tolerated by `--smoke`. Below
+/// 1.0 to absorb run-to-run noise on shared machines; a word kernel
+/// that is genuinely slower than scalar lands well under this.
+const SMOKE_FLOOR: f64 = 0.8;
 
 /// Benchmark scale: timed cycles per segment and segment count.
 struct Scale {
@@ -96,36 +118,64 @@ impl Row {
     }
 }
 
-fn build_fabric(name: &str, radix: usize) -> Box<dyn Fabric> {
+/// Arbitration kernel benchmarked under each label: `before` is the
+/// scalar reference loops, `after` the word-parallel kernels.
+fn kernel_for_label(label: &str) -> ArbiterKernel {
+    if label == "before" {
+        ArbiterKernel::Scalar
+    } else {
+        ArbiterKernel::Word
+    }
+}
+
+fn build_fabric(name: &str, radix: usize, kernel: ArbiterKernel) -> Box<dyn Fabric> {
     match name {
-        "switch2d" => Box::new(Switch2d::new(radix)),
-        "folded3d" => Box::new(FoldedSwitch::new(radix, LAYERS)),
+        "switch2d" => Box::new(Switch2d::with_kernel(radix, kernel)),
+        "folded3d" => Box::new(FoldedSwitch::with_kernel(
+            radix,
+            LAYERS,
+            DEFAULT_FLIT_BITS,
+            kernel,
+        )),
         "hirise" => {
             let cfg = HiRiseConfig::builder(radix, LAYERS)
                 .channel_multiplicity(4)
                 .scheme(ArbitrationScheme::LayerToLayerLrg)
                 .build()
                 .expect("valid Hi-Rise configuration");
-            Box::new(HiRiseSwitch::new(&cfg))
+            Box::new(HiRiseSwitch::with_kernel(&cfg, kernel))
         }
         other => arg_error(format!("unknown fabric {other:?}"), USAGE),
     }
 }
 
+/// Median of a non-empty sample: middle element for odd lengths, mean
+/// of the two middle elements for even lengths. Panics on an empty
+/// slice — a benchmark that measured nothing has no median.
 fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty sample");
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
-    values[values.len() / 2]
+    let mid = values.len() / 2;
+    if values.len().is_multiple_of(2) {
+        (values[mid - 1] + values[mid]) / 2.0
+    } else {
+        values[mid]
+    }
 }
 
-/// Benchmarks one (fabric, radix) combination.
-fn measure(fabric: &'static str, radix: usize, scale: &Scale) -> Throughput {
+/// Benchmarks one (fabric, radix) combination under one kernel.
+fn measure(fabric: &'static str, radix: usize, kernel: ArbiterKernel, scale: &Scale) -> Throughput {
     let cfg = SimConfig::new(radix)
         .injection_rate(INJECTION_RATE)
         .warmup(0)
         .measure(u64::MAX / 2)
         .seed(SEED)
         .check_invariants(false);
-    let mut sim = NetworkSim::new(build_fabric(fabric, radix), UniformRandom::new(radix), cfg);
+    let mut sim = NetworkSim::new(
+        build_fabric(fabric, radix, kernel),
+        UniformRandom::new(radix),
+        cfg,
+    );
     let mut report = sim.report();
     sim.run_cycles(&mut report, scale.warmup_cycles);
     let mut cycles_per_sec = Vec::with_capacity(scale.reps);
@@ -153,7 +203,9 @@ fn parse_throughput(value: &Json) -> Option<Throughput> {
 }
 
 /// Loads the labelled measurements from an existing results file so a
-/// re-run under one label preserves the other label's column.
+/// re-run under one label preserves the other label's column. Files
+/// with any other schema (including `v1`, whose medians were biased)
+/// are ignored and overwritten wholesale.
 fn load_existing(path: &str, rows: &mut [Row]) {
     let Ok(text) = std::fs::read_to_string(path) else {
         return;
@@ -203,6 +255,8 @@ fn render(rows: &[Row], scale: &Scale) -> String {
     out.push_str("  \"schema\":");
     json::write_escaped(&mut out, SCHEMA);
     out.push_str(",\n  \"pattern\":\"uniform-random\"");
+    out.push_str(",\n  \"before_kernel\":\"scalar\"");
+    out.push_str(",\n  \"after_kernel\":\"word\"");
     out.push_str(",\n  \"injection_rate\":");
     json::write_f64(&mut out, INJECTION_RATE);
     out.push_str(",\n  \"packet_len_flits\":4");
@@ -285,9 +339,51 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Word-vs-scalar regression gate: measures the quick grid under both
+/// kernels and fails if the word kernel drops below [`SMOKE_FLOOR`] x
+/// the scalar throughput anywhere.
+fn smoke() -> ExitCode {
+    let scale = Scale::quick();
+    println!(
+        "cyclebench --smoke: word vs scalar, {} cycles x {} reps per combination (floor {SMOKE_FLOOR}x)\n",
+        scale.cycles_per_rep, scale.reps
+    );
+    println!(
+        "{:<10} {:>5} {:>15} {:>15} {:>8}",
+        "fabric", "radix", "scalar c/s", "word c/s", "ratio"
+    );
+    let mut failures = Vec::new();
+    for fabric in FABRICS {
+        for radix in RADICES {
+            let scalar = measure(fabric, radix, ArbiterKernel::Scalar, &scale);
+            let word = measure(fabric, radix, ArbiterKernel::Word, &scale);
+            let ratio = word.cycles_per_sec / scalar.cycles_per_sec;
+            println!(
+                "{:<10} {:>5} {:>15.0} {:>15.0} {:>7.2}x",
+                fabric, radix, scalar.cycles_per_sec, word.cycles_per_sec, ratio
+            );
+            if ratio < SMOKE_FLOOR {
+                failures.push(format!(
+                    "{fabric} radix {radix}: word kernel at {ratio:.2}x of scalar (floor {SMOKE_FLOOR}x)"
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nsmoke OK: word kernel at or above {SMOKE_FLOOR}x scalar everywhere");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("cyclebench --smoke: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut run_smoke = false;
     let mut label = "after".to_string();
     let mut out_path = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
@@ -296,6 +392,7 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" | "quick" => quick = true,
+            "--smoke" => run_smoke = true,
             "--label" => label = iter.next().unwrap_or_else(|| missing("--label")),
             "--out" => out_path = iter.next().unwrap_or_else(|| missing("--out")),
             "--check" => check_path = Some(iter.next().unwrap_or_else(|| missing("--check"))),
@@ -314,9 +411,13 @@ fn main() -> ExitCode {
             }
         };
     }
+    if run_smoke {
+        return smoke();
+    }
     if label != "before" && label != "after" {
         arg_error(format!("invalid value {label:?} for --label"), USAGE);
     }
+    let kernel = kernel_for_label(&label);
     let scale = if quick { Scale::quick() } else { Scale::full() };
 
     let mut rows: Vec<Row> = FABRICS
@@ -333,15 +434,17 @@ fn main() -> ExitCode {
     load_existing(&out_path, &mut rows);
 
     println!(
-        "cyclebench: label={label}, {} cycles x {} reps per combination\n",
-        scale.cycles_per_rep, scale.reps
+        "cyclebench: label={label} ({} kernel), {} cycles x {} reps per combination\n",
+        kernel.label(),
+        scale.cycles_per_rep,
+        scale.reps
     );
     println!(
         "{:<10} {:>5} {:>15} {:>15} {:>9}",
         "fabric", "radix", "cycles/sec", "packets/sec", "speedup"
     );
     for row in rows.iter_mut() {
-        let throughput = measure(row.fabric, row.radix, &scale);
+        let throughput = measure(row.fabric, row.radix, kernel, &scale);
         if label == "before" {
             row.before = Some(throughput);
         } else {
@@ -371,5 +474,38 @@ fn main() -> ExitCode {
             eprintln!("cyclebench: self-check failed: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{kernel_for_label, median};
+    use hirise_core::ArbiterKernel;
+
+    #[test]
+    fn median_odd_returns_middle() {
+        let mut values = [3.0, 1.0, 2.0];
+        assert_eq!(median(&mut values), 2.0);
+    }
+
+    #[test]
+    fn median_even_averages_middles() {
+        // The v1 bug returned 4.0 here (upper middle, biased high).
+        let mut values = [4.0, 1.0, 2.0, 8.0];
+        assert_eq!(median(&mut values), 3.0);
+        let mut pair = [10.0, 20.0];
+        assert_eq!(median(&mut pair), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of an empty sample")]
+    fn median_empty_panics() {
+        median(&mut []);
+    }
+
+    #[test]
+    fn labels_map_to_kernels() {
+        assert_eq!(kernel_for_label("before"), ArbiterKernel::Scalar);
+        assert_eq!(kernel_for_label("after"), ArbiterKernel::Word);
     }
 }

@@ -18,10 +18,17 @@ use crate::bits::BitSet;
 /// The priority relation is kept antisymmetric and total: for any two
 /// distinct requestors exactly one outranks the other, so every non-empty
 /// request set has exactly one winner.
+///
+/// The matrix is stored row-major in one contiguous word arena (row `i`
+/// occupies `words[i*w..(i+1)*w]`): `grant` reads rows with no pointer
+/// chasing and `update` is a linear sweep the compiler can vectorize,
+/// which is what makes per-cycle arbitration cheap at radix 64.
 #[derive(Clone, Debug)]
 pub struct MatrixArbiter {
-    /// `rows[i]` holds bit `j` iff `i` outranks `j`.
-    rows: Vec<BitSet>,
+    /// Row-major priority words; bit `j` of row `i` iff `i` outranks `j`.
+    words: Vec<u64>,
+    /// Words per row, `ceil(n / 64)`.
+    w: usize,
     n: usize,
 }
 
@@ -44,25 +51,32 @@ impl MatrixArbiter {
     /// Panics if `order` is not a permutation of `0..order.len()`.
     pub fn with_order(order: &[usize]) -> Self {
         let n = order.len();
+        let w = n.div_ceil(64);
         let mut seen = vec![false; n];
         for &r in order {
             assert!(r < n && !seen[r], "order must be a permutation of 0..n");
             seen[r] = true;
         }
-        let mut rows = vec![BitSet::new(n); n];
+        let mut words = vec![0u64; n * w];
         // A requestor's row is exactly the set of requestors ranked below
         // it, so a running "everyone not yet placed" set fills each row
         // with one word-level copy instead of an O(n²) per-bit loop.
-        if let Some((&first, rest)) = order.split_first() {
-            let mut below = BitSet::new(n);
-            below.set_all_except(first);
-            rows[first].copy_from(&below);
-            for &winner in rest {
+        let mut below = BitSet::new(n);
+        for (rank, &winner) in order.iter().enumerate() {
+            if rank == 0 {
+                below.set_all_except(winner);
+            } else {
                 below.remove(winner);
-                rows[winner].copy_from(&below);
             }
+            words[winner * w..(winner + 1) * w].copy_from_slice(below.words());
         }
-        Self { rows, n }
+        Self { words, w, n }
+    }
+
+    /// Row `i` as a word slice.
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.w..(i + 1) * self.w]
     }
 
     /// Number of requestors.
@@ -84,7 +98,8 @@ impl MatrixArbiter {
     /// Panics if either index is out of range or `a == b`.
     pub fn outranks(&self, a: usize, b: usize) -> bool {
         assert!(a != b, "a requestor does not outrank itself");
-        self.rows[a].contains(b)
+        assert!(a < self.n && b < self.n, "requestor out of range");
+        self.row(a)[b / 64] >> (b % 64) & 1 == 1
     }
 
     /// Picks the highest-priority requestor among `requests`, without
@@ -111,9 +126,57 @@ impl MatrixArbiter {
     /// Panics if the mask capacity differs from the arbiter size.
     pub fn grant_mask(&self, requests: &BitSet) -> Option<usize> {
         assert_eq!(requests.capacity(), self.n, "request mask size mismatch");
-        requests
-            .iter()
-            .find(|&candidate| self.rows[candidate].is_superset_except(requests, candidate))
+        requests.iter().find(|&candidate| {
+            let row = self.row(candidate);
+            requests.words().iter().enumerate().all(|(v, &need)| {
+                let need = if v == candidate / 64 {
+                    need & !(1u64 << (candidate % 64))
+                } else {
+                    need
+                };
+                need & !row[v] == 0
+            })
+        })
+    }
+
+    /// As [`grant_mask`](Self::grant_mask), but taking the request set as
+    /// raw words (`requests[w]` holds requestors `64w..64w+63`) — the
+    /// word-parallel kernel entry point. `W` must equal the arbiter's
+    /// word count (`ceil(n / 64)`), and bits at or beyond `n` must be
+    /// zero; both are debug-asserted. Candidates are scanned in
+    /// ascending index order with masked word ops against the priority
+    /// rows, so the result is identical to `grant_mask` on the same set.
+    #[inline]
+    pub fn grant_words<const W: usize>(&self, requests: &[u64; W]) -> Option<usize> {
+        debug_assert_eq!(W, self.n.div_ceil(64), "word count mismatch");
+        debug_assert!(
+            self.n.is_multiple_of(64) || requests[W - 1] & !((1u64 << (self.n % 64)) - 1) == 0,
+            "request bits beyond the arbiter size"
+        );
+        for word in 0..W {
+            let mut rest = requests[word];
+            while rest != 0 {
+                let candidate_bit = rest & rest.wrapping_neg();
+                let candidate = word * 64 + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let row = self.row(candidate);
+                let mut outranked = true;
+                for (v, &row_word) in row.iter().enumerate() {
+                    let mut need = requests[v];
+                    if v == word {
+                        need &= !candidate_bit;
+                    }
+                    if need & !row_word != 0 {
+                        outranked = false;
+                        break;
+                    }
+                }
+                if outranked {
+                    return Some(candidate);
+                }
+            }
+        }
+        None
     }
 
     /// Commits an LRG update: `winner` drops to the lowest priority and
@@ -122,16 +185,35 @@ impl MatrixArbiter {
     /// # Panics
     ///
     /// Panics if `winner` is out of range.
+    #[inline]
     pub fn update(&mut self, winner: usize) {
         assert!(winner < self.n, "winner {winner} out of range");
-        self.rows[winner].clear();
+        let w = self.w;
+        if w == 1 {
+            // Single-word rows are contiguous, so the column sweep is a
+            // plain bounds-check-free pass the compiler vectorizes.
+            // Zeroing the winner's row afterwards both drops it below
+            // everybody and takes back the self-edge in one store. This
+            // is the path every arbiter with n <= 64 takes — all of
+            // them, for the radices the paper evaluates — and `update`
+            // runs twice per grant (local column + sub-block), so it is
+            // hot.
+            let mask = 1u64 << winner;
+            for row in &mut self.words {
+                *row |= mask;
+            }
+            self.words[winner] = 0;
+            return;
+        }
+        // The winner drops below everybody: zero its row…
+        self.words[winner * w..(winner + 1) * w].fill(0);
+        // …and set its bit in every row — then take back the self-edge.
         let word = winner / 64;
         let mask = 1u64 << (winner % 64);
-        for (other, row) in self.rows.iter_mut().enumerate() {
-            if other != winner {
-                row.or_word(word, mask);
-            }
+        for row in self.words.chunks_exact_mut(w) {
+            row[word] |= mask;
         }
+        self.words[winner * w + word] &= !mask;
     }
 
     /// Current priority order, highest first. Intended for tests and
@@ -140,7 +222,9 @@ impl MatrixArbiter {
         let mut order: Vec<usize> = (0..self.n).collect();
         // Rank = number of requestors this one outranks; in a total order
         // the ranks are all distinct.
-        order.sort_by_key(|&i| std::cmp::Reverse(self.rows[i].len()));
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(self.row(i).iter().map(|w| w.count_ones()).sum::<u32>())
+        });
         order
     }
 }
@@ -222,6 +306,54 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn with_order_rejects_duplicates() {
         let _ = MatrixArbiter::with_order(&[0, 0, 1]);
+    }
+
+    /// Property test at radices straddling the word boundary (17, 33,
+    /// 63, 65 plus exact-word sizes): random request sets and random
+    /// LRG updates, with `grant_words` checked against `grant_mask`
+    /// every step and the row tail invariant held throughout.
+    #[test]
+    fn grant_words_matches_grant_mask_across_awkward_radices() {
+        use crate::rng::{Rng, SeedableRng, StdRng};
+
+        fn check<const W: usize>(n: usize, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut arb = MatrixArbiter::new(n);
+            for step in 0..500 {
+                let mut words = [0u64; W];
+                let mut mask = BitSet::new(n);
+                // Mix sparse and dense request sets.
+                let requestors = if step % 3 == 0 { n } else { n / 4 + 1 };
+                for _ in 0..rng.gen_range(0..requestors + 1) {
+                    let r = rng.gen_range(0..n);
+                    words[r / 64] |= 1 << (r % 64);
+                    mask.insert(r);
+                }
+                let expected = arb.grant_mask(&mask);
+                assert_eq!(arb.grant_words::<W>(&words), expected, "n={n} step={step}");
+                if let Some(winner) = expected {
+                    arb.update(winner);
+                }
+                // Row tail invariant: no priority bits at or beyond n.
+                if !n.is_multiple_of(64) {
+                    let tail = !((1u64 << (n % 64)) - 1);
+                    for row in 0..n {
+                        assert_eq!(
+                            arb.row(row)[W - 1] & tail,
+                            0,
+                            "stray tail bits in row {row}"
+                        );
+                    }
+                }
+            }
+        }
+
+        for (n, seed) in [(13, 1u64), (16, 2), (17, 3), (33, 4), (63, 5), (64, 6)] {
+            check::<1>(n, 0xA5B1_7000 + seed);
+        }
+        for (n, seed) in [(65, 7u64), (128, 8)] {
+            check::<2>(n, 0xA5B1_7000 + seed);
+        }
     }
 
     #[test]

@@ -66,6 +66,49 @@ impl RoundRobinArbiter {
             .min_by_key(|&r| (r + self.n - self.next) % self.n)
     }
 
+    /// As [`grant_mask`](Self::grant_mask), but taking the request set as
+    /// raw words (`requests[w]` holds requestors `64w..64w+63`) — the
+    /// word-parallel kernel entry point. `W` must equal `ceil(n / 64)`
+    /// and bits at or beyond `n` must be zero (debug-asserted). Picks
+    /// the first set bit at or after the rotating pointer, wrapping,
+    /// which is exactly the `grant_mask` minimum-distance winner.
+    #[inline]
+    pub fn grant_words<const W: usize>(&self, requests: &[u64; W]) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        debug_assert_eq!(W, self.n.div_ceil(64), "word count mismatch");
+        debug_assert!(
+            self.n.is_multiple_of(64) || requests[W - 1] & !((1u64 << (self.n % 64)) - 1) == 0,
+            "request bits beyond the arbiter size"
+        );
+        let start_word = self.next / 64;
+        let start_bit = self.next % 64;
+        // At or after the pointer, within the pointer's word…
+        let high = requests[start_word] & (!0u64 << start_bit);
+        if high != 0 {
+            return Some(start_word * 64 + high.trailing_zeros() as usize);
+        }
+        // …then whole words after it…
+        for (w, &word) in requests.iter().enumerate().skip(start_word + 1) {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        // …then wrap: whole words before the pointer's word, and finally
+        // the bits below the pointer.
+        for (w, &word) in requests.iter().enumerate().take(start_word) {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        let low = requests[start_word] & !(!0u64 << start_bit);
+        if low != 0 {
+            return Some(start_word * 64 + low.trailing_zeros() as usize);
+        }
+        None
+    }
+
     /// Rotates the pointer past `winner` so it becomes the lowest
     /// priority next cycle.
     ///
@@ -127,5 +170,44 @@ mod tests {
             arb.update(rotate);
         }
         assert_eq!(arb.grant_mask(&BitSet::new(5)), None);
+    }
+
+    /// Property test at radices straddling the word boundary: random
+    /// request sets and random pointer rotations, with `grant_words`
+    /// checked against `grant_mask` at every step.
+    #[test]
+    fn grant_words_matches_grant_mask_across_awkward_radices() {
+        use crate::rng::{Rng, SeedableRng, StdRng};
+
+        fn check<const W: usize>(n: usize, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut arb = RoundRobinArbiter::new(n);
+            for step in 0..500 {
+                let mut words = [0u64; W];
+                let mut mask = BitSet::new(n);
+                for _ in 0..rng.gen_range(0..n + 1) {
+                    let r = rng.gen_range(0..n);
+                    words[r / 64] |= 1 << (r % 64);
+                    mask.insert(r);
+                }
+                let expected = arb.grant_mask(&mask);
+                assert_eq!(
+                    arb.grant_words::<W>(&words),
+                    expected,
+                    "n={n} step={step} next={}",
+                    arb.next
+                );
+                if let Some(winner) = expected {
+                    arb.update(winner);
+                }
+            }
+        }
+
+        for (n, seed) in [(13, 1u64), (16, 2), (17, 3), (33, 4), (63, 5), (64, 6)] {
+            check::<1>(n, 0x2B2B_7000 + seed);
+        }
+        for (n, seed) in [(65, 7u64), (128, 8)] {
+            check::<2>(n, 0x2B2B_7000 + seed);
+        }
     }
 }

@@ -99,10 +99,47 @@ impl BitSet {
     /// ORs a raw mask into word `word`; the arbiter update loop uses
     /// this to splice one precomputed bit into every row without
     /// re-deriving the word index and shift per row.
+    ///
+    /// Stray mask bits at or beyond `capacity` are dropped, preserving
+    /// the tail invariant (`len`, `iter` and the superset tests assume
+    /// bits past the capacity are zero) even for capacities that are not
+    /// multiples of 64.
+    // Part of the word-ops API surface; the hot kernels moved to raw
+    // `[u64]` scratch, so outside tests (which pin the tail-masking
+    // semantics at odd radices) this currently has no callers.
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub(crate) fn or_word(&mut self, word: usize, mask: u64) {
         debug_assert!(word < self.words.len(), "word index {word} out of range");
-        self.words[word] |= mask;
+        self.words[word] |= mask & self.valid_mask(word);
+    }
+
+    /// Reads word `word` of the backing storage. The tail invariant
+    /// guarantees bits at or beyond `capacity` read as zero.
+    #[allow(dead_code)]
+    #[inline]
+    pub(crate) fn word(&self, word: usize) -> u64 {
+        self.words[word]
+    }
+
+    /// The backing words in ascending bit order; bits at or beyond
+    /// `capacity` are guaranteed zero.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mask of the bit positions in word `word` that are inside
+    /// `capacity` — all-ones except for a partial tail word.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
+    pub(crate) fn valid_mask(&self, word: usize) -> u64 {
+        let tail = self.capacity % 64;
+        if tail != 0 && word + 1 == self.words.len() {
+            (1u64 << tail) - 1
+        } else {
+            !0
+        }
     }
 
     /// Zeroes any bits at or beyond `capacity` in the last word.
@@ -111,6 +148,22 @@ impl BitSet {
         if tail != 0 {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Asserts the tail invariant: no bits at or beyond `capacity`.
+    #[cfg(test)]
+    pub(crate) fn assert_tail_invariant(&self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last() {
+                assert_eq!(
+                    last & !((1u64 << tail) - 1),
+                    0,
+                    "stray bits beyond capacity {}",
+                    self.capacity
+                );
             }
         }
     }
@@ -364,5 +417,68 @@ mod tests {
         let set = BitSet::new(0);
         assert!(set.is_empty());
         assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn or_word_drops_stray_bits_beyond_capacity() {
+        for capacity in [17usize, 33, 63, 65, 130] {
+            let mut set = BitSet::new(capacity);
+            let last = capacity.div_ceil(64) - 1;
+            // An all-ones mask into every word must produce exactly the
+            // full set, never bits past the capacity.
+            for word in 0..=last {
+                set.or_word(word, !0);
+            }
+            set.assert_tail_invariant();
+            assert_eq!(set.len(), capacity, "capacity {capacity}");
+            assert_eq!(set.iter().count(), capacity);
+            let mut reference = BitSet::new(capacity);
+            reference.set_all();
+            assert_eq!(set, reference, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn or_word_keeps_in_range_bits() {
+        let mut set = BitSet::new(65);
+        set.or_word(1, 0b1); // bit 64: last valid bit
+        assert!(set.contains(64));
+        set.or_word(0, 1 << 63);
+        assert!(set.contains(63));
+        assert_eq!(set.len(), 2);
+        set.assert_tail_invariant();
+    }
+
+    #[test]
+    fn word_level_passes_hold_tail_invariant_under_fuzz() {
+        // Seeded pseudo-random mix of all word-level mutators at awkward
+        // capacities; the tail invariant must hold after every step.
+        let mut state = 0x5EED_B175u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for capacity in [17usize, 33, 63, 65] {
+            let mut set = BitSet::new(capacity);
+            let mut other = BitSet::new(capacity);
+            for _ in 0..200 {
+                match next() % 5 {
+                    0 => set.set_all(),
+                    1 => set.set_all_except(next() as usize % capacity),
+                    2 => {
+                        other.set_all_except(next() as usize % capacity);
+                        set.copy_from(&other);
+                    }
+                    3 => set.or_word(
+                        (next() as usize) % capacity.div_ceil(64),
+                        next() | (next() << 32),
+                    ),
+                    _ => set.clear(),
+                }
+                set.assert_tail_invariant();
+                assert!(set.len() <= capacity);
+                assert_eq!(set.iter().count(), set.len());
+            }
+        }
     }
 }

@@ -14,6 +14,7 @@ use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
 use crate::fault::{Fault, FaultLog, TsvMap};
 use crate::ids::{InputId, LayerId, OutputId};
+use crate::kernel::ArbiterKernel;
 use crate::switch2d::Switch2d;
 
 /// A 2D switch folded over `layers` silicon layers.
@@ -42,6 +43,22 @@ impl FoldedSwitch {
     ///
     /// As [`FoldedSwitch::new`], and if `flit_bits` is zero.
     pub fn with_flit_bits(radix: usize, layers: usize, flit_bits: usize) -> Self {
+        Self::with_kernel(radix, layers, flit_bits, ArbiterKernel::default())
+    }
+
+    /// Creates a folded switch with an explicit arbitration kernel (see
+    /// [`Switch2d::with_kernel`]); arbitration delegates to the flat
+    /// switch, so the kernel choice passes straight through.
+    ///
+    /// # Panics
+    ///
+    /// As [`FoldedSwitch::with_flit_bits`].
+    pub fn with_kernel(
+        radix: usize,
+        layers: usize,
+        flit_bits: usize,
+        kernel: ArbiterKernel,
+    ) -> Self {
         assert!(layers >= 2, "a folded switch needs at least 2 layers");
         assert!(
             radix.is_multiple_of(layers),
@@ -49,10 +66,15 @@ impl FoldedSwitch {
         );
         assert!(flit_bits > 0, "flit width must be non-zero");
         Self {
-            inner: Switch2d::new(radix),
+            inner: Switch2d::with_kernel(radix, kernel),
             layers,
             flit_bits,
         }
+    }
+
+    /// The arbitration kernel in effect on the underlying flat switch.
+    pub fn kernel(&self) -> ArbiterKernel {
+        self.inner.kernel()
     }
 
     /// Number of stacked layers.

@@ -14,14 +14,20 @@ pub(crate) struct ChannelTable {
     layers: usize,
     multiplicity: usize,
     owners: Vec<Option<InputId>>,
+    /// Bitmap mirror of `owners.is_some()`; the arbitration admission
+    /// loop probes busyness once per inter-layer request per cycle, and
+    /// a bit test on a hot word beats an `Option<InputId>` load.
+    busy: Vec<u64>,
 }
 
 impl ChannelTable {
     pub(crate) fn new(layers: usize, multiplicity: usize) -> Self {
+        let count = layers * (layers - 1) * multiplicity;
         Self {
             layers,
             multiplicity,
-            owners: vec![None; layers * (layers - 1) * multiplicity],
+            owners: vec![None; count],
+            busy: vec![0; count.div_ceil(64).max(1)],
         }
     }
 
@@ -34,19 +40,22 @@ impl ChannelTable {
     }
 
     pub(crate) fn is_busy(&self, src: usize, dst: usize, k: usize) -> bool {
-        self.owners[self.index(src, dst, k)].is_some()
+        let idx = self.index(src, dst, k);
+        self.busy[idx / 64] >> (idx % 64) & 1 == 1
     }
 
     pub(crate) fn acquire(&mut self, src: usize, dst: usize, k: usize, owner: InputId) {
         let idx = self.index(src, dst, k);
         debug_assert!(self.owners[idx].is_none(), "channel already owned");
         self.owners[idx] = Some(owner);
+        self.busy[idx / 64] |= 1u64 << (idx % 64);
     }
 
     pub(crate) fn release(&mut self, src: usize, dst: usize, k: usize) {
         let idx = self.index(src, dst, k);
         debug_assert!(self.owners[idx].is_some(), "releasing a free channel");
         self.owners[idx] = None;
+        self.busy[idx / 64] &= !(1u64 << (idx % 64));
     }
 
     #[cfg(test)]

@@ -120,6 +120,67 @@ impl SubBlock {
             .lrg
             .grant_mask(&self.mask)
             .expect("non-empty candidate set");
+        Some(self.finish(contenders, slot))
+    }
+
+    /// As [`arbitrate`](Self::arbitrate), but carrying the candidate-slot
+    /// set as one raw `u64` word — the word-parallel kernel path. The
+    /// caller guarantees the sub-block has at most 64 slots (checked at
+    /// kernel resolution; see [`crate::kernel::KernelSel`]). Decisions
+    /// and state updates are bit-identical to the scalar path.
+    pub(crate) fn arbitrate_word(&mut self, contenders: &[Contender]) -> Option<usize> {
+        if contenders.is_empty() {
+            return None;
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = 0u64;
+            for contender in contenders {
+                assert!(
+                    seen >> contender.slot & 1 == 0,
+                    "contender slots must be unique"
+                );
+                seen |= 1 << contender.slot;
+            }
+        }
+
+        if contenders.len() == 1 {
+            // A lone contender wins regardless of priority state; skip
+            // the mask build and the matrix scan. `finish` still applies
+            // the exact same priority updates (and, under
+            // `validate_signals`, the same circuit cross-check).
+            return Some(self.finish(contenders, contenders[0].slot));
+        }
+
+        let mut mask = 0u64;
+        if let Some(clrg) = &self.clrg {
+            let best = contenders
+                .iter()
+                .map(|c| clrg.class_of(c.input.index()))
+                .min()
+                .expect("non-empty contender set");
+            for contender in contenders {
+                if clrg.class_of(contender.input.index()) == best {
+                    mask |= 1 << contender.slot;
+                }
+            }
+        } else {
+            for contender in contenders {
+                mask |= 1 << contender.slot;
+            }
+        }
+        let slot = self
+            .lrg
+            .grant_words::<1>(&[mask])
+            .expect("non-empty candidate set");
+        Some(self.finish(contenders, slot))
+    }
+
+    /// Shared tail of both arbitration paths: map the winning slot back
+    /// to its contender, optionally cross-check the circuit model, and
+    /// commit the scheme's state updates.
+    fn finish(&mut self, contenders: &[Contender], slot: usize) -> usize {
         let winner_index = contenders.iter().position(|c| c.slot == slot).unwrap();
 
         if self.validate_signals {
@@ -161,7 +222,7 @@ impl SubBlock {
                 self.lrg.update(winner.slot);
             }
         }
-        Some(winner_index)
+        winner_index
     }
 
     /// The CLRG class of `input` at this sub-block, if running CLRG.
@@ -225,6 +286,40 @@ mod tests {
         assert_eq!(sb.arbitrate(&[heavy, light]), Some(0));
         assert_eq!(sb.arbitrate(&[heavy, light]), Some(0));
         assert_eq!(sb.arbitrate(&[heavy, light]), Some(1));
+    }
+
+    #[test]
+    fn arbitrate_word_twins_arbitrate_across_schemes() {
+        for scheme in [
+            ArbitrationScheme::LayerToLayerLrg,
+            ArbitrationScheme::WeightedLrg,
+            ArbitrationScheme::class_based(),
+        ] {
+            let mut scalar = SubBlock::new(13, 64, scheme);
+            let mut word = SubBlock::new(13, 64, scheme);
+            let mut state = 0xABCD_1234u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for step in 0..500 {
+                let mut contenders = Vec::new();
+                for slot in 0..13 {
+                    if next() % 3 == 0 {
+                        contenders.push(Contender {
+                            slot,
+                            input: InputId::new(next() % 64),
+                            weight: (next() % 4 + 1) as u32,
+                        });
+                    }
+                }
+                assert_eq!(
+                    scalar.arbitrate(&contenders),
+                    word.arbitrate_word(&contenders),
+                    "{scheme:?} step {step}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,17 @@ impl ColumnArbiter {
         }
     }
 
+    /// As [`grant_mask`](Self::grant_mask) over raw request words — the
+    /// word-parallel kernel path.
+    #[inline]
+    pub(crate) fn grant_words<const W: usize>(&self, requests: &[u64; W]) -> Option<usize> {
+        match self {
+            ColumnArbiter::Lrg(a) => a.grant_words::<W>(requests),
+            ColumnArbiter::RoundRobin(a) => a.grant_words::<W>(requests),
+        }
+    }
+
+    #[inline]
     pub(crate) fn update(&mut self, winner: usize) {
         match self {
             ColumnArbiter::Lrg(a) => a.update(winner),
@@ -111,6 +122,19 @@ impl LocalSwitch {
         self.columns[column].grant_mask(requests)
     }
 
+    /// As [`grant_mask`](Self::grant_mask) over raw request words
+    /// (`requests[w]` holds local inputs `64w..64w+63`) — the
+    /// word-parallel kernel path. `W` must equal `ceil(ports / 64)`.
+    #[inline]
+    pub(crate) fn grant_words<const W: usize>(
+        &self,
+        column: usize,
+        requests: &[u64; W],
+    ) -> Option<usize> {
+        self.columns[column].grant_words::<W>(requests)
+    }
+
+    #[inline]
     pub(crate) fn update(&mut self, column: usize, winner: usize) {
         self.columns[column].update(winner);
     }
@@ -175,6 +199,35 @@ mod tests {
                     local.grant(column, &[1, 3]),
                     "{kind:?} column {column}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn grant_words_matches_grant_mask_for_both_kinds() {
+        for kind in [LocalArbiterKind::Lrg, LocalArbiterKind::RoundRobin] {
+            let mut local = LocalSwitch::new(kind, 16, 12, 4);
+            let mut state = 0xD00D_F00Du64;
+            for _ in 0..200 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let word = (state >> 24) & 0xFFFF; // 16 local inputs
+                let mut mask = BitSet::new(16);
+                for bit in 0..16 {
+                    if word >> bit & 1 == 1 {
+                        mask.insert(bit);
+                    }
+                }
+                for column in 0..local.column_count() {
+                    let expected = local.grant_mask(column, &mask);
+                    assert_eq!(
+                        local.grant_words::<1>(column, &[word]),
+                        expected,
+                        "{kind:?}"
+                    );
+                    if let Some(winner) = expected {
+                        local.update(column, winner);
+                    }
+                }
             }
         }
     }

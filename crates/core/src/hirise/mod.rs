@@ -31,6 +31,7 @@ use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
 use crate::fault::{Fault, FaultLog, FaultState, TsvMap};
 use crate::ids::{ChannelId, InputId, LayerId, OutputId};
+use crate::kernel::{ArbiterKernel, KernelSel};
 use channel::ChannelTable;
 use interlayer::{Contender, SubBlock};
 use local::LocalSwitch;
@@ -76,6 +77,45 @@ enum ColumnKind {
     Channel { compressed_dst: usize, k: usize },
 }
 
+/// Precomputed index-decode tables for the word kernel. The admission
+/// loop runs per request per cycle; these tables replace the `/ % `
+/// arithmetic of the `HiRiseConfig` helpers (runtime-divisor divisions)
+/// with single loads.
+#[derive(Clone, Debug)]
+struct Decode {
+    /// `(layer, local index)` per global input.
+    input: Vec<(u16, u16)>,
+    /// `(layer, local index)` per global output.
+    output: Vec<(u16, u16)>,
+    /// Flat column index (`layer * cols + column`) -> `(layer, column)`.
+    col: Vec<(u16, u16)>,
+    /// Channel allocation policy, hoisted out of the request loop.
+    allocation: crate::config::ChannelAllocation,
+    /// Statically-bound channel per input (input-binned policy).
+    in_k: Vec<u16>,
+    /// Statically-bound channel per output (output-binned policy).
+    out_k: Vec<u16>,
+}
+
+impl Decode {
+    fn new(cfg: &HiRiseConfig) -> Self {
+        let p = cfg.ports_per_layer();
+        let c = cfg.channel_multiplicity();
+        let cols = p + cfg.channels_per_layer();
+        let split = |index: usize| ((index / p) as u16, (index % p) as u16);
+        Self {
+            input: (0..cfg.radix()).map(split).collect(),
+            output: (0..cfg.radix()).map(split).collect(),
+            col: (0..cfg.layers() * cols)
+                .map(|flat| ((flat / cols) as u16, (flat % cols) as u16))
+                .collect(),
+            allocation: cfg.allocation(),
+            in_k: (0..cfg.radix()).map(|i| ((i % p) % c) as u16).collect(),
+            out_k: (0..cfg.radix()).map(|o| ((o % p) % c) as u16).collect(),
+        }
+    }
+}
+
 /// Persistent per-cycle scratch for the arbitration hot path: flat
 /// clear-and-reuse arenas replacing the `Vec<Vec<...>>` structures the
 /// original implementation allocated on every call. After a few warmup
@@ -103,12 +143,30 @@ struct ArbScratch {
     touched_outputs: Vec<usize>,
     /// Contender list for one sub-block at a time.
     contenders: Vec<Contender>,
+    /// Word-kernel arena: `(layer * columns + column) * W` request words
+    /// of local-input bits (the masked-word form of `column_reqs`).
+    col_masks: Vec<u64>,
+    /// Word-kernel arena: bitmap over flat column indices with at least
+    /// one admitted request.
+    touched_cols: Vec<u64>,
+    /// Word-kernel arena: `(src * layers + dst) * W` request words (the
+    /// masked-word form of `pools`).
+    pool_masks: Vec<u64>,
+    /// Word-kernel arena: the output each admitted input requested this
+    /// cycle, indexed by global input (valid only for set mask bits).
+    dest: Vec<u32>,
+    /// Word-kernel arena: bitmap over outputs, used to detect whether
+    /// any two phase-1 winners share a final output this cycle.
+    out_bits: Vec<u64>,
 }
 
 impl ArbScratch {
     fn new(cfg: &HiRiseConfig) -> Self {
         let l = cfg.layers();
         let cols = cfg.ports_per_layer() + cfg.channels_per_layer();
+        // Word arenas are sized for the word kernel's mask width; the
+        // scalar kernel simply never touches them (a few hundred bytes).
+        let w = cfg.ports_per_layer().div_ceil(64).max(1);
         Self {
             seen: vec![false; cfg.radix()],
             column_reqs: vec![Vec::new(); l * cols],
@@ -118,24 +176,40 @@ impl ArbScratch {
             per_output: vec![Vec::new(); cfg.radix()],
             touched_outputs: Vec::new(),
             contenders: Vec::new(),
+            col_masks: vec![0; l * cols * w],
+            touched_cols: vec![0; (l * cols).div_ceil(64)],
+            pool_masks: vec![0; l * l * w],
+            dest: vec![0; cfg.radix()],
+            out_bits: vec![0; cfg.radix().div_ceil(64)],
         }
     }
 
-    /// Empties every arena while keeping its capacity.
+    /// Empties the arenas both kernels share while keeping capacity.
+    ///
+    /// `col_masks`/`touched_cols`/`pool_masks` are clear-on-consume:
+    /// the word-kernel loops zero every bit they set within the same
+    /// cycle, so no per-cycle sweep is needed here. The same holds for
+    /// `per_output` (drained by the phase-2 loop) and the scalar bins
+    /// (see [`reset_scalar_bins`](Self::reset_scalar_bins)). `dest`
+    /// holds stale values by design (read only for set mask bits).
     fn reset(&mut self) {
         self.seen.fill(false);
+        self.winners.clear();
+        self.touched_outputs.clear();
+        self.contenders.clear();
+    }
+
+    /// Empties the scalar kernel's binning arenas. Separate from
+    /// [`reset`](Self::reset) because sweeping these ~`L * columns` Vec
+    /// headers every cycle is a measurable fraction of an arbitration
+    /// when the word kernel (which never touches them) is active.
+    fn reset_scalar_bins(&mut self) {
         for list in &mut self.column_reqs {
             list.clear();
         }
         for pool in &mut self.pools {
             pool.clear();
         }
-        for list in &mut self.per_output {
-            list.clear();
-        }
-        self.winners.clear();
-        self.touched_outputs.clear();
-        self.contenders.clear();
     }
 }
 
@@ -151,6 +225,12 @@ pub struct HiRiseSwitch {
     channels: ChannelTable,
     connections: Vec<Option<Path>>,
     output_owner: Vec<Option<InputId>>,
+    /// Bitmap mirror of `connections.is_some()`, so the per-request
+    /// admission check is one bit test instead of an `Option<Path>`
+    /// load.
+    connected: Vec<u64>,
+    /// Bitmap mirror of `output_owner.is_some()` for the phase-2 skip.
+    owned: Vec<u64>,
     column_kinds: Vec<ColumnKind>,
     /// Grants that travelled over each L2LC (flat channel index).
     channel_grants: Vec<u64>,
@@ -158,13 +238,31 @@ pub struct HiRiseSwitch {
     local_grants: Vec<u64>,
     /// Per-cycle arbitration scratch, reused across calls.
     scratch: ArbScratch,
+    /// Resolved arbitration kernel (see [`ArbiterKernel`]).
+    kernel: KernelSel,
+    /// Index-decode tables for the word kernel's admission loop.
+    decode: Decode,
     /// Fault-injection state; `None` until faults are enabled.
     faults: Option<FaultState>,
 }
 
 impl HiRiseSwitch {
-    /// Builds a switch for `cfg`.
+    /// Builds a switch for `cfg` with the default (word-parallel)
+    /// arbitration kernel.
     pub fn new(cfg: &HiRiseConfig) -> Self {
+        Self::with_kernel(cfg, ArbiterKernel::default())
+    }
+
+    /// Builds a switch for `cfg` with an explicit arbitration kernel.
+    ///
+    /// The word kernel carries the request→bin→priority-pool→grant
+    /// pipeline as masked `u64` word operations, monomorphized over the
+    /// local-switch mask width at construction (`N/L` bits; radix
+    /// 16/32/64 over 4 layers all resolve to one word). Geometries the
+    /// word kernels do not cover — or sub-blocks wider than 64 slots —
+    /// fall back to the scalar pipeline. Both kernels produce
+    /// bit-identical grant sequences.
+    pub fn with_kernel(cfg: &HiRiseConfig, kernel: ArbiterKernel) -> Self {
         let p = cfg.ports_per_layer();
         let l = cfg.layers();
         let c = cfg.channel_multiplicity();
@@ -183,6 +281,14 @@ impl HiRiseSwitch {
                 column_kinds.push(ColumnKind::Channel { compressed_dst, k });
             }
         }
+        // The sub-block word path carries its candidate-slot set in one
+        // u64, so a sub-block wider than 64 slots forces the scalar
+        // pipeline regardless of the local mask width.
+        let sel = if cfg.subblock_inputs() <= 64 {
+            KernelSel::resolve(kernel, p)
+        } else {
+            KernelSel::Scalar
+        };
         Self {
             cfg: cfg.clone(),
             locals,
@@ -190,10 +296,14 @@ impl HiRiseSwitch {
             channels: ChannelTable::new(l, c),
             connections: vec![None; cfg.radix()],
             output_owner: vec![None; cfg.radix()],
+            connected: vec![0; cfg.radix().div_ceil(64)],
+            owned: vec![0; cfg.radix().div_ceil(64)],
             column_kinds,
             channel_grants: vec![0; l * (l - 1) * c],
             local_grants: vec![0; l],
             scratch: ArbScratch::new(cfg),
+            kernel: sel,
+            decode: Decode::new(cfg),
             faults: None,
         }
     }
@@ -201,6 +311,12 @@ impl HiRiseSwitch {
     /// The switch's configuration.
     pub fn config(&self) -> &HiRiseConfig {
         &self.cfg
+    }
+
+    /// The arbitration kernel actually in effect (word fallbacks report
+    /// as scalar).
+    pub fn kernel(&self) -> ArbiterKernel {
+        self.kernel.effective()
     }
 
     /// Whether the L2LC `k` from `src` to `dst` is currently held by a
@@ -417,7 +533,9 @@ impl HiRiseSwitch {
                 output.index() < self.cfg.radix(),
                 "output {output} out of range"
             );
-            if scratch.seen[input.index()] || self.connections[input.index()].is_some() {
+            if scratch.seen[input.index()]
+                || self.connected[input.index() / 64] >> (input.index() % 64) & 1 == 1
+            {
                 continue;
             }
             if let Some(faults) = &self.faults {
@@ -545,6 +663,258 @@ impl HiRiseSwitch {
             }
         }
     }
+
+    /// Word-parallel phase 1: the same admission → bin → arbitrate
+    /// pipeline as [`phase1`](Self::phase1), but carrying every request
+    /// set as `W` masked `u64` words of local-input bits. Binning ORs a
+    /// bit into the column's mask, column election runs
+    /// [`LocalSwitch::grant_words`] directly on the words, and winner
+    /// weight is a popcount. Columns are visited in ascending flat
+    /// `(layer, column)` order — exactly the scalar loop order — so the
+    /// LRG state and the winner sequence evolve bit-identically.
+    fn phase1_words<const W: usize>(&self, requests: &[Request], scratch: &mut ArbScratch) {
+        debug_assert_eq!(W, self.cfg.ports_per_layer().div_ceil(64).max(1));
+        let l = self.cfg.layers();
+        let c = self.cfg.channel_multiplicity();
+        let p = self.cfg.ports_per_layer();
+        let cols = self.column_count();
+
+        for request in requests {
+            let input = request.input;
+            let output = request.output;
+            assert!(
+                input.index() < self.cfg.radix(),
+                "input {input} out of range"
+            );
+            assert!(
+                output.index() < self.cfg.radix(),
+                "output {output} out of range"
+            );
+            if scratch.seen[input.index()]
+                || self.connected[input.index() / 64] >> (input.index() % 64) & 1 == 1
+            {
+                continue;
+            }
+            if let Some(faults) = &self.faults {
+                if faults.input_down(input.index())
+                    || faults.xpoint_down(input.index(), output.index())
+                {
+                    continue; // dead port or crosspoint: request is masked out
+                }
+            }
+            scratch.seen[input.index()] = true;
+            let (src, local) = self.decode.input[input.index()];
+            let (src, local) = (src as usize, local as usize);
+            let (dst, out_local) = self.decode.output[output.index()];
+            let (dst, out_local) = (dst as usize, out_local as usize);
+            scratch.dest[input.index()] = output.index() as u32;
+            if src == dst {
+                // An intermediate column is 1:1 with its output, so every
+                // request binned here contends for `output` alone. If the
+                // output is still mid-transfer the whole column loses in
+                // phase 2 with no state updates, so dropping the request
+                // now is exact — and it skips the column election for the
+                // common head-of-line-blocked case, where a stalled VC
+                // re-requests the same busy output every cycle.
+                if self.owned[output.index() / 64] >> (output.index() % 64) & 1 == 1 {
+                    continue;
+                }
+                // Intermediate column index == the output's local index.
+                let flat = src * cols + out_local;
+                scratch.col_masks[flat * W + local / 64] |= 1u64 << (local % 64);
+                scratch.touched_cols[flat / 64] |= 1u64 << (flat % 64);
+            } else {
+                use crate::config::ChannelAllocation;
+                let bound = match self.decode.allocation {
+                    ChannelAllocation::InputBinned => {
+                        Some(self.decode.in_k[input.index()] as usize)
+                    }
+                    ChannelAllocation::OutputBinned => {
+                        Some(self.decode.out_k[output.index()] as usize)
+                    }
+                    ChannelAllocation::PriorityBased => None,
+                };
+                match bound {
+                    Some(k) => {
+                        let Some(k) = self.usable_channel(src, dst, k) else {
+                            continue; // every channel of the pair is down
+                        };
+                        if self.channels.is_busy(src, dst, k) {
+                            continue; // channel held by a transfer; retry later
+                        }
+                        let compressed_dst = if dst < src { dst } else { dst - 1 };
+                        // channel_column(compressed_dst, k) without the call.
+                        let flat = src * cols + p + compressed_dst * c + k;
+                        scratch.col_masks[flat * W + local / 64] |= 1u64 << (local % 64);
+                        scratch.touched_cols[flat / 64] |= 1u64 << (flat % 64);
+                    }
+                    None => {
+                        let pool = src * l + dst;
+                        scratch.pool_masks[pool * W + local / 64] |= 1u64 << (local % 64);
+                    }
+                }
+            }
+        }
+
+        // Statically-binned columns: ascending flat index = the scalar
+        // path's (layer-major, column-minor) order. Masks are
+        // clear-on-consume so the arenas stay zero between cycles.
+        for word_index in 0..scratch.touched_cols.len() {
+            let mut bits = scratch.touched_cols[word_index];
+            scratch.touched_cols[word_index] = 0;
+            while bits != 0 {
+                let flat = word_index * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (layer, column) = self.decode.col[flat];
+                let (layer, column) = (layer as usize, column as usize);
+                let base = flat * W;
+                let mask_words = &mut scratch.col_masks[base..base + W];
+                let mask: [u64; W] = (&*mask_words).try_into().expect("exact W-word slice");
+                mask_words.fill(0);
+                let weight: u32 = mask.iter().map(|w| w.count_ones()).sum();
+                let winner_local = self.locals[layer]
+                    .grant_words::<W>(column, &mask)
+                    .expect("non-empty request set");
+                let input = InputId::new(layer * p + winner_local);
+                let output = OutputId::new(scratch.dest[input.index()] as usize);
+                if self.owned[output.index() / 64] >> (output.index() % 64) & 1 == 1 {
+                    // The elected winner's output is mid-transfer, so it
+                    // is a guaranteed phase-2 loser: the whole per-output
+                    // group is dropped there with no state updates
+                    // (election itself is read-only). Dropping the winner
+                    // here skips the grouping work. Only channel columns
+                    // reach this — intermediate columns to owned outputs
+                    // were filtered at admission.
+                    continue;
+                }
+                let resource = match self.column_kinds[column] {
+                    ColumnKind::Intermediate => PathResource::Intermediate,
+                    ColumnKind::Channel { compressed_dst, k } => PathResource::Channel {
+                        src: layer,
+                        dst: self.dst_of_compressed(layer, compressed_dst),
+                        k,
+                    },
+                };
+                scratch.winners.push(Phase1Winner {
+                    layer,
+                    column,
+                    request: ColumnRequest {
+                        local_input: winner_local,
+                        input,
+                        output,
+                    },
+                    weight,
+                    resource,
+                });
+            }
+        }
+
+        // Priority-based pools, serialized over each pair's channels in
+        // the scalar path's (src, dst, k) order. The winner's bit is
+        // cleared from the pool between channels; the mask is zeroed
+        // when the pair is done (unserved requestors simply lose).
+        for src in 0..l {
+            for dst in 0..l {
+                if src == dst {
+                    continue;
+                }
+                let base = (src * l + dst) * W;
+                if scratch.pool_masks[base..base + W].iter().all(|&w| w == 0) {
+                    continue;
+                }
+                let compressed_dst = if dst < src { dst } else { dst - 1 };
+                for k in 0..c {
+                    let mask: [u64; W] = (&scratch.pool_masks[base..base + W])
+                        .try_into()
+                        .expect("exact W-word slice");
+                    let weight: u32 = mask.iter().map(|w| w.count_ones()).sum();
+                    if weight == 0 {
+                        break;
+                    }
+                    if self.channels.is_busy(src, dst, k) {
+                        continue;
+                    }
+                    if let Some(faults) = &self.faults {
+                        if faults.tsv_down(self.channels.index(src, dst, k)) {
+                            continue; // dead L2LC: skip it, later channels absorb
+                        }
+                    }
+                    let column = self.locals[src].channel_column(compressed_dst, k);
+                    let winner_local = self.locals[src]
+                        .grant_words::<W>(column, &mask)
+                        .expect("non-empty pool");
+                    scratch.pool_masks[base + winner_local / 64] &= !(1u64 << (winner_local % 64));
+                    let input = InputId::new(src * p + winner_local);
+                    let output = OutputId::new(scratch.dest[input.index()] as usize);
+                    if self.owned[output.index() / 64] >> (output.index() % 64) & 1 == 1 {
+                        // Guaranteed phase-2 loser (see the binned-column
+                        // loop above): the winner still leaves the pool —
+                        // it lost its shot this cycle either way — but is
+                        // not carried into phase 2.
+                        continue;
+                    }
+                    scratch.winners.push(Phase1Winner {
+                        layer: src,
+                        column,
+                        request: ColumnRequest {
+                            local_input: winner_local,
+                            input,
+                            output,
+                        },
+                        weight,
+                        resource: PathResource::Channel { src, dst, k },
+                    });
+                }
+                scratch.pool_masks[base..base + W].fill(0);
+            }
+        }
+    }
+
+    /// The sub-block contender a phase-1 winner presents at its output.
+    fn contender_of(&self, w: &Phase1Winner) -> Contender {
+        let slot = match w.resource {
+            PathResource::Intermediate => self.local_subblock_slot(),
+            PathResource::Channel { src, dst, k } => {
+                self.subblock_slot(LayerId::new(src), ChannelId::new(k), LayerId::new(dst))
+            }
+        };
+        Contender {
+            slot,
+            input: w.request.input,
+            weight: w.weight,
+        }
+    }
+
+    /// Phase-2 commit for the winner of `output`: back-propagate the
+    /// local priority update, seize the path resources, and record the
+    /// connection.
+    fn commit_winner(&mut self, winner: &Phase1Winner, output: usize, grants: &mut Vec<Grant>) {
+        self.locals[winner.layer].update(winner.column, winner.request.local_input);
+        match winner.resource {
+            PathResource::Channel { src, dst, k } => {
+                self.channels.acquire(src, dst, k, winner.request.input);
+                let compressed_dst = if dst < src { dst } else { dst - 1 };
+                let c = self.cfg.channel_multiplicity();
+                let l = self.cfg.layers();
+                self.channel_grants[(src * (l - 1) + compressed_dst) * c + k] += 1;
+            }
+            PathResource::Intermediate => {
+                self.local_grants[winner.layer] += 1;
+            }
+        }
+        let input = winner.request.input;
+        self.connections[input.index()] = Some(Path {
+            output: OutputId::new(output),
+            resource: winner.resource,
+        });
+        self.connected[input.index() / 64] |= 1u64 << (input.index() % 64);
+        self.output_owner[output] = Some(input);
+        self.owned[output / 64] |= 1u64 << (output % 64);
+        grants.push(Grant {
+            input,
+            output: OutputId::new(output),
+        });
+    }
 }
 
 impl Fabric for HiRiseSwitch {
@@ -567,10 +937,54 @@ impl Fabric for HiRiseSwitch {
         // freely; reattached below.
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.reset();
-        self.phase1(requests, &mut scratch);
+        match self.kernel {
+            KernelSel::Scalar => {
+                scratch.reset_scalar_bins();
+                self.phase1(requests, &mut scratch);
+            }
+            KernelSel::Word1 => self.phase1_words::<1>(requests, &mut scratch),
+            KernelSel::Word2 => self.phase1_words::<2>(requests, &mut scratch),
+            KernelSel::Word4 => self.phase1_words::<4>(requests, &mut scratch),
+        }
 
-        // Phase 2: group phase-1 winners per final output and run the
-        // sub-block arbitration.
+        // Phase 2. In the word kernel, phase 1 never emits a winner for
+        // an owned output, and on most cycles no two winners share a
+        // final output either — every sub-block sees exactly one
+        // contender. Detect that with one bitmap pass and, when it
+        // holds, skip the per-output grouping entirely: processing
+        // winners in emission order is then identical to the grouped
+        // path's first-seen output order, so the state evolution stays
+        // bit-for-bit the same (the twin tests pin this).
+        let mut collision = false;
+        if self.kernel != KernelSel::Scalar {
+            for winner in &scratch.winners {
+                let output = winner.request.output.index();
+                let word = &mut scratch.out_bits[output / 64];
+                collision |= *word >> (output % 64) & 1 == 1;
+                *word |= 1u64 << (output % 64);
+            }
+            for word in &mut scratch.out_bits {
+                *word = 0;
+            }
+        }
+
+        if self.kernel != KernelSel::Scalar && !collision {
+            for index in 0..scratch.winners.len() {
+                let winner = scratch.winners[index];
+                let output = winner.request.output.index();
+                let contender = self.contender_of(&winner);
+                let winner_pos = self.subblocks[output]
+                    .arbitrate_word(std::slice::from_ref(&contender))
+                    .expect("non-empty contender set");
+                debug_assert_eq!(winner_pos, 0);
+                self.commit_winner(&winner, output, grants);
+            }
+            self.scratch = scratch;
+            return;
+        }
+
+        // Grouped path: collect phase-1 winners per final output and run
+        // the sub-block arbitration over each contender set.
         for (index, winner) in scratch.winners.iter().enumerate() {
             let output = winner.request.output.index();
             if scratch.per_output[output].is_empty() {
@@ -579,55 +993,29 @@ impl Fabric for HiRiseSwitch {
             scratch.per_output[output].push(index);
         }
 
-        for &output in &scratch.touched_outputs {
-            if self.output_owner[output].is_some() {
-                continue; // output mid-transfer: contenders lose silently
+        for touched in 0..scratch.touched_outputs.len() {
+            let output = scratch.touched_outputs[touched];
+            if self.owned[output / 64] >> (output % 64) & 1 == 1 {
+                // Output mid-transfer: contenders lose silently. The
+                // group is still drained (`per_output` is
+                // clear-on-consume).
+                scratch.per_output[output].clear();
+                continue;
             }
             scratch.contenders.clear();
             for &index in &scratch.per_output[output] {
-                let w = &scratch.winners[index];
-                let slot = match w.resource {
-                    PathResource::Intermediate => self.local_subblock_slot(),
-                    PathResource::Channel { src, dst, k } => {
-                        self.subblock_slot(LayerId::new(src), ChannelId::new(k), LayerId::new(dst))
-                    }
-                };
-                scratch.contenders.push(Contender {
-                    slot,
-                    input: w.request.input,
-                    weight: w.weight,
-                });
+                scratch
+                    .contenders
+                    .push(self.contender_of(&scratch.winners[index]));
             }
-            let winner_pos = self.subblocks[output]
-                .arbitrate(&scratch.contenders)
-                .expect("non-empty contender set");
+            let winner_pos = match self.kernel {
+                KernelSel::Scalar => self.subblocks[output].arbitrate(&scratch.contenders),
+                _ => self.subblocks[output].arbitrate_word(&scratch.contenders),
+            }
+            .expect("non-empty contender set");
             let winner = scratch.winners[scratch.per_output[output][winner_pos]];
-
-            // Commit: back-propagate the local priority update, seize the
-            // path resources, and record the connection.
-            self.locals[winner.layer].update(winner.column, winner.request.local_input);
-            match winner.resource {
-                PathResource::Channel { src, dst, k } => {
-                    self.channels.acquire(src, dst, k, winner.request.input);
-                    let compressed_dst = if dst < src { dst } else { dst - 1 };
-                    let c = self.cfg.channel_multiplicity();
-                    let l = self.cfg.layers();
-                    self.channel_grants[(src * (l - 1) + compressed_dst) * c + k] += 1;
-                }
-                PathResource::Intermediate => {
-                    self.local_grants[winner.layer] += 1;
-                }
-            }
-            let input = winner.request.input;
-            self.connections[input.index()] = Some(Path {
-                output: OutputId::new(output),
-                resource: winner.resource,
-            });
-            self.output_owner[output] = Some(input);
-            grants.push(Grant {
-                input,
-                output: OutputId::new(output),
-            });
+            scratch.per_output[output].clear();
+            self.commit_winner(&winner, output, grants);
         }
         self.scratch = scratch;
     }
@@ -638,7 +1026,10 @@ impl Fabric for HiRiseSwitch {
             "input {input} out of range"
         );
         if let Some(path) = self.connections[input.index()].take() {
-            self.output_owner[path.output.index()] = None;
+            self.connected[input.index() / 64] &= !(1u64 << (input.index() % 64));
+            let out = path.output.index();
+            self.output_owner[out] = None;
+            self.owned[out / 64] &= !(1u64 << (out % 64));
             if let PathResource::Channel { src, dst, k } = path.resource {
                 self.channels.release(src, dst, k);
             }
@@ -1123,6 +1514,125 @@ mod tests {
         let grants = sw.arbitrate(&[req(0, 60), req(4, 61), req(8, 62), req(12, 63)]);
         assert_eq!(grants.len(), 3);
         assert!(!sw.channel_busy(LayerId::new(0), LayerId::new(3), ChannelId::new(0)));
+    }
+
+    /// The word kernel must twin the scalar kernel bit-for-bit: same
+    /// grant sequences under random traffic across every scheme and
+    /// channel-allocation policy, with connections held and released at
+    /// random so channel-busy and pool serialization paths all fire.
+    #[test]
+    fn word_kernel_twins_scalar_kernel() {
+        use crate::kernel::ArbiterKernel;
+        for scheme in [
+            ArbitrationScheme::LayerToLayerLrg,
+            ArbitrationScheme::WeightedLrg,
+            ArbitrationScheme::class_based(),
+        ] {
+            for allocation in [
+                ChannelAllocation::InputBinned,
+                ChannelAllocation::OutputBinned,
+                ChannelAllocation::PriorityBased,
+            ] {
+                let cfg = HiRiseConfig::builder(64, 4)
+                    .channel_multiplicity(4)
+                    .scheme(scheme)
+                    .allocation(allocation)
+                    .build()
+                    .unwrap();
+                let mut scalar = HiRiseSwitch::with_kernel(&cfg, ArbiterKernel::Scalar);
+                let mut word = HiRiseSwitch::with_kernel(&cfg, ArbiterKernel::Word);
+                assert_eq!(scalar.kernel(), ArbiterKernel::Scalar);
+                assert_eq!(word.kernel(), ArbiterKernel::Word);
+                let mut state = 0xFEED_5EEDu64;
+                let mut next = move || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as usize
+                };
+                for cycle in 0..1500 {
+                    let mut requests = Vec::new();
+                    for i in 0..64 {
+                        if next() % 3 != 0 {
+                            requests
+                                .push(Request::new(InputId::new(i), OutputId::new(next() % 64)));
+                        }
+                    }
+                    let a = scalar.arbitrate(&requests);
+                    let b = word.arbitrate(&requests);
+                    assert_eq!(
+                        a,
+                        b,
+                        "{} / {allocation:?} diverged at cycle {cycle}",
+                        scheme.label()
+                    );
+                    for grant in a {
+                        if next() % 3 == 0 {
+                            scalar.release(grant.input);
+                            word.release(grant.input);
+                        }
+                    }
+                }
+                assert_eq!(
+                    scalar.inter_layer_fraction(),
+                    word.inter_layer_fraction(),
+                    "grant counters must match too"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernel_matches_scalar_under_faults() {
+        use crate::fault::{Fault, FaultSite};
+        use crate::kernel::ArbiterKernel;
+        let cfg = HiRiseConfig::paper_optimal();
+        let mut scalar = HiRiseSwitch::with_kernel(&cfg, ArbiterKernel::Scalar);
+        let mut word = HiRiseSwitch::with_kernel(&cfg, ArbiterKernel::Word);
+        for sw in [&mut scalar, &mut word] {
+            sw.inject_fault(Fault::dead(FaultSite::TsvBundle { index: 2 * 4 }))
+                .unwrap();
+            sw.inject_fault(Fault::dead(FaultSite::Port { input: 7 }))
+                .unwrap();
+            sw.inject_fault(Fault::dead(FaultSite::Crosspoint {
+                input: 1,
+                output: 63,
+            }))
+            .unwrap();
+        }
+        let mut state = 0xC0FF_EE00u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for cycle in 0..1000 {
+            let mut requests = Vec::new();
+            for i in 0..64 {
+                if next() % 2 == 0 {
+                    requests.push(Request::new(InputId::new(i), OutputId::new(next() % 64)));
+                }
+            }
+            let a = scalar.arbitrate(&requests);
+            let b = word.arbitrate(&requests);
+            assert_eq!(a, b, "faulted twin diverged at cycle {cycle}");
+            for grant in a {
+                if next() % 3 == 0 {
+                    scalar.release(grant.input);
+                    word.release(grant.input);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_subblock_falls_back_to_scalar() {
+        // 2 layers x 64 channels -> sub-block of 65 slots: the word
+        // kernel cannot carry the slot set in one u64, so the switch
+        // must report (and run) the scalar pipeline.
+        let cfg = HiRiseConfig::builder(256, 2)
+            .channel_multiplicity(64)
+            .build()
+            .unwrap();
+        let sw = HiRiseSwitch::new(&cfg);
+        assert_eq!(sw.kernel(), crate::kernel::ArbiterKernel::Scalar);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fault;
 mod folded;
 pub mod hirise;
 mod ids;
+mod kernel;
 pub mod rng;
 mod switch2d;
 pub mod xpoint;
@@ -72,5 +73,6 @@ pub use fault::{Fault, FaultEvent, FaultKind, FaultLog, FaultSite};
 pub use folded::FoldedSwitch;
 pub use hirise::HiRiseSwitch;
 pub use ids::{ChannelId, InputId, LayerId, OutputId};
+pub use kernel::ArbiterKernel;
 pub use switch2d::Switch2d;
 pub use xpoint::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender};

@@ -171,6 +171,51 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Precomputed Bernoulli trial with the exact decision procedure of
+/// [`Rng::gen_bool`], the per-call clamp and multiply hoisted into
+/// construction.
+///
+/// `gen_bool(p)` compares a 53-bit draw, converted to `f64`, against the
+/// rounded product `p * 2^53`. Every integer in `[0, 2^53)` is exactly
+/// representable as `f64`, so that float comparison equals the integer
+/// comparison `draw < ceil(p * 2^53)` — with the ceiling taken of the
+/// *same* rounded product, the two procedures agree on every draw.
+/// `gen_bool` returns `true` for `p >= 1.0` **without** consuming a
+/// draw; `always` replicates that, so cached and uncached call sites
+/// stay stream-identical.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    threshold: u64,
+    always: bool,
+}
+
+impl Bernoulli {
+    /// Prepares a trial with success probability `p` (clamped to [0, 1]).
+    pub fn new(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return Self {
+                threshold: 0,
+                always: true,
+            };
+        }
+        Self {
+            threshold: (p * (1u64 << 53) as f64).ceil() as u64,
+            always: false,
+        }
+    }
+
+    /// Runs the trial, consuming exactly as many draws as
+    /// [`Rng::gen_bool`] would: one, except none when `p >= 1.0`.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.always {
+            return true;
+        }
+        (rng.next_u64() >> 11) < self.threshold
+    }
+}
+
 /// In-place uniform shuffling, as `rand::seq::SliceRandom::shuffle`.
 pub trait SliceRandom {
     /// Fisher–Yates shuffle driven by `rng`.
@@ -251,6 +296,41 @@ mod tests {
         // Out-of-range probabilities clamp rather than panic.
         assert!(rng.gen_bool(2.0));
         assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn bernoulli_is_stream_identical_to_gen_bool() {
+        // Same decisions AND same draw consumption for every probability
+        // class: interior values, exact dyadics, clamped extremes, and
+        // the draw-free p >= 1.0 early return.
+        let probs = [
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0 / (1u64 << 53) as f64,
+            0.1,
+            0.25,
+            0.3,
+            0.5,
+            0.9999999999999999,
+            1.0 - f64::EPSILON / 2.0,
+            1.0,
+            2.0,
+            -1.0,
+        ];
+        for (i, &p) in probs.iter().enumerate() {
+            let mut plain = StdRng::seed_from_u64(1000 + i as u64);
+            let mut cached = plain.clone();
+            let trial = Bernoulli::new(p);
+            for step in 0..2_000 {
+                assert_eq!(
+                    plain.gen_bool(p),
+                    trial.sample(&mut cached),
+                    "p = {p}, step {step}"
+                );
+            }
+            // Streams stayed in lockstep, so draw counts matched too.
+            assert_eq!(plain.next_u64(), cached.next_u64(), "p = {p}");
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::error::ConfigError;
 use crate::fabric::{Fabric, Grant, Request};
 use crate::fault::{Fault, FaultLog, FaultState, TsvMap};
 use crate::ids::{InputId, OutputId};
+use crate::kernel::{ArbiterKernel, KernelSel};
 
 /// A flat 2D Swizzle-Switch with per-output LRG arbitration and
 /// optional static QoS classes.
@@ -33,33 +34,62 @@ pub struct Switch2d {
     /// Static QoS class per input (0 = highest); `None` disables QoS.
     qos: Option<Vec<u8>>,
     radix: usize,
+    /// Resolved arbitration kernel, fixed at construction.
+    kernel: KernelSel,
     // Scratch reused across arbitration cycles to avoid reallocations.
     requestors: Vec<Vec<usize>>,
     seen: Vec<bool>,
     mask: BitSet,
+    /// Word-kernel scratch: per-output request masks, `W` words each.
+    out_reqs: Vec<u64>,
+    /// Word-kernel scratch: bitmap over outputs with admitted requests.
+    touched: Vec<u64>,
     /// Fault-injection state; `None` until faults are enabled.
     faults: Option<FaultState>,
 }
 
 impl Switch2d {
-    /// Creates a 2D switch of the given radix.
+    /// Creates a 2D switch of the given radix with the default
+    /// (word-parallel) arbitration kernel.
     ///
     /// # Panics
     ///
     /// Panics if `radix` is zero.
     pub fn new(radix: usize) -> Self {
+        Self::with_kernel(radix, ArbiterKernel::default())
+    }
+
+    /// Creates a 2D switch with an explicit arbitration kernel. Both
+    /// kernels grant identically; `Scalar` keeps the original
+    /// per-request pipeline as a differential baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    pub fn with_kernel(radix: usize, kernel: ArbiterKernel) -> Self {
         assert!(radix > 0, "radix must be at least 1");
+        let kernel = KernelSel::resolve(kernel, radix);
+        let words = kernel.words().unwrap_or(0);
         Self {
             arbiters: (0..radix).map(|_| MatrixArbiter::new(radix)).collect(),
             connections: vec![None; radix],
             owners: vec![None; radix],
             qos: None,
             radix,
+            kernel,
             requestors: vec![Vec::new(); radix],
             seen: vec![false; radix],
             mask: BitSet::new(radix),
+            out_reqs: vec![0; radix * words],
+            touched: vec![0; if words > 0 { radix.div_ceil(64) } else { 0 }],
             faults: None,
         }
+    }
+
+    /// The arbitration kernel in effect (accounting for geometry
+    /// fallbacks and the QoS scalar requirement).
+    pub fn kernel(&self) -> ArbiterKernel {
+        self.kernel.effective()
     }
 
     /// Installs fault state with a fabric-specific TSV geometry; the
@@ -85,12 +115,16 @@ impl Switch2d {
     /// ties within a class. Extension beyond the paper, following
     /// Satpathy et al. (DAC 2012).
     ///
+    /// QoS filtering runs on the scalar pipeline, so enabling it pins
+    /// the instance to the scalar kernel.
+    ///
     /// # Panics
     ///
     /// Panics if `classes` does not have one entry per input.
     pub fn with_qos_classes(mut self, classes: &[u8]) -> Self {
         assert_eq!(classes.len(), self.radix, "one class per input required");
         self.qos = Some(classes.to_vec());
+        self.kernel = KernelSel::Scalar;
         self
     }
 
@@ -110,24 +144,42 @@ impl Switch2d {
     pub fn owner(&self, output: OutputId) -> Option<InputId> {
         self.owners[output.index()]
     }
-}
 
-impl Fabric for Switch2d {
-    fn radix(&self) -> usize {
-        self.radix
-    }
-
-    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
-        let mut grants = Vec::new();
-        self.arbitrate_into(requests, &mut grants);
-        grants
-    }
-
-    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
-        grants.clear();
-        if let Some(faults) = &mut self.faults {
-            faults.advance();
+    /// Shared admission filter: duplicate, busy-input, and faulted
+    /// requests are dropped; requests to busy outputs lose silently.
+    /// Returns `true` when the request should compete for its output.
+    #[inline]
+    fn admit(&mut self, input: usize, output: usize) -> bool {
+        assert!(input < self.radix, "input {input} out of range");
+        assert!(output < self.radix, "output {output} out of range");
+        if self.seen[input] || self.connections[input].is_some() {
+            return false; // duplicate or already transferring
         }
+        if let Some(faults) = &self.faults {
+            if faults.input_down(input) || faults.xpoint_down(input, output) {
+                return false; // masked out: the request loses silently
+            }
+        }
+        self.seen[input] = true;
+        // Output busy: request simply loses this cycle.
+        self.owners[output].is_none()
+    }
+
+    /// Commits `winner` on `output`: LRG update, connection bookkeeping,
+    /// and the grant record. Identical for both kernels.
+    #[inline]
+    fn commit(&mut self, winner: usize, output: usize, grants: &mut Vec<Grant>) {
+        self.arbiters[output].update(winner);
+        self.connections[winner] = Some(OutputId::new(output));
+        self.owners[output] = Some(InputId::new(winner));
+        grants.push(Grant {
+            input: InputId::new(winner),
+            output: OutputId::new(output),
+        });
+    }
+
+    /// The original per-request scalar pipeline (also the QoS path).
+    fn arbitrate_scalar(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
         for list in &mut self.requestors {
             list.clear();
         }
@@ -135,21 +187,9 @@ impl Fabric for Switch2d {
         for request in requests {
             let input = request.input.index();
             let output = request.output.index();
-            assert!(input < self.radix, "input {input} out of range");
-            assert!(output < self.radix, "output {output} out of range");
-            if self.seen[input] || self.connections[input].is_some() {
-                continue; // duplicate or already transferring
+            if self.admit(input, output) {
+                self.requestors[output].push(input);
             }
-            if let Some(faults) = &self.faults {
-                if faults.input_down(input) || faults.xpoint_down(input, output) {
-                    continue; // masked out: the request loses silently
-                }
-            }
-            self.seen[input] = true;
-            if self.owners[output].is_some() {
-                continue; // output busy: request simply loses this cycle
-            }
-            self.requestors[output].push(input);
         }
 
         for output in 0..self.radix {
@@ -182,13 +222,66 @@ impl Fabric for Switch2d {
             let winner = self.arbiters[output]
                 .grant_mask(&self.mask)
                 .expect("non-empty request set always has an LRG winner");
-            self.arbiters[output].update(winner);
-            self.connections[winner] = Some(OutputId::new(output));
-            self.owners[output] = Some(InputId::new(winner));
-            grants.push(Grant {
-                input: InputId::new(winner),
-                output: OutputId::new(output),
-            });
+            self.commit(winner, output, grants);
+        }
+    }
+
+    /// The word-parallel pipeline: requests bin into per-output `u64`
+    /// masks, a bitmap tracks the touched outputs, and each touched
+    /// output grants straight from its mask words. Outputs are visited
+    /// in ascending order, exactly like the scalar loop, so the grant
+    /// sequence (and therefore all LRG state evolution) is identical.
+    fn arbitrate_words<const W: usize>(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        self.seen.fill(false);
+        for request in requests {
+            let input = request.input.index();
+            let output = request.output.index();
+            if self.admit(input, output) {
+                self.out_reqs[output * W + input / 64] |= 1u64 << (input % 64);
+                self.touched[output / 64] |= 1u64 << (output % 64);
+            }
+        }
+
+        for touched_word in 0..self.touched.len() {
+            let mut bits = self.touched[touched_word];
+            self.touched[touched_word] = 0;
+            while bits != 0 {
+                let output = touched_word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = output * W;
+                let mask_words = &mut self.out_reqs[base..base + W];
+                let mask: [u64; W] = (&*mask_words).try_into().expect("exact W-word slice");
+                mask_words.fill(0);
+                let winner = self.arbiters[output]
+                    .grant_words::<W>(&mask)
+                    .expect("non-empty request set always has an LRG winner");
+                self.commit(winner, output, grants);
+            }
+        }
+    }
+}
+
+impl Fabric for Switch2d {
+    fn radix(&self) -> usize {
+        self.radix
+    }
+
+    fn arbitrate(&mut self, requests: &[Request]) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        self.arbitrate_into(requests, &mut grants);
+        grants
+    }
+
+    fn arbitrate_into(&mut self, requests: &[Request], grants: &mut Vec<Grant>) {
+        grants.clear();
+        if let Some(faults) = &mut self.faults {
+            faults.advance();
+        }
+        match self.kernel {
+            KernelSel::Scalar => self.arbitrate_scalar(requests, grants),
+            KernelSel::Word1 => self.arbitrate_words::<1>(requests, grants),
+            KernelSel::Word2 => self.arbitrate_words::<2>(requests, grants),
+            KernelSel::Word4 => self.arbitrate_words::<4>(requests, grants),
         }
     }
 
@@ -397,6 +490,45 @@ mod tests {
             sw.inject_fault(Fault::dead(site)),
             Err(ConfigError::FaultSiteOutOfRange { site })
         );
+    }
+
+    /// Scalar and word kernels must evolve identically: randomized
+    /// request/release streams at several radices, grant vectors
+    /// compared every cycle.
+    #[test]
+    fn word_kernel_twins_scalar_kernel() {
+        use crate::rng::{Rng, SeedableRng, StdRng};
+
+        for radix in [16usize, 32, 64] {
+            let mut word = Switch2d::with_kernel(radix, ArbiterKernel::Word);
+            let mut scalar = Switch2d::with_kernel(radix, ArbiterKernel::Scalar);
+            assert_eq!(word.kernel(), ArbiterKernel::Word);
+            assert_eq!(scalar.kernel(), ArbiterKernel::Scalar);
+            let mut rng = StdRng::seed_from_u64(0x2D2D_0000 + radix as u64);
+            let mut requests = Vec::new();
+            let mut held = vec![false; radix];
+            for cycle in 0..2_000 {
+                for (input, holding) in held.iter_mut().enumerate() {
+                    if *holding && rng.gen_bool(0.3) {
+                        word.release(InputId::new(input));
+                        scalar.release(InputId::new(input));
+                        *holding = false;
+                    }
+                }
+                requests.clear();
+                for input in 0..radix {
+                    if rng.gen_bool(0.3) {
+                        requests.push(req(input, rng.gen_range(0..radix)));
+                    }
+                }
+                let a = word.arbitrate(&requests);
+                let b = scalar.arbitrate(&requests);
+                assert_eq!(a, b, "radix {radix} cycle {cycle}");
+                for grant in &a {
+                    held[grant.input.index()] = true;
+                }
+            }
+        }
     }
 
     #[test]

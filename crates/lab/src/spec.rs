@@ -20,7 +20,7 @@ use hirise_sim::traffic::{
     BitComplement, Bursty, Hotspot, InterLayerOnly, NeighborShift, RandomPermutation, Tornado,
     TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
 };
-use hirise_sim::{NetworkSim, SimConfig};
+use hirise_sim::{LaneBatch, NetworkSim, SimConfig, SimReport};
 use std::fmt::Write as _;
 
 /// The default base seed, matching [`SimConfig::new`]'s default so
@@ -907,6 +907,90 @@ impl CampaignSpec {
         fnv1a64(self.canonical_json().as_bytes())
     }
 
+    /// Builds the single-switch simulator for one job: fabric with the
+    /// job's fault plan applied, traffic pattern, and the job-seeded
+    /// configuration.
+    fn single_switch_sim(&self, job: &Job) -> NetworkSim<Box<dyn Fabric>, Box<dyn TrafficPattern>> {
+        let radix = job.fabric.radix();
+        let cfg = self.sim.to_sim_config(radix, job.load, job.seed);
+        let mut fabric = job.fabric.build();
+        job.fault.apply(&mut fabric, job.seed);
+        NetworkSim::new(fabric, job.pattern.build(radix), cfg)
+    }
+
+    /// Assembles a job's result record from its finished simulator and
+    /// report. Shared by the solo and batched execution paths, which
+    /// therefore cannot disagree on what a result contains.
+    fn single_switch_result(
+        job: &Job,
+        sim: &NetworkSim<Box<dyn Fabric>, Box<dyn TrafficPattern>>,
+        report: &SimReport,
+    ) -> JobResult {
+        let fault_events = sim.fault_event_count();
+        let (violations, messages) = match sim.checker() {
+            Some(checker) => (
+                checker.violation_count(),
+                checker
+                    .violations()
+                    .iter()
+                    .take(3)
+                    .map(|v| match v.cycle {
+                        Some(c) => format!("cycle {c}: {}", v.message),
+                        None => v.message.clone(),
+                    })
+                    .collect(),
+            ),
+            None => (0, Vec::new()),
+        };
+        JobResult {
+            index: job.index,
+            fabric: job.fabric.label(),
+            pattern: job.pattern.label(),
+            load: job.load,
+            fault: job.fault.label(),
+            replicate: job.replicate,
+            seed: job.seed,
+            metrics: Metrics {
+                accepted_rate: report.accepted_rate(),
+                avg_latency_cycles: report.avg_latency_cycles(),
+                p50: report.latency_percentile_cycles(50.0),
+                p95: report.latency_percentile_cycles(95.0),
+                p99: report.latency_percentile_cycles(99.0),
+                max_latency_cycles: report.max_latency_cycles(),
+                injected: report.injected_measured(),
+                completed: report.completed_measured(),
+                stable: report.is_stable(),
+                avg_hops: None,
+            },
+            violations,
+            violation_messages: messages,
+            fault_events,
+            per_input_accepted: Some(report.per_input_accepted().to_vec()),
+            histogram: report.latency_histogram().clone(),
+        }
+    }
+
+    /// Runs a group of jobs as interleaved lanes of one
+    /// [`LaneBatch`] — the runner hands replicate siblings here so a
+    /// sweep's replicates amortise arbitration warm-up instead of each
+    /// re-warming the caches. Every lane is an independent simulator
+    /// under the solo run policy, so `results[k]` is identical to
+    /// `run_job(&jobs[k])` (the differential suite pins this batching
+    /// invariance). Non-single-switch topologies fall back to solo
+    /// runs.
+    pub fn run_job_batch(&self, jobs: &[Job]) -> Vec<JobResult> {
+        if jobs.len() < 2 || !matches!(self.topology, Topology::SingleSwitch) {
+            return jobs.iter().map(|job| self.run_job(job)).collect();
+        }
+        let lanes = jobs.iter().map(|job| self.single_switch_sim(job)).collect();
+        let mut batch = LaneBatch::new(lanes);
+        let reports = batch.run();
+        jobs.iter()
+            .zip(batch.lanes().iter().zip(&reports))
+            .map(|(job, (sim, report))| Self::single_switch_result(job, sim, report))
+            .collect()
+    }
+
     /// Runs one job to completion, producing its result record. This
     /// is the only place a job touches a simulator; everything it reads
     /// is in the job and the spec, so calls are independent and can run
@@ -914,54 +998,9 @@ impl CampaignSpec {
     pub fn run_job(&self, job: &Job) -> JobResult {
         match &self.topology {
             Topology::SingleSwitch => {
-                let radix = job.fabric.radix();
-                let cfg = self.sim.to_sim_config(radix, job.load, job.seed);
-                let mut fabric = job.fabric.build();
-                job.fault.apply(&mut fabric, job.seed);
-                let mut sim = NetworkSim::new(fabric, job.pattern.build(radix), cfg);
+                let mut sim = self.single_switch_sim(job);
                 let report = sim.run();
-                let fault_events = sim.fault_event_count();
-                let (violations, messages) = match sim.checker() {
-                    Some(checker) => (
-                        checker.violation_count(),
-                        checker
-                            .violations()
-                            .iter()
-                            .take(3)
-                            .map(|v| match v.cycle {
-                                Some(c) => format!("cycle {c}: {}", v.message),
-                                None => v.message.clone(),
-                            })
-                            .collect(),
-                    ),
-                    None => (0, Vec::new()),
-                };
-                JobResult {
-                    index: job.index,
-                    fabric: job.fabric.label(),
-                    pattern: job.pattern.label(),
-                    load: job.load,
-                    fault: job.fault.label(),
-                    replicate: job.replicate,
-                    seed: job.seed,
-                    metrics: Metrics {
-                        accepted_rate: report.accepted_rate(),
-                        avg_latency_cycles: report.avg_latency_cycles(),
-                        p50: report.latency_percentile_cycles(50.0),
-                        p95: report.latency_percentile_cycles(95.0),
-                        p99: report.latency_percentile_cycles(99.0),
-                        max_latency_cycles: report.max_latency_cycles(),
-                        injected: report.injected_measured(),
-                        completed: report.completed_measured(),
-                        stable: report.is_stable(),
-                        avg_hops: None,
-                    },
-                    violations,
-                    violation_messages: messages,
-                    fault_events,
-                    per_input_accepted: Some(report.per_input_accepted().to_vec()),
-                    histogram: report.latency_histogram().clone(),
-                }
+                Self::single_switch_result(job, &sim, &report)
             }
             Topology::Mesh {
                 cols,

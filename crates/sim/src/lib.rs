@@ -19,7 +19,9 @@
 //! ([`mesh_sim`], realising the paper's Fig. 13 topology; [`mesh`]
 //! holds the matching graph-level analysis). Load sweeps and the
 //! saturation search live in the `hirise-lab` experiment-campaign crate,
-//! which drives this simulator in parallel across configurations.
+//! which drives this simulator in parallel across configurations;
+//! replicate sweeps run as interleaved lanes of one [`LaneBatch`], each
+//! lane byte-identical to a solo run at the same seed.
 //!
 //! Correctness is audited two ways: [`diff`] co-simulates every fabric
 //! against an ideal golden-model crossbar ([`RefSwitch`]) under
@@ -72,5 +74,5 @@ pub use diff::{
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use packet::Packet;
 pub use port::InputPort;
-pub use sim::{NetworkSim, SimConfig};
+pub use sim::{LaneBatch, NetworkSim, SimConfig};
 pub use stats::{LatencyHistogram, SimReport};

@@ -8,13 +8,20 @@
 //! switch each cycle (giving blocked packets head-of-line relief).
 
 use crate::packet::Packet;
+use hirise_core::OutputId;
 use std::collections::VecDeque;
 
 /// One input port of the simulated network.
+///
+/// VC occupancy is mirrored in a bitmask so the per-cycle hot paths
+/// (fill, candidate selection, idle checks) test and scan single words
+/// instead of walking `Option<Packet>` slots (40 bytes each).
 #[derive(Clone, Debug)]
 pub struct InputPort {
     source_queue: VecDeque<Packet>,
     vcs: Vec<Option<Packet>>,
+    /// Bit `v` set iff `vcs[v]` holds a packet.
+    occupied: u64,
     /// VC currently transferring through the switch, if any.
     active_vc: Option<usize>,
     /// Rotating pointer for VC selection.
@@ -26,12 +33,14 @@ impl InputPort {
     ///
     /// # Panics
     ///
-    /// Panics if `vcs` is zero.
+    /// Panics if `vcs` is zero or exceeds 64 (the occupancy mask width).
     pub fn new(vcs: usize) -> Self {
         assert!(vcs > 0, "a port needs at least one virtual channel");
+        assert!(vcs <= 64, "at most 64 virtual channels per port");
         Self {
             source_queue: VecDeque::new(),
             vcs: vec![None; vcs],
+            occupied: 0,
             active_vc: None,
             next_vc: 0,
         }
@@ -47,9 +56,38 @@ impl InputPort {
         if self.source_queue.is_empty() {
             return;
         }
-        if let Some(free) = self.vcs.iter().position(Option::is_none) {
-            self.vcs[free] = self.source_queue.pop_front();
+        let all = if self.vcs.len() == 64 {
+            !0
+        } else {
+            (1u64 << self.vcs.len()) - 1
+        };
+        let free = !self.occupied & all;
+        if free != 0 {
+            let vc = free.trailing_zeros() as usize;
+            self.vcs[vc] = self.source_queue.pop_front();
+            self.occupied |= 1 << vc;
         }
+    }
+
+    /// Picks the VC that will request the switch this cycle: the first
+    /// occupied VC at or after the rotating pointer (wrapping), skipping
+    /// a port that is mid-transfer. Marks the choice tentative.
+    fn select_vc(&mut self) -> Option<usize> {
+        if self.active_vc.is_some() || self.occupied == 0 {
+            return None; // port busy transferring, or nothing buffered
+        }
+        let at_or_after = self.occupied & (!0u64 << self.next_vc);
+        let vc = if at_or_after != 0 {
+            at_or_after.trailing_zeros()
+        } else {
+            self.occupied.trailing_zeros()
+        } as usize;
+        // `vc < vcs.len()`, so the wrap is a compare rather than the
+        // hardware division `%` would emit for a runtime modulus — this
+        // runs for every buffered port every cycle.
+        self.next_vc = if vc + 1 == self.vcs.len() { 0 } else { vc + 1 };
+        self.active_vc = Some(vc); // tentative; confirmed on grant
+        Some(vc)
     }
 
     /// Selects the VC that will request the switch this cycle, skipping
@@ -58,19 +96,32 @@ impl InputPort {
     /// Rotates the selection pointer so a persistently blocked packet
     /// does not monopolise the port's request slot.
     pub fn select_candidate(&mut self) -> Option<Packet> {
-        if self.active_vc.is_some() {
-            return None; // port busy transferring
-        }
-        let n = self.vcs.len();
-        for offset in 0..n {
-            let vc = (self.next_vc + offset) % n;
-            if let Some(packet) = self.vcs[vc] {
-                self.next_vc = (vc + 1) % n;
-                self.active_vc = Some(vc); // tentative; confirmed on grant
-                return Some(packet);
-            }
-        }
-        None
+        let vc = self.select_vc()?;
+        Some(self.vcs[vc].expect("occupied VC holds a packet"))
+    }
+
+    /// As [`select_candidate`](Self::select_candidate), but returning
+    /// only the destination — the simulator hot path, which defers the
+    /// full packet copy to [`active_packet`](Self::active_packet) so
+    /// losing candidates never cost one.
+    pub fn select_candidate_dst(&mut self) -> Option<OutputId> {
+        let vc = self.select_vc()?;
+        Some(
+            self.vcs[vc]
+                .as_ref()
+                .expect("occupied VC holds a packet")
+                .dst,
+        )
+    }
+
+    /// The packet in the currently selected (or transferring) VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate was selected this cycle.
+    pub fn active_packet(&self) -> Packet {
+        let vc = self.active_vc.expect("no active candidate");
+        self.vcs[vc].expect("active VC holds a packet")
     }
 
     /// Confirms that the candidate VC won arbitration and is now
@@ -96,6 +147,7 @@ impl InputPort {
     /// Panics if no transfer is active.
     pub fn complete_transfer(&mut self) -> Packet {
         let vc = self.active_vc.take().expect("no active transfer");
+        self.occupied &= !(1u64 << vc);
         self.vcs[vc].take().expect("active VC holds a packet")
     }
 
@@ -118,7 +170,7 @@ impl InputPort {
 
     /// Packets currently buffered in VCs.
     pub fn buffered(&self) -> usize {
-        self.vcs.iter().filter(|v| v.is_some()).count()
+        self.occupied.count_ones() as usize
     }
 
     /// Total packets held by this port (source queue + VCs) — what a
@@ -129,7 +181,7 @@ impl InputPort {
 
     /// Whether the port holds no packets at all.
     pub fn is_idle(&self) -> bool {
-        self.source_queue.is_empty() && self.buffered() == 0
+        self.source_queue.is_empty() && self.occupied == 0
     }
 }
 

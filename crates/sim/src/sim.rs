@@ -153,17 +153,6 @@ impl SimConfig {
     }
 }
 
-/// An in-flight transfer through the switch.
-#[derive(Clone, Copy, Debug)]
-struct Transfer {
-    packet: Packet,
-    /// Flit beats remaining; when it reaches zero the packet has left
-    /// and the connection releases on the *next* cycle (the output bus
-    /// doubles as the arbitration priority bus, so the release beat and
-    /// a new arbitration cannot share a cycle).
-    flits_remaining: usize,
-}
-
 /// A cycle-accurate simulation of one switch fabric under one traffic
 /// pattern.
 #[derive(Debug)]
@@ -173,13 +162,26 @@ pub struct NetworkSim<F, T> {
     cfg: SimConfig,
     rng: StdRng,
     ports: Vec<InputPort>,
-    transfers: Vec<Option<Transfer>>,
+    /// Flit beats remaining per in-flight transfer. The packet itself
+    /// stays in its VC (the port's active VC) until completion, so no
+    /// copy is held here. When the count reaches zero the packet has
+    /// left and the connection releases on the *next* cycle (the output
+    /// bus doubles as the arbitration priority bus, so the release beat
+    /// and a new arbitration cannot share a cycle).
+    flits_remaining: Vec<u32>,
+    /// Bitmap over inputs: bit set iff a transfer (or its trailing
+    /// release beat) is in flight, so idle inputs cost one word scan.
+    active_transfers: Vec<u64>,
+    /// Bitmap over inputs: bit set iff the port holds any packet
+    /// (source queue or VC). Set on injection, cleared when a
+    /// completion drains the port, letting the fill/select pass skip
+    /// idle ports without touching their memory.
+    port_occupied: Vec<u64>,
     in_flight: Vec<usize>,
     now: u64,
     next_packet_id: u64,
     checker: Option<InvariantChecker>,
     // Per-cycle scratch, reused to avoid churn.
-    candidates: Vec<Packet>,
     requests: Vec<Request>,
     busy_out: Vec<bool>,
     grants: Vec<Grant>,
@@ -208,7 +210,9 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
             pattern,
             rng,
             ports: (0..radix).map(|_| InputPort::new(cfg.vcs)).collect(),
-            transfers: vec![None; radix],
+            flits_remaining: vec![0; radix],
+            active_transfers: vec![0; radix.div_ceil(64)],
+            port_occupied: vec![0; radix.div_ceil(64)],
             in_flight: vec![0; radix],
             now: 0,
             next_packet_id: 0,
@@ -219,7 +223,6 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                     InvariantChecker::new()
                 }
             }),
-            candidates: Vec::with_capacity(radix),
             requests: Vec::with_capacity(radix),
             busy_out: vec![false; radix],
             grants: Vec::with_capacity(radix),
@@ -316,29 +319,38 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
     fn step(&mut self, report: &mut SimReport) {
         let in_window = self.in_measure_window();
 
-        // (a) Progress in-flight transfers; complete and release.
-        for input in 0..self.cfg.radix {
-            if let Some(transfer) = &mut self.transfers[input] {
-                if transfer.flits_remaining > 0 {
-                    transfer.flits_remaining -= 1;
-                    if transfer.flits_remaining == 0 {
-                        let packet = transfer.packet;
+        // (a) Progress in-flight transfers; complete and release. Only
+        // inputs with a set bit in the active-transfer bitmap are
+        // visited — idle inputs cost one word scan per 64.
+        for word_idx in 0..self.active_transfers.len() {
+            let mut word = self.active_transfers[word_idx];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let input = word_idx * 64 + bit;
+                let rem = &mut self.flits_remaining[input];
+                if *rem > 0 {
+                    *rem -= 1;
+                    if *rem == 0 {
+                        let vc = self.ports[input]
+                            .active_vc()
+                            .expect("completing port has an active VC");
+                        let packet = self.ports[input].complete_transfer();
                         let latency = packet.latency(self.now);
                         report.record_completion(input, latency, in_window, packet.measured);
                         self.in_flight[input] -= 1;
                         if let Some(checker) = &mut self.checker {
-                            let vc = self.ports[input]
-                                .active_vc()
-                                .expect("completing port has an active VC");
                             checker.on_delivery(input, vc, &packet);
                         }
-                        self.ports[input].complete_transfer();
+                        if self.ports[input].is_idle() {
+                            self.port_occupied[word_idx] &= !(1u64 << bit);
+                        }
                     }
                 } else {
                     // Release beat: the output bus becomes available for
                     // arbitration this cycle.
                     self.fabric.release(InputId::new(input));
-                    self.transfers[input] = None;
+                    self.active_transfers[word_idx] &= !(1u64 << bit);
                 }
             }
         }
@@ -371,25 +383,32 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                     checker.on_injection(&packet);
                 }
                 self.ports[input].inject(packet);
+                self.port_occupied[input / 64] |= 1u64 << (input % 64);
             }
         }
 
-        // (c) Move packets into free VCs.
-        for port in &mut self.ports {
-            port.fill_vcs();
-        }
-
-        // (d) Collect one candidate per idle port and arbitrate.
-        self.candidates.clear();
+        // (c)+(d) Move packets into free VCs and collect one candidate
+        // per idle port, in a single pass over the occupied ports (the
+        // two phases only interact within a port, so interleaving
+        // across ports is equivalent; skipped ports hold no packet, for
+        // which both phases are no-ops). Only the destination is read
+        // here; the winning packets stay in their VCs, so losing
+        // candidates never cost a packet copy.
         self.requests.clear();
-        for input in 0..self.cfg.radix {
-            if self.transfers[input].is_some() {
-                continue;
-            }
-            if let Some(packet) = self.ports[input].select_candidate() {
-                self.candidates.push(packet);
-                self.requests
-                    .push(Request::new(InputId::new(input), packet.dst));
+        for word_idx in 0..self.port_occupied.len() {
+            let mut word = self.port_occupied[word_idx];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let input = word_idx * 64 + bit;
+                let port = &mut self.ports[input];
+                port.fill_vcs();
+                if self.active_transfers[word_idx] >> bit & 1 == 1 {
+                    continue;
+                }
+                if let Some(dst) = port.select_candidate_dst() {
+                    self.requests.push(Request::new(InputId::new(input), dst));
+                }
             }
         }
         if self.checker.is_some() {
@@ -406,14 +425,12 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
         for grant in &self.grants {
             self.granted[grant.input.index()] = true;
         }
-        for packet in &self.candidates {
-            let input = packet.src.index();
+        for i in 0..self.requests.len() {
+            let input = self.requests[i].input.index();
             if self.granted[input] {
                 self.ports[input].confirm_grant();
-                self.transfers[input] = Some(Transfer {
-                    packet: *packet,
-                    flits_remaining: self.cfg.packet_len_flits,
-                });
+                self.flits_remaining[input] = self.cfg.packet_len_flits as u32;
+                self.active_transfers[input / 64] |= 1u64 << (input % 64);
             } else {
                 self.ports[input].revoke_candidate();
             }
@@ -424,6 +441,125 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
         }
 
         self.now += 1;
+    }
+}
+
+/// Where a lane stands in the warmup→measure→drain run policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LanePhase {
+    /// Inside warmup + measurement; counts down the remaining cycles.
+    Window { remaining: u64 },
+    /// Waiting for measured packets to complete; counts drained cycles.
+    Drain { drained: u64 },
+    /// Run policy finished; the lane no longer steps.
+    Done,
+}
+
+/// A batch of independent simulations stepped in lockstep, one cycle
+/// across every live lane before the next cycle starts.
+///
+/// Campaign replicates are embarrassingly parallel but individually
+/// serial; running N of them as interleaved lanes on one thread keeps
+/// the arbitration code and its branch predictor state hot across
+/// lanes instead of re-warming per replicate, and gives a work-stealing
+/// runner a coarser unit to steal. Each lane owns its fabric, RNG and
+/// report, and the per-lane run policy replicates [`NetworkSim::run`]
+/// exactly — warmup + measurement, then draining until every measured
+/// packet completes or the drain cap is hit — so lane `k` of an N-lane
+/// batch produces a report byte-identical to a solo
+/// [`NetworkSim::run`] of the same simulation (the differential suite
+/// pins this).
+#[derive(Debug)]
+pub struct LaneBatch<F, T> {
+    lanes: Vec<NetworkSim<F, T>>,
+}
+
+impl<F: Fabric, T: TrafficPattern> LaneBatch<F, T> {
+    /// Creates a batch over independently configured simulations. The
+    /// lanes need not agree on radix, seed or cycle counts; a lane
+    /// whose policy finishes early simply stops stepping.
+    pub fn new(lanes: Vec<NetworkSim<F, T>>) -> Self {
+        Self { lanes }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Read access to the lanes, e.g. for checker or fault-log state
+    /// after [`run`](Self::run).
+    pub fn lanes(&self) -> &[NetworkSim<F, T>] {
+        &self.lanes
+    }
+
+    /// Consumes the batch, returning the lanes.
+    pub fn into_lanes(self) -> Vec<NetworkSim<F, T>> {
+        self.lanes
+    }
+
+    /// Runs every lane to completion under [`NetworkSim::run`]'s
+    /// policy, stepping all live lanes one cycle at a time, and returns
+    /// the reports in lane order.
+    pub fn run(&mut self) -> Vec<SimReport> {
+        let mut reports: Vec<SimReport> = self.lanes.iter().map(NetworkSim::report).collect();
+        let mut phases: Vec<LanePhase> = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let window = lane.cfg.warmup + lane.cfg.measure;
+                if window > 0 {
+                    LanePhase::Window { remaining: window }
+                } else {
+                    LanePhase::Drain { drained: 0 }
+                }
+            })
+            .collect();
+        loop {
+            let mut live = false;
+            for (i, lane) in self.lanes.iter_mut().enumerate() {
+                // One policy decision + at most one step per lane per
+                // iteration, in the same order NetworkSim::run makes
+                // them, so each lane's cycle-by-cycle history matches a
+                // solo run exactly.
+                match phases[i] {
+                    LanePhase::Window { remaining } => {
+                        lane.step(&mut reports[i]);
+                        phases[i] = if remaining > 1 {
+                            LanePhase::Window {
+                                remaining: remaining - 1,
+                            }
+                        } else {
+                            LanePhase::Drain { drained: 0 }
+                        };
+                        live = true;
+                    }
+                    LanePhase::Drain { drained } => {
+                        let report = &mut reports[i];
+                        if report.completed_measured() < report.injected_measured()
+                            && drained < lane.cfg.drain
+                        {
+                            lane.step(report);
+                            phases[i] = LanePhase::Drain {
+                                drained: drained + 1,
+                            };
+                            live = true;
+                        } else {
+                            phases[i] = LanePhase::Done;
+                        }
+                    }
+                    LanePhase::Done => {}
+                }
+            }
+            if !live {
+                return reports;
+            }
+        }
     }
 }
 

@@ -128,7 +128,14 @@ impl LatencyHistogram {
     /// The `p`-th percentile (`p` in `[0, 100]`) of the recorded stream.
     /// Values in the exact range are returned exactly; above it the
     /// bucket's inclusive upper bound is returned (clamped to the
-    /// observed maximum), so tail percentiles never under-report.
+    /// observed maximum), so tail percentiles never under-report. Rank
+    /// 0 — which `p = 0` always maps to — returns the observed minimum
+    /// exactly, not its bucket's upper bound: the min is tracked as an
+    /// exact scalar, so there is no reason to quantise it. Since the
+    /// histogram depends only on bucket counts and the exact
+    /// min/max/sum scalars, all of which [`merge`](Self::merge)
+    /// combines losslessly, percentiles of a merged histogram agree
+    /// with a single-pass histogram over the concatenated stream.
     ///
     /// # Panics
     ///
@@ -139,6 +146,9 @@ impl LatencyHistogram {
             return None;
         }
         let rank = (p / 100.0 * (self.count - 1) as f64).round() as u64;
+        if rank == 0 {
+            return Some(self.min as f64);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -184,7 +194,7 @@ impl Eq for LatencyHistogram {}
 /// Convert to wall-clock units with the design's clock frequency (from
 /// `hirise-phys`): latency in ns is `cycles / f_GHz`, and accepted
 /// throughput in packets/ns is `packets_per_cycle * f_GHz`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     radix: usize,
     offered_rate: f64,
@@ -450,6 +460,59 @@ mod tests {
         let mut other_way = b;
         other_way.merge(&a);
         assert_eq!(other_way, all);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_observed_minimum() {
+        // Values above EXACT_LIMIT land in log buckets whose upper
+        // bound exceeds the value; p=0 must still return the exact
+        // minimum, not the bucket bound (the pre-fix behaviour).
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 150, 200, 9_001] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(100.0));
+        assert!(LatencyHistogram::bucket_high(LatencyHistogram::bucket_of(100)) > 100);
+        // A single-value histogram: every percentile is that value.
+        let mut one = LatencyHistogram::new();
+        one.record(77);
+        assert_eq!(one.percentile(0.0), Some(77.0));
+        assert_eq!(one.percentile(100.0), Some(77.0));
+    }
+
+    #[test]
+    fn merged_percentiles_match_single_pass() {
+        // Deterministic value stream spanning exact and log buckets.
+        let mut state = 0x5EED_u64;
+        let values: Vec<u64> = (0..4_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % 50_000
+            })
+            .collect();
+        let mut single = LatencyHistogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        // Same stream split across 7 shards of uneven size, merged.
+        let mut shards = vec![LatencyHistogram::new(); 7];
+        for (i, &v) in values.iter().enumerate() {
+            shards[(i * i) % 7].record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, single);
+        for p in [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(merged.percentile(p), single.percentile(p), "p = {p}");
+        }
+        let sorted = {
+            let mut s = values.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(merged.percentile(0.0), Some(sorted[0] as f64));
     }
 
     #[test]

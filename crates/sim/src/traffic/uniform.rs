@@ -2,15 +2,20 @@
 //! uniformly over all outputs. This is the pattern behind the paper's
 //! headline throughput numbers (Tables I/IV/V, Figs. 10 and 11b).
 
-use super::{injects, TrafficPattern};
-use hirise_core::rng::Rng;
-use hirise_core::rng::StdRng;
+use super::TrafficPattern;
+use hirise_core::rng::{Bernoulli, Rng, StdRng};
 use hirise_core::{InputId, OutputId};
 
 /// Uniform random traffic over `radix` outputs.
 #[derive(Clone, Debug)]
 pub struct UniformRandom {
     radix: usize,
+    /// Cached `(rate, trial)` pair. The rate arrives per call but is
+    /// constant across a run, so one `f64` compare replaces `gen_bool`'s
+    /// clamp + float multiply on the per-port per-cycle injection path.
+    /// [`Bernoulli`] is draw- and decision-identical to `gen_bool`, so
+    /// the traffic realization for a given seed is unchanged.
+    gate: (f64, Bernoulli),
 }
 
 impl UniformRandom {
@@ -21,13 +26,24 @@ impl UniformRandom {
     /// Panics if `radix` is zero.
     pub fn new(radix: usize) -> Self {
         assert!(radix > 0, "radix must be at least 1");
-        Self { radix }
+        Self {
+            radix,
+            // NaN compares unequal to every rate, forcing the first call
+            // to build the real trial.
+            gate: (f64::NAN, Bernoulli::new(0.0)),
+        }
     }
 }
 
 impl TrafficPattern for UniformRandom {
     fn next(&mut self, _input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
-        injects(base_rate, rng).then(|| OutputId::new(rng.gen_range(0..self.radix)))
+        if base_rate != self.gate.0 {
+            self.gate = (base_rate, Bernoulli::new(base_rate));
+        }
+        self.gate
+            .1
+            .sample(rng)
+            .then(|| OutputId::new(rng.gen_range(0..self.radix)))
     }
 
     fn name(&self) -> &str {

@@ -7,10 +7,12 @@
 //! arbitration scheme.
 
 use hirise::core::rng::{SeedableRng, StdRng};
-use hirise::core::{ArbitrationScheme, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d};
+use hirise::core::{
+    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+};
 use hirise::sim::diff::{check_arbitrate_into_equivalence, run_schedule, standard_fleet, Schedule};
 use hirise::sim::traffic::UniformRandom;
-use hirise::sim::{NetworkSim, SimConfig};
+use hirise::sim::{LaneBatch, NetworkSim, SimConfig};
 
 /// Co-steps every fleet member through identical random schedules until
 /// each has simulated >= 10k cycles, asserting per-cycle grant legality
@@ -252,6 +254,258 @@ fn zero_probability_faults_are_bit_identical_to_fault_free() {
         assert!(
             *compared >= TARGET_CYCLES,
             "{name}: only {compared} cycles compared"
+        );
+    }
+}
+
+/// The kernel-twin fleet: every fabric at one radix, built under the
+/// given arbitration kernel. Hi-Rise appears once per arbitration
+/// scheme, so the word kernels for L-2-L LRG, WLRG and CLRG are all
+/// pinned against their scalar references.
+fn kernel_fleet(radix: usize, kernel: ArbiterKernel) -> Vec<(String, Box<dyn Fabric>)> {
+    let mut fleet: Vec<(String, Box<dyn Fabric>)> = vec![
+        (
+            format!("switch2d-{radix}"),
+            Box::new(Switch2d::with_kernel(radix, kernel)),
+        ),
+        (
+            format!("folded3d-{radix}"),
+            Box::new(FoldedSwitch::with_kernel(radix, 4, 128, kernel)),
+        ),
+    ];
+    for (label, scheme) in [
+        ("lrg", ArbitrationScheme::LayerToLayerLrg),
+        ("wlrg", ArbitrationScheme::WeightedLrg),
+        ("clrg", ArbitrationScheme::class_based()),
+    ] {
+        let cfg = HiRiseConfig::builder(radix, 4)
+            .channel_multiplicity(4)
+            .scheme(scheme)
+            .build()
+            .expect("valid Hi-Rise configuration");
+        fleet.push((
+            format!("hirise-{label}-{radix}"),
+            Box::new(HiRiseSwitch::with_kernel(&cfg, kernel)),
+        ));
+    }
+    fleet
+}
+
+/// Co-steps a scalar-kernel fabric against its word-kernel twin through
+/// one schedule, demanding bit-identical grant vectors every cycle.
+/// With `faults`, both twins get the same fault plan under the same
+/// seed — nonzero-probability flaky faults, so resources genuinely go
+/// down and recover mid-run — which must perturb both kernels
+/// identically. Returns cycles compared.
+fn co_step_kernel_twins(
+    name: &str,
+    scalar: &mut Box<dyn Fabric>,
+    word: &mut Box<dyn Fabric>,
+    schedule: &Schedule,
+    faults: bool,
+) -> u64 {
+    use hirise::core::{Fault, FaultSite, Grant, InputId, OutputId, Request};
+    use std::collections::VecDeque;
+
+    let radix = schedule.radix;
+    if faults {
+        for twin in [&mut *scalar, &mut *word] {
+            twin.enable_faults(0x7317_F417)
+                .unwrap_or_else(|e| panic!("{name}: fault injection unsupported: {e}"));
+            let mut sites = vec![
+                FaultSite::Port { input: 1 },
+                FaultSite::Crosspoint {
+                    input: 0,
+                    output: 2,
+                },
+            ];
+            if twin.tsv_bundle_count() > 0 {
+                sites.push(FaultSite::TsvBundle { index: 0 });
+            }
+            for site in sites {
+                twin.inject_fault(Fault::flaky(site, 0.3))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        }
+    }
+
+    let deadline = schedule.deadline();
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); radix];
+    let mut next_packet = 0usize;
+    let mut by_cycle: Vec<usize> = (0..schedule.packets.len()).collect();
+    by_cycle.sort_by_key(|&i| schedule.packets[i].inject_cycle);
+
+    let mut transfers: Vec<Option<(usize, usize)>> = vec![None; radix];
+    let mut delivered = 0usize;
+    let mut grants_scalar: Vec<Grant> = Vec::new();
+    let mut grants_word: Vec<Grant> = Vec::new();
+    let mut now = 0u64;
+
+    while delivered < schedule.packets.len() && now <= deadline {
+        for (input, transfer) in transfers.iter_mut().enumerate() {
+            if let Some((_, flits)) = transfer {
+                if *flits > 0 {
+                    *flits -= 1;
+                    if *flits == 0 {
+                        delivered += 1;
+                    }
+                } else {
+                    scalar.release(InputId::new(input));
+                    word.release(InputId::new(input));
+                    *transfer = None;
+                }
+            }
+        }
+
+        while next_packet < by_cycle.len()
+            && schedule.packets[by_cycle[next_packet]].inject_cycle <= now
+        {
+            let index = by_cycle[next_packet];
+            queues[schedule.packets[index].src].push_back(index);
+            next_packet += 1;
+        }
+
+        let mut requests = Vec::new();
+        for (input, queue) in queues.iter().enumerate() {
+            if transfers[input].is_some() {
+                continue;
+            }
+            if let Some(&index) = queue.front() {
+                requests.push(Request::new(
+                    InputId::new(input),
+                    OutputId::new(schedule.packets[index].dst),
+                ));
+            }
+        }
+
+        scalar.arbitrate_into(&requests, &mut grants_scalar);
+        word.arbitrate_into(&requests, &mut grants_word);
+        assert_eq!(
+            grants_scalar, grants_word,
+            "{name}: cycle {now}: scalar and word kernels diverged"
+        );
+
+        for grant in &grants_scalar {
+            let input = grant.input.index();
+            let index = queues[input]
+                .pop_front()
+                .expect("granted input has a queued packet");
+            transfers[input] = Some((index, schedule.packets[index].len_flits));
+        }
+
+        now += 1;
+    }
+    now
+}
+
+/// The word-parallel arbitration kernels must be grant-for-grant
+/// identical to the scalar reference loops: twin instances of every
+/// fabric — both baselines plus Hi-Rise under all three arbitration
+/// schemes — at radix 16, 32 and 64 are co-stepped through identical
+/// randomized schedules for >= 10k cycles per fabric × scheme × radix.
+#[test]
+fn word_kernel_matches_scalar_kernel_across_fabrics_and_radices() {
+    const TARGET_CYCLES: u64 = 10_000;
+    for radix in [16usize, 32, 64] {
+        let mut scalars = kernel_fleet(radix, ArbiterKernel::Scalar);
+        let mut words = kernel_fleet(radix, ArbiterKernel::Word);
+        let mut cycles = vec![0u64; scalars.len()];
+        let mut round = 0u64;
+        while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+            let mut rng = StdRng::seed_from_u64(0x5CA1AB1E + round);
+            let schedule = Schedule::random(&mut rng, radix, 200, 0.15, 4);
+            for (index, ((name, scalar), (_, word))) in
+                scalars.iter_mut().zip(words.iter_mut()).enumerate()
+            {
+                cycles[index] += co_step_kernel_twins(name, scalar, word, &schedule, false);
+            }
+            round += 1;
+        }
+        for ((name, _), compared) in scalars.iter().zip(&cycles) {
+            assert!(
+                *compared >= TARGET_CYCLES,
+                "{name}: only {compared} cycles compared"
+            );
+        }
+    }
+}
+
+/// As above, but with live fault injection: the twins share a fault
+/// seed and plan, so ports, crosspoints and TSV bundles flap
+/// identically under both kernels, and the masked-request word paths
+/// must agree with the scalar loops cycle by cycle for >= 10k cycles
+/// per fabric × radix.
+#[test]
+fn word_kernel_matches_scalar_kernel_under_faults() {
+    const TARGET_CYCLES: u64 = 10_000;
+    for radix in [16usize, 32, 64] {
+        let mut scalars = kernel_fleet(radix, ArbiterKernel::Scalar);
+        let mut words = kernel_fleet(radix, ArbiterKernel::Word);
+        let mut cycles = vec![0u64; scalars.len()];
+        let mut round = 0u64;
+        while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+            let mut rng = StdRng::seed_from_u64(0xFA17_5CA1 + round);
+            let schedule = Schedule::random(&mut rng, radix, 200, 0.15, 4);
+            for (index, ((name, scalar), (_, word))) in
+                scalars.iter_mut().zip(words.iter_mut()).enumerate()
+            {
+                cycles[index] += co_step_kernel_twins(name, scalar, word, &schedule, true);
+            }
+            round += 1;
+        }
+        for ((name, _), compared) in scalars.iter().zip(&cycles) {
+            assert!(
+                *compared >= TARGET_CYCLES,
+                "{name}: only {compared} cycles compared"
+            );
+        }
+    }
+}
+
+/// Batching invariance: lane `k` of an N-lane [`LaneBatch`] must
+/// produce a report identical to a solo [`NetworkSim::run`] of the
+/// same simulation — same fabric, seed and cycle policy — even though
+/// the batch interleaves lanes cycle by cycle and the lanes finish
+/// their drains at different times.
+#[test]
+fn batched_lane_reports_match_solo_runs() {
+    let cfg = HiRiseConfig::builder(16, 4)
+        .channel_multiplicity(4)
+        .scheme(ArbitrationScheme::LayerToLayerLrg)
+        .build()
+        .expect("valid Hi-Rise configuration");
+    // Lanes differ in seed and load (so drains finish at different
+    // cycles), exercising the per-lane policy staggering.
+    let lanes: Vec<(u64, f64)> = vec![
+        (0xBA7C_0001, 0.05),
+        (0xBA7C_0002, 0.15),
+        (0xBA7C_0003, 0.10),
+        (0xBA7C_0004, 0.20),
+        (0xBA7C_0005, 0.08),
+    ];
+    let make = |&(seed, load): &(u64, f64)| {
+        let sim_cfg = SimConfig::new(16)
+            .injection_rate(load)
+            .warmup(200)
+            .measure(2_000)
+            .drain(2_000)
+            .seed(seed);
+        NetworkSim::new(HiRiseSwitch::new(&cfg), UniformRandom::new(16), sim_cfg)
+    };
+    let solo: Vec<_> = lanes
+        .iter()
+        .map(|lane| {
+            let mut sim = make(lane);
+            sim.run()
+        })
+        .collect();
+    let mut batch = LaneBatch::new(lanes.iter().map(make).collect());
+    let batched = batch.run();
+    assert_eq!(batched.len(), solo.len());
+    for (k, (batched_report, solo_report)) in batched.iter().zip(&solo).enumerate() {
+        assert_eq!(
+            batched_report, solo_report,
+            "lane {k} diverged from solo run"
         );
     }
 }
