@@ -19,12 +19,23 @@
 //! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup | --faults]`
 
 use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_lab::args::{arg_error, flag_value, parse_flag_value};
 use hirise_lab::{
     default_threads, json, CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams,
     Stderr,
 };
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Runtime failures (unwritable output path, torn telemetry, a record
+/// that does not validate) are operator-visible errors, not program
+/// bugs: report them plainly and exit 1 instead of panicking.
+fn fail(what: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}");
+    std::process::exit(1);
+}
+
+const USAGE: &str = "lab_smoke [--threads N] [--out PATH] [--speedup | --faults]";
 
 enum Mode {
     Smoke,
@@ -41,21 +52,21 @@ fn parse_args() -> (usize, PathBuf, Mode) {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a positive integer");
+                threads = parse_flag_value(
+                    "--threads",
+                    &flag_value("--threads", &mut args, USAGE),
+                    USAGE,
+                );
+                if threads == 0 {
+                    arg_error("--threads needs a positive integer", USAGE);
+                }
             }
             "--out" => {
-                out = PathBuf::from(args.next().expect("--out needs a path"));
+                out = PathBuf::from(flag_value("--out", &mut args, USAGE));
             }
             "--speedup" => mode = Mode::Speedup,
             "--faults" => mode = Mode::Faults,
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: lab_smoke [--threads N] [--out PATH] [--speedup | --faults]");
-                std::process::exit(2);
-            }
+            other => arg_error(format!("unknown argument {other:?}"), USAGE),
         }
     }
     (threads, out, mode)
@@ -64,9 +75,13 @@ fn parse_args() -> (usize, PathBuf, Mode) {
 /// Validates a finalized campaign file: the header and every record
 /// must parse, record count must match, and job indices must be 0..n.
 fn validate_jsonl(path: &std::path::Path, expected_jobs: usize) {
-    let content = std::fs::read_to_string(path).expect("telemetry file readable");
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read telemetry {}: {e}", path.display())));
     let mut lines = content.lines();
-    let header = json::parse(lines.next().expect("header line")).expect("header parses");
+    let header = lines
+        .next()
+        .unwrap_or_else(|| fail("telemetry file is empty"));
+    let header = json::parse(header).unwrap_or_else(|e| fail(format!("bad header line: {e}")));
     assert_eq!(
         header.get("jobs").and_then(json::Json::as_u64),
         Some(expected_jobs as u64),
@@ -74,7 +89,8 @@ fn validate_jsonl(path: &std::path::Path, expected_jobs: usize) {
     );
     let mut count = 0usize;
     for line in lines {
-        let record = json::parse(line).unwrap_or_else(|e| panic!("record {count} parses: {e}"));
+        let record =
+            json::parse(line).unwrap_or_else(|e| fail(format!("record {count} is torn: {e}")));
         assert_eq!(
             record.get("job").and_then(json::Json::as_u64),
             Some(count as u64),
@@ -95,7 +111,7 @@ fn smoke(threads: usize, out: PathBuf) {
             HiRiseConfig::builder(16, 2)
                 .channel_multiplicity(2)
                 .build()
-                .expect("valid configuration"),
+                .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
         ))
         .pattern(PatternSpec::Uniform)
         .loads([0.05, 0.15])
@@ -106,7 +122,7 @@ fn smoke(threads: usize, out: PathBuf) {
     let start = Instant::now();
     let outcome = spec
         .run_to_file(&out, threads, &Stderr)
-        .expect("campaign runs");
+        .unwrap_or_else(|e| fail(format!("campaign failed: {e}")));
     assert_eq!(outcome.ran, jobs);
     validate_jsonl(&out, jobs);
     println!(
@@ -131,7 +147,7 @@ fn fig10_scale_spec(name: &str) -> CampaignSpec {
                 .channel_multiplicity(c)
                 .scheme(ArbitrationScheme::LayerToLayerLrg)
                 .build()
-                .expect("valid configuration"),
+                .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
         ));
     }
     spec.pattern(PatternSpec::Uniform)
@@ -151,17 +167,19 @@ fn speedup(threads: usize, out: PathBuf) {
     eprintln!("running {jobs} jobs on 1 thread...");
     let start = Instant::now();
     spec.run_to_file(&serial_out, 1, &Silent)
-        .expect("serial run");
+        .unwrap_or_else(|e| fail(format!("serial run failed: {e}")));
     let serial_secs = start.elapsed().as_secs_f64();
 
     eprintln!("running {jobs} jobs on {threads} threads...");
     let start = Instant::now();
     spec.run_to_file(&parallel_out, threads, &Silent)
-        .expect("parallel run");
+        .unwrap_or_else(|e| fail(format!("parallel run failed: {e}")));
     let parallel_secs = start.elapsed().as_secs_f64();
 
-    let a = std::fs::read(&serial_out).expect("serial telemetry");
-    let b = std::fs::read(&parallel_out).expect("parallel telemetry");
+    let a = std::fs::read(&serial_out)
+        .unwrap_or_else(|e| fail(format!("cannot read serial telemetry: {e}")));
+    let b = std::fs::read(&parallel_out)
+        .unwrap_or_else(|e| fail(format!("cannot read parallel telemetry: {e}")));
     assert_eq!(
         a, b,
         "1-thread and {threads}-thread JSONL must be byte-identical"
@@ -192,7 +210,7 @@ fn faults(out: PathBuf) {
             HiRiseConfig::builder(16, 4)
                 .channel_multiplicity(2)
                 .build()
-                .expect("valid configuration"),
+                .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
         ))
         .pattern(PatternSpec::Uniform)
         .loads([0.1])
@@ -207,9 +225,10 @@ fn faults(out: PathBuf) {
         let path = out.with_extension(format!("faults-t{threads}.jsonl"));
         let _ = std::fs::remove_file(&path);
         spec.run_to_file(&path, threads, &Silent)
-            .expect("fault campaign runs");
+            .unwrap_or_else(|e| fail(format!("fault campaign failed: {e}")));
         validate_jsonl(&path, jobs);
-        let bytes = std::fs::read(&path).expect("fault telemetry");
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| fail(format!("cannot read fault telemetry: {e}")));
         if let Some(reference) = &reference {
             assert_eq!(
                 reference, &bytes,
@@ -221,35 +240,33 @@ fn faults(out: PathBuf) {
         let _ = std::fs::remove_file(&path);
     }
 
-    let content = String::from_utf8(reference.expect("at least one run")).expect("utf8 telemetry");
+    let reference = reference.unwrap_or_else(|| fail("no fault campaign ran"));
+    let content = String::from_utf8(reference)
+        .unwrap_or_else(|e| fail(format!("telemetry is not UTF-8: {e}")));
     let mut faulty_events = 0u64;
     for line in content.lines().skip(1) {
-        let record = json::parse(line).expect("record parses");
-        let fabric = record
-            .get("fabric")
-            .and_then(json::Json::as_str)
-            .expect("fabric label")
-            .to_string();
-        let fault = record
-            .get("fault")
-            .and_then(json::Json::as_str)
-            .expect("fault label")
-            .to_string();
-        let violations = record
-            .get("violations")
-            .and_then(json::Json::as_u64)
-            .expect("violations count");
-        let completed = record
-            .get("completed")
-            .and_then(json::Json::as_u64)
-            .expect("completed count");
+        let record = json::parse(line).unwrap_or_else(|e| fail(format!("record is torn: {e}")));
+        let field_str = |key: &str| {
+            record
+                .get(key)
+                .and_then(json::Json::as_str)
+                .unwrap_or_else(|| fail(format!("record is missing {key}: {line}")))
+                .to_string()
+        };
+        let field_u64 = |key: &str| {
+            record
+                .get(key)
+                .and_then(json::Json::as_u64)
+                .unwrap_or_else(|| fail(format!("record is missing {key}: {line}")))
+        };
+        let fabric = field_str("fabric");
+        let fault = field_str("fault");
+        let violations = field_u64("violations");
+        let completed = field_u64("completed");
         assert_eq!(violations, 0, "{fabric}/{fault}: invariant violations");
         assert!(completed > 0, "{fabric}/{fault}: no packets delivered");
         if fault != "none" {
-            faulty_events += record
-                .get("fault_events")
-                .and_then(json::Json::as_u64)
-                .expect("fault_events count");
+            faulty_events += field_u64("fault_events");
         }
     }
     assert!(

@@ -19,7 +19,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`).
+    /// An unsigned integer token (no sign, fraction or exponent) that
+    /// fits `u64`. Kept separate from [`Json::Num`] so 64-bit values —
+    /// campaign master seeds, per-job seeds — survive a parse
+    /// round-trip losslessly instead of being squeezed through `f64`.
+    Int(u64),
+    /// Any other JSON number (stored as `f64`).
     Num(f64),
     /// A string.
     Str(String),
@@ -38,17 +43,22 @@ impl Json {
         }
     }
 
-    /// The value as a float, if numeric.
+    /// The value as a float, if numeric. Integer tokens above 2^53
+    /// lose precision here; use [`as_u64`](Self::as_u64) for exact
+    /// 64-bit values.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
     /// The value as a non-negative integer, if numeric and integral.
+    /// Exact for integer tokens of any magnitude up to `u64::MAX`.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(n) => Some(*n),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -290,6 +300,12 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number bytes are ASCII by construction");
+        // Plain unsigned-integer tokens keep exact 64-bit precision.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))
@@ -377,6 +393,20 @@ mod tests {
         write_escaped(&mut buf, original);
         let parsed = parse(&buf).expect("escaped string parses");
         assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn u64_integers_round_trip_exactly() {
+        // 0xFFFF_FFFF_FFFF_FFC5 is not representable as f64; a lossy
+        // parser would round it to 2^64 and overflow.
+        let seed = u64::MAX - 58;
+        let j = parse(&format!(r#"{{"seed":{seed},"small":7,"f":7.0}}"#)).expect("valid");
+        assert_eq!(j.get("seed").and_then(Json::as_u64), Some(seed));
+        assert_eq!(j.get("seed"), Some(&Json::Int(seed)));
+        assert_eq!(j.get("small").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("small").and_then(Json::as_f64), Some(7.0));
+        // A decimal point keeps the float representation.
+        assert_eq!(j.get("f"), Some(&Json::Num(7.0)));
     }
 
     #[test]

@@ -43,8 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod campaign;
 pub mod json;
+pub mod parse;
 pub mod progress;
 pub mod result;
 pub mod runner;
@@ -54,6 +56,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use campaign::CampaignOutcome;
+pub use parse::{campaign_from_json, campaign_from_value, SpecError};
 pub use progress::{Progress, Silent, Stderr};
 pub use result::{JobResult, Metrics};
 pub use runner::default_threads;

@@ -1,0 +1,493 @@
+//! Parsing [`CampaignSpec`]s back out of JSON — the inverse of
+//! [`CampaignSpec::canonical_json`].
+//!
+//! The campaign service (`hirise-serve`) accepts specs over the wire,
+//! so the declarative grid needs a deserializer to match its
+//! serializer. The parser accepts any JSON with the canonical schema —
+//! key order and whitespace are irrelevant, and absent optional fields
+//! take the same defaults as [`CampaignSpec::new`] — which is what
+//! makes the content hash sound: two texts that parse to the same spec
+//! re-canonicalize to the same bytes and therefore the same digest
+//! (pinned by the `spec_json` round-trip property tests).
+//!
+//! Numbers that must stay exact (seeds) ride on [`Json::Int`], which
+//! preserves full `u64` precision instead of routing through `f64`.
+
+use crate::json::{self, Json, JsonError};
+use crate::spec::{CampaignSpec, FabricSpec, FaultSpec, PatternSpec, SimParams, Topology};
+use hirise_core::{ArbitrationScheme, ChannelAllocation, HiRiseConfig, LocalArbiterKind};
+use std::fmt;
+
+/// Why a campaign spec could not be built from a JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The text is not valid JSON at all.
+    Json(JsonError),
+    /// The JSON is well-formed but does not describe a valid campaign.
+    Invalid {
+        /// Which part of the spec was wrong (a field path like
+        /// `fabrics[1].radix`).
+        context: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Invalid { context, message } => {
+                write!(f, "invalid campaign spec at {context}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+fn invalid(context: impl Into<String>, message: impl fmt::Display) -> SpecError {
+    SpecError::Invalid {
+        context: context.into(),
+        message: message.to_string(),
+    }
+}
+
+/// Parses a campaign spec from JSON text.
+pub fn campaign_from_json(text: &str) -> Result<CampaignSpec, SpecError> {
+    campaign_from_value(&json::parse(text)?)
+}
+
+/// Builds a campaign spec from an already-parsed JSON value.
+///
+/// `name` is required; every other field defaults as in
+/// [`CampaignSpec::new`] when absent. Present fields must have the
+/// canonical schema's types, and fabric configurations are validated
+/// (an impossible Hi-Rise geometry is a [`SpecError::Invalid`], never a
+/// panic).
+pub fn campaign_from_value(value: &Json) -> Result<CampaignSpec, SpecError> {
+    let obj = expect_obj(value, "spec")?;
+    let name = require_str(obj, "name", "spec")?.to_string();
+    let mut spec = CampaignSpec::new(name);
+    if let Some(v) = obj.get("master_seed") {
+        spec.master_seed = as_u64(v, "master_seed")?;
+    }
+    if let Some(v) = obj.get("topology") {
+        spec.topology = topology_from_value(v)?;
+    }
+    if let Some(v) = obj.get("fabrics") {
+        for (i, f) in as_arr(v, "fabrics")?.iter().enumerate() {
+            spec.fabrics
+                .push(fabric_from_value(f, &format!("fabrics[{i}]"))?);
+        }
+    }
+    if let Some(v) = obj.get("schemes") {
+        for (i, s) in as_arr(v, "schemes")?.iter().enumerate() {
+            let ctx = format!("schemes[{i}]");
+            spec.schemes
+                .push(scheme_from_label(as_str(s, &ctx)?, &ctx)?);
+        }
+    }
+    if let Some(v) = obj.get("allocations") {
+        for (i, a) in as_arr(v, "allocations")?.iter().enumerate() {
+            let ctx = format!("allocations[{i}]");
+            spec.allocations
+                .push(allocation_from_label(as_str(a, &ctx)?, &ctx)?);
+        }
+    }
+    if let Some(v) = obj.get("patterns") {
+        for (i, p) in as_arr(v, "patterns")?.iter().enumerate() {
+            let ctx = format!("patterns[{i}]");
+            spec.patterns
+                .push(pattern_from_label(as_str(p, &ctx)?, &ctx)?);
+        }
+    }
+    if let Some(v) = obj.get("loads") {
+        for (i, l) in as_arr(v, "loads")?.iter().enumerate() {
+            let ctx = format!("loads[{i}]");
+            let load = as_f64(l, &ctx)?;
+            if !load.is_finite() || load < 0.0 {
+                return Err(invalid(ctx, "offered load must be finite and non-negative"));
+            }
+            spec.loads.push(load);
+        }
+    }
+    if let Some(v) = obj.get("faults") {
+        for (i, f) in as_arr(v, "faults")?.iter().enumerate() {
+            spec.faults
+                .push(fault_from_value(f, &format!("faults[{i}]"))?);
+        }
+    }
+    if let Some(v) = obj.get("replicates") {
+        spec.replicates = as_usize(v, "replicates")?.max(1);
+    }
+    if let Some(v) = obj.get("sim") {
+        spec.sim = sim_from_value(v)?;
+    }
+    Ok(spec)
+}
+
+fn topology_from_value(value: &Json) -> Result<Topology, SpecError> {
+    match value {
+        Json::Str(s) if s == "single-switch" => Ok(Topology::SingleSwitch),
+        Json::Str(s) => Err(invalid("topology", format!("unknown topology {s:?}"))),
+        Json::Obj(_) => {
+            match value.get("kind").and_then(Json::as_str) {
+                Some("mesh") => {}
+                other => {
+                    return Err(invalid(
+                        "topology.kind",
+                        format!("expected \"mesh\", got {other:?}"),
+                    ))
+                }
+            }
+            Ok(Topology::Mesh {
+                cols: require_usize(value, "cols", "topology")?,
+                rows: require_usize(value, "rows", "topology")?,
+                ports_per_direction: require_usize(value, "ports_per_direction", "topology")?,
+                layer_aware: match value.get("layer_aware") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(as_usize(v, "topology.layer_aware")?),
+                },
+            })
+        }
+        _ => Err(invalid(
+            "topology",
+            "expected \"single-switch\" or a mesh object",
+        )),
+    }
+}
+
+fn fabric_from_value(value: &Json, ctx: &str) -> Result<FabricSpec, SpecError> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| invalid(format!("{ctx}.kind"), "missing or non-string fabric kind"))?;
+    match kind {
+        "2d" => Ok(FabricSpec::Flat2d {
+            radix: require_usize(value, "radix", ctx)?,
+        }),
+        "folded" => Ok(FabricSpec::Folded {
+            radix: require_usize(value, "radix", ctx)?,
+            layers: require_usize(value, "layers", ctx)?,
+        }),
+        "hirise" => {
+            let radix = require_usize(value, "radix", ctx)?;
+            let layers = require_usize(value, "layers", ctx)?;
+            let mut builder = HiRiseConfig::builder(radix, layers);
+            if let Some(v) = value.get("c") {
+                builder = builder.channel_multiplicity(as_usize(v, &format!("{ctx}.c"))?);
+            }
+            if let Some(v) = value.get("flit_bits") {
+                builder = builder.flit_bits(as_usize(v, &format!("{ctx}.flit_bits"))?);
+            }
+            if let Some(v) = value.get("scheme") {
+                let field = format!("{ctx}.scheme");
+                builder = builder.scheme(scheme_from_label(as_str(v, &field)?, &field)?);
+            }
+            if let Some(v) = value.get("alloc") {
+                let field = format!("{ctx}.alloc");
+                builder = builder.allocation(allocation_from_label(as_str(v, &field)?, &field)?);
+            }
+            if let Some(v) = value.get("local") {
+                let field = format!("{ctx}.local");
+                builder = builder.local_arbiter(match as_str(v, &field)? {
+                    "lrg" => LocalArbiterKind::Lrg,
+                    "rr" => LocalArbiterKind::RoundRobin,
+                    other => {
+                        return Err(invalid(field, format!("unknown local arbiter {other:?}")))
+                    }
+                });
+            }
+            builder
+                .build()
+                .map(FabricSpec::HiRise)
+                .map_err(|e| invalid(ctx.to_string(), e))
+        }
+        other => Err(invalid(
+            format!("{ctx}.kind"),
+            format!("unknown fabric kind {other:?}"),
+        )),
+    }
+}
+
+fn scheme_from_label(label: &str, ctx: &str) -> Result<ArbitrationScheme, SpecError> {
+    match label {
+        "lrg" => Ok(ArbitrationScheme::LayerToLayerLrg),
+        "wlrg" => Ok(ArbitrationScheme::WeightedLrg),
+        _ => match label.strip_prefix("clrg").and_then(|n| n.parse().ok()) {
+            Some(classes) => Ok(ArbitrationScheme::ClassBased { classes }),
+            None => Err(invalid(
+                ctx.to_string(),
+                format!("unknown arbitration scheme {label:?}"),
+            )),
+        },
+    }
+}
+
+fn allocation_from_label(label: &str, ctx: &str) -> Result<ChannelAllocation, SpecError> {
+    match label {
+        "in" => Ok(ChannelAllocation::InputBinned),
+        "out" => Ok(ChannelAllocation::OutputBinned),
+        "pri" => Ok(ChannelAllocation::PriorityBased),
+        other => Err(invalid(
+            ctx.to_string(),
+            format!("unknown channel allocation {other:?}"),
+        )),
+    }
+}
+
+fn pattern_from_label(label: &str, ctx: &str) -> Result<PatternSpec, SpecError> {
+    let numbered =
+        |prefix: &str| -> Option<usize> { label.strip_prefix(prefix).and_then(|n| n.parse().ok()) };
+    match label {
+        "uniform" => return Ok(PatternSpec::Uniform),
+        "bursty" => return Ok(PatternSpec::Bursty),
+        "transpose" => return Ok(PatternSpec::Transpose),
+        "bitcomp" => return Ok(PatternSpec::BitComplement),
+        "tornado" => return Ok(PatternSpec::Tornado),
+        "neighbor" => return Ok(PatternSpec::NeighborShift),
+        _ => {}
+    }
+    if let Some(output) = numbered("hotspot") {
+        return Ok(PatternSpec::Hotspot { output });
+    }
+    if let Some(salt) = label.strip_prefix("randperm").and_then(|n| n.parse().ok()) {
+        return Ok(PatternSpec::RandomPermutation { salt });
+    }
+    if let Some(layers) = numbered("interlayer") {
+        return Ok(PatternSpec::InterLayerOnly { layers });
+    }
+    if let Some(layers) = numbered("worstl2lc") {
+        return Ok(PatternSpec::WorstCaseL2lc { layers });
+    }
+    Err(invalid(
+        ctx.to_string(),
+        format!("unknown traffic pattern {label:?}"),
+    ))
+}
+
+fn fault_from_value(value: &Json, ctx: &str) -> Result<FaultSpec, SpecError> {
+    expect_obj(value, ctx)?;
+    let mut fault = FaultSpec::none();
+    if let Some(v) = value.get("dead_tsvs") {
+        fault.dead_tsvs = as_usize(v, &format!("{ctx}.dead_tsvs"))?;
+    }
+    if let Some(v) = value.get("dead_ports") {
+        fault.dead_ports = as_usize(v, &format!("{ctx}.dead_ports"))?;
+    }
+    if let Some(v) = value.get("dead_crosspoints") {
+        fault.dead_crosspoints = as_usize(v, &format!("{ctx}.dead_crosspoints"))?;
+    }
+    if let Some(v) = value.get("flaky_tsvs") {
+        fault.flaky_tsvs = as_usize(v, &format!("{ctx}.flaky_tsvs"))?;
+    }
+    match value.get("flake_probability") {
+        // The canonical writer maps non-finite probabilities to null;
+        // they clamp to 0 at application time anyway.
+        None | Some(Json::Null) => {}
+        Some(v) => fault.flake_probability = as_f64(v, &format!("{ctx}.flake_probability"))?,
+    }
+    if let Some(v) = value.get("salt") {
+        fault.salt = as_u64(v, &format!("{ctx}.salt"))?;
+    }
+    Ok(fault)
+}
+
+fn sim_from_value(value: &Json) -> Result<SimParams, SpecError> {
+    expect_obj(value, "sim")?;
+    let mut sim = SimParams::new();
+    if let Some(v) = value.get("vcs") {
+        sim.vcs = as_usize(v, "sim.vcs")?;
+    }
+    if let Some(v) = value.get("vc_depth") {
+        sim.vc_depth_flits = as_usize(v, "sim.vc_depth")?;
+    }
+    if let Some(v) = value.get("packet_len") {
+        sim.packet_len_flits = as_usize(v, "sim.packet_len")?;
+    }
+    if let Some(v) = value.get("warmup") {
+        sim.warmup = as_u64(v, "sim.warmup")?;
+    }
+    if let Some(v) = value.get("measure") {
+        sim.measure = as_u64(v, "sim.measure")?;
+    }
+    if let Some(v) = value.get("drain") {
+        sim.drain = as_u64(v, "sim.drain")?;
+    }
+    match value.get("window") {
+        None => {}
+        Some(Json::Null) => sim.window = None,
+        Some(v) => sim.window = Some(as_usize(v, "sim.window")?),
+    }
+    if let Some(v) = value.get("record_invariants") {
+        sim.record_invariants = v
+            .as_bool()
+            .ok_or_else(|| invalid("sim.record_invariants", "expected a boolean"))?;
+    }
+    Ok(sim)
+}
+
+fn expect_obj<'a>(
+    value: &'a Json,
+    ctx: &str,
+) -> Result<&'a std::collections::BTreeMap<String, Json>, SpecError> {
+    match value {
+        Json::Obj(map) => Ok(map),
+        _ => Err(invalid(ctx.to_string(), "expected a JSON object")),
+    }
+}
+
+fn as_str<'a>(value: &'a Json, ctx: &str) -> Result<&'a str, SpecError> {
+    value
+        .as_str()
+        .ok_or_else(|| invalid(ctx.to_string(), "expected a string"))
+}
+
+fn as_arr<'a>(value: &'a Json, ctx: &str) -> Result<&'a [Json], SpecError> {
+    value
+        .as_arr()
+        .ok_or_else(|| invalid(ctx.to_string(), "expected an array"))
+}
+
+fn as_u64(value: &Json, ctx: &str) -> Result<u64, SpecError> {
+    value
+        .as_u64()
+        .ok_or_else(|| invalid(ctx.to_string(), "expected a non-negative integer"))
+}
+
+fn as_f64(value: &Json, ctx: &str) -> Result<f64, SpecError> {
+    value
+        .as_f64()
+        .ok_or_else(|| invalid(ctx.to_string(), "expected a number"))
+}
+
+fn as_usize(value: &Json, ctx: &str) -> Result<usize, SpecError> {
+    usize::try_from(as_u64(value, ctx)?)
+        .map_err(|_| invalid(ctx.to_string(), "integer out of range"))
+}
+
+fn require_str<'a>(
+    obj: &'a std::collections::BTreeMap<String, Json>,
+    key: &str,
+    ctx: &str,
+) -> Result<&'a str, SpecError> {
+    obj.get(key)
+        .ok_or_else(|| invalid(format!("{ctx}.{key}"), "missing required field"))?
+        .as_str()
+        .ok_or_else(|| invalid(format!("{ctx}.{key}"), "expected a string"))
+}
+
+fn require_usize(value: &Json, key: &str, ctx: &str) -> Result<usize, SpecError> {
+    let field = value
+        .get(key)
+        .ok_or_else(|| invalid(format!("{ctx}.{key}"), "missing required field"))?;
+    as_usize(field, &format!("{ctx}.{key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DEFAULT_SEED;
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let spec = campaign_from_json(r#"{"name":"tiny"}"#).unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.master_seed, DEFAULT_SEED);
+        assert_eq!(spec.topology, Topology::SingleSwitch);
+        assert_eq!(spec.replicates, 1);
+        assert_eq!(spec.sim, SimParams::new());
+        assert!(spec.fabrics.is_empty() && spec.loads.is_empty());
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let spec = CampaignSpec::new("rt")
+            .master_seed(u64::MAX - 3)
+            .fabric(FabricSpec::Flat2d { radix: 16 })
+            .fabric(FabricSpec::hirise(
+                HiRiseConfig::builder(16, 2)
+                    .channel_multiplicity(2)
+                    .build()
+                    .unwrap(),
+            ))
+            .scheme(ArbitrationScheme::WeightedLrg)
+            .allocation(ChannelAllocation::OutputBinned)
+            .pattern(PatternSpec::Uniform)
+            .pattern(PatternSpec::Hotspot { output: 3 })
+            .loads([0.05, 0.15, 1.0])
+            .fault(FaultSpec::dead_tsv_bundles(1).with_flaky_tsvs(2, 0.25))
+            .replicates(3)
+            .sim(SimParams::quick().window(Some(4)));
+        let parsed = campaign_from_json(&spec.canonical_json()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.digest(), spec.digest());
+    }
+
+    #[test]
+    fn mesh_topology_round_trips() {
+        let spec = CampaignSpec::new("mesh").topology(Topology::Mesh {
+            cols: 5,
+            rows: 5,
+            ports_per_direction: 2,
+            layer_aware: Some(4),
+        });
+        assert_eq!(campaign_from_json(&spec.canonical_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors_not_panics() {
+        for (text, fragment) in [
+            (r#"{"master_seed":1}"#, "spec.name"),
+            (r#"{"name":"x","fabrics":[{"kind":"warp"}]}"#, "kind"),
+            (r#"{"name":"x","fabrics":[{"kind":"2d"}]}"#, "radix"),
+            (
+                // radix not divisible by layers: rejected by the builder.
+                r#"{"name":"x","fabrics":[{"kind":"hirise","radix":10,"layers":4}]}"#,
+                "fabrics[0]",
+            ),
+            (r#"{"name":"x","patterns":["warp9"]}"#, "patterns[0]"),
+            (r#"{"name":"x","loads":[-0.5]}"#, "loads[0]"),
+            (r#"{"name":"x","schemes":["clrg"]}"#, "schemes[0]"),
+            (r#"{"name":"x","topology":"ring"}"#, "topology"),
+            ("[]", "spec"),
+        ] {
+            let err = campaign_from_json(text).unwrap_err();
+            assert!(
+                err.to_string().contains(fragment),
+                "{text}: {err} should mention {fragment}"
+            );
+        }
+        assert!(matches!(
+            campaign_from_json("{not json").unwrap_err(),
+            SpecError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn all_pattern_labels_round_trip() {
+        let patterns = [
+            PatternSpec::Uniform,
+            PatternSpec::Hotspot { output: 7 },
+            PatternSpec::Bursty,
+            PatternSpec::Transpose,
+            PatternSpec::BitComplement,
+            PatternSpec::Tornado,
+            PatternSpec::NeighborShift,
+            PatternSpec::RandomPermutation { salt: 99 },
+            PatternSpec::InterLayerOnly { layers: 4 },
+            PatternSpec::WorstCaseL2lc { layers: 2 },
+        ];
+        for p in patterns {
+            let parsed = pattern_from_label(&p.label(), "test").unwrap();
+            assert_eq!(parsed, p, "{}", p.label());
+        }
+    }
+}

@@ -907,6 +907,36 @@ impl CampaignSpec {
         fnv1a64(self.canonical_json().as_bytes())
     }
 
+    /// A canonical JSON encoding of everything that determines one
+    /// job's result record: the shared methodology (topology, sim
+    /// parameters) plus the job's own grid coordinates, index,
+    /// replicate and seed. Deliberately excludes the campaign's name
+    /// and master seed — the job seed already captures all the
+    /// randomness — so differently-named campaigns over the same grid
+    /// share content-addressed cache entries (the result-serving
+    /// daemon keys its cache on a hash of this string).
+    pub fn job_key_json(&self, job: &Job) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"topology\":");
+        self.topology.canonical_json(&mut out);
+        out.push_str(",\"sim\":");
+        self.sim.canonical_json(&mut out);
+        out.push_str(",\"fabric\":");
+        job.fabric.canonical_json(&mut out);
+        out.push_str(",\"pattern\":");
+        job.pattern.canonical_json(&mut out);
+        out.push_str(",\"load\":");
+        crate::json::write_f64(&mut out, job.load);
+        out.push_str(",\"fault\":");
+        job.fault.canonical_json(&mut out);
+        let _ = write!(
+            out,
+            ",\"index\":{},\"replicate\":{},\"seed\":{}}}",
+            job.index, job.replicate, job.seed
+        );
+        out
+    }
+
     /// Builds the single-switch simulator for one job: fabric with the
     /// job's fault plan applied, traffic pattern, and the job-seeded
     /// configuration.

@@ -74,6 +74,47 @@ fn resumed_campaign_reproduces_identical_bytes() {
     std::fs::remove_file(&resumed_path).unwrap();
 }
 
+/// Explicit torn-line tolerance: a checkpoint file truncated at an
+/// arbitrary byte offset — mid-record, no trailing newline, exactly
+/// what a crash during an append leaves behind — must resume cleanly,
+/// re-run only the lost records, and complete to byte-identical output.
+#[test]
+fn truncation_mid_record_resumes_to_identical_bytes() {
+    let spec = mixed_campaign();
+
+    let fresh_path = temp_path("torn-fresh");
+    let _ = std::fs::remove_file(&fresh_path);
+    spec.run_to_file(&fresh_path, 2, &Silent).unwrap();
+    let fresh = std::fs::read(&fresh_path).unwrap();
+    std::fs::remove_file(&fresh_path).unwrap();
+
+    // Cut at several raw byte offsets: inside the first record, midway
+    // through the file, and one byte short of the end. None is
+    // line-aligned.
+    let header_len = fresh.iter().position(|&b| b == b'\n').unwrap() + 1;
+    for candidate in [header_len + 17, fresh.len() / 2, fresh.len() - 2] {
+        // Nudge off line boundaries so the cut is strictly mid-record
+        // (a prefix ending at a record's last byte would merely be an
+        // unterminated complete line, not a torn one).
+        let mut cut = candidate;
+        while fresh[cut - 1] == b'\n' || fresh[cut] == b'\n' {
+            cut -= 1;
+        }
+        let torn_path = temp_path(&format!("torn-{cut}"));
+        std::fs::write(&torn_path, &fresh[..cut]).unwrap();
+
+        let intact_before = fresh[..cut].iter().filter(|&&b| b == b'\n').count() - 1;
+        let outcome = spec.run_to_file(&torn_path, 4, &Silent).unwrap();
+        assert_eq!(outcome.total, 16, "cut {cut}");
+        assert_eq!(outcome.skipped, intact_before, "cut {cut}");
+        assert_eq!(outcome.ran, 16 - intact_before, "cut {cut}");
+
+        let resumed = std::fs::read(&torn_path).unwrap();
+        assert_eq!(resumed, fresh, "cut {cut}: bytes differ after resume");
+        std::fs::remove_file(&torn_path).unwrap();
+    }
+}
+
 #[test]
 fn in_memory_results_match_across_thread_counts() {
     let spec = mixed_campaign();

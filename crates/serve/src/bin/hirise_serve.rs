@@ -1,0 +1,61 @@
+//! The `hirise-serve` daemon CLI.
+//!
+//! Binds, recovers any journaled work, prints one `listening on ADDR`
+//! line to stdout (so wrappers can discover the bound port, including
+//! port 0), and serves until a client sends `shutdown`.
+
+use hirise_lab::args::{arg_error, flag_value, parse_flag_value};
+use hirise_serve::ServeConfig;
+
+const USAGE: &str = "hirise_serve [--addr HOST:PORT] [--data DIR] [--workers N] \
+                     [--queue-cap N] [--max-inflight N] [--max-per-client N]";
+
+fn parse_args() -> ServeConfig {
+    let mut cfg = ServeConfig::new("hirise-serve-data");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = flag_value("--addr", &mut args, USAGE),
+            "--data" => {
+                let dir = std::path::PathBuf::from(flag_value("--data", &mut args, USAGE));
+                cfg.cache_dir = dir.join("cache");
+                cfg.journal_path = dir.join("journal.jsonl");
+            }
+            "--workers" => {
+                let v = flag_value("--workers", &mut args, USAGE);
+                cfg.workers = parse_flag_value("--workers", &v, USAGE);
+                if cfg.workers == 0 {
+                    arg_error("--workers must be at least 1", USAGE);
+                }
+            }
+            "--queue-cap" => {
+                let v = flag_value("--queue-cap", &mut args, USAGE);
+                cfg.queue_cap = parse_flag_value("--queue-cap", &v, USAGE);
+            }
+            "--max-inflight" => {
+                let v = flag_value("--max-inflight", &mut args, USAGE);
+                cfg.max_inflight = parse_flag_value("--max-inflight", &v, USAGE);
+            }
+            "--max-per-client" => {
+                let v = flag_value("--max-per-client", &mut args, USAGE);
+                cfg.max_per_client = parse_flag_value("--max-per-client", &v, USAGE);
+            }
+            other => arg_error(format!("unknown argument {other:?}"), USAGE),
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let result = hirise_serve::run(cfg, |addr| {
+        // Wrappers (serve_smoke, CI) parse this exact line.
+        println!("hirise-serve listening on {addr}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    });
+    if let Err(e) = result {
+        eprintln!("hirise-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,362 @@
+//! End-to-end smoke test for the campaign daemon, run as real
+//! processes (this is what CI's `serve_smoke` step executes):
+//!
+//! 1. start the daemon, submit a small campaign, and check every
+//!    streamed record is byte-identical to an in-process fresh run;
+//! 2. submit the identical campaign again and check the daemon reports
+//!    all cache hits with byte-identical records;
+//! 3. submit a larger campaign, `kill -9` the daemon right after
+//!    admission, restart it on the same data directory, and check the
+//!    journal recovery completes the campaign in the background — a
+//!    re-submit is served entirely from cache, byte-identical to
+//!    fresh simulation;
+//! 4. drain-shutdown the daemon through the protocol and check it
+//!    exits cleanly.
+//!
+//! Exits 0 and prints `serve_smoke: OK` on success; prints the failing
+//! check and exits 1 otherwise.
+
+use hirise_lab::json::{self, Json};
+use hirise_lab::{CampaignSpec, FabricSpec, PatternSpec, SimParams};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("hirise-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let outcome = run_smoke(&data_dir);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    match outcome {
+        Ok(()) => println!("serve_smoke: OK"),
+        Err(e) => {
+            eprintln!("serve_smoke: FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The small campaign for the cache-identity check (2 jobs).
+fn small_campaign() -> CampaignSpec {
+    CampaignSpec::new("smoke-small")
+        .fabric(FabricSpec::Flat2d { radix: 8 })
+        .pattern(PatternSpec::Uniform)
+        .loads([0.15, 0.3])
+        .master_seed(11)
+        .sim(SimParams::new().cycles(100, 400, 400))
+}
+
+/// The larger campaign for the kill/recovery check (8 jobs).
+fn recovery_campaign() -> CampaignSpec {
+    CampaignSpec::new("smoke-recover")
+        .fabric(FabricSpec::Flat2d { radix: 8 })
+        .pattern(PatternSpec::Uniform)
+        .loads([0.1, 0.2, 0.3, 0.4])
+        .replicates(2)
+        .master_seed(12)
+        .sim(SimParams::new().cycles(200, 1500, 1500))
+}
+
+fn fresh_lines(spec: &CampaignSpec) -> Vec<String> {
+    spec.jobs()
+        .iter()
+        .map(|job| spec.run_job(job).to_jsonl_line())
+        .collect()
+}
+
+fn run_smoke(data_dir: &PathBuf) -> Result<(), String> {
+    // --- 1: fresh submit, records byte-identical to in-process run.
+    let mut daemon = Daemon::start(data_dir)?;
+    let small = small_campaign();
+    let expected_small = fresh_lines(&small);
+
+    let first = submit(daemon.port, &small)?;
+    check_eq(
+        &first.records,
+        &expected_small,
+        "fresh records vs in-process run",
+    )?;
+    if first.cache_hits != 0 || first.cache_misses != expected_small.len() {
+        return Err(format!(
+            "fresh submit expected 0 hits / {} misses, got {} / {}",
+            expected_small.len(),
+            first.cache_hits,
+            first.cache_misses
+        ));
+    }
+
+    // --- 2: identical submit is all cache hits, byte-identical.
+    let second = submit(daemon.port, &small)?;
+    check_eq(
+        &second.records,
+        &expected_small,
+        "cached records vs fresh records",
+    )?;
+    if second.cache_hits != expected_small.len() || second.cache_misses != 0 {
+        return Err(format!(
+            "resubmit expected {} hits / 0 misses, got {} / {}",
+            expected_small.len(),
+            second.cache_hits,
+            second.cache_misses
+        ));
+    }
+
+    // --- 3: kill right after admission; restart must recover.
+    let recover = recovery_campaign();
+    {
+        let mut stream = connect(daemon.port)?;
+        let line = submit_line(&recover);
+        writeln!(stream, "{line}").map_err(|e| format!("submit write: {e}"))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        let accepted = read_response_line(&mut reader)?;
+        expect_member(&accepted, "op", "accepted")?;
+        // Admission journaled the campaign; kill before it finishes.
+        daemon.kill()?;
+    }
+
+    let daemon = Daemon::start(data_dir)?;
+    wait_for_recovery(daemon.port)?;
+
+    let expected_recover = fresh_lines(&recover);
+    let after = submit(daemon.port, &recover)?;
+    check_eq(
+        &after.records,
+        &expected_recover,
+        "recovered records vs fresh run",
+    )?;
+    if after.cache_misses != 0 {
+        return Err(format!(
+            "journal recovery incomplete: resubmit recomputed {} jobs",
+            after.cache_misses
+        ));
+    }
+
+    // --- 4: protocol-driven drain shutdown.
+    let mut stream = connect(daemon.port)?;
+    writeln!(stream, "{{\"op\":\"shutdown\"}}").map_err(|e| format!("shutdown write: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let ack = read_response_line(&mut reader)?;
+    expect_member(&ack, "op", "shutdown")?;
+    daemon.wait_exit()
+}
+
+struct Daemon {
+    child: Child,
+    port: u16,
+}
+
+impl Daemon {
+    fn start(data_dir: &PathBuf) -> Result<Self, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("current_exe: {e}"))?
+            .with_file_name(format!("hirise_serve{}", std::env::consts::EXE_SUFFIX));
+        if !exe.exists() {
+            return Err(format!(
+                "daemon binary not found at {} (build it with `cargo build -p hirise-serve --bins`)",
+                exe.display()
+            ));
+        }
+        let mut child = Command::new(&exe)
+            .args(["--addr", "127.0.0.1:0", "--data"])
+            .arg(data_dir)
+            .args(["--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn daemon: {e}"))?;
+        let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read listening line: {e}"))?;
+        let port = line
+            .trim()
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| format!("unparseable listening line {line:?}"))?;
+        Ok(Self { child, port })
+    }
+
+    fn kill(&mut self) -> Result<(), String> {
+        self.child.kill().map_err(|e| format!("kill daemon: {e}"))?;
+        self.child
+            .wait()
+            .map_err(|e| format!("reap daemon: {e}"))
+            .map(|_| ())
+    }
+
+    fn wait_exit(mut self) -> Result<(), String> {
+        let start = Instant::now();
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => {
+                    return if status.success() {
+                        Ok(())
+                    } else {
+                        Err(format!("daemon exited with {status}"))
+                    };
+                }
+                Ok(None) if start.elapsed() > DEADLINE => {
+                    let _ = self.child.kill();
+                    return Err("daemon did not exit after drain shutdown".into());
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => return Err(format!("try_wait: {e}")),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn connect(port: u16) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(DEADLINE))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    Ok(stream)
+}
+
+fn submit_line(spec: &CampaignSpec) -> String {
+    let mut line = String::from("{\"op\":\"submit\",\"client\":\"smoke\",\"spec\":");
+    line.push_str(&spec.canonical_json());
+    line.push('}');
+    line
+}
+
+struct SubmitOutcome {
+    records: Vec<String>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+/// Submits a campaign and reads the full response stream.
+fn submit(port: u16, spec: &CampaignSpec) -> Result<SubmitOutcome, String> {
+    let mut stream = connect(port)?;
+    writeln!(stream, "{}", submit_line(spec)).map_err(|e| format!("submit write: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+
+    let accepted = read_response_line(&mut reader)?;
+    expect_member(&accepted, "op", "accepted")?;
+
+    let mut records = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read response: {e}"))?
+            == 0
+        {
+            return Err("connection closed before done line".into());
+        }
+        let line = line.trim_end_matches('\n');
+        let value = json::parse(line).map_err(|e| format!("bad response line {line:?}: {e}"))?;
+        match value.get("op").and_then(Json::as_str) {
+            Some("done") => {
+                let count = |k: &str| {
+                    value
+                        .get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("done line missing {k}: {line}"))
+                };
+                return Ok(SubmitOutcome {
+                    records,
+                    cache_hits: count("cache_hits")? as usize,
+                    cache_misses: count("cache_misses")? as usize,
+                });
+            }
+            Some("error") => return Err(format!("daemon rejected submit: {line}")),
+            Some(_) => return Err(format!("unexpected control line: {line}")),
+            None => records.push(line.to_string()),
+        }
+    }
+}
+
+fn read_response_line(reader: &mut BufReader<impl Read>) -> Result<Json, String> {
+    let mut line = String::new();
+    if reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read response: {e}"))?
+        == 0
+    {
+        return Err("connection closed mid-response".into());
+    }
+    json::parse(line.trim_end()).map_err(|e| format!("bad response line {line:?}: {e}"))
+}
+
+fn expect_member(value: &Json, key: &str, want: &str) -> Result<(), String> {
+    match value.get(key).and_then(Json::as_str) {
+        Some(got) if got == want => Ok(()),
+        other => Err(format!("expected {key}={want:?}, got {other:?}")),
+    }
+}
+
+fn check_eq(got: &[String], want: &[String], what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: {} records, expected {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g != w {
+            return Err(format!(
+                "{what}: record {i} differs\n  served: {g}\n  fresh:  {w}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Polls `stats` until journal recovery finishes (or the deadline
+/// passes), proving the restarted daemon resumed the killed campaign.
+fn wait_for_recovery(port: u16) -> Result<(), String> {
+    let start = Instant::now();
+    loop {
+        let mut stream = connect(port)?;
+        writeln!(stream, "{{\"op\":\"stats\"}}").map_err(|e| format!("stats write: {e}"))?;
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        let stats = read_response_line(&mut reader)?;
+        let recovering = stats
+            .get("recovering")
+            .and_then(Json::as_u64)
+            .ok_or("stats line missing recovering")?;
+        let queued = stats.get("queued").and_then(Json::as_u64).unwrap_or(0);
+        if recovering == 0 && queued == 0 {
+            return Ok(());
+        }
+        if start.elapsed() > DEADLINE {
+            return Err(format!(
+                "journal recovery did not finish: {recovering} campaigns still recovering"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

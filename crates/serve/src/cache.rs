@@ -1,0 +1,181 @@
+//! The content-addressed on-disk result store.
+//!
+//! A cache entry is one job's finished telemetry record — the exact
+//! bytes `JobResult::to_jsonl_line` produced — filed under a 128-bit
+//! FNV-1a hash of the job's canonical key JSON
+//! ([`CampaignSpec::job_key_json`]): topology, sim methodology, fabric,
+//! pattern, load, fault scenario, job index, replicate and seed. The
+//! determinism guarantees of the lab runner (results are a pure
+//! function of exactly those inputs) are what make this sound: a
+//! cached record is provably byte-identical to what a fresh simulation
+//! would produce, so serving it is indistinguishable from re-running.
+//!
+//! Entries are written atomically (temp file + rename into place), so
+//! a crash mid-write never leaves a torn entry; a concurrent duplicate
+//! computation of the same job simply renames the same bytes over
+//! themselves. Corrupt entries (anything that no longer parses as a
+//! record line) read as misses and are recomputed.
+
+use hirise_lab::result::job_index_of_line;
+use hirise_lab::{CampaignSpec, Job};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 128-bit content address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// The key as 32 lowercase hex digits (the entry's file name).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// FNV-1a 128-bit hash (the 64-bit campaign digest is fine for naming
+/// checkpoints, but a shared store accumulating millions of entries
+/// wants collision odds negligible at that scale).
+fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut hash = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d_u128;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    hash
+}
+
+/// The on-disk result store plus its hit/miss counters.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The content address of one campaign job.
+    pub fn key(spec: &CampaignSpec, job: &Job) -> CacheKey {
+        CacheKey(fnv1a128(spec.job_key_json(job).as_bytes()))
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.hex())
+    }
+
+    /// Looks a record up, counting a hit or a miss. Returns the stored
+    /// line without its trailing newline. An unreadable or corrupt
+    /// entry counts as a miss (it will be recomputed and rewritten).
+    pub fn get(&self, key: &CacheKey) -> Option<String> {
+        let line = fs::read_to_string(self.entry_path(key))
+            .ok()
+            .map(|s| s.trim_end_matches('\n').to_string())
+            .filter(|line| job_index_of_line(line).is_some());
+        match &line {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        line
+    }
+
+    /// Stores a record atomically: written to a temp file in the same
+    /// directory, then renamed over the entry, so readers only ever see
+    /// complete entries and concurrent writers of the same key are
+    /// idempotent.
+    pub fn put(&self, key: &CacheKey, line: &str) -> io::Result<()> {
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{n}-{}", std::process::id(), key.hex()));
+        fs::write(&tmp, format!("{line}\n"))?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Cache lookups that found a stored record.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirise_lab::{CampaignSpec, FabricSpec, PatternSpec, SimParams};
+
+    fn spec(name: &str) -> CampaignSpec {
+        CampaignSpec::new(name)
+            .fabric(FabricSpec::Flat2d { radix: 8 })
+            .pattern(PatternSpec::Uniform)
+            .loads([0.1, 0.2])
+            .sim(SimParams::new().cycles(50, 200, 200))
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hirise-serve-cache-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn keys_ignore_campaign_name_but_not_grid_position() {
+        let a = spec("alpha");
+        let b = spec("beta");
+        let (ja, jb) = (a.jobs(), b.jobs());
+        // Same grid, different names: identical keys.
+        assert_eq!(ResultCache::key(&a, &ja[0]), ResultCache::key(&b, &jb[0]));
+        // Different jobs of one campaign: distinct keys.
+        assert_ne!(ResultCache::key(&a, &ja[0]), ResultCache::key(&a, &ja[1]));
+        // A different methodology changes every key.
+        let c = spec("alpha").sim(SimParams::new().cycles(50, 201, 200));
+        assert_ne!(
+            ResultCache::key(&a, &ja[0]),
+            ResultCache::key(&c, &c.jobs()[0])
+        );
+    }
+
+    #[test]
+    fn put_get_round_trips_and_counts() {
+        let dir = temp_store("roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = spec("rt");
+        let job = &s.jobs()[0];
+        let key = ResultCache::key(&s, job);
+
+        assert_eq!(cache.get(&key), None);
+        let line = s.run_job(job).to_jsonl_line();
+        cache.put(&key, &line).unwrap();
+        assert_eq!(cache.get(&key).as_deref(), Some(line.as_str()));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = temp_store("corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let s = spec("corrupt");
+        let key = ResultCache::key(&s, &s.jobs()[0]);
+        fs::write(dir.join(key.hex()), "{\"job\":0,\"trunc").unwrap();
+        assert_eq!(cache.get(&key), None);
+        assert_eq!(cache.misses(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

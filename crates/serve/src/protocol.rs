@@ -1,0 +1,265 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object per line; every response line is
+//! either a control message (distinguished by an `"ok"` member) or a
+//! raw campaign telemetry record (starting `{"job":`), byte-identical
+//! to the line `hirise-lab` would write into a campaign JSONL file.
+//!
+//! Requests:
+//!
+//! | `op` | fields | effect |
+//! |------|--------|--------|
+//! | `submit` | `spec` (campaign JSON), optional `client` | run/serve the campaign, stream records |
+//! | `ping` | — | liveness probe |
+//! | `stats` | — | server counters snapshot |
+//! | `shutdown` | optional `mode`: `drain` (default) / `now` | stop the daemon |
+//!
+//! A `submit` answers with an `accepted` line, then one record line per
+//! job **in job order** (each written as soon as it and all its
+//! predecessors are available), then a `done` line carrying the
+//! cache-hit split. Any rejection is a single `error` line with a typed
+//! `code`; the connection always stays open after an error, so one bad
+//! request never costs a client its session.
+
+use hirise_lab::json::{self, Json};
+use hirise_lab::{campaign_from_value, CampaignSpec};
+use std::fmt::Write as _;
+
+/// Typed rejection codes carried in `error` responses.
+pub mod code {
+    /// The request line is not valid JSON or has no recognisable `op`.
+    pub const PARSE: &str = "parse";
+    /// The request parsed but its campaign spec is invalid.
+    pub const BAD_SPEC: &str = "bad_spec";
+    /// The job queue cannot take the campaign's expansion.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The global in-flight request limit is reached.
+    pub const OVERLOADED: &str = "overloaded";
+    /// This client already has its maximum of campaigns in flight.
+    pub const TOO_MANY_INFLIGHT: &str = "too_many_inflight";
+    /// The daemon is draining and no longer admits work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run or serve-from-cache a campaign.
+    Submit {
+        /// Client identity for per-client admission limits
+        /// (`"anon"` when the request names none).
+        client: String,
+        /// The campaign to run (boxed: a spec is an order of magnitude
+        /// larger than the other variants).
+        spec: Box<CampaignSpec>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// Stop the daemon.
+    Shutdown {
+        /// `true` finishes admitted work first; `false` stops at once
+        /// (in-flight campaigns stay journaled as incomplete and are
+        /// recovered on the next start).
+        drain: bool,
+    },
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestError {
+    /// One of [`code::PARSE`] / [`code::BAD_SPEC`].
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn parse(message: impl Into<String>) -> Self {
+        Self {
+            code: code::PARSE,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = json::parse(line).map_err(|e| RequestError::parse(e.to_string()))?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| RequestError::parse("missing or non-string \"op\""))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => match value.get("mode").and_then(Json::as_str) {
+            None | Some("drain") => Ok(Request::Shutdown { drain: true }),
+            Some("now") => Ok(Request::Shutdown { drain: false }),
+            Some(other) => Err(RequestError::parse(format!(
+                "unknown shutdown mode {other:?}"
+            ))),
+        },
+        "submit" => {
+            let client = value
+                .get("client")
+                .and_then(Json::as_str)
+                .unwrap_or("anon")
+                .to_string();
+            let spec_value = value
+                .get("spec")
+                .ok_or_else(|| RequestError::parse("submit needs a \"spec\" member"))?;
+            let spec = campaign_from_value(spec_value).map_err(|e| RequestError {
+                code: code::BAD_SPEC,
+                message: e.to_string(),
+            })?;
+            Ok(Request::Submit {
+                client,
+                spec: Box::new(spec),
+            })
+        }
+        other => Err(RequestError::parse(format!("unknown op {other:?}"))),
+    }
+}
+
+/// An `error` response line.
+pub fn error_line(code: &str, message: &str) -> String {
+    let mut s = format!("{{\"ok\":false,\"op\":\"error\",\"code\":\"{code}\",\"message\":");
+    json::write_escaped(&mut s, message);
+    s.push('}');
+    s
+}
+
+/// The `accepted` line opening a submit response stream.
+pub fn accepted_line(request_id: &str, jobs: usize) -> String {
+    format!("{{\"ok\":true,\"op\":\"accepted\",\"request\":\"{request_id}\",\"jobs\":{jobs}}}")
+}
+
+/// The `done` line closing a submit response stream.
+pub fn done_line(jobs: usize, cache_hits: usize, cache_misses: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"done\",\"jobs\":{jobs},\"cache_hits\":{cache_hits},\
+         \"cache_misses\":{cache_misses}}}"
+    )
+}
+
+/// The `pong` response.
+pub fn pong_line() -> String {
+    "{\"ok\":true,\"op\":\"pong\"}".to_string()
+}
+
+/// The `shutdown` acknowledgement.
+pub fn shutdown_line(drain: bool) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"shutdown\",\"mode\":\"{}\"}}",
+        if drain { "drain" } else { "now" }
+    )
+}
+
+/// A snapshot of the server's counters for the `stats` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Admitted submit requests currently being served.
+    pub inflight: usize,
+    /// Jobs waiting in the worker queue.
+    pub queued: usize,
+    /// Journaled campaigns still being recovered after a restart.
+    pub recovering: usize,
+    /// Jobs simulated by the worker pool since start (cache hits
+    /// excluded).
+    pub jobs_run: u64,
+    /// Cache lookups that found a stored record.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Submit requests fully served (streamed to `done`).
+    pub requests_done: u64,
+    /// Submit requests rejected with a typed error.
+    pub rejected: u64,
+    /// Whether the daemon is draining.
+    pub draining: bool,
+}
+
+/// The `stats` response line.
+pub fn stats_line(s: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"ok\":true,\"op\":\"stats\",\"inflight\":{},\"queued\":{},\"recovering\":{},\
+         \"jobs_run\":{},\"cache_hits\":{},\"cache_misses\":{},\"requests_done\":{},\
+         \"rejected\":{},\"draining\":{}}}",
+        s.inflight,
+        s.queued,
+        s.recovering,
+        s.jobs_run,
+        s.cache_hits,
+        s.cache_misses,
+        s.requests_done,
+        s.rejected,
+        s.draining
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_four_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown { drain: true })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown","mode":"now"}"#),
+            Ok(Request::Shutdown { drain: false })
+        );
+        let submit = parse_request(r#"{"op":"submit","client":"c1","spec":{"name":"s"}}"#);
+        match submit {
+            Ok(Request::Submit { client, spec }) => {
+                assert_eq!(client, "c1");
+                assert_eq!(spec.name, "s");
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_lines_get_typed_codes() {
+        assert_eq!(parse_request("garbage").unwrap_err().code, code::PARSE);
+        assert_eq!(parse_request("{}").unwrap_err().code, code::PARSE);
+        assert_eq!(
+            parse_request(r#"{"op":"warp"}"#).unwrap_err().code,
+            code::PARSE
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"submit"}"#).unwrap_err().code,
+            code::PARSE
+        );
+        let err = parse_request(r#"{"op":"submit","spec":{"name":"x","loads":[-1]}}"#).unwrap_err();
+        assert_eq!(err.code, code::BAD_SPEC);
+        assert!(err.message.contains("loads[0]"));
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        for line in [
+            error_line(code::QUEUE_FULL, "queue has 9 of 10 slots taken\nnew\"line"),
+            accepted_line("00ff", 12),
+            done_line(12, 4, 8),
+            pong_line(),
+            shutdown_line(true),
+            stats_line(&StatsSnapshot::default()),
+        ] {
+            let parsed = json::parse(&line).expect("response line parses");
+            assert!(parsed.get("ok").is_some(), "{line}");
+        }
+        let err = json::parse(&error_line(code::PARSE, "x")).unwrap();
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Json::as_str), Some(code::PARSE));
+    }
+}

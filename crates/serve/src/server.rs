@@ -1,0 +1,575 @@
+//! The resident campaign server: listener, connection handlers, the
+//! shared worker pool, admission control and crash recovery.
+//!
+//! Architecture (host-driver / target-service split): each TCP
+//! connection gets a handler thread speaking the line protocol; admitted
+//! campaigns are expanded into jobs and their cache misses pushed onto
+//! one shared bounded queue that a fixed pool of worker threads drains.
+//! Workers simulate, write the record into the content-addressed cache,
+//! and hand the line back to the submitting connection, which streams
+//! records to the client in job order. Admission control happens before
+//! any work is queued: a full queue, the global in-flight cap, the
+//! per-client cap, and draining all produce typed `error` responses
+//! instead of timeouts or dropped connections.
+//!
+//! Crash safety: admission writes a journal `begin` before the first
+//! job is queued, and `done` only after every record of the request is
+//! in the cache. A daemon killed at any point restarts, finds the
+//! incomplete entries, and re-runs them in the background — finished
+//! jobs are cache hits, so recovery never recomputes finished work.
+
+use crate::cache::ResultCache;
+use crate::journal::Journal;
+use crate::protocol::{self, code, Request, StatsSnapshot};
+use hirise_lab::{campaign_from_json, CampaignSpec, Job};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked loops (accept, drain-wait) re-check their flags.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Daemon configuration. [`ServeConfig::new`] gives production-shaped
+/// defaults rooted at a data directory.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads simulating jobs.
+    pub workers: usize,
+    /// Maximum jobs queued for the worker pool; a campaign whose
+    /// expansion does not fit is rejected `queue_full`.
+    pub queue_cap: usize,
+    /// Maximum concurrently-admitted submit requests; beyond it
+    /// submits are rejected `overloaded`.
+    pub max_inflight: usize,
+    /// Maximum concurrently-admitted submits per client identity;
+    /// beyond it submits are rejected `too_many_inflight`.
+    pub max_per_client: usize,
+    /// The content-addressed result store's directory.
+    pub cache_dir: PathBuf,
+    /// The crash-recovery journal's path.
+    pub journal_path: PathBuf,
+}
+
+impl ServeConfig {
+    /// Defaults rooted at `data_dir`: cache in `data_dir/cache`,
+    /// journal at `data_dir/journal.jsonl`, one worker per available
+    /// core, a 1024-job queue, 64 in-flight requests, 8 per client.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        let data_dir = data_dir.into();
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: hirise_lab::default_threads(),
+            queue_cap: 1024,
+            max_inflight: 64,
+            max_per_client: 8,
+            cache_dir: data_dir.join("cache"),
+            journal_path: data_dir.join("journal.jsonl"),
+        }
+    }
+}
+
+/// One queued cache miss: the job, its campaign, and the channel the
+/// submitting connection is waiting on.
+struct QueuedJob {
+    spec: Arc<CampaignSpec>,
+    job: Job,
+    tx: mpsc::Sender<(usize, String)>,
+}
+
+/// State shared by the listener, connection handlers and workers.
+struct Shared {
+    cfg: ServeConfig,
+    cache: ResultCache,
+    journal: Mutex<Journal>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    inflight: AtomicUsize,
+    per_client: Mutex<HashMap<String, usize>>,
+    recovering: AtomicUsize,
+    /// Draining: no new admissions, finish what is in flight.
+    draining: AtomicBool,
+    /// Hard stop: workers exit without finishing the queue.
+    stop_workers: AtomicBool,
+    jobs_run: AtomicU64,
+    requests_done: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inflight: self.inflight.load(Ordering::Relaxed),
+            queued: self.queue.lock().expect("queue poisoned").len(),
+            recovering: self.recovering.load(Ordering::Relaxed),
+            jobs_run: self.jobs_run.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            requests_done: self.requests_done.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight.load(Ordering::Relaxed) == 0
+            && self.recovering.load(Ordering::Relaxed) == 0
+            && self.queue.lock().expect("queue poisoned").is_empty()
+    }
+}
+
+/// Releases one admission slot (global and per-client) when a submit
+/// handler exits by any path.
+struct AdmissionGuard<'a> {
+    shared: &'a Shared,
+    client: String,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        let mut per_client = self.shared.per_client.lock().expect("per-client poisoned");
+        if let Some(count) = per_client.get_mut(&self.client) {
+            *count -= 1;
+            if *count == 0 {
+                per_client.remove(&self.client);
+            }
+        }
+    }
+}
+
+/// A running daemon, owned in-process. Dropping the handle without
+/// calling [`join`](Self::join) or [`abort`](Self::abort) detaches the
+/// threads (the daemon keeps serving until the process exits).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    recovery: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds, recovers journaled work in the background, and starts
+    /// accepting connections.
+    pub fn start(cfg: ServeConfig) -> io::Result<Self> {
+        let cache = ResultCache::open(&cfg.cache_dir)?;
+        let (journal, incomplete) = Journal::open(&cfg.journal_path)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            cfg,
+            cache,
+            journal: Mutex::new(journal),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            per_client: Mutex::new(HashMap::new()),
+            recovering: AtomicUsize::new(incomplete.len()),
+            draining: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            jobs_run: AtomicU64::new(0),
+            requests_done: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let recovery = (!incomplete.is_empty()).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || recover(&shared, incomplete))
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+
+        Ok(Self {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            recovery,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters (what the `stats` op reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Begins a graceful drain: stop accepting, reject new submits,
+    /// finish admitted work. Equivalent to a client `shutdown` op.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for a drain (triggered by [`shutdown`](Self::shutdown) or
+    /// a client `shutdown` op) to complete, then stops the workers and
+    /// joins every owned thread.
+    pub fn join(mut self) {
+        while !(self.shared.draining.load(Ordering::Relaxed) && self.shared.idle()) {
+            std::thread::sleep(POLL);
+        }
+        self.stop_threads();
+    }
+
+    /// Simulates a crash: stops accepting and halts workers without
+    /// finishing the queue or marking journal entries done. In-flight
+    /// campaigns stay journaled as incomplete, exactly as after a
+    /// `kill -9`, so the next [`start`](Self::start) recovers them.
+    pub fn abort(mut self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.stop_workers.store(true, Ordering::Relaxed);
+        // Dropping queued jobs disconnects their submitters' channels.
+        self.shared.queue.lock().expect("queue poisoned").clear();
+        self.shared.queue_cv.notify_all();
+        self.join_owned();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop_workers.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        self.join_owned();
+    }
+
+    fn join_owned(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(recovery) = self.recovery.take() {
+            let _ = recovery.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Runs the daemon in the foreground until a client `shutdown` drains
+/// it. This is what the `hirise_serve` binary calls; `on_ready`
+/// receives the bound address (used to print the listening line).
+pub fn run(cfg: ServeConfig, on_ready: impl FnOnce(SocketAddr)) -> io::Result<()> {
+    let handle = ServerHandle::start(cfg)?;
+    on_ready(handle.addr());
+    handle.join();
+    Ok(())
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    // A vanished client is routine, not an event worth
+                    // logging at any volume.
+                    let _ = handle_connection(&shared, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if shared.stop_workers.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue poisoned");
+            }
+        };
+        let result = item.spec.run_job(&item.job);
+        let line = result.to_jsonl_line();
+        let key = ResultCache::key(&item.spec, &item.job);
+        if let Err(e) = shared.cache.put(&key, &line) {
+            eprintln!("hirise-serve: cache write failed for {}: {e}", key.hex());
+        }
+        shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        // The submitter may be gone (client disconnected); the record
+        // is cached either way, so the work is not wasted.
+        let _ = item.tx.send((item.job.index, line));
+    }
+}
+
+/// Re-runs journaled-incomplete campaigns after a restart. Jobs that
+/// finished before the crash are cache hits; only genuinely unfinished
+/// work is simulated.
+fn recover(shared: &Shared, incomplete: Vec<crate::journal::JournalEntry>) {
+    for entry in incomplete {
+        match campaign_from_json(&entry.spec_json) {
+            Ok(spec) => {
+                if run_campaign_to_cache(shared, &Arc::new(spec)) {
+                    let mut journal = shared.journal.lock().expect("journal poisoned");
+                    if let Err(e) = journal.done(&entry.id) {
+                        eprintln!("hirise-serve: journal write failed: {e}");
+                    }
+                } else {
+                    // Aborted mid-recovery; the entry stays incomplete.
+                    shared.recovering.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Err(e) => {
+                // A spec this daemon can no longer parse would wedge
+                // recovery forever; drop it loudly.
+                eprintln!(
+                    "hirise-serve: dropping unparseable journal entry {}: {e}",
+                    entry.id
+                );
+                let mut journal = shared.journal.lock().expect("journal poisoned");
+                let _ = journal.done(&entry.id);
+            }
+        }
+        shared.recovering.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs every cache-missing job of `spec` through the worker pool and
+/// waits for the cache to hold all of them. Returns `false` if the
+/// pool was stopped before completion (abort path).
+fn run_campaign_to_cache(shared: &Shared, spec: &Arc<CampaignSpec>) -> bool {
+    let jobs = spec.jobs();
+    let (tx, rx) = mpsc::channel();
+    let mut misses = 0usize;
+    {
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        for job in &jobs {
+            if shared.cache.get(&ResultCache::key(spec, job)).is_none() {
+                misses += 1;
+                queue.push_back(QueuedJob {
+                    spec: Arc::clone(spec),
+                    job: job.clone(),
+                    tx: tx.clone(),
+                });
+            }
+        }
+    }
+    drop(tx);
+    shared.queue_cv.notify_all();
+    for _ in 0..misses {
+        if rx.recv().is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => {
+                writeln!(out, "{}", protocol::error_line(e.code, &e.message))?;
+            }
+            Ok(Request::Ping) => writeln!(out, "{}", protocol::pong_line())?,
+            Ok(Request::Stats) => writeln!(out, "{}", protocol::stats_line(&shared.snapshot()))?,
+            Ok(Request::Shutdown { drain }) => {
+                writeln!(out, "{}", protocol::shutdown_line(drain))?;
+                out.flush()?;
+                shared.draining.store(true, Ordering::Relaxed);
+                if !drain {
+                    shared.stop_workers.store(true, Ordering::Relaxed);
+                    shared.queue.lock().expect("queue poisoned").clear();
+                    shared.queue_cv.notify_all();
+                }
+                return Ok(());
+            }
+            Ok(Request::Submit { client, spec }) => {
+                handle_submit(shared, &mut out, client, *spec)?;
+            }
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves one admitted (or rejected) submit. Writes every response
+/// line for the request; an `Err` means the client connection broke.
+fn handle_submit(
+    shared: &Shared,
+    out: &mut impl Write,
+    client: String,
+    spec: CampaignSpec,
+) -> io::Result<()> {
+    let mut reject = |code: &str, message: &str| -> io::Result<()> {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        writeln!(out, "{}", protocol::error_line(code, message))
+    };
+
+    if shared.draining.load(Ordering::Relaxed) {
+        return reject(code::SHUTTING_DOWN, "daemon is draining");
+    }
+    let jobs = spec.jobs();
+    if jobs.len() > shared.cfg.queue_cap {
+        return reject(
+            code::QUEUE_FULL,
+            &format!(
+                "campaign expands to {} jobs but the queue holds {}",
+                jobs.len(),
+                shared.cfg.queue_cap
+            ),
+        );
+    }
+
+    // Global in-flight slot.
+    if shared.inflight.fetch_add(1, Ordering::Relaxed) >= shared.cfg.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        return reject(
+            code::OVERLOADED,
+            &format!("{} requests already in flight", shared.cfg.max_inflight),
+        );
+    }
+    // Per-client slot; the guard releases both on every exit path.
+    {
+        let mut per_client = shared.per_client.lock().expect("per-client poisoned");
+        let count = per_client.entry(client.clone()).or_insert(0);
+        if *count >= shared.cfg.max_per_client {
+            drop(per_client);
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            return reject(
+                code::TOO_MANY_INFLIGHT,
+                &format!(
+                    "client {client:?} already has {} campaigns in flight",
+                    shared.cfg.max_per_client
+                ),
+            );
+        }
+        *count += 1;
+    }
+    let _guard = AdmissionGuard { shared, client };
+
+    let spec = Arc::new(spec);
+    let request_id = format!("{:016x}", spec.digest());
+
+    // Cache pass: collect hits, identify misses.
+    let mut cached: Vec<Option<String>> = jobs
+        .iter()
+        .map(|job| shared.cache.get(&ResultCache::key(&spec, job)))
+        .collect();
+    let miss_indices: Vec<usize> = (0..jobs.len()).filter(|&i| cached[i].is_none()).collect();
+    let hits = jobs.len() - miss_indices.len();
+
+    let (tx, rx) = mpsc::channel();
+    if !miss_indices.is_empty() {
+        {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            if queue.len() + miss_indices.len() > shared.cfg.queue_cap {
+                drop(queue);
+                return reject(
+                    code::QUEUE_FULL,
+                    &format!("queue cannot take {} more jobs", miss_indices.len()),
+                );
+            }
+            // Intent on disk before the first job is queued: a crash
+            // from here on is recoverable.
+            shared
+                .journal
+                .lock()
+                .expect("journal poisoned")
+                .begin(&request_id, &spec.canonical_json())?;
+            for &i in &miss_indices {
+                queue.push_back(QueuedJob {
+                    spec: Arc::clone(&spec),
+                    job: jobs[i].clone(),
+                    tx: tx.clone(),
+                });
+            }
+        }
+        shared.queue_cv.notify_all();
+    }
+    drop(tx);
+
+    writeln!(out, "{}", protocol::accepted_line(&request_id, jobs.len()))?;
+    out.flush()?;
+
+    // Stream records in job order, each as soon as it and all its
+    // predecessors exist. Cached lines are free; missing ones arrive
+    // from the workers in completion order and are reordered here.
+    let mut pending: BTreeMap<usize, String> = BTreeMap::new();
+    let mut client_gone = false;
+    let mut completed_misses = 0usize;
+    for (index, slot) in cached.iter_mut().enumerate() {
+        let line = match slot.take() {
+            Some(line) => line,
+            None => loop {
+                if let Some(line) = pending.remove(&index) {
+                    break line;
+                }
+                match rx.recv() {
+                    Ok((i, line)) => {
+                        completed_misses += 1;
+                        if i == index {
+                            break line;
+                        }
+                        pending.insert(i, line);
+                    }
+                    // Workers stopped (abort): the request stays
+                    // journaled as incomplete for the next start.
+                    Err(_) => return Ok(()),
+                }
+            },
+        };
+        if !client_gone {
+            client_gone = writeln!(out, "{line}").and_then(|_| out.flush()).is_err();
+        }
+    }
+    // Every record of this request is now in the cache.
+    if !miss_indices.is_empty() {
+        debug_assert_eq!(completed_misses, miss_indices.len());
+        shared
+            .journal
+            .lock()
+            .expect("journal poisoned")
+            .done(&request_id)?;
+    }
+    shared.requests_done.fetch_add(1, Ordering::Relaxed);
+    if client_gone {
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "client disconnected mid-stream",
+        ));
+    }
+    writeln!(
+        out,
+        "{}",
+        protocol::done_line(jobs.len(), hits, miss_indices.len())
+    )
+}

@@ -10,9 +10,13 @@
 //!   ([`hirise_manycore`]).
 //! * [`lab`] — the deterministic parallel experiment-campaign runner
 //!   ([`hirise_lab`]).
+//! * [`serve`] — the resident campaign service with content-addressed
+//!   caching, admission control and crash-safe journaling
+//!   ([`hirise_serve`]).
 
 pub use hirise_core as core;
 pub use hirise_lab as lab;
 pub use hirise_manycore as manycore;
 pub use hirise_phys as phys;
+pub use hirise_serve as serve;
 pub use hirise_sim as sim;
