@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! cyclebench [--quick] [--label before|after] [--out PATH]
+//! cyclebench --sharded [--quick] [--out PATH]  # shard-scaling sweep
 //! cyclebench --check PATH    # validate an existing file's schema
 //! cyclebench --smoke         # quick word-vs-scalar regression gate
 //! ```
@@ -20,7 +21,15 @@
 //! `--smoke` runs the quick grid under both kernels and fails if the
 //! word kernel falls below `SMOKE_FLOOR` x the scalar kernel's
 //! throughput on any combination — a cheap CI gate against the word
-//! path silently regressing to slower-than-scalar.
+//! path silently regressing to slower-than-scalar. It also runs the
+//! sharded-mesh determinism gate: one quick mesh at 1 and 4 shards
+//! must produce identical telemetry.
+//!
+//! `--sharded` benchmarks one mesh of Hi-Rise switches through the
+//! sharded lockstep engine at each shard count, recording simulated
+//! cycles/sec and aggregate flits/sec into an additive `"sharded"`
+//! section of the same results file (the per-fabric kernel rows are
+//! preserved, and vice versa).
 //!
 //! Methodology: per (fabric, radix) one `NetworkSim` under uniform
 //! random traffic at 0.1 packets/input/cycle (comfortably below the
@@ -47,11 +56,14 @@ use hirise_core::{
     ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
 };
 use hirise_lab::json::{self, Json};
-use hirise_sim::traffic::UniformRandom;
+use hirise_sim::mesh_sim::{MeshReport, MeshSimConfig};
+use hirise_sim::shard::{sharded_mesh, ShardedSim};
+use hirise_sim::traffic::{TrafficPattern, UniformRandom};
 use hirise_sim::{NetworkSim, SimConfig};
 
 const SCHEMA: &str = "hirise-cyclebench/v2";
 const USAGE: &str = "cyclebench [--quick] [--label before|after] [--out PATH]\n       \
+     cyclebench --sharded [--quick] [--out PATH]\n       \
      cyclebench --check PATH\n       cyclebench --smoke";
 const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
 const RADICES: [usize; 3] = [16, 32, 64];
@@ -116,6 +128,31 @@ impl Row {
             _ => None,
         }
     }
+}
+
+/// Shard counts swept by `--sharded`.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Sharded-sweep mesh: radix and mesh ports per direction (8 endpoint
+/// cores per node remain).
+const SHARDED_RADIX: usize = 16;
+const SHARDED_PPD: usize = 2;
+
+/// One sharded measurement: simulated cycles/sec of the whole mesh and
+/// aggregate delivered flits/sec, at one shard count.
+#[derive(Clone, Copy, Debug)]
+struct ShardedPoint {
+    shards: usize,
+    cycles_per_sec: f64,
+    flits_per_sec: f64,
+}
+
+/// The `"sharded"` results section: the benched mesh geometry plus one
+/// point per shard count.
+#[derive(Clone, Debug)]
+struct ShardedSection {
+    cols: usize,
+    rows: usize,
+    points: Vec<ShardedPoint>,
 }
 
 /// Arbitration kernel benchmarked under each label: `before` is the
@@ -195,6 +232,84 @@ fn measure(fabric: &'static str, radix: usize, kernel: ArbiterKernel, scale: &Sc
     }
 }
 
+/// Builds the sharded-sweep mesh: `cols x rows` radix-16 Hi-Rise
+/// switches with 8 cores each, uniform random traffic, measurement
+/// window open-ended so segment deltas count every delivery.
+fn build_sharded_mesh(
+    cols: usize,
+    rows: usize,
+    shards: usize,
+) -> ShardedSim<HiRiseSwitch, hirise_sim::mesh_sim::MeshGeometry> {
+    let cfg = MeshSimConfig::new(cols, rows, SHARDED_PPD)
+        .injection_rate(INJECTION_RATE)
+        .warmup(0)
+        .measure(u64::MAX / 2)
+        .seed(SEED);
+    let switch_cfg = HiRiseConfig::builder(SHARDED_RADIX, LAYERS)
+        .channel_multiplicity(4)
+        .scheme(ArbitrationScheme::LayerToLayerLrg)
+        .build()
+        .expect("valid Hi-Rise configuration");
+    let cores = (SHARDED_RADIX - 4 * SHARDED_PPD) * cols * rows;
+    sharded_mesh(
+        &cfg,
+        SHARDED_RADIX,
+        shards,
+        move |_node| HiRiseSwitch::with_kernel(&switch_cfg, ArbiterKernel::Word),
+        move || Box::new(UniformRandom::new(cores)) as Box<dyn TrafficPattern>,
+    )
+}
+
+/// Benchmarks the sweep mesh at one shard count: median simulated
+/// cycles/sec and aggregate delivered flits/sec across timed segments.
+fn measure_sharded(cols: usize, rows: usize, shards: usize, scale: &Scale) -> ShardedPoint {
+    let mut sim = build_sharded_mesh(cols, rows, shards);
+    sim.run_cycles(scale.warmup_cycles);
+    let mut cycles_per_sec = Vec::with_capacity(scale.reps);
+    let mut flits_per_sec = Vec::with_capacity(scale.reps);
+    let mut delivered = sim.report().completed_measured();
+    for _ in 0..scale.reps {
+        let start = Instant::now();
+        sim.run_cycles(scale.cycles_per_rep);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let now_delivered = sim.report().completed_measured();
+        let packets = now_delivered - delivered;
+        delivered = now_delivered;
+        cycles_per_sec.push(scale.cycles_per_rep as f64 / secs);
+        flits_per_sec.push(packets as f64 * 4.0 / secs);
+    }
+    ShardedPoint {
+        shards,
+        cycles_per_sec: median(&mut cycles_per_sec),
+        flits_per_sec: median(&mut flits_per_sec),
+    }
+}
+
+/// Runs the full `--sharded` sweep: one mesh, every shard count (those
+/// exceeding the node count are skipped).
+fn measure_sharded_section(scale: &Scale) -> ShardedSection {
+    let (cols, rows) = if scale.quick { (4, 4) } else { (8, 8) };
+    println!(
+        "cyclebench --sharded: {cols}x{rows} mesh of radix-{SHARDED_RADIX} hirise, \
+         {} cycles x {} reps per shard count\n",
+        scale.cycles_per_rep, scale.reps
+    );
+    println!("{:>6} {:>15} {:>15}", "shards", "cycles/sec", "flits/sec");
+    let mut points = Vec::new();
+    for shards in SHARD_COUNTS {
+        if shards > cols * rows {
+            continue;
+        }
+        let point = measure_sharded(cols, rows, shards, scale);
+        println!(
+            "{:>6} {:>15.0} {:>15.0}",
+            point.shards, point.cycles_per_sec, point.flits_per_sec
+        );
+        points.push(point);
+    }
+    ShardedSection { cols, rows, points }
+}
+
 fn parse_throughput(value: &Json) -> Option<Throughput> {
     Some(Throughput {
         cycles_per_sec: value.get("cycles_per_sec")?.as_f64()?,
@@ -202,38 +317,59 @@ fn parse_throughput(value: &Json) -> Option<Throughput> {
     })
 }
 
-/// Loads the labelled measurements from an existing results file so a
-/// re-run under one label preserves the other label's column. Files
-/// with any other schema (including `v1`, whose medians were biased)
-/// are ignored and overwritten wholesale.
-fn load_existing(path: &str, rows: &mut [Row]) {
+/// Loads the labelled measurements (and any `"sharded"` section) from
+/// an existing results file so a re-run under one label — or a
+/// `--sharded` sweep — preserves everything else. Files with any other
+/// schema (including `v1`, whose medians were biased) are ignored and
+/// overwritten wholesale.
+fn load_existing(path: &str, rows: &mut [Row]) -> Option<ShardedSection> {
     let Ok(text) = std::fs::read_to_string(path) else {
-        return;
+        return None;
     };
     let Ok(doc) = json::parse(&text) else {
         eprintln!("warning: {path} is not valid JSON; starting fresh");
-        return;
+        return None;
     };
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         eprintln!("warning: {path} has an unknown schema; starting fresh");
-        return;
+        return None;
     }
-    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
-        return;
-    };
-    for entry in results {
-        let fabric = entry.get("fabric").and_then(Json::as_str);
-        let radix = entry.get("radix").and_then(Json::as_u64);
-        let (Some(fabric), Some(radix)) = (fabric, radix) else {
-            continue;
-        };
-        for row in rows.iter_mut() {
-            if row.fabric == fabric && row.radix as u64 == radix {
-                row.before = entry.get("before").and_then(parse_throughput);
-                row.after = entry.get("after").and_then(parse_throughput);
+    if let Some(results) = doc.get("results").and_then(Json::as_arr) {
+        for entry in results {
+            let fabric = entry.get("fabric").and_then(Json::as_str);
+            let radix = entry.get("radix").and_then(Json::as_u64);
+            let (Some(fabric), Some(radix)) = (fabric, radix) else {
+                continue;
+            };
+            for row in rows.iter_mut() {
+                if row.fabric == fabric && row.radix as u64 == radix {
+                    row.before = entry.get("before").and_then(parse_throughput);
+                    row.after = entry.get("after").and_then(parse_throughput);
+                }
             }
         }
     }
+    parse_sharded(&doc)
+}
+
+fn parse_sharded(doc: &Json) -> Option<ShardedSection> {
+    let section = doc.get("sharded")?;
+    Some(ShardedSection {
+        cols: section.get("cols")?.as_u64()? as usize,
+        rows: section.get("rows")?.as_u64()? as usize,
+        points: section
+            .get("results")?
+            .as_arr()?
+            .iter()
+            .filter_map(|p| {
+                Some(ShardedPoint {
+                    shards: p.get("shards")?.as_u64()? as usize,
+                    cycles_per_sec: p.get("cycles_per_sec")?.as_f64()?,
+                    flits_per_sec: p.get("flits_per_sec")?.as_f64()?,
+                })
+            })
+            .collect(),
+    })
 }
 
 fn write_throughput(out: &mut String, value: Option<Throughput>) {
@@ -249,7 +385,34 @@ fn write_throughput(out: &mut String, value: Option<Throughput>) {
     }
 }
 
-fn render(rows: &[Row], scale: &Scale) -> String {
+fn render_sharded(out: &mut String, section: &ShardedSection) {
+    out.push_str(",\n  \"sharded\":{\"topology\":\"mesh\",\"cols\":");
+    out.push_str(&section.cols.to_string());
+    out.push_str(",\"rows\":");
+    out.push_str(&section.rows.to_string());
+    out.push_str(",\"radix\":");
+    out.push_str(&SHARDED_RADIX.to_string());
+    out.push_str(",\"ports_per_direction\":");
+    out.push_str(&SHARDED_PPD.to_string());
+    out.push_str(",\"results\":[\n");
+    for (index, point) in section.points.iter().enumerate() {
+        out.push_str("    {\"shards\":");
+        out.push_str(&point.shards.to_string());
+        out.push_str(",\"cycles_per_sec\":");
+        json::write_f64(out, point.cycles_per_sec);
+        out.push_str(",\"flits_per_sec\":");
+        json::write_f64(out, point.flits_per_sec);
+        out.push('}');
+        out.push_str(if index + 1 < section.points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]}");
+}
+
+fn render(rows: &[Row], scale: &Scale, sharded: Option<&ShardedSection>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\":");
@@ -286,7 +449,11 @@ fn render(rows: &[Row], scale: &Scale) -> String {
         out.push('}');
         out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(section) = sharded {
+        render_sharded(&mut out, section);
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -336,6 +503,30 @@ fn check(path: &str) -> Result<(), String> {
             }
         }
     }
+    // The sharded section is optional and additive, but when present it
+    // must be well-formed: parseable geometry and at least one point
+    // with positive throughput at a positive shard count.
+    match doc.get("sharded") {
+        None | Some(Json::Null) => {}
+        Some(_) => {
+            let section =
+                parse_sharded(&doc).ok_or_else(|| format!("{path}: malformed sharded section"))?;
+            if section.points.is_empty() {
+                return Err(format!("{path}: sharded section has no results"));
+            }
+            for point in &section.points {
+                if point.shards == 0 {
+                    return Err(format!("{path}: sharded result with zero shards"));
+                }
+                if point.cycles_per_sec <= 0.0 || point.flits_per_sec <= 0.0 {
+                    return Err(format!(
+                        "{path}: non-positive throughput at {} shards",
+                        point.shards
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -369,8 +560,29 @@ fn smoke() -> ExitCode {
             }
         }
     }
+    // Sharded-mesh determinism gate: a short bounded run of the quick
+    // sweep mesh must produce identical telemetry at 1 and 4 shards.
+    let sharded_reports: Vec<MeshReport> = [1usize, 4]
+        .iter()
+        .map(|&shards| {
+            let mut sim = build_sharded_mesh(4, 4, shards);
+            sim.run_cycles(2_000);
+            sim.report()
+        })
+        .collect();
+    if sharded_reports[0] == sharded_reports[1] && sharded_reports[0].completed_measured() > 0 {
+        println!(
+            "\nsharded mesh OK: 1-shard and 4-shard telemetry identical \
+             ({} packets delivered)",
+            sharded_reports[0].completed_measured()
+        );
+    } else if sharded_reports[0].completed_measured() == 0 {
+        failures.push("sharded mesh smoke delivered no packets".to_string());
+    } else {
+        failures.push("sharded mesh telemetry differs between 1 and 4 shards".to_string());
+    }
     if failures.is_empty() {
-        println!("\nsmoke OK: word kernel at or above {SMOKE_FLOOR}x scalar everywhere");
+        println!("smoke OK: word kernel at or above {SMOKE_FLOOR}x scalar everywhere");
         ExitCode::SUCCESS
     } else {
         for failure in &failures {
@@ -384,6 +596,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut run_smoke = false;
+    let mut run_sharded = false;
     let mut label = "after".to_string();
     let mut out_path = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
@@ -393,6 +606,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" | "quick" => quick = true,
             "--smoke" => run_smoke = true,
+            "--sharded" => run_sharded = true,
             "--label" => label = iter.next().unwrap_or_else(|| missing("--label")),
             "--out" => out_path = iter.next().unwrap_or_else(|| missing("--out")),
             "--check" => check_path = Some(iter.next().unwrap_or_else(|| missing("--check"))),
@@ -431,7 +645,33 @@ fn main() -> ExitCode {
             })
         })
         .collect();
-    load_existing(&out_path, &mut rows);
+    let mut sharded = load_existing(&out_path, &mut rows);
+
+    if run_sharded {
+        // Sharded sweep only: replace the section, keep the kernel rows.
+        if rows.iter().all(|r| r.before.is_none() && r.after.is_none()) {
+            eprintln!(
+                "cyclebench: note: {out_path} has no kernel rows; \
+                 run a --label pass first so the self-check can pass"
+            );
+        }
+        sharded = Some(measure_sharded_section(&scale));
+        let rendered = render(&rows, &scale, sharded.as_ref());
+        if let Err(error) = std::fs::write(&out_path, &rendered) {
+            eprintln!("cyclebench: cannot write {out_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        return match check(&out_path) {
+            Ok(()) => {
+                println!("\nwrote {out_path}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("cyclebench: self-check failed: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     println!(
         "cyclebench: label={label} ({} kernel), {} cycles x {} reps per combination\n",
@@ -460,7 +700,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let rendered = render(&rows, &scale);
+    let rendered = render(&rows, &scale, sharded.as_ref());
     if let Err(error) = std::fs::write(&out_path, &rendered) {
         eprintln!("cyclebench: cannot write {out_path}: {error}");
         return ExitCode::FAILURE;

@@ -43,7 +43,11 @@ pub struct Grant {
 ///
 /// Requests that lose simply have no effect; callers re-present them next
 /// cycle. Requests from already-connected inputs are ignored.
-pub trait Fabric {
+///
+/// `Send` is a supertrait so boxed fabrics can move into the sharded
+/// simulator's worker threads; fabrics are plain data, so every
+/// implementation satisfies it for free.
+pub trait Fabric: Send {
     /// Number of input (and output) ports.
     fn radix(&self) -> usize;
 

@@ -53,6 +53,17 @@ impl SplitMix64 {
     }
 }
 
+/// Derives an independent stream seed from a master seed and a stream
+/// index. Pure and order-free: the result depends only on
+/// `(master, index)`, never on which thread asks or when — the
+/// position-derived-seed trick that keeps parallel telemetry
+/// byte-identical at any thread or shard count. `hirise-lab` uses it
+/// for per-job seeds; the sharded simulator for per-endpoint injection
+/// streams.
+pub fn derive_stream_seed(master: u64, index: u64) -> u64 {
+    SplitMix64::new(master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
+}
+
 /// The raw 64-bit generator interface.
 pub trait RngCore {
     /// Next 64-bit output, advancing the state.

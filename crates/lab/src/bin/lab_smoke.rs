@@ -16,13 +16,19 @@
 //! checks every faulty record stayed invariant-clean while still
 //! delivering traffic.
 //!
-//! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup | --faults]`
+//! `--shards` runs small mesh and dragonfly campaigns (each with a
+//! fault axis) once per shard count and asserts the JSONL files —
+//! headers included, since the digest excludes the shard knob — are
+//! byte-for-byte identical: the CI gate on the sharded engine's
+//! determinism contract.
+//!
+//! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup | --faults | --shards]`
 
 use hirise_core::{ArbitrationScheme, HiRiseConfig};
 use hirise_lab::args::{arg_error, flag_value, parse_flag_value};
 use hirise_lab::{
     default_threads, json, CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams,
-    Stderr,
+    Stderr, Topology,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -35,12 +41,13 @@ fn fail(what: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-const USAGE: &str = "lab_smoke [--threads N] [--out PATH] [--speedup | --faults]";
+const USAGE: &str = "lab_smoke [--threads N] [--out PATH] [--speedup | --faults | --shards]";
 
 enum Mode {
     Smoke,
     Speedup,
     Faults,
+    Shards,
 }
 
 fn parse_args() -> (usize, PathBuf, Mode) {
@@ -66,6 +73,7 @@ fn parse_args() -> (usize, PathBuf, Mode) {
             }
             "--speedup" => mode = Mode::Speedup,
             "--faults" => mode = Mode::Faults,
+            "--shards" => mode = Mode::Shards,
             other => arg_error(format!("unknown argument {other:?}"), USAGE),
         }
     }
@@ -280,11 +288,85 @@ fn faults(out: PathBuf) {
     );
 }
 
+/// Sharded campaigns at 1 vs several shard counts: headers and every
+/// record must be byte-identical, because the shard knob is excluded
+/// from the campaign digest and results are invariant to it. Covers a
+/// mesh and a dragonfly, both with a fault axis (per-router faults on
+/// the mesh, dead wafer links on the dragonfly).
+fn shards(out: PathBuf) {
+    let hirise16 = || {
+        FabricSpec::hirise(
+            HiRiseConfig::builder(16, 2)
+                .channel_multiplicity(2)
+                .build()
+                .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
+        )
+    };
+    let mesh = CampaignSpec::new("shard-smoke-mesh")
+        .topology(Topology::Mesh {
+            cols: 4,
+            rows: 2,
+            ports_per_direction: 2,
+            layer_aware: None,
+        })
+        .fabric(hirise16())
+        .pattern(PatternSpec::Uniform)
+        .loads([0.02])
+        .fault(FaultSpec::none())
+        .fault(FaultSpec::dead_tsv_bundles(1))
+        .sim(SimParams::quick());
+    let dragonfly = CampaignSpec::new("shard-smoke-dragonfly")
+        .topology(Topology::Dragonfly {
+            routers_per_group: 4,
+            endpoints_per_router: 4,
+            global_per_router: 2,
+            groups: 9,
+            palmtree: false,
+        })
+        .fabric(hirise16())
+        .pattern(PatternSpec::Uniform)
+        .loads([0.02])
+        .fault(FaultSpec::dead_tsv_bundles(2))
+        .sim(SimParams::quick());
+
+    let start = Instant::now();
+    for (name, spec) in [("mesh", mesh), ("dragonfly", dragonfly)] {
+        let jobs = spec.jobs().len();
+        let mut reference: Option<Vec<u8>> = None;
+        for shard_count in [1usize, 2, 8] {
+            let path = out.with_extension(format!("{name}-s{shard_count}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            spec.clone()
+                .shards(shard_count)
+                .run_to_file(&path, 2, &Silent)
+                .unwrap_or_else(|e| fail(format!("{name} shard campaign failed: {e}")));
+            validate_jsonl(&path, jobs);
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| fail(format!("cannot read shard telemetry: {e}")));
+            if let Some(reference) = &reference {
+                assert_eq!(
+                    reference, &bytes,
+                    "{name} JSONL must be byte-identical at any shard count"
+                );
+            } else {
+                reference = Some(bytes);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        println!("  {name}: {jobs} jobs x 3 shard counts byte-identical");
+    }
+    println!(
+        "shards ok: mesh and dragonfly campaigns shard-count-invariant in {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let (threads, out, mode) = parse_args();
     match mode {
         Mode::Speedup => speedup(threads, out),
         Mode::Faults => faults(out),
+        Mode::Shards => shards(out),
         Mode::Smoke => smoke(threads, out),
     }
 }

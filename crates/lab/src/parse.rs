@@ -130,6 +130,12 @@ pub fn campaign_from_value(value: &Json) -> Result<CampaignSpec, SpecError> {
     if let Some(v) = obj.get("sim") {
         spec.sim = sim_from_value(v)?;
     }
+    // Execution knob, not part of the canonical schema: accepted here
+    // so campaign files can request sharding, but never emitted by
+    // `canonical_json` (results are invariant to it).
+    if let Some(v) = obj.get("shards") {
+        spec.shards = as_usize(v, "shards")?.max(1);
+    }
     Ok(spec)
 }
 
@@ -137,17 +143,8 @@ fn topology_from_value(value: &Json) -> Result<Topology, SpecError> {
     match value {
         Json::Str(s) if s == "single-switch" => Ok(Topology::SingleSwitch),
         Json::Str(s) => Err(invalid("topology", format!("unknown topology {s:?}"))),
-        Json::Obj(_) => {
-            match value.get("kind").and_then(Json::as_str) {
-                Some("mesh") => {}
-                other => {
-                    return Err(invalid(
-                        "topology.kind",
-                        format!("expected \"mesh\", got {other:?}"),
-                    ))
-                }
-            }
-            Ok(Topology::Mesh {
+        Json::Obj(_) => match value.get("kind").and_then(Json::as_str) {
+            Some("mesh") => Ok(Topology::Mesh {
                 cols: require_usize(value, "cols", "topology")?,
                 rows: require_usize(value, "rows", "topology")?,
                 ports_per_direction: require_usize(value, "ports_per_direction", "topology")?,
@@ -155,11 +152,28 @@ fn topology_from_value(value: &Json) -> Result<Topology, SpecError> {
                     None | Some(Json::Null) => None,
                     Some(v) => Some(as_usize(v, "topology.layer_aware")?),
                 },
-            })
-        }
+            }),
+            Some("dragonfly") => Ok(Topology::Dragonfly {
+                routers_per_group: require_usize(value, "routers_per_group", "topology")?,
+                endpoints_per_router: require_usize(value, "endpoints_per_router", "topology")?,
+                global_per_router: require_usize(value, "global_per_router", "topology")?,
+                groups: require_usize(value, "groups", "topology")?,
+                palmtree: match value.get("palmtree") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => {
+                        return Err(invalid("topology.palmtree", "expected a boolean"));
+                    }
+                },
+            }),
+            other => Err(invalid(
+                "topology.kind",
+                format!("expected \"mesh\" or \"dragonfly\", got {other:?}"),
+            )),
+        },
         _ => Err(invalid(
             "topology",
-            "expected \"single-switch\" or a mesh object",
+            "expected \"single-switch\", a mesh object or a dragonfly object",
         )),
     }
 }
@@ -440,6 +454,29 @@ mod tests {
             layer_aware: Some(4),
         });
         assert_eq!(campaign_from_json(&spec.canonical_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn dragonfly_topology_round_trips() {
+        let spec = CampaignSpec::new("wafer").topology(Topology::Dragonfly {
+            routers_per_group: 4,
+            endpoints_per_router: 4,
+            global_per_router: 2,
+            groups: 9,
+            palmtree: true,
+        });
+        assert_eq!(campaign_from_json(&spec.canonical_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn shards_knob_parses_but_never_reaches_the_canonical_schema() {
+        let spec = campaign_from_json(r#"{"name":"x","shards":8}"#).expect("shards field accepted");
+        assert_eq!(spec.shards, 8);
+        assert!(
+            !spec.canonical_json().contains("shards"),
+            "shards is an execution knob, not campaign identity"
+        );
+        assert_eq!(spec.digest(), CampaignSpec::new("x").digest());
     }
 
     #[test]

@@ -9,13 +9,15 @@
 //! order they pick jobs up.
 
 use crate::result::{JobResult, Metrics};
-use hirise_core::rng::{Rng, SeedableRng, SliceRandom, SplitMix64, StdRng};
+use hirise_core::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 use hirise_core::{
     ArbitrationScheme, ChannelAllocation, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig,
     HiRiseSwitch, LocalArbiterKind, OutputId, Switch2d,
 };
 use hirise_phys::{DesignPoint, SwitchDesign};
-use hirise_sim::mesh_sim::{MeshPortMap, MeshSim, MeshSimConfig};
+use hirise_sim::dragonfly::{sample_dead_links, DragonflyConfig, DragonflyGeometry, GlobalLinkMap};
+use hirise_sim::mesh_sim::{MeshPortMap, MeshReport, MeshSimConfig};
+use hirise_sim::shard::{sharded_mesh, ShardedConfig, ShardedSim};
 use hirise_sim::traffic::{
     BitComplement, Bursty, Hotspot, InterLayerOnly, NeighborShift, RandomPermutation, Tornado,
     TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
@@ -290,8 +292,11 @@ impl PatternSpec {
 /// the fabric's fault machinery at all, which keeps zero-fault runs
 /// bit-identical to fault-free fabrics.
 ///
-/// Faults apply to single-switch campaigns; mesh topologies record the
-/// spec's label but run fault-free.
+/// In single-switch campaigns the spec applies to the one fabric under
+/// test. In mesh and dragonfly campaigns it applies to every router,
+/// each sampling an independent fault mix from a node-derived seed —
+/// except that a dragonfly reinterprets `dead_tsvs` as dead wafer
+/// (group-pair) links, the wafer-scale analogue of a severed bundle.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSpec {
     /// Number of TSV bundles (L2LCs for Hi-Rise, output-bus boundary
@@ -602,6 +607,26 @@ pub enum Topology {
         /// `None` the contiguous default.
         layer_aware: Option<usize>,
     },
+    /// A wafer-scale dragonfly of switches: groups of `routers_per_group`
+    /// fully-meshed routers, each with `endpoints_per_router` endpoints
+    /// and `global_per_router` wafer links to other groups. The fabric
+    /// radix must cover `endpoints_per_router + routers_per_group - 1 +
+    /// global_per_router` ports. A campaign fault axis maps `dead_tsvs`
+    /// to dead wafer (group-pair) links; the remaining fault fields
+    /// apply per router.
+    Dragonfly {
+        /// Routers per group (`a`).
+        routers_per_group: usize,
+        /// Endpoints per router (`p`).
+        endpoints_per_router: usize,
+        /// Wafer links per router (`h`).
+        global_per_router: usize,
+        /// Group count (`g`, at most `a*h + 1`).
+        groups: usize,
+        /// `true` for the palmtree global-link arrangement, `false` for
+        /// consecutive.
+        palmtree: bool,
+    },
 }
 
 impl Topology {
@@ -621,6 +646,18 @@ impl Topology {
                         Some(l) => l.to_string(),
                         None => "null".to_string(),
                     },
+                );
+            }
+            Topology::Dragonfly {
+                routers_per_group,
+                endpoints_per_router,
+                global_per_router,
+                groups,
+                palmtree,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"dragonfly","routers_per_group":{routers_per_group},"endpoints_per_router":{endpoints_per_router},"global_per_router":{global_per_router},"groups":{groups},"palmtree":{palmtree}}}"#,
                 );
             }
         }
@@ -652,7 +689,7 @@ pub struct Job {
 /// expansion index. Pure and order-free: the seed depends only on
 /// `(master, index)`, never on which thread runs the job or when.
 pub fn derive_seed(master: u64, index: u64) -> u64 {
-    SplitMix64::new(master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
+    hirise_core::rng::derive_stream_seed(master, index)
 }
 
 /// A declarative experiment campaign: the grid axes plus the shared
@@ -686,6 +723,15 @@ pub struct CampaignSpec {
     pub replicates: usize,
     /// Shared simulation methodology.
     pub sim: SimParams,
+    /// Shard count for mesh and dragonfly jobs: each job's topology is
+    /// partitioned into this many lockstep worker threads (clamped to
+    /// the topology's router count per job). Purely an
+    /// *execution* knob — results are byte-identical at any shard
+    /// count, so it is deliberately excluded from
+    /// [`canonical_json`](Self::canonical_json), the digest and the
+    /// job key (a resharded rerun resumes checkpoints and hits the
+    /// result cache). Single-switch jobs ignore it.
+    pub shards: usize,
 }
 
 impl CampaignSpec {
@@ -704,6 +750,7 @@ impl CampaignSpec {
             faults: Vec::new(),
             replicates: 1,
             sim: SimParams::new(),
+            shards: 1,
         }
     }
 
@@ -767,6 +814,14 @@ impl CampaignSpec {
     /// Sets the shared methodology.
     pub fn sim(mut self, sim: SimParams) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Sets the shard count (minimum 1) for mesh and dragonfly jobs.
+    /// An execution knob only: results, digests and job keys are
+    /// invariant to it.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -1049,36 +1104,114 @@ impl CampaignSpec {
                         Some(layers) => MeshPortMap::LayerAware { layers: *layers },
                         None => MeshPortMap::Contiguous,
                     });
-                let mut sim = MeshSim::new(cfg, || job.fabric.build());
-                let mut pattern = job.pattern.build(sim.total_cores());
-                let report = sim.run(&mut *pattern);
-                JobResult {
-                    index: job.index,
-                    fabric: job.fabric.label(),
-                    pattern: job.pattern.label(),
-                    load: job.load,
-                    fault: job.fault.label(),
-                    replicate: job.replicate,
-                    seed: job.seed,
-                    metrics: Metrics {
-                        accepted_rate: report.accepted_rate(),
-                        avg_latency_cycles: report.avg_latency_cycles(),
-                        p50: report.latency_percentile_cycles(50.0),
-                        p95: report.latency_percentile_cycles(95.0),
-                        p99: report.latency_percentile_cycles(99.0),
-                        max_latency_cycles: report.latency_histogram().max().unwrap_or(0),
-                        injected: report.injected_measured(),
-                        completed: report.completed_measured(),
-                        stable: report.is_stable(),
-                        avg_hops: Some(report.avg_hops()),
-                    },
-                    violations: 0,
-                    violation_messages: Vec::new(),
-                    fault_events: 0,
-                    per_input_accepted: None,
-                    histogram: report.latency_histogram().clone(),
-                }
+                let radix = job.fabric.radix();
+                let cores = (radix - 4 * ports_per_direction) * cols * rows;
+                let mut sim = sharded_mesh(
+                    &cfg,
+                    radix,
+                    self.shards.min(cols * rows),
+                    |node| self.routed_fabric(job, &job.fault, node),
+                    || job.pattern.build(cores),
+                );
+                let report = sim.run();
+                let fault_events = sim.fault_event_count();
+                Self::routed_result(job, &report, fault_events)
             }
+            Topology::Dragonfly {
+                routers_per_group,
+                endpoints_per_router,
+                global_per_router,
+                groups,
+                palmtree,
+            } => {
+                let radix = job.fabric.radix();
+                let dcfg = DragonflyConfig::new(
+                    *routers_per_group,
+                    *endpoints_per_router,
+                    *global_per_router,
+                    *groups,
+                )
+                .map(if *palmtree {
+                    GlobalLinkMap::Palmtree
+                } else {
+                    GlobalLinkMap::Consecutive
+                });
+                // The fault axis's dead-TSV count becomes dead wafer
+                // links between group pairs; the per-router fault fields
+                // keep their single-switch meaning.
+                let dead = sample_dead_links(
+                    *groups,
+                    job.fault.dead_tsvs,
+                    derive_seed(job.seed ^ 0xFA17_BA5E_D00D_F00D, job.fault.salt),
+                );
+                let geo = DragonflyGeometry::new(dcfg, radix, &dead)
+                    .expect("campaign dragonfly must be buildable and routable");
+                let endpoints = routers_per_group * groups * endpoints_per_router;
+                let mut cfg = ShardedConfig::new()
+                    .injection_rate(job.load)
+                    .warmup(self.sim.warmup)
+                    .measure(self.sim.measure)
+                    .drain(self.sim.drain)
+                    .seed(job.seed);
+                cfg.vcs = self.sim.vcs;
+                cfg.packet_len_flits = self.sim.packet_len_flits;
+                let router_fault = FaultSpec {
+                    dead_tsvs: 0,
+                    ..job.fault.clone()
+                };
+                let mut sim = ShardedSim::new(
+                    geo,
+                    cfg,
+                    self.shards.min(routers_per_group * groups),
+                    |node| self.routed_fabric(job, &router_fault, node),
+                    || job.pattern.build(endpoints),
+                );
+                let report = sim.run();
+                let fault_events = sim.fault_event_count();
+                Self::routed_result(job, &report, fault_events)
+            }
+        }
+    }
+
+    /// Builds one node's fabric for a routed (mesh or dragonfly)
+    /// topology, applying the job's fault plan with a seed derived from
+    /// the node position so every node samples an independent fault mix
+    /// regardless of which shard builds it.
+    fn routed_fabric(&self, job: &Job, fault: &FaultSpec, node: usize) -> Box<dyn Fabric> {
+        let mut fabric = job.fabric.build();
+        fault.apply(&mut fabric, derive_seed(job.seed, node as u64));
+        fabric
+    }
+
+    /// Assembles a routed-topology job result from the merged shard
+    /// report. The mesh and dragonfly arms share this, so the two
+    /// paths cannot disagree on what a record contains.
+    fn routed_result(job: &Job, report: &MeshReport, fault_events: u64) -> JobResult {
+        JobResult {
+            index: job.index,
+            fabric: job.fabric.label(),
+            pattern: job.pattern.label(),
+            load: job.load,
+            fault: job.fault.label(),
+            replicate: job.replicate,
+            seed: job.seed,
+            metrics: Metrics {
+                accepted_rate: report.accepted_rate(),
+                avg_latency_cycles: report.avg_latency_cycles(),
+                p50: report.latency_percentile_cycles(50.0),
+                p95: report.latency_percentile_cycles(95.0),
+                p99: report.latency_percentile_cycles(99.0),
+                max_latency_cycles: report.latency_histogram().max().unwrap_or(0),
+                injected: report.injected_measured(),
+                completed: report.completed_measured(),
+                stable: report.is_stable(),
+                avg_hops: Some(report.avg_hops()),
+            },
+            violations: 0,
+            violation_messages: Vec::new(),
+            fault_events,
+            per_input_accepted: None,
+            histogram: report.latency_histogram().clone(),
         }
     }
 }

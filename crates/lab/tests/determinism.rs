@@ -4,7 +4,7 @@
 
 use hirise_core::rng::{Rng, SeedableRng, StdRng};
 use hirise_core::HiRiseConfig;
-use hirise_lab::{CampaignSpec, FabricSpec, PatternSpec, Silent, SimParams, Topology};
+use hirise_lab::{CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams, Topology};
 use hirise_sim::LatencyHistogram;
 use std::path::PathBuf;
 
@@ -141,6 +141,74 @@ fn mesh_topology_campaigns_are_deterministic_too() {
     assert_eq!(serial, parallel);
     assert!(serial.iter().all(|r| r.metrics.avg_hops.is_some()));
     assert!(serial.iter().all(|r| r.per_input_accepted.is_none()));
+}
+
+/// The `shards` knob is execution-only: a campaign resharded across
+/// worker threads must keep its digest and produce byte-identical
+/// JSONL, including under a fault axis (faults now apply per router on
+/// routed topologies).
+#[test]
+fn mesh_campaign_results_are_shard_count_invariant() {
+    let base = CampaignSpec::new("mesh-shards")
+        .topology(Topology::Mesh {
+            cols: 3,
+            rows: 2,
+            ports_per_direction: 1,
+            layer_aware: None,
+        })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(8, 2).build().unwrap(),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.02])
+        .fault(FaultSpec::none())
+        .fault(FaultSpec::dead_tsv_bundles(1).with_flaky_tsvs(1, 0.05))
+        .sim(SimParams::new().cycles(100, 500, 500));
+    let mut outputs = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let spec = base.clone().shards(shards);
+        assert_eq!(spec.digest(), base.digest(), "digest must ignore shards");
+        let path = temp_path(&format!("shards{shards}"));
+        let _ = std::fs::remove_file(&path);
+        spec.run_to_file(&path, 2, &Silent).unwrap();
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 shards");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 shards");
+    let text = String::from_utf8(outputs[0].clone()).unwrap();
+    assert!(
+        text.contains("\"fault\":\"dt1ft1q0.05\""),
+        "fault axis must be recorded"
+    );
+}
+
+#[test]
+fn dragonfly_campaign_results_are_shard_count_invariant() {
+    let base = CampaignSpec::new("wafer-shards")
+        .topology(Topology::Dragonfly {
+            routers_per_group: 4,
+            endpoints_per_router: 4,
+            global_per_router: 2,
+            groups: 9,
+            palmtree: false,
+        })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(16, 2).build().unwrap(),
+        ))
+        .pattern(PatternSpec::Uniform)
+        .loads([0.02])
+        .fault(FaultSpec::dead_tsv_bundles(2))
+        .sim(SimParams::new().cycles(100, 500, 500));
+    let reference = base.clone().shards(1).run(1);
+    assert!(reference.iter().all(|r| r.metrics.completed > 0));
+    for shards in [3usize, 8] {
+        assert_eq!(
+            base.clone().shards(shards).run(2),
+            reference,
+            "dragonfly campaign diverged at {shards} shards"
+        );
+    }
 }
 
 /// Seeded property test: histogram merging is associative and

@@ -8,7 +8,8 @@ use hirise_lab::args::{arg_error, flag_value, parse_flag_value};
 use hirise_serve::ServeConfig;
 
 const USAGE: &str = "hirise_serve [--addr HOST:PORT] [--data DIR] [--workers N] \
-                     [--queue-cap N] [--max-inflight N] [--max-per-client N]";
+                     [--queue-cap N] [--max-inflight N] [--max-per-client N] \
+                     [--cache-max-entries N]";
 
 fn parse_args() -> ServeConfig {
     let mut cfg = ServeConfig::new("hirise-serve-data");
@@ -39,6 +40,14 @@ fn parse_args() -> ServeConfig {
             "--max-per-client" => {
                 let v = flag_value("--max-per-client", &mut args, USAGE);
                 cfg.max_per_client = parse_flag_value("--max-per-client", &v, USAGE);
+            }
+            "--cache-max-entries" => {
+                let v = flag_value("--cache-max-entries", &mut args, USAGE);
+                let n: usize = parse_flag_value("--cache-max-entries", &v, USAGE);
+                if n == 0 {
+                    arg_error("--cache-max-entries must be at least 1", USAGE);
+                }
+                cfg.cache_max_entries = Some(n);
             }
             other => arg_error(format!("unknown argument {other:?}"), USAGE),
         }

@@ -15,13 +15,23 @@
 //! computation of the same job simply renames the same bytes over
 //! themselves. Corrupt entries (anything that no longer parses as a
 //! record line) read as misses and are recomputed.
+//!
+//! The store can be opened with an entry budget
+//! ([`ResultCache::open_bounded`]): once it holds `max_entries`
+//! records, storing a new one evicts the least-recently-used entry
+//! (both hits and stores count as uses). Because every entry is
+//! recomputable from its job spec, eviction only ever costs a future
+//! re-simulation, never correctness. Opening an over-budget store trims
+//! it immediately, oldest entries (by file modification time) first.
 
 use hirise_lab::result::job_index_of_line;
 use hirise_lab::{CampaignSpec, Job};
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A 128-bit content address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,25 +56,115 @@ fn fnv1a128(bytes: &[u8]) -> u128 {
     hash
 }
 
+/// Recency bookkeeping for a bounded store: a monotonic use counter
+/// stamps every entry, `by_stamp` orders them oldest-first for
+/// eviction. Unbounded stores skip all of this.
+#[derive(Debug, Default)]
+struct LruIndex {
+    stamp_of: HashMap<u128, u64>,
+    by_stamp: BTreeMap<u64, u128>,
+    next_stamp: u64,
+}
+
+impl LruIndex {
+    /// Marks `key` as just used (inserting it if new).
+    fn touch(&mut self, key: u128) {
+        if let Some(old) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&old);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.stamp_of.insert(key, stamp);
+        self.by_stamp.insert(stamp, key);
+    }
+
+    /// Removes and returns the least-recently-used key, if any.
+    fn pop_oldest(&mut self) -> Option<u128> {
+        let (&stamp, &key) = self.by_stamp.iter().next()?;
+        self.by_stamp.remove(&stamp);
+        self.stamp_of.remove(&key);
+        Some(key)
+    }
+
+    fn remove(&mut self, key: u128) {
+        if let Some(stamp) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&stamp);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.stamp_of.len()
+    }
+}
+
 /// The on-disk result store plus its hit/miss counters.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     tmp_counter: AtomicU64,
+    /// `Some` when the store is bounded: the budget and the recency
+    /// index of what is on disk.
+    lru: Option<(usize, Mutex<LruIndex>)>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the store rooted at `dir`.
+    /// Opens (creating if needed) the unbounded store rooted at `dir`.
     pub fn open(dir: &Path) -> io::Result<Self> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// Opens the store rooted at `dir` with an optional entry budget.
+    /// With `Some(n)`, at most `n` entries are kept and storing beyond
+    /// the budget evicts the least-recently-used entry; a pre-existing
+    /// over-budget store is trimmed right away, oldest files first.
+    /// `None` is the unbounded [`open`](Self::open).
+    pub fn open_bounded(dir: &Path, max_entries: Option<usize>) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(Self {
+        let cache = Self {
             dir: dir.to_path_buf(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
-        })
+            lru: max_entries.map(|n| (n.max(1), Mutex::new(LruIndex::default()))),
+        };
+        if let Some((budget, index)) = &cache.lru {
+            // Seed the recency index from what is already on disk,
+            // oldest modification time first, so a restarted daemon
+            // evicts sensibly rather than arbitrarily.
+            let mut existing: Vec<(std::time::SystemTime, u128)> = Vec::new();
+            for entry in fs::read_dir(&cache.dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(key) = name
+                    .to_str()
+                    .filter(|s| s.len() == 32)
+                    .and_then(|s| u128::from_str_radix(s, 16).ok())
+                else {
+                    continue;
+                };
+                let modified = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::UNIX_EPOCH);
+                existing.push((modified, key));
+            }
+            existing.sort();
+            let mut index = index.lock().expect("lru poisoned");
+            for (_, key) in existing {
+                index.touch(key);
+            }
+            while index.len() > *budget {
+                if let Some(key) = index.pop_oldest() {
+                    let _ = fs::remove_file(cache.dir.join(format!("{key:032x}")));
+                    cache.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(cache)
     }
 
     /// The content address of one campaign job.
@@ -79,14 +179,27 @@ impl ResultCache {
     /// Looks a record up, counting a hit or a miss. Returns the stored
     /// line without its trailing newline. An unreadable or corrupt
     /// entry counts as a miss (it will be recomputed and rewritten).
+    /// On a bounded store, a hit refreshes the entry's recency.
     pub fn get(&self, key: &CacheKey) -> Option<String> {
         let line = fs::read_to_string(self.entry_path(key))
             .ok()
             .map(|s| s.trim_end_matches('\n').to_string())
             .filter(|line| job_index_of_line(line).is_some());
         match &line {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some((_, index)) = &self.lru {
+                    index.lock().expect("lru poisoned").touch(key.0);
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Missing or corrupt: drop any stale index entry so
+                // bookkeeping matches the rewrite to come.
+                if let Some((_, index)) = &self.lru {
+                    index.lock().expect("lru poisoned").remove(key.0);
+                }
+            }
         };
         line
     }
@@ -94,14 +207,25 @@ impl ResultCache {
     /// Stores a record atomically: written to a temp file in the same
     /// directory, then renamed over the entry, so readers only ever see
     /// complete entries and concurrent writers of the same key are
-    /// idempotent.
+    /// idempotent. On a bounded store, exceeding the budget evicts the
+    /// least-recently-used entries from disk.
     pub fn put(&self, key: &CacheKey, line: &str) -> io::Result<()> {
         let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
             .join(format!(".tmp-{}-{n}-{}", std::process::id(), key.hex()));
         fs::write(&tmp, format!("{line}\n"))?;
-        fs::rename(&tmp, self.entry_path(key))
+        fs::rename(&tmp, self.entry_path(key))?;
+        if let Some((budget, index)) = &self.lru {
+            let mut index = index.lock().expect("lru poisoned");
+            index.touch(key.0);
+            while index.len() > *budget {
+                let Some(old) = index.pop_oldest() else { break };
+                let _ = fs::remove_file(self.dir.join(format!("{old:032x}")));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 
     /// Cache lookups that found a stored record.
@@ -112,6 +236,12 @@ impl ResultCache {
     /// Cache lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within the budget (0 on an unbounded
+    /// store).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -163,6 +293,90 @@ mod tests {
         cache.put(&key, &line).unwrap();
         assert_eq!(cache.get(&key).as_deref(), Some(line.as_str()));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Distinct keys without running simulations: hand-built addresses
+    /// plus a minimal valid record line (anything `job_index_of_line`
+    /// accepts).
+    fn synthetic_key(n: u128) -> CacheKey {
+        CacheKey(n)
+    }
+
+    fn record_line(index: u64) -> String {
+        format!("{{\"job\":{index}}}")
+    }
+
+    #[test]
+    fn lru_eviction_drops_least_recently_used_first() {
+        let dir = temp_store("lru-order");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open_bounded(&dir, Some(2)).unwrap();
+        let (a, b, c) = (synthetic_key(1), synthetic_key(2), synthetic_key(3));
+
+        cache.put(&a, &record_line(0)).unwrap();
+        cache.put(&b, &record_line(1)).unwrap();
+        // Touch A so B becomes the least recently used...
+        assert!(cache.get(&a).is_some());
+        // ...then go over budget: B must be the one evicted.
+        cache.put(&c, &record_line(2)).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&b).is_none(), "B was least recently used");
+        assert!(cache.get(&a).is_some(), "A was touched, must survive");
+        assert!(cache.get(&c).is_some(), "C is newest, must survive");
+
+        // Re-storing an evicted entry works and evictions keep LRU
+        // order under the new recency (A < C < B now).
+        cache.put(&b, &record_line(1)).unwrap();
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.get(&a).is_none(), "A aged out after B returned");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restoring_the_same_key_never_evicts() {
+        let dir = temp_store("lru-idempotent");
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open_bounded(&dir, Some(2)).unwrap();
+        let (a, b) = (synthetic_key(10), synthetic_key(11));
+        cache.put(&a, &record_line(0)).unwrap();
+        for _ in 0..5 {
+            cache.put(&b, &record_line(1)).unwrap();
+        }
+        assert_eq!(cache.evictions(), 0, "rewrites of one key are free");
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_over_budget_trims_oldest_files_first() {
+        let dir = temp_store("lru-reopen");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let unbounded = ResultCache::open(&dir).unwrap();
+            for n in 0..4u128 {
+                unbounded
+                    .put(&synthetic_key(n), &record_line(n as u64))
+                    .unwrap();
+                // Distinct mtimes so the reopen scan sees a total order
+                // even on filesystems with coarse timestamps.
+                let path = dir.join(synthetic_key(n).hex());
+                let old =
+                    std::time::SystemTime::now() - std::time::Duration::from_secs(100 - n as u64);
+                let _ = fs::File::open(&path).and_then(|f| f.set_modified(old).map(|_| f));
+            }
+            assert_eq!(unbounded.evictions(), 0);
+        }
+        let bounded = ResultCache::open_bounded(&dir, Some(2)).unwrap();
+        assert_eq!(bounded.evictions(), 2, "trimmed down to budget on open");
+        assert!(
+            bounded.get(&synthetic_key(0)).is_none(),
+            "oldest went first"
+        );
+        assert!(bounded.get(&synthetic_key(1)).is_none());
+        assert!(bounded.get(&synthetic_key(2)).is_some());
+        assert!(bounded.get(&synthetic_key(3)).is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
 

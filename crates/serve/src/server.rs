@@ -55,6 +55,11 @@ pub struct ServeConfig {
     pub max_per_client: usize,
     /// The content-addressed result store's directory.
     pub cache_dir: PathBuf,
+    /// Entry budget for the result store: `Some(n)` keeps at most `n`
+    /// records, evicting least-recently-used ones; `None` (the
+    /// default) never evicts. Eviction only costs re-simulation on a
+    /// later miss, never correctness.
+    pub cache_max_entries: Option<usize>,
     /// The crash-recovery journal's path.
     pub journal_path: PathBuf,
 }
@@ -72,6 +77,7 @@ impl ServeConfig {
             max_inflight: 64,
             max_per_client: 8,
             cache_dir: data_dir.join("cache"),
+            cache_max_entries: None,
             journal_path: data_dir.join("journal.jsonl"),
         }
     }
@@ -161,7 +167,7 @@ impl ServerHandle {
     /// Binds, recovers journaled work in the background, and starts
     /// accepting connections.
     pub fn start(cfg: ServeConfig) -> io::Result<Self> {
-        let cache = ResultCache::open(&cfg.cache_dir)?;
+        let cache = ResultCache::open_bounded(&cfg.cache_dir, cfg.cache_max_entries)?;
         let (journal, incomplete) = Journal::open(&cfg.journal_path)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;

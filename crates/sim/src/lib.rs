@@ -57,11 +57,13 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod dragonfly;
 mod invariant;
 pub mod mesh;
 pub mod mesh_sim;
 mod packet;
 mod port;
+pub mod shard;
 mod sim;
 mod stats;
 pub mod traffic;

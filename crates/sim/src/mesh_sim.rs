@@ -18,6 +18,7 @@ use crate::packet::Packet;
 use crate::port::InputPort;
 use crate::stats::LatencyHistogram;
 use crate::traffic::TrafficPattern;
+use hirise_core::rng::derive_stream_seed;
 use hirise_core::rng::SeedableRng;
 use hirise_core::rng::StdRng;
 use hirise_core::{Fabric, InputId, OutputId, Request};
@@ -66,18 +67,18 @@ pub enum MeshPortMap {
 /// Configuration of a mesh-of-switches simulation.
 #[derive(Clone, Debug)]
 pub struct MeshSimConfig {
-    cols: usize,
-    rows: usize,
-    ports_per_direction: usize,
-    vcs: usize,
-    packet_len_flits: usize,
-    injection_rate: f64,
-    link_buffer_packets: usize,
-    port_map: MeshPortMap,
-    warmup: u64,
-    measure: u64,
-    drain: u64,
-    seed: u64,
+    pub(crate) cols: usize,
+    pub(crate) rows: usize,
+    pub(crate) ports_per_direction: usize,
+    pub(crate) vcs: usize,
+    pub(crate) packet_len_flits: usize,
+    pub(crate) injection_rate: f64,
+    pub(crate) link_buffer_packets: usize,
+    pub(crate) port_map: MeshPortMap,
+    pub(crate) warmup: u64,
+    pub(crate) measure: u64,
+    pub(crate) drain: u64,
+    pub(crate) seed: u64,
 }
 
 impl MeshSimConfig {
@@ -168,20 +169,47 @@ impl MeshSimConfig {
     }
 }
 
-/// Results of a mesh simulation.
-#[derive(Clone, Debug)]
+/// Results of a mesh (or sharded-topology) simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MeshReport {
-    measured_cycles: u64,
-    delivered_in_window: u64,
-    injected_measured: u64,
-    completed_measured: u64,
-    latency_sum: u64,
-    hop_sum: u64,
-    cores: usize,
-    histogram: LatencyHistogram,
+    pub(crate) measured_cycles: u64,
+    pub(crate) delivered_in_window: u64,
+    pub(crate) injected_measured: u64,
+    pub(crate) completed_measured: u64,
+    pub(crate) latency_sum: u64,
+    pub(crate) hop_sum: u64,
+    pub(crate) cores: usize,
+    pub(crate) histogram: LatencyHistogram,
 }
 
 impl MeshReport {
+    /// An all-zero report: the identity element for
+    /// [`absorb`](Self::absorb). Every counter is a plain sum and the
+    /// histogram is mergeable, so per-shard partial reports combine into
+    /// exactly the report a single instance would have produced.
+    pub(crate) fn empty(measured_cycles: u64, cores: usize) -> Self {
+        Self {
+            measured_cycles,
+            delivered_in_window: 0,
+            injected_measured: 0,
+            completed_measured: 0,
+            latency_sum: 0,
+            hop_sum: 0,
+            cores,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    /// Folds another partial report into this one (commutative and
+    /// associative in every field).
+    pub(crate) fn absorb(&mut self, other: &MeshReport) {
+        self.delivered_in_window += other.delivered_in_window;
+        self.injected_measured += other.injected_measured;
+        self.completed_measured += other.completed_measured;
+        self.latency_sum += other.latency_sum;
+        self.hop_sum += other.hop_sum;
+        self.histogram.merge(&other.histogram);
+    }
     /// Aggregate accepted throughput in packets/cycle.
     pub fn accepted_rate(&self) -> f64 {
         self.delivered_in_window as f64 / self.measured_cycles as f64
@@ -242,20 +270,20 @@ impl MeshReport {
     }
 }
 
-/// A packet in flight across the mesh, with routing state.
+/// A packet in flight across a routed topology, with routing state.
 #[derive(Clone, Copy, Debug)]
-struct MeshPacket {
-    inner: Packet,
-    /// Final destination core (global index).
-    dst_core: usize,
-    hops: u32,
+pub(crate) struct MeshPacket {
+    pub(crate) inner: Packet,
+    /// Final destination endpoint (global index).
+    pub(crate) dst_core: usize,
+    pub(crate) hops: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Transfer {
-    packet: MeshPacket,
-    flits_remaining: usize,
-    output: OutputId,
+pub(crate) struct Transfer {
+    pub(crate) packet: MeshPacket,
+    pub(crate) flits_remaining: usize,
+    pub(crate) output: OutputId,
 }
 
 /// What a switch port is wired to.
@@ -340,72 +368,75 @@ impl PortLayout {
     }
 }
 
-/// A cycle-accurate mesh of switch fabrics with XY routing.
-#[derive(Debug)]
-pub struct MeshSim<F> {
-    cfg: MeshSimConfig,
+/// The pure geometry of a 2D mesh of switches: node grid, port layout,
+/// XY routing and link wiring. Shared by the unsharded [`MeshSim`]
+/// reference and the sharded engine
+/// ([`ShardedSim`](crate::shard::ShardedSim)), so both walk exactly the
+/// same topology.
+#[derive(Clone, Debug)]
+pub struct MeshGeometry {
+    cols: usize,
+    rows: usize,
+    ports_per_direction: usize,
     radix: usize,
     cores_per_node: usize,
-    switches: Vec<F>,
-    /// Per node, per switch input port.
-    ports: Vec<Vec<InputPort>>,
     layout: PortLayout,
-    /// Routing metadata for packets buffered at each node, by packet id.
-    meta: Vec<std::collections::HashMap<u64, MeshPacket>>,
-    transfers: Vec<Vec<Option<Transfer>>>,
-    rng: StdRng,
-    now: u64,
-    next_id: u64,
 }
 
-impl<F: Fabric> MeshSim<F> {
-    /// Builds the mesh, creating one switch per node via `make_switch`.
+impl MeshGeometry {
+    /// Builds the geometry for `cols x rows` switches of `radix` ports,
+    /// reserving `ports_per_direction` per mesh direction.
     ///
     /// # Panics
     ///
-    /// Panics if the switches are too small for the reserved direction
-    /// ports, or disagree in radix.
-    pub fn new(cfg: MeshSimConfig, mut make_switch: impl FnMut() -> F) -> Self {
-        let nodes = cfg.cols * cfg.rows;
-        let switches: Vec<F> = (0..nodes).map(|_| make_switch()).collect();
-        let radix = switches[0].radix();
+    /// Panics if the mesh is empty, no direction ports are reserved, or
+    /// `radix` cannot serve the direction ports plus at least one core.
+    pub fn new(
+        cols: usize,
+        rows: usize,
+        ports_per_direction: usize,
+        radix: usize,
+        map: MeshPortMap,
+    ) -> Self {
+        assert!(cols >= 1 && rows >= 1, "mesh must have at least one node");
         assert!(
-            switches.iter().all(|s| s.radix() == radix),
-            "all mesh switches must share a radix"
+            ports_per_direction >= 1,
+            "need at least one port per direction"
         );
         assert!(
-            radix > 4 * cfg.ports_per_direction,
-            "radix {radix} cannot serve 4x{} direction ports and cores",
-            cfg.ports_per_direction
+            radix > 4 * ports_per_direction,
+            "radix {radix} cannot serve 4x{ports_per_direction} direction ports and cores"
         );
-        let cores_per_node = radix - 4 * cfg.ports_per_direction;
-        let rng = StdRng::seed_from_u64(cfg.seed);
-        let layout = PortLayout::new(radix, cfg.ports_per_direction, cfg.port_map);
+        let cores_per_node = radix - 4 * ports_per_direction;
+        let layout = PortLayout::new(radix, ports_per_direction, map);
         Self {
+            cols,
+            rows,
+            ports_per_direction,
             radix,
             cores_per_node,
             layout,
-            ports: (0..nodes)
-                .map(|_| (0..radix).map(|_| InputPort::new(cfg.vcs)).collect())
-                .collect(),
-            meta: vec![std::collections::HashMap::new(); nodes],
-            transfers: vec![vec![None; radix]; nodes],
-            switches,
-            rng,
-            now: 0,
-            next_id: 0,
-            cfg,
         }
+    }
+
+    /// Number of mesh nodes (switches).
+    pub fn nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Cores attached to each node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
     }
 
     /// Total cores attached to the mesh.
     pub fn total_cores(&self) -> usize {
-        self.cores_per_node * self.cfg.cols * self.cfg.rows
-    }
-
-    /// Cores per mesh node.
-    pub fn cores_per_node(&self) -> usize {
-        self.cores_per_node
+        self.cores_per_node * self.nodes()
     }
 
     fn node_of_core(&self, core: usize) -> usize {
@@ -413,24 +444,27 @@ impl<F: Fabric> MeshSim<F> {
     }
 
     fn node_xy(&self, node: usize) -> (usize, usize) {
-        (node % self.cfg.cols, node / self.cfg.cols)
+        (node % self.cols, node / self.cols)
     }
 
-    fn neighbor(&self, node: usize, dir: Direction) -> usize {
+    /// The node across the link in `dir`, or `None` off the grid edge
+    /// (XY routing never targets an off-grid port; the `None` arm only
+    /// matters when enumerating all ports, e.g. for shard frontiers).
+    fn neighbor(&self, node: usize, dir: Direction) -> Option<usize> {
         let (x, y) = self.node_xy(node);
         let (nx, ny) = match dir {
-            Direction::North => (x, y - 1),
+            Direction::North => (x, y.checked_sub(1)?),
             Direction::East => (x + 1, y),
             Direction::South => (x, y + 1),
-            Direction::West => (x - 1, y),
+            Direction::West => (x.checked_sub(1)?, y),
         };
-        ny * self.cfg.cols + nx
+        (nx < self.cols && ny < self.rows).then(|| ny * self.cols + nx)
     }
 
     /// XY next-hop output port at `node` for a packet to `dst_core`
     /// with spreading lane `lane`.
-    fn route(&self, node: usize, dst_core: usize, lane: usize) -> OutputId {
-        let p = self.cfg.ports_per_direction;
+    pub fn route(&self, node: usize, dst_core: usize, lane: usize) -> OutputId {
+        let p = self.ports_per_direction;
         let dst_node = self.node_of_core(dst_core);
         let (x, y) = self.node_xy(node);
         let (dx, dy) = self.node_xy(dst_node);
@@ -451,15 +485,118 @@ impl<F: Fabric> MeshSim<F> {
         }
     }
 
-    /// Which (node, input port) an output port of `node` feeds.
-    fn link_endpoint(&self, node: usize, output: OutputId) -> Option<(usize, usize)> {
+    /// Which (node, input port) an output port of `node` feeds, or
+    /// `None` for a local ejection port or an unwired grid-edge port.
+    pub fn link_endpoint(&self, node: usize, output: OutputId) -> Option<(usize, usize)> {
         match self.layout.roles[output.index()] {
             PortRole::Core { .. } => None, // local ejection port
             PortRole::Link { dir, lane } => {
-                let next = self.neighbor(node, dir);
+                let next = self.neighbor(node, dir)?;
                 Some((next, self.layout.dir_ports[dir.opposite() as usize][lane]))
             }
         }
+    }
+
+    /// The switch input port of local core `local`.
+    pub fn core_port(&self, local: usize) -> usize {
+        self.layout.core_ports[local]
+    }
+}
+
+/// A cycle-accurate mesh of switch fabrics with XY routing.
+///
+/// This is the single-threaded *reference* engine: the sharded engine in
+/// [`crate::shard`] reproduces its telemetry byte-for-byte at any shard
+/// count, which the twin-instance identity tests pin.
+#[derive(Debug)]
+pub struct MeshSim<F> {
+    cfg: MeshSimConfig,
+    geo: MeshGeometry,
+    switches: Vec<F>,
+    /// Per node, per switch input port.
+    ports: Vec<Vec<InputPort>>,
+    /// Routing metadata for packets buffered at each node, by packet id.
+    meta: Vec<std::collections::HashMap<u64, MeshPacket>>,
+    transfers: Vec<Vec<Option<Transfer>>>,
+    /// Per-core injection RNG streams, seeded purely by
+    /// `(cfg.seed, core)` so injection is a function of global position
+    /// — the property that lets shards own disjoint core ranges and
+    /// still reproduce this exact traffic.
+    rngs: Vec<StdRng>,
+    /// Per-core injected-packet counts; packet ids are
+    /// `core << 32 | count`, unique and position-derived.
+    seqs: Vec<u64>,
+    now: u64,
+}
+
+impl<F: Fabric> MeshSim<F> {
+    /// Builds the mesh, creating one switch per node via `make_switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switches are too small for the reserved direction
+    /// ports, or disagree in radix.
+    pub fn new(cfg: MeshSimConfig, mut make_switch: impl FnMut() -> F) -> Self {
+        Self::with_switches(cfg, move |_node| make_switch())
+    }
+
+    /// Builds the mesh with a per-node switch factory: `make_switch`
+    /// receives the global node index, so callers can configure each
+    /// switch individually (notably to inject node-specific faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switches are too small for the reserved direction
+    /// ports, or disagree in radix.
+    pub fn with_switches(cfg: MeshSimConfig, mut make_switch: impl FnMut(usize) -> F) -> Self {
+        let nodes = cfg.cols * cfg.rows;
+        let switches: Vec<F> = (0..nodes).map(&mut make_switch).collect();
+        let radix = switches[0].radix();
+        assert!(
+            switches.iter().all(|s| s.radix() == radix),
+            "all mesh switches must share a radix"
+        );
+        let geo = MeshGeometry::new(
+            cfg.cols,
+            cfg.rows,
+            cfg.ports_per_direction,
+            radix,
+            cfg.port_map,
+        );
+        let total_cores = geo.total_cores();
+        Self {
+            ports: (0..nodes)
+                .map(|_| (0..radix).map(|_| InputPort::new(cfg.vcs)).collect())
+                .collect(),
+            meta: vec![std::collections::HashMap::new(); nodes],
+            transfers: vec![vec![None; radix]; nodes],
+            switches,
+            rngs: (0..total_cores)
+                .map(|core| StdRng::seed_from_u64(derive_stream_seed(cfg.seed, core as u64)))
+                .collect(),
+            seqs: vec![0; total_cores],
+            now: 0,
+            geo,
+            cfg,
+        }
+    }
+
+    /// Total cores attached to the mesh.
+    pub fn total_cores(&self) -> usize {
+        self.geo.total_cores()
+    }
+
+    /// Cores per mesh node.
+    pub fn cores_per_node(&self) -> usize {
+        self.geo.cores_per_node()
+    }
+
+    /// Total fault events logged across all mesh switches.
+    pub fn fault_event_count(&self) -> u64 {
+        self.switches
+            .iter()
+            .map(|s| s.fault_log().map_or(0, |log| log.total()))
+            .sum()
     }
 
     /// Stores routing metadata for a packet buffered at `node`.
@@ -480,16 +617,7 @@ impl<F: Fabric> MeshSim<F> {
 
     /// Runs the configured warmup + measurement + drain and reports.
     pub fn run(&mut self, pattern: &mut dyn TrafficPattern) -> MeshReport {
-        let mut report = MeshReport {
-            measured_cycles: self.cfg.measure,
-            delivered_in_window: 0,
-            injected_measured: 0,
-            completed_measured: 0,
-            latency_sum: 0,
-            hop_sum: 0,
-            cores: self.total_cores(),
-            histogram: LatencyHistogram::new(),
-        };
+        let mut report = MeshReport::empty(self.cfg.measure, self.total_cores());
         for _ in 0..self.cfg.warmup + self.cfg.measure {
             self.step(pattern, &mut report);
         }
@@ -506,14 +634,15 @@ impl<F: Fabric> MeshSim<F> {
     }
 
     fn step(&mut self, pattern: &mut dyn TrafficPattern, report: &mut MeshReport) {
-        let nodes = self.cfg.cols * self.cfg.rows;
+        let nodes = self.geo.nodes();
+        let radix = self.geo.radix();
         let in_window = self.in_window();
 
         // (a) Progress transfers: completions either eject (deliver) or
         // forward into the neighbour's input buffer; the release beat
         // follows one cycle later, as in the single-switch model.
         for node in 0..nodes {
-            for input in 0..self.radix {
+            for input in 0..radix {
                 let Some(transfer) = &mut self.transfers[node][input] else {
                     continue;
                 };
@@ -524,7 +653,7 @@ impl<F: Fabric> MeshSim<F> {
                         let output = transfer.output;
                         packet.hops += 1;
                         self.ports[node][input].complete_transfer();
-                        match self.link_endpoint(node, output) {
+                        match self.geo.link_endpoint(node, output) {
                             None => {
                                 // Ejected at the destination node.
                                 if in_window {
@@ -552,24 +681,31 @@ impl<F: Fabric> MeshSim<F> {
             }
         }
 
-        // (b) Injection at core ports.
+        // (b) Injection at core ports: each core draws from its own
+        // position-derived RNG stream and numbers its own packets
+        // (`core << 32 | seq`), so injection at any core is independent
+        // of every other core's activity.
         for core in 0..self.total_cores() {
-            let Some(dst) =
-                pattern.next(InputId::new(core), self.cfg.injection_rate, &mut self.rng)
-            else {
+            let Some(dst) = pattern.next(
+                InputId::new(core),
+                self.cfg.injection_rate,
+                &mut self.rngs[core],
+            ) else {
                 continue;
             };
-            let node = self.node_of_core(core);
-            let input_port = self.layout.core_ports[core % self.cores_per_node];
+            let node = self.geo.node_of_core(core);
+            let input_port = self.geo.core_port(core % self.geo.cores_per_node());
+            let seq = self.seqs[core];
+            self.seqs[core] += 1;
+            debug_assert!(seq < 1 << 32, "per-core packet sequence overflow");
             let inner = Packet {
-                id: self.next_id,
+                id: ((core as u64) << 32) | seq,
                 src: InputId::new(input_port),
                 dst: OutputId::new(dst.index()), // final core id, re-routed per hop
                 len_flits: self.cfg.packet_len_flits,
                 birth_cycle: self.now,
                 measured: in_window,
             };
-            self.next_id += 1;
             if in_window {
                 report.injected_measured += 1;
             }
@@ -589,17 +725,19 @@ impl<F: Fabric> MeshSim<F> {
             }
             let mut candidates: Vec<(usize, MeshPacket, OutputId)> = Vec::new();
             let mut requests: Vec<Request> = Vec::new();
-            for input in 0..self.radix {
+            for input in 0..radix {
                 if self.transfers[node][input].is_some() {
                     continue;
                 }
                 if let Some(inner) = self.ports[node][input].select_candidate() {
                     let packet = self.peek(node, inner.id);
-                    let output = self.route(node, packet.dst_core, packet.inner.id as usize);
+                    let output = self
+                        .geo
+                        .route(node, packet.dst_core, packet.inner.id as usize);
                     // Credit check: the downstream port must have a free
                     // slot before this hop may start (the in-flight hop
                     // itself is the one slot we reserve).
-                    if let Some((next_node, next_input)) = self.link_endpoint(node, output) {
+                    if let Some((next_node, next_input)) = self.geo.link_endpoint(node, output) {
                         if self.ports[next_node][next_input].occupancy()
                             >= self.cfg.link_buffer_packets
                         {
@@ -612,7 +750,7 @@ impl<F: Fabric> MeshSim<F> {
                 }
             }
             let grants = self.switches[node].arbitrate(&requests);
-            let mut granted = vec![false; self.radix];
+            let mut granted = vec![false; radix];
             for grant in &grants {
                 granted[grant.input.index()] = true;
             }

@@ -27,7 +27,7 @@ where
 
 impl<F> TrafficPattern for Custom<F>
 where
-    F: FnMut(InputId, f64, &mut StdRng) -> Option<OutputId>,
+    F: FnMut(InputId, f64, &mut StdRng) -> Option<OutputId> + Send,
 {
     fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
         (self.generator)(input, base_rate, rng)

@@ -23,7 +23,11 @@ use hirise_core::rng::StdRng;
 use hirise_core::{InputId, OutputId};
 
 /// A synthetic traffic generator.
-pub trait TrafficPattern {
+///
+/// `Send` is a supertrait so boxed patterns can move into the sharded
+/// simulator's worker threads; the crate's generators hold only plain
+/// data, so every implementation satisfies it for free.
+pub trait TrafficPattern: Send {
     /// Polled once per input per cycle. Returns the destination of a
     /// newly injected packet, or `None` when this input injects nothing
     /// this cycle. `base_rate` is the configured offered load in

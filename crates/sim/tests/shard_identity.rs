@@ -1,0 +1,221 @@
+//! Twin-instance identity tests for the sharded engine: the whole
+//! point of `crate::shard` is that shard count is an *execution* knob,
+//! never a *results* knob. Every test here compares complete
+//! [`MeshReport`]s (counters and latency histogram) with `==`.
+
+use hirise_core::rng::derive_stream_seed;
+use hirise_core::{Fabric, Fault, FaultSite, HiRiseConfig, HiRiseSwitch};
+use hirise_core::{InputId, OutputId};
+use hirise_sim::dragonfly::{DragonflyConfig, DragonflyGeometry};
+use hirise_sim::mesh_sim::{MeshReport, MeshSim, MeshSimConfig};
+use hirise_sim::shard::{sharded_mesh, ShardedConfig, ShardedSim};
+use hirise_sim::traffic::{Custom, TrafficPattern, UniformRandom};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn switch16() -> HiRiseConfig {
+    HiRiseConfig::builder(16, 2)
+        .channel_multiplicity(2)
+        .build()
+        .expect("valid configuration")
+}
+
+/// A 4x2 mesh of radix-16 switches: 8 nodes (so an 8-shard run puts
+/// one node per shard), 64 cores.
+fn mesh_cfg() -> MeshSimConfig {
+    MeshSimConfig::new(4, 2, 2)
+        .injection_rate(0.02)
+        .warmup(100)
+        .measure(600)
+        .drain(600)
+        .seed(0xC0FFEE)
+}
+
+fn mesh_reference(cfg: &MeshSimConfig) -> MeshReport {
+    let switch_cfg = switch16();
+    let mut sim = MeshSim::new(cfg.clone(), move || HiRiseSwitch::new(&switch_cfg));
+    let mut pattern = UniformRandom::new(sim.total_cores());
+    sim.run(&mut pattern)
+}
+
+#[test]
+fn sharded_mesh_is_byte_identical_to_unsharded() {
+    let cfg = mesh_cfg();
+    let reference = mesh_reference(&cfg);
+    assert!(reference.completed_measured() > 0, "nothing simulated");
+    for shards in SHARD_COUNTS {
+        let switch_cfg = switch16();
+        let mut sim = sharded_mesh(
+            &cfg,
+            16,
+            shards,
+            |_node| HiRiseSwitch::new(&switch_cfg),
+            || Box::new(UniformRandom::new(64)) as Box<dyn TrafficPattern>,
+        );
+        let report = sim.run();
+        assert_eq!(
+            report, reference,
+            "sharded mesh diverged from the reference at {shards} shards"
+        );
+    }
+}
+
+/// Per-node faults: node index drives which switch gets which faults,
+/// so a sharded build must reproduce the reference exactly — dead
+/// resources, flaky resampling streams and all.
+fn faulty_switch(node: usize, seed: u64) -> HiRiseSwitch {
+    let switch_cfg = switch16();
+    let mut switch = HiRiseSwitch::new(&switch_cfg);
+    switch
+        .enable_faults(derive_stream_seed(seed, node as u64))
+        .expect("hi-rise supports faults");
+    // Deterministic per-node fault mix: kill a TSV bundle on every
+    // third node, make a bundle flaky on every fourth.
+    if node.is_multiple_of(3) {
+        switch
+            .inject_fault(Fault::dead(FaultSite::TsvBundle { index: node % 2 }))
+            .expect("valid fault site");
+    }
+    if node % 4 == 1 {
+        switch
+            .inject_fault(Fault::flaky(FaultSite::TsvBundle { index: 1 }, 0.05))
+            .expect("valid fault site");
+    }
+    switch
+}
+
+#[test]
+fn sharded_mesh_with_faults_is_byte_identical() {
+    let cfg = mesh_cfg().seed(0xFA_117);
+    let reference = {
+        let mut node = 0;
+        let mut sim = MeshSim::new(cfg.clone(), move || {
+            let switch = faulty_switch(node, 0xFA_117);
+            node += 1;
+            switch
+        });
+        let mut pattern = UniformRandom::new(sim.total_cores());
+        sim.run(&mut pattern)
+    };
+    assert!(reference.completed_measured() > 0, "nothing simulated");
+    for shards in SHARD_COUNTS {
+        let mut sim = sharded_mesh(
+            &cfg,
+            16,
+            shards,
+            |node| faulty_switch(node, 0xFA_117),
+            || Box::new(UniformRandom::new(64)) as Box<dyn TrafficPattern>,
+        );
+        let report = sim.run();
+        assert_eq!(
+            report, reference,
+            "faulty sharded mesh diverged at {shards} shards"
+        );
+        assert!(
+            sim.fault_event_count() > 0,
+            "fault mix should have produced events"
+        );
+    }
+}
+
+/// A small dragonfly: a=4, p=4, h=2, g=9 -> 36 routers, 144 endpoints
+/// on radix-16 switches (9 ports used, 7 spare).
+fn dragonfly(dead: &[(usize, usize)]) -> DragonflyGeometry {
+    DragonflyGeometry::new(DragonflyConfig::new(4, 4, 2, 9), 16, dead).expect("routable dragonfly")
+}
+
+fn run_dragonfly(shards: usize, dead: &[(usize, usize)]) -> MeshReport {
+    let switch_cfg = switch16();
+    let cfg = ShardedConfig::new()
+        .injection_rate(0.02)
+        .warmup(100)
+        .measure(600)
+        .drain(600)
+        .seed(0xD12A);
+    let mut sim = ShardedSim::new(
+        dragonfly(dead),
+        cfg,
+        shards,
+        |_node| HiRiseSwitch::new(&switch_cfg),
+        || Box::new(UniformRandom::new(144)) as Box<dyn TrafficPattern>,
+    );
+    sim.run()
+}
+
+#[test]
+fn dragonfly_telemetry_is_shard_count_invariant() {
+    let reference = run_dragonfly(1, &[]);
+    assert!(reference.completed_measured() > 0, "nothing simulated");
+    for shards in [2, 8] {
+        assert_eq!(
+            run_dragonfly(shards, &[]),
+            reference,
+            "dragonfly diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn dragonfly_with_dead_wafer_links_is_shard_count_invariant() {
+    let dead = [(0, 5), (2, 7), (3, 4)];
+    let reference = run_dragonfly(1, &dead);
+    assert!(reference.completed_measured() > 0, "nothing simulated");
+    for shards in [2, 8] {
+        assert_eq!(
+            run_dragonfly(shards, &dead),
+            reference,
+            "faulty dragonfly diverged at {shards} shards"
+        );
+    }
+}
+
+/// Differential check against per-router golden stepping: single
+/// packets must traverse exactly the routers `golden_path` predicts —
+/// hop telemetry equals the golden path length (each switch traversal
+/// including the final ejection counts one hop).
+#[test]
+fn dragonfly_single_packets_follow_the_golden_path() {
+    for (dead, src, dst) in [
+        (&[][..], 0usize, 143usize),    // cross-group, minimal
+        (&[][..], 7, 9),                // same group, local hop
+        (&[][..], 16, 17),              // same router
+        (&[(0, 5)][..], 3, 5 * 16 + 2), // dead wafer link, detour
+    ] {
+        let geo = dragonfly(dead);
+        let golden = geo.golden_path(src, dst);
+        let switch_cfg = switch16();
+        let cfg = ShardedConfig::new()
+            .injection_rate(0.0)
+            .warmup(0)
+            .measure(400)
+            .drain(400)
+            .seed(1);
+        let mut sim = ShardedSim::new(
+            geo,
+            cfg,
+            3,
+            |_node| HiRiseSwitch::new(&switch_cfg),
+            move || {
+                let mut fired = false;
+                Box::new(Custom::new(
+                    "single",
+                    move |input: InputId, _r, _rng: &mut _| {
+                        if input.index() == src && !fired {
+                            fired = true;
+                            Some(OutputId::new(dst))
+                        } else {
+                            None
+                        }
+                    },
+                )) as Box<dyn TrafficPattern>
+            },
+        );
+        let report = sim.run();
+        assert_eq!(report.completed_measured(), 1, "packet {src}->{dst} lost");
+        assert_eq!(
+            report.avg_hops(),
+            golden.len() as f64,
+            "{src}->{dst}: expected route {golden:?}"
+        );
+    }
+}

@@ -9,7 +9,8 @@
 use hirise::core::HiRiseSwitch;
 use hirise::phys::SwitchDesign;
 use hirise::sim::mesh::{HiRiseMesh, NodeId};
-use hirise::sim::mesh_sim::{MeshSim, MeshSimConfig};
+use hirise::sim::mesh_sim::MeshSimConfig;
+use hirise::sim::shard::sharded_mesh;
 use hirise::sim::traffic::UniformRandom;
 
 fn main() {
@@ -52,17 +53,31 @@ fn main() {
     println!("switch's layers providing adaptive Z routing inside each hop.");
 
     // Now simulate the same topology flit-by-flit at a light uniform
-    // random load and compare against the graph-level estimate.
-    println!("\nflit-level simulation (uniform random, 0.005 packets/core/ns):");
+    // random load and compare against the graph-level estimate. The
+    // mesh is partitioned across one shard per available core; the
+    // lockstep exchange keeps the telemetry byte-identical to a
+    // single-shard run, so the shard count is purely an execution knob.
     let switch_cfg = mesh.switch().clone();
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(mesh.node_count());
+    println!("\nflit-level simulation (uniform random, 0.005 packets/core/ns):");
+    println!("  sharded across {shards} worker thread(s), telemetry shard-count-invariant");
     let rate = 0.005 / switch.frequency_ghz();
     let sim_cfg = MeshSimConfig::new(mesh.cols(), mesh.rows(), 6)
         .injection_rate(rate)
         .warmup(500)
         .measure(4_000);
-    let mut sim = MeshSim::new(sim_cfg, || HiRiseSwitch::new(&switch_cfg));
-    let mut pattern = UniformRandom::new(sim.total_cores());
-    let report = sim.run(&mut pattern);
+    let total_cores = mesh.total_cores();
+    let mut sim = sharded_mesh(
+        &sim_cfg,
+        switch_cfg.radix(),
+        shards,
+        |_node| HiRiseSwitch::new(&switch_cfg),
+        || Box::new(UniformRandom::new(total_cores)),
+    );
+    let report = sim.run();
     println!(
         "  accepted {:.2} packets/ns | latency {:.2} ns | {:.2} switch hops | stable {}",
         report.accepted_rate() * switch.frequency_ghz(),
