@@ -14,9 +14,22 @@
 //! ```text
 //! cyclebench [--quick] [--label before|after] [--out PATH]
 //! cyclebench --sharded [--quick] [--out PATH]  # shard-scaling sweep
+//! cyclebench --net [--quick] [--label before|after] [--out PATH]
 //! cyclebench --check PATH    # validate an existing file's schema
 //! cyclebench --smoke         # quick word-vs-scalar regression gate
+//! cyclebench --net-smoke     # quick active-set-vs-dense regression gate
 //! ```
+//!
+//! `--net` benchmarks the *network-level* engines (whole topologies of
+//! switches rather than a single fabric): the unsharded mesh reference
+//! at the 8×8 radix-16 acceptance shape under high and low load, plus
+//! a dragonfly through the sharded engine at one shard. Its labels map
+//! to network engines, not kernels: `before` is the hash-map/dense
+//! engine (per-node `HashMap` routing metadata, every router scanned
+//! every cycle), `after` the arena + active-set engine (SoA packet
+//! arenas keyed by dense handles, only routers with work visited).
+//! Like the kernel grid, re-running one label refreshes that column in
+//! place.
 //!
 //! `--smoke` runs the quick grid under both kernels and fails if the
 //! word kernel falls below `SMOKE_FLOOR` x the scalar kernel's
@@ -24,6 +37,12 @@
 //! path silently regressing to slower-than-scalar. It also runs the
 //! sharded-mesh determinism gate: one quick mesh at 1 and 4 shards
 //! must produce identical telemetry.
+//!
+//! `--net-smoke` is the same idea for the network engines: the quick
+//! net shapes run under both per-cycle schedules at low load, and the
+//! gate fails if the active-set schedule is slower than the dense
+//! sweep anywhere (it should be strictly faster when most routers
+//! idle) or if the two schedules disagree on telemetry.
 //!
 //! `--sharded` benchmarks one mesh of Hi-Rise switches through the
 //! sharded lockstep engine at each shard count, recording simulated
@@ -43,9 +62,12 @@
 //! Schema history: `v1` files were written by a median that returned
 //! the upper-middle element for even-length samples (biased high) and
 //! carried an allocating-vs-scratch before/after split; `v2` fixes the
-//! median and redefines the labels as scalar-vs-word kernels. `v1`
-//! files are deliberately not loaded — their numbers are not
-//! comparable.
+//! median and redefines the labels as scalar-vs-word kernels; `v3`
+//! adds the additive `"net"` network-engine section (and its
+//! `net_before_engine`/`net_after_engine` descriptors) without
+//! changing any `v2` field, so `v2` files are loaded and migrated in
+//! place on the next write. `v1` files are deliberately not loaded —
+//! their numbers are not comparable.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -56,15 +78,21 @@ use hirise_core::{
     ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
 };
 use hirise_lab::json::{self, Json};
-use hirise_sim::mesh_sim::{MeshReport, MeshSimConfig};
-use hirise_sim::shard::{sharded_mesh, ShardedSim};
+use hirise_sim::dragonfly::{DragonflyConfig, DragonflyGeometry};
+use hirise_sim::mesh_sim::{MeshReport, MeshSim, MeshSimConfig};
+use hirise_sim::shard::{sharded_mesh, ShardedConfig, ShardedSim};
 use hirise_sim::traffic::{TrafficPattern, UniformRandom};
-use hirise_sim::{NetworkSim, SimConfig};
+use hirise_sim::{NetSchedule, NetworkSim, SimConfig};
 
-const SCHEMA: &str = "hirise-cyclebench/v2";
+const SCHEMA: &str = "hirise-cyclebench/v3";
+/// Older schemas whose numbers are still comparable: loaded and
+/// migrated to [`SCHEMA`] on the next write (`v3` is purely additive
+/// over `v2`).
+const COMPATIBLE_SCHEMAS: [&str; 1] = ["hirise-cyclebench/v2"];
 const USAGE: &str = "cyclebench [--quick] [--label before|after] [--out PATH]\n       \
      cyclebench --sharded [--quick] [--out PATH]\n       \
-     cyclebench --check PATH\n       cyclebench --smoke";
+     cyclebench --net [--quick] [--label before|after] [--out PATH]\n       \
+     cyclebench --check PATH\n       cyclebench --smoke\n       cyclebench --net-smoke";
 const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
 const RADICES: [usize; 3] = [16, 32, 64];
 const INJECTION_RATE: f64 = 0.1;
@@ -74,6 +102,14 @@ const SEED: u64 = 0xC1C1_EB00;
 /// 1.0 to absorb run-to-run noise on shared machines; a word kernel
 /// that is genuinely slower than scalar lands well under this.
 const SMOKE_FLOOR: f64 = 0.8;
+/// Minimum active-set/dense throughput ratio tolerated by
+/// `--net-smoke`. At the smoke load most routers are idle most cycles,
+/// so a healthy active-set schedule lands well above parity; at 1.0
+/// the gate catches it ever becoming pure overhead.
+const NET_SMOKE_FLOOR: f64 = 1.0;
+/// `--net-smoke` offered load: low on purpose, so the active set is
+/// sparse and skipping is actually exercised.
+const NET_SMOKE_INJECTION: f64 = 0.01;
 
 /// Benchmark scale: timed cycles per segment and segment count.
 struct Scale {
@@ -153,6 +189,79 @@ struct ShardedSection {
     cols: usize,
     rows: usize,
     points: Vec<ShardedPoint>,
+}
+
+/// `--net` sweep geometry: mesh ports per direction (8 endpoint cores
+/// per radix-16 node remain) and the radix shared by every benched
+/// topology.
+const NET_RADIX: usize = 16;
+const NET_PPD: usize = 2;
+/// Engine benchmarked under each `--net` label.
+const NET_BEFORE_ENGINE: &str = "hashmap-dense";
+const NET_AFTER_ENGINE: &str = "arena-active-set";
+
+/// One `--net` row: a topology at one offered load, with up to two
+/// labelled engine measurements. `packets_per_sec` counts delivered
+/// packets across the whole topology.
+#[derive(Clone, Debug)]
+struct NetRow {
+    sim: &'static str,
+    /// Router (switch) count — part of the merge key, since quick and
+    /// full scales bench different shapes.
+    nodes: usize,
+    injection: f64,
+    before: Option<Throughput>,
+    after: Option<Throughput>,
+}
+
+impl NetRow {
+    fn speedup(&self) -> Option<f64> {
+        match (self.before, self.after) {
+            (Some(b), Some(a)) if b.cycles_per_sec > 0.0 => {
+                Some(a.cycles_per_sec / b.cycles_per_sec)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The `--net` grid for one scale: the acceptance mesh shape at the
+/// kernel-grid injection rate (0.1, saturated — the arena win) and at
+/// low load (most routers idle — the active-set win), plus a dragonfly
+/// so the second topology family is covered.
+fn net_rows(scale: &Scale) -> Vec<NetRow> {
+    let dim = net_mesh_dim(scale);
+    let blank = |sim, nodes, injection| NetRow {
+        sim,
+        nodes,
+        injection,
+        before: None,
+        after: None,
+    };
+    vec![
+        blank("mesh", dim * dim, INJECTION_RATE),
+        blank("mesh", dim * dim, 0.01),
+        blank("dragonfly", net_dragonfly(scale).0, 0.02),
+    ]
+}
+
+fn net_mesh_dim(scale: &Scale) -> usize {
+    if scale.quick {
+        4
+    } else {
+        8
+    }
+}
+
+/// Dragonfly shape for `--net`: `(routers, (a, p, h, g))`. Full scale
+/// uses 114 radix-16 routers (a=6, p=6, h=3, g=19: 6+5+3 = 14 ports
+/// used), quick the 36-router lab shape.
+fn net_dragonfly(scale: &Scale) -> (usize, (usize, usize, usize, usize)) {
+    if scale.quick {
+        (36, (4, 4, 2, 9))
+    } else {
+        (114, (6, 6, 3, 19))
+    }
 }
 
 /// Arbitration kernel benchmarked under each label: `before` is the
@@ -310,6 +419,100 @@ fn measure_sharded_section(scale: &Scale) -> ShardedSection {
     ShardedSection { cols, rows, points }
 }
 
+fn net_switch_cfg() -> HiRiseConfig {
+    HiRiseConfig::builder(NET_RADIX, LAYERS)
+        .channel_multiplicity(4)
+        .scheme(ArbitrationScheme::LayerToLayerLrg)
+        .build()
+        .expect("valid Hi-Rise configuration")
+}
+
+/// Benchmarks the unsharded mesh reference (`MeshSim`) at one load:
+/// median simulated cycles/sec and delivered packets/sec across timed
+/// segments.
+fn measure_net_mesh(
+    dim: usize,
+    injection: f64,
+    schedule: NetSchedule,
+    scale: &Scale,
+) -> Throughput {
+    let cfg = MeshSimConfig::new(dim, dim, NET_PPD)
+        .injection_rate(injection)
+        .warmup(0)
+        .measure(u64::MAX / 2)
+        .seed(SEED)
+        .schedule(schedule);
+    let switch_cfg = net_switch_cfg();
+    let mut sim = MeshSim::new(cfg, move || {
+        HiRiseSwitch::with_kernel(&switch_cfg, ArbiterKernel::Word)
+    });
+    let mut pattern = UniformRandom::new(sim.total_cores());
+    let mut report = sim.empty_report();
+    sim.run_cycles(&mut pattern, &mut report, scale.warmup_cycles);
+    let mut cycles_per_sec = Vec::with_capacity(scale.reps);
+    let mut packets_per_sec = Vec::with_capacity(scale.reps);
+    for _ in 0..scale.reps {
+        let delivered = report.completed_measured();
+        let start = Instant::now();
+        sim.run_cycles(&mut pattern, &mut report, scale.cycles_per_rep);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        cycles_per_sec.push(scale.cycles_per_rep as f64 / secs);
+        packets_per_sec.push((report.completed_measured() - delivered) as f64 / secs);
+    }
+    Throughput {
+        cycles_per_sec: median(&mut cycles_per_sec),
+        packets_per_sec: median(&mut packets_per_sec),
+    }
+}
+
+/// Benchmarks the dragonfly through the sharded engine at one shard
+/// (the engine itself, without lockstep overhead).
+fn measure_net_dragonfly(injection: f64, schedule: NetSchedule, scale: &Scale) -> Throughput {
+    let (_routers, (a, p, h, g)) = net_dragonfly(scale);
+    let geo = DragonflyGeometry::new(DragonflyConfig::new(a, p, h, g), NET_RADIX, &[])
+        .expect("routable dragonfly");
+    let endpoints = a * g * p;
+    let cfg = ShardedConfig::new()
+        .injection_rate(injection)
+        .warmup(0)
+        .measure(u64::MAX / 2)
+        .seed(SEED)
+        .schedule(schedule);
+    let switch_cfg = net_switch_cfg();
+    let mut sim = ShardedSim::new(
+        geo,
+        cfg,
+        1,
+        |_node| HiRiseSwitch::with_kernel(&switch_cfg, ArbiterKernel::Word),
+        || Box::new(UniformRandom::new(endpoints)) as Box<dyn TrafficPattern>,
+    );
+    sim.run_cycles(scale.warmup_cycles);
+    let mut cycles_per_sec = Vec::with_capacity(scale.reps);
+    let mut packets_per_sec = Vec::with_capacity(scale.reps);
+    let mut delivered = sim.report().completed_measured();
+    for _ in 0..scale.reps {
+        let start = Instant::now();
+        sim.run_cycles(scale.cycles_per_rep);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let now_delivered = sim.report().completed_measured();
+        cycles_per_sec.push(scale.cycles_per_rep as f64 / secs);
+        packets_per_sec.push((now_delivered - delivered) as f64 / secs);
+        delivered = now_delivered;
+    }
+    Throughput {
+        cycles_per_sec: median(&mut cycles_per_sec),
+        packets_per_sec: median(&mut packets_per_sec),
+    }
+}
+
+fn measure_net(row: &NetRow, scale: &Scale) -> Throughput {
+    let schedule = NetSchedule::default();
+    match row.sim {
+        "mesh" => measure_net_mesh(net_mesh_dim(scale), row.injection, schedule, scale),
+        _ => measure_net_dragonfly(row.injection, schedule, scale),
+    }
+}
+
 fn parse_throughput(value: &Json) -> Option<Throughput> {
     Some(Throughput {
         cycles_per_sec: value.get("cycles_per_sec")?.as_f64()?,
@@ -317,12 +520,12 @@ fn parse_throughput(value: &Json) -> Option<Throughput> {
     })
 }
 
-/// Loads the labelled measurements (and any `"sharded"` section) from
-/// an existing results file so a re-run under one label — or a
-/// `--sharded` sweep — preserves everything else. Files with any other
-/// schema (including `v1`, whose medians were biased) are ignored and
-/// overwritten wholesale.
-fn load_existing(path: &str, rows: &mut [Row]) -> Option<ShardedSection> {
+/// Loads the labelled measurements (and any `"sharded"` / `"net"`
+/// sections) from an existing results file so a re-run under one label
+/// — or a `--sharded` / `--net` sweep — preserves everything else.
+/// Files with any other schema (including `v1`, whose medians were
+/// biased) are ignored and overwritten wholesale.
+fn load_existing(path: &str, rows: &mut [Row], net_rows: &mut [NetRow]) -> Option<ShardedSection> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return None;
     };
@@ -330,7 +533,8 @@ fn load_existing(path: &str, rows: &mut [Row]) -> Option<ShardedSection> {
         eprintln!("warning: {path} is not valid JSON; starting fresh");
         return None;
     };
-    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(SCHEMA) && !COMPATIBLE_SCHEMAS.iter().any(|&s| schema == Some(s)) {
         eprintln!("warning: {path} has an unknown schema; starting fresh");
         return None;
     }
@@ -349,7 +553,39 @@ fn load_existing(path: &str, rows: &mut [Row]) -> Option<ShardedSection> {
             }
         }
     }
+    for (sim, nodes, injection, before, after) in parse_net(&doc) {
+        for row in net_rows.iter_mut() {
+            if row.sim == sim && row.nodes == nodes && row.injection == injection {
+                row.before = before;
+                row.after = after;
+            }
+        }
+    }
     parse_sharded(&doc)
+}
+
+/// Raw `"net"` rows of a results document, for merging and validation.
+#[allow(clippy::type_complexity)]
+fn parse_net(doc: &Json) -> Vec<(String, usize, f64, Option<Throughput>, Option<Throughput>)> {
+    let Some(results) = doc
+        .get("net")
+        .and_then(|n| n.get("results"))
+        .and_then(Json::as_arr)
+    else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter_map(|entry| {
+            Some((
+                entry.get("sim")?.as_str()?.to_string(),
+                entry.get("nodes")?.as_u64()? as usize,
+                entry.get("injection_rate")?.as_f64()?,
+                entry.get("before").and_then(parse_throughput),
+                entry.get("after").and_then(parse_throughput),
+            ))
+        })
+        .collect()
 }
 
 fn parse_sharded(doc: &Json) -> Option<ShardedSection> {
@@ -412,7 +648,39 @@ fn render_sharded(out: &mut String, section: &ShardedSection) {
     out.push_str("  ]}");
 }
 
-fn render(rows: &[Row], scale: &Scale, sharded: Option<&ShardedSection>) -> String {
+fn render_net(out: &mut String, rows: &[NetRow]) {
+    out.push_str(",\n  \"net\":{\"net_before_engine\":");
+    json::write_escaped(out, NET_BEFORE_ENGINE);
+    out.push_str(",\"net_after_engine\":");
+    json::write_escaped(out, NET_AFTER_ENGINE);
+    out.push_str(",\"radix\":");
+    out.push_str(&NET_RADIX.to_string());
+    out.push_str(",\"ports_per_direction\":");
+    out.push_str(&NET_PPD.to_string());
+    out.push_str(",\"results\":[\n");
+    for (index, row) in rows.iter().enumerate() {
+        out.push_str("    {\"sim\":");
+        json::write_escaped(out, row.sim);
+        out.push_str(",\"nodes\":");
+        out.push_str(&row.nodes.to_string());
+        out.push_str(",\"injection_rate\":");
+        json::write_f64(out, row.injection);
+        out.push_str(",\"before\":");
+        write_throughput(out, row.before);
+        out.push_str(",\"after\":");
+        write_throughput(out, row.after);
+        out.push_str(",\"speedup_cycles_per_sec\":");
+        match row.speedup() {
+            Some(s) => json::write_f64(out, s),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out.push_str(if index + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]}");
+}
+
+fn render(rows: &[Row], scale: &Scale, sharded: Option<&ShardedSection>, net: &[NetRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\":");
@@ -452,6 +720,14 @@ fn render(rows: &[Row], scale: &Scale, sharded: Option<&ShardedSection>) -> Stri
     out.push_str("  ]");
     if let Some(section) = sharded {
         render_sharded(&mut out, section);
+    }
+    let measured_net: Vec<NetRow> = net
+        .iter()
+        .filter(|r| r.before.is_some() || r.after.is_some())
+        .cloned()
+        .collect();
+    if !measured_net.is_empty() {
+        render_net(&mut out, &measured_net);
     }
     out.push_str("\n}\n");
     out
@@ -500,6 +776,43 @@ fn check(path: &str) -> Result<(), String> {
                 return Err(format!(
                     "{path}: {fabric} radix {radix} has neither before nor after"
                 ));
+            }
+        }
+    }
+    // The net section is optional and additive, but when present every
+    // row needs a recognised topology, a positive router count, and at
+    // least one positive labelled measurement.
+    match doc.get("net") {
+        None | Some(Json::Null) => {}
+        Some(_) => {
+            let rows = parse_net(&doc);
+            if rows.is_empty() {
+                return Err(format!("{path}: malformed or empty net section"));
+            }
+            for (sim, nodes, injection, before, after) in rows {
+                if sim != "mesh" && sim != "dragonfly" {
+                    return Err(format!("{path}: unknown net sim {sim:?}"));
+                }
+                if nodes == 0 || injection <= 0.0 {
+                    return Err(format!("{path}: degenerate net row for {sim}"));
+                }
+                let mut measured = 0;
+                for (label, value) in [("before", before), ("after", after)] {
+                    if let Some(t) = value {
+                        if t.cycles_per_sec <= 0.0 || t.packets_per_sec <= 0.0 {
+                            return Err(format!(
+                                "{path}: non-positive {label} throughput for net {sim} \
+                                 at {injection}"
+                            ));
+                        }
+                        measured += 1;
+                    }
+                }
+                if measured == 0 {
+                    return Err(format!(
+                        "{path}: net {sim} at {injection} has neither before nor after"
+                    ));
+                }
             }
         }
     }
@@ -592,11 +905,98 @@ fn smoke() -> ExitCode {
     }
 }
 
+/// Active-set regression gate: benchmarks the quick net shapes under
+/// both schedules at low load and fails if the active-set schedule
+/// drops below [`NET_SMOKE_FLOOR`] x the dense sweep anywhere, or if
+/// the two schedules ever disagree on telemetry.
+fn net_smoke() -> ExitCode {
+    let scale = Scale::quick();
+    println!(
+        "cyclebench --net-smoke: active-set vs dense at injection {NET_SMOKE_INJECTION}, \
+         {} cycles x {} reps per row (floor {NET_SMOKE_FLOOR}x)\n",
+        scale.cycles_per_rep, scale.reps
+    );
+    println!(
+        "{:<10} {:>6} {:>15} {:>15} {:>8}",
+        "sim", "nodes", "dense c/s", "active c/s", "ratio"
+    );
+    let mut failures = Vec::new();
+    let dim = net_mesh_dim(&scale);
+    type Bench = fn(NetSchedule, &Scale) -> Throughput;
+    let shapes: [(&str, usize, Bench); 2] = [
+        ("mesh", dim * dim, |schedule, scale| {
+            measure_net_mesh(net_mesh_dim(scale), NET_SMOKE_INJECTION, schedule, scale)
+        }),
+        ("dragonfly", net_dragonfly(&scale).0, |schedule, scale| {
+            measure_net_dragonfly(NET_SMOKE_INJECTION, schedule, scale)
+        }),
+    ];
+    for (sim, nodes, bench) in shapes {
+        let dense = bench(NetSchedule::Dense, &scale);
+        let active = bench(NetSchedule::ActiveSet, &scale);
+        let ratio = active.cycles_per_sec / dense.cycles_per_sec;
+        println!(
+            "{:<10} {:>6} {:>15.0} {:>15.0} {:>7.2}x",
+            sim, nodes, dense.cycles_per_sec, active.cycles_per_sec, ratio
+        );
+        if ratio < NET_SMOKE_FLOOR {
+            failures.push(format!(
+                "{sim}: active-set schedule at {ratio:.2}x of dense (floor {NET_SMOKE_FLOOR}x)"
+            ));
+        }
+    }
+    // Schedule-identity gate: a short bounded mesh run must produce
+    // identical telemetry under both schedules (the full fault matrix
+    // lives in tests/net_schedule.rs; this catches gross breakage in
+    // the released binary).
+    let reports: Vec<MeshReport> = [NetSchedule::Dense, NetSchedule::ActiveSet]
+        .into_iter()
+        .map(|schedule| {
+            let cfg = MeshSimConfig::new(dim, dim, NET_PPD)
+                .injection_rate(NET_SMOKE_INJECTION)
+                .warmup(100)
+                .measure(1_000)
+                .seed(SEED)
+                .schedule(schedule);
+            let switch_cfg = net_switch_cfg();
+            let mut sim = MeshSim::new(cfg, move || {
+                HiRiseSwitch::with_kernel(&switch_cfg, ArbiterKernel::Word)
+            });
+            let mut pattern = UniformRandom::new(sim.total_cores());
+            let mut report = sim.empty_report();
+            sim.run_cycles(&mut pattern, &mut report, 2_000);
+            report
+        })
+        .collect();
+    if reports[0] == reports[1] && reports[0].completed_measured() > 0 {
+        println!(
+            "\nschedule identity OK: dense and active-set telemetry identical \
+             ({} packets delivered)",
+            reports[0].completed_measured()
+        );
+    } else if reports[0].completed_measured() == 0 {
+        failures.push("net smoke delivered no packets".to_string());
+    } else {
+        failures.push("telemetry differs between dense and active-set schedules".to_string());
+    }
+    if failures.is_empty() {
+        println!("net smoke OK: active-set at or above {NET_SMOKE_FLOOR}x dense everywhere");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("cyclebench --net-smoke: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut run_smoke = false;
+    let mut run_net_smoke = false;
     let mut run_sharded = false;
+    let mut run_net = false;
     let mut label = "after".to_string();
     let mut out_path = "BENCH_sim.json".to_string();
     let mut check_path: Option<String> = None;
@@ -606,7 +1006,9 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" | "quick" => quick = true,
             "--smoke" => run_smoke = true,
+            "--net-smoke" => run_net_smoke = true,
             "--sharded" => run_sharded = true,
+            "--net" => run_net = true,
             "--label" => label = iter.next().unwrap_or_else(|| missing("--label")),
             "--out" => out_path = iter.next().unwrap_or_else(|| missing("--out")),
             "--check" => check_path = Some(iter.next().unwrap_or_else(|| missing("--check"))),
@@ -628,6 +1030,9 @@ fn main() -> ExitCode {
     if run_smoke {
         return smoke();
     }
+    if run_net_smoke {
+        return net_smoke();
+    }
     if label != "before" && label != "after" {
         arg_error(format!("invalid value {label:?} for --label"), USAGE);
     }
@@ -645,23 +1050,15 @@ fn main() -> ExitCode {
             })
         })
         .collect();
-    let mut sharded = load_existing(&out_path, &mut rows);
-
-    if run_sharded {
-        // Sharded sweep only: replace the section, keep the kernel rows.
-        if rows.iter().all(|r| r.before.is_none() && r.after.is_none()) {
-            eprintln!(
-                "cyclebench: note: {out_path} has no kernel rows; \
-                 run a --label pass first so the self-check can pass"
-            );
-        }
-        sharded = Some(measure_sharded_section(&scale));
-        let rendered = render(&rows, &scale, sharded.as_ref());
+    let mut net = net_rows(&scale);
+    let mut sharded = load_existing(&out_path, &mut rows, &mut net);
+    let write_and_check = |rows: &[Row], sharded: Option<&ShardedSection>, net: &[NetRow]| {
+        let rendered = render(rows, &scale, sharded, net);
         if let Err(error) = std::fs::write(&out_path, &rendered) {
             eprintln!("cyclebench: cannot write {out_path}: {error}");
             return ExitCode::FAILURE;
         }
-        return match check(&out_path) {
+        match check(&out_path) {
             Ok(()) => {
                 println!("\nwrote {out_path}");
                 ExitCode::SUCCESS
@@ -670,7 +1067,59 @@ fn main() -> ExitCode {
                 eprintln!("cyclebench: self-check failed: {message}");
                 ExitCode::FAILURE
             }
-        };
+        }
+    };
+    if rows.iter().all(|r| r.before.is_none() && r.after.is_none()) && (run_sharded || run_net) {
+        eprintln!(
+            "cyclebench: note: {out_path} has no kernel rows; \
+             run a --label pass first so the self-check can pass"
+        );
+    }
+
+    if run_net {
+        // Net sweep: refresh this label's engine column in place.
+        println!(
+            "cyclebench --net: label={label} ({} engine), {} cycles x {} reps per row\n",
+            if label == "before" {
+                NET_BEFORE_ENGINE
+            } else {
+                NET_AFTER_ENGINE
+            },
+            scale.cycles_per_rep,
+            scale.reps
+        );
+        println!(
+            "{:<10} {:>6} {:>10} {:>15} {:>15} {:>9}",
+            "sim", "nodes", "injection", "cycles/sec", "packets/sec", "speedup"
+        );
+        for row in net.iter_mut() {
+            let throughput = measure_net(row, &scale);
+            if label == "before" {
+                row.before = Some(throughput);
+            } else {
+                row.after = Some(throughput);
+            }
+            let speedup = row
+                .speedup()
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "{:<10} {:>6} {:>10.3} {:>15.0} {:>15.0} {:>9}",
+                row.sim,
+                row.nodes,
+                row.injection,
+                throughput.cycles_per_sec,
+                throughput.packets_per_sec,
+                speedup
+            );
+        }
+        return write_and_check(&rows, sharded.as_ref(), &net);
+    }
+
+    if run_sharded {
+        // Sharded sweep only: replace the section, keep the kernel rows.
+        sharded = Some(measure_sharded_section(&scale));
+        return write_and_check(&rows, sharded.as_ref(), &net);
     }
 
     println!(
@@ -700,21 +1149,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let rendered = render(&rows, &scale, sharded.as_ref());
-    if let Err(error) = std::fs::write(&out_path, &rendered) {
-        eprintln!("cyclebench: cannot write {out_path}: {error}");
-        return ExitCode::FAILURE;
-    }
-    match check(&out_path) {
-        Ok(()) => {
-            println!("\nwrote {out_path}");
-            ExitCode::SUCCESS
-        }
-        Err(message) => {
-            eprintln!("cyclebench: self-check failed: {message}");
-            ExitCode::FAILURE
-        }
-    }
+    write_and_check(&rows, sharded.as_ref(), &net)
 }
 
 #[cfg(test)]

@@ -143,6 +143,21 @@ pub trait Fabric: Send {
     fn fault_log(&self) -> Option<&FaultLog> {
         None
     }
+
+    /// Whether an idle arbitration cycle (no requests, no held
+    /// connections) still mutates observable state, so the caller must
+    /// tick the fabric every cycle rather than skipping it.
+    ///
+    /// Fabrics with flaky faults registered resample them (and draw
+    /// from their fault PRNG) on every [`arbitrate`](Self::arbitrate)
+    /// call, so skipping cycles would desynchronise the fault stream.
+    /// Fault-free fabrics — and fabrics with only dead faults — are
+    /// pure functions of the presented requests and may be skipped
+    /// while idle. The conservative default is `true` (never skip);
+    /// this crate's fabrics override it.
+    fn ticks_when_idle(&self) -> bool {
+        true
+    }
 }
 
 impl<F: Fabric + ?Sized> Fabric for Box<F> {
@@ -184,6 +199,10 @@ impl<F: Fabric + ?Sized> Fabric for Box<F> {
 
     fn fault_log(&self) -> Option<&FaultLog> {
         (**self).fault_log()
+    }
+
+    fn ticks_when_idle(&self) -> bool {
+        (**self).ticks_when_idle()
     }
 }
 

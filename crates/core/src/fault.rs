@@ -349,6 +349,15 @@ impl FaultState {
     pub(crate) fn log(&self) -> &FaultLog {
         &self.log
     }
+
+    /// Whether any flaky faults are registered. When false,
+    /// [`advance`](Self::advance) is a pure counter bump with no PRNG
+    /// draws, which is what lets a simulator skip idle cycles for this
+    /// fabric without perturbing fault sampling streams.
+    #[inline]
+    pub(crate) fn has_flaky(&self) -> bool {
+        !self.flaky.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -168,6 +168,10 @@ impl Fabric for FoldedSwitch {
     fn fault_log(&self) -> Option<&FaultLog> {
         self.inner.fault_log()
     }
+
+    fn ticks_when_idle(&self) -> bool {
+        self.inner.ticks_when_idle()
+    }
 }
 
 #[cfg(test)]

@@ -80,9 +80,75 @@ id_type!(
     "c"
 );
 
+/// A dense handle into a packet arena slot, in `0..arena_len`, with a
+/// reserved [`NONE`](Self::NONE) sentinel for packets that carry no
+/// arena-side metadata (single-switch simulations, test fixtures).
+///
+/// Unlike the `usize` port identifiers above this is deliberately
+/// 32-bit: it rides inside every in-flight packet, and arenas are
+/// indexed densely with a free-list, so `u32::MAX` slots is plenty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PacketHandle(u32);
+
+impl PacketHandle {
+    /// The "no arena slot" sentinel.
+    pub const NONE: Self = Self(u32::MAX);
+
+    /// Creates a handle from a raw slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is the reserved sentinel value `u32::MAX`.
+    #[inline]
+    pub const fn new(slot: u32) -> Self {
+        assert!(slot != u32::MAX, "u32::MAX is reserved for NONE");
+        Self(slot)
+    }
+
+    /// Returns the raw slot index. The sentinel returns `u32::MAX`.
+    #[inline]
+    pub const fn slot(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this handle refers to an arena slot.
+    #[inline]
+    pub const fn is_some(self) -> bool {
+        self.0 != u32::MAX
+    }
+}
+
+impl Default for PacketHandle {
+    #[inline]
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+impl fmt::Display for PacketHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "h{}", self.0)
+        } else {
+            f.write_str("h-")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn packet_handles_distinguish_none() {
+        assert!(!PacketHandle::NONE.is_some());
+        assert_eq!(PacketHandle::default(), PacketHandle::NONE);
+        let h = PacketHandle::new(7);
+        assert!(h.is_some());
+        assert_eq!(h.slot(), 7);
+        assert_eq!(h.to_string(), "h7");
+        assert_eq!(PacketHandle::NONE.to_string(), "h-");
+    }
 
     #[test]
     fn round_trips_through_usize() {

@@ -72,7 +72,7 @@ pub use fabric::{Fabric, Grant, Request};
 pub use fault::{Fault, FaultEvent, FaultKind, FaultLog, FaultSite};
 pub use folded::FoldedSwitch;
 pub use hirise::HiRiseSwitch;
-pub use ids::{ChannelId, InputId, LayerId, OutputId};
+pub use ids::{ChannelId, InputId, LayerId, OutputId, PacketHandle};
 pub use kernel::ArbiterKernel;
 pub use switch2d::Switch2d;
 pub use xpoint::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender};

@@ -315,6 +315,10 @@ impl Fabric for Switch2d {
     fn fault_log(&self) -> Option<&FaultLog> {
         self.faults.as_ref().map(|f| f.log())
     }
+
+    fn ticks_when_idle(&self) -> bool {
+        self.faults.as_ref().is_some_and(FaultState::has_flaky)
+    }
 }
 
 #[cfg(test)]

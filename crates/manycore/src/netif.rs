@@ -100,6 +100,7 @@ impl<F: Fabric> SwitchNet<F> {
             len_flits: message.len_flits(),
             birth_cycle: self.now,
             measured: false,
+            handle: hirise_core::PacketHandle::NONE,
         };
         self.payloads.insert(id, (message, self.now));
         self.next_id += 1;

@@ -1,0 +1,134 @@
+//! Slab arena for per-packet network metadata, keyed by dense
+//! [`PacketHandle`]s.
+//!
+//! The network simulators used to carry routing metadata in a per-node
+//! `HashMap<u64, MeshPacket>`, paying a SipHash probe (and, on growth, a
+//! reallocation) for every buffered packet every cycle. The arena is the
+//! SoA replacement: one `Vec<u32>` of hop counters for the whole
+//! simulation, indexed by a handle stored *inside* the packet, plus a
+//! free-list so steady state recycles slots without allocating.
+//!
+//! The only per-packet network state beyond what [`crate::Packet`]
+//! already carries is the hop counter — the destination core is always
+//! `packet.dst.index()` — so a slot is a single `u32`. `u32::MAX` marks
+//! a free slot, which doubles as a corruption check: handing the arena a
+//! stale or foreign handle is detected, not silently misread.
+
+use hirise_core::PacketHandle;
+
+/// Sentinel marking a free slot; a live hop count never reaches it
+/// (a packet would need 2^32 - 1 hops).
+const FREE: u32 = u32::MAX;
+
+/// A slab of per-packet hop counters with a free-list.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PacketArena {
+    hops: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    /// Creates an arena with room for `capacity` packets before the
+    /// first growth reallocation.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            hops: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Allocates a slot holding `hops`, recycling a freed slot if one
+    /// exists.
+    pub(crate) fn alloc(&mut self, hops: u32) -> PacketHandle {
+        debug_assert_ne!(hops, FREE);
+        if let Some(slot) = self.free.pop() {
+            self.hops[slot as usize] = hops;
+            PacketHandle::new(slot)
+        } else {
+            let slot = u32::try_from(self.hops.len()).expect("arena outgrew u32 handles");
+            self.hops.push(hops);
+            PacketHandle::new(slot)
+        }
+    }
+
+    /// Reads the hop count behind `handle`. `None` for the `NONE`
+    /// sentinel, an out-of-range slot, or a slot that is currently free
+    /// — all of which mean the handle does not belong to a live packet.
+    #[cfg(test)]
+    pub(crate) fn get(&self, handle: PacketHandle) -> Option<u32> {
+        let hops = *self.hops.get(handle.slot() as usize)?;
+        (hops != FREE).then_some(hops)
+    }
+
+    /// Increments the hop count behind `handle` and returns the new
+    /// value, or `None` if the handle is not live.
+    pub(crate) fn bump(&mut self, handle: PacketHandle) -> Option<u32> {
+        let slot = self.hops.get_mut(handle.slot() as usize)?;
+        if *slot == FREE {
+            return None;
+        }
+        *slot += 1;
+        Some(*slot)
+    }
+
+    /// Frees the slot behind `handle`, returning its final hop count,
+    /// or `None` if the handle is not live (the slot is left untouched).
+    pub(crate) fn take(&mut self, handle: PacketHandle) -> Option<u32> {
+        let slot = self.hops.get_mut(handle.slot() as usize)?;
+        if *slot == FREE {
+            return None;
+        }
+        let hops = *slot;
+        *slot = FREE;
+        self.free.push(handle.slot());
+        Some(hops)
+    }
+
+    /// Number of live (allocated, not-yet-taken) slots.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.hops.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_take_recycles_slots_without_growth() {
+        let mut arena = PacketArena::with_capacity(4);
+        let a = arena.alloc(0);
+        let b = arena.alloc(3);
+        assert_ne!(a, b);
+        assert_eq!(arena.get(a), Some(0));
+        assert_eq!(arena.bump(a), Some(1));
+        assert_eq!(arena.take(a), Some(1));
+        assert_eq!(arena.live(), 1);
+        // The freed slot is reused; the other slot is untouched.
+        let c = arena.alloc(7);
+        assert_eq!(c.slot(), a.slot());
+        assert_eq!(arena.get(c), Some(7));
+        assert_eq!(arena.get(b), Some(3));
+    }
+
+    #[test]
+    fn dead_handles_are_detected_not_misread() {
+        let mut arena = PacketArena::with_capacity(2);
+        let a = arena.alloc(5);
+        assert_eq!(arena.take(a), Some(5));
+        // Stale handle: slot exists but is free.
+        assert_eq!(arena.get(a), None);
+        assert_eq!(arena.bump(a), None);
+        assert_eq!(arena.take(a), None);
+        assert_eq!(
+            arena.live(),
+            0,
+            "double-take must not corrupt the free list"
+        );
+        // Sentinel and out-of-range handles.
+        assert_eq!(arena.get(PacketHandle::NONE), None);
+        let mut other = PacketArena::with_capacity(0);
+        assert_eq!(other.take(a), None);
+    }
+}

@@ -812,6 +812,7 @@ pub fn schedule_packets(schedule: &Schedule) -> Vec<Packet> {
             len_flits: p.len_flits,
             birth_cycle: p.inject_cycle,
             measured: true,
+            handle: hirise_core::PacketHandle::NONE,
         })
         .collect()
 }

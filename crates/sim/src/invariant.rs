@@ -127,6 +127,14 @@ impl InvariantChecker {
         self.cycles_checked
     }
 
+    /// Reports a violation detected by the caller's own bookkeeping —
+    /// e.g. a buffered packet whose arena metadata slot is missing in
+    /// the network simulators. Panics in panic mode, records otherwise,
+    /// exactly like the checker's built-in audits.
+    pub fn report_violation(&mut self, cycle: Option<u64>, message: String) {
+        self.fail(cycle, message);
+    }
+
     /// Fails one invariant: panics in panic mode, records otherwise.
     fn fail(&mut self, cycle: Option<u64>, message: String) {
         match self.mode {
@@ -309,6 +317,7 @@ mod tests {
             len_flits: len,
             birth_cycle: 0,
             measured: false,
+            handle: hirise_core::PacketHandle::NONE,
         }
     }
 

@@ -56,8 +56,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod diff;
 pub mod dragonfly;
+mod engine;
 mod invariant;
 pub mod mesh;
 pub mod mesh_sim;
@@ -73,6 +75,7 @@ pub use diff::{
     ArbitrateIntoDivergence, CoSimOutcome, DiffFailure, DiffFailureKind, FabricBuilder, RefSwitch,
     SchedPacket, Schedule, Violation,
 };
+pub use engine::NetSchedule;
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use packet::Packet;
 pub use port::InputPort;

@@ -14,14 +14,15 @@
 //! `(g / cores_per_node)` in row-major order, at local core index
 //! `g % cores_per_node`.
 
+use crate::engine::{phase_arbitrate, phase_transfers, NetSchedule, NodeEngine};
+use crate::invariant::InvariantViolation;
 use crate::packet::Packet;
-use crate::port::InputPort;
 use crate::stats::LatencyHistogram;
 use crate::traffic::TrafficPattern;
 use hirise_core::rng::derive_stream_seed;
 use hirise_core::rng::SeedableRng;
 use hirise_core::rng::StdRng;
-use hirise_core::{Fabric, InputId, OutputId, Request};
+use hirise_core::{Fabric, InputId, OutputId, PacketHandle};
 
 /// The four mesh directions, in port-bank order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,6 +80,7 @@ pub struct MeshSimConfig {
     pub(crate) measure: u64,
     pub(crate) drain: u64,
     pub(crate) seed: u64,
+    pub(crate) schedule: NetSchedule,
 }
 
 impl MeshSimConfig {
@@ -108,7 +110,16 @@ impl MeshSimConfig {
             measure: 10_000,
             drain: 10_000,
             seed: 0x3D_3E54,
+            schedule: NetSchedule::default(),
         }
+    }
+
+    /// Selects the per-cycle scheduling strategy (see [`NetSchedule`]).
+    /// An execution knob, never a results knob: telemetry is
+    /// byte-identical across schedules.
+    pub fn schedule(mut self, schedule: NetSchedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Sets the offered load in packets/core/cycle.
@@ -268,22 +279,6 @@ impl MeshReport {
     pub fn latency_percentile_cycles(&self, p: f64) -> Option<f64> {
         self.histogram.percentile(p)
     }
-}
-
-/// A packet in flight across a routed topology, with routing state.
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct MeshPacket {
-    pub(crate) inner: Packet,
-    /// Final destination endpoint (global index).
-    pub(crate) dst_core: usize,
-    pub(crate) hops: u32,
-}
-
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct Transfer {
-    pub(crate) packet: MeshPacket,
-    pub(crate) flits_remaining: usize,
-    pub(crate) output: OutputId,
 }
 
 /// What a switch port is wired to.
@@ -513,11 +508,9 @@ pub struct MeshSim<F> {
     cfg: MeshSimConfig,
     geo: MeshGeometry,
     switches: Vec<F>,
-    /// Per node, per switch input port.
-    ports: Vec<Vec<InputPort>>,
-    /// Routing metadata for packets buffered at each node, by packet id.
-    meta: Vec<std::collections::HashMap<u64, MeshPacket>>,
-    transfers: Vec<Vec<Option<Transfer>>>,
+    /// Ports, packet arena, transfer slots, active sets and scratch —
+    /// the state shared with the sharded engine.
+    engine: NodeEngine,
     /// Per-core injection RNG streams, seeded purely by
     /// `(cfg.seed, core)` so injection is a function of global position
     /// — the property that lets shards own disjoint core ranges and
@@ -565,11 +558,7 @@ impl<F: Fabric> MeshSim<F> {
         );
         let total_cores = geo.total_cores();
         Self {
-            ports: (0..nodes)
-                .map(|_| (0..radix).map(|_| InputPort::new(cfg.vcs)).collect())
-                .collect(),
-            meta: vec![std::collections::HashMap::new(); nodes],
-            transfers: vec![vec![None; radix]; nodes],
+            engine: NodeEngine::new(&switches, cfg.vcs, cfg.schedule, false),
             switches,
             rngs: (0..total_cores)
                 .map(|core| StdRng::seed_from_u64(derive_stream_seed(cfg.seed, core as u64)))
@@ -599,20 +588,44 @@ impl<F: Fabric> MeshSim<F> {
             .sum()
     }
 
-    /// Stores routing metadata for a packet buffered at `node`.
-    fn stash(&mut self, node: usize, packet: MeshPacket) {
-        let previous = self.meta[node].insert(packet.inner.id, packet);
-        debug_assert!(previous.is_none(), "duplicate packet id at node {node}");
+    /// Sum over cycles of the number of routers doing per-cycle work
+    /// (the active `work` set) — divide by `cycles * nodes` for the
+    /// mean active-router occupancy.
+    pub fn active_node_cycles(&self) -> u64 {
+        self.engine.active_node_cycles()
     }
 
-    fn unstash(&mut self, node: usize, id: u64) -> MeshPacket {
-        self.meta[node]
-            .remove(&id)
-            .expect("metadata present for buffered packet")
+    /// Metadata-integrity violations recorded so far (a buffered packet
+    /// whose arena slot went missing — formerly a process abort).
+    pub fn invariant_violations(&self) -> &[InvariantViolation] {
+        self.engine.violations()
     }
 
-    fn peek(&self, node: usize, id: u64) -> MeshPacket {
-        *self.meta[node].get(&id).expect("metadata present")
+    /// Total invariant violations observed, including beyond the
+    /// record cap.
+    pub fn invariant_violation_count(&self) -> u64 {
+        self.engine.violation_count()
+    }
+
+    /// A fresh all-zero report shaped for this simulation — pair with
+    /// [`run_cycles`](Self::run_cycles) for externally driven cycle
+    /// loops.
+    pub fn empty_report(&self) -> MeshReport {
+        MeshReport::empty(self.cfg.measure, self.total_cores())
+    }
+
+    /// Advances exactly `cycles` cycles without draining — the
+    /// benchmarking entry point, mirroring
+    /// [`ShardedSim::run_cycles`](crate::shard::ShardedSim::run_cycles).
+    pub fn run_cycles(
+        &mut self,
+        pattern: &mut dyn TrafficPattern,
+        report: &mut MeshReport,
+        cycles: u64,
+    ) {
+        for _ in 0..cycles {
+            self.step(pattern, report);
+        }
     }
 
     /// Runs the configured warmup + measurement + drain and reports.
@@ -634,52 +647,22 @@ impl<F: Fabric> MeshSim<F> {
     }
 
     fn step(&mut self, pattern: &mut dyn TrafficPattern, report: &mut MeshReport) {
-        let nodes = self.geo.nodes();
-        let radix = self.geo.radix();
         let in_window = self.in_window();
 
         // (a) Progress transfers: completions either eject (deliver) or
         // forward into the neighbour's input buffer; the release beat
-        // follows one cycle later, as in the single-switch model.
-        for node in 0..nodes {
-            for input in 0..radix {
-                let Some(transfer) = &mut self.transfers[node][input] else {
-                    continue;
-                };
-                if transfer.flits_remaining > 0 {
-                    transfer.flits_remaining -= 1;
-                    if transfer.flits_remaining == 0 {
-                        let mut packet = transfer.packet;
-                        let output = transfer.output;
-                        packet.hops += 1;
-                        self.ports[node][input].complete_transfer();
-                        match self.geo.link_endpoint(node, output) {
-                            None => {
-                                // Ejected at the destination node.
-                                if in_window {
-                                    report.delivered_in_window += 1;
-                                }
-                                if packet.inner.measured {
-                                    report.completed_measured += 1;
-                                    let latency = packet.inner.latency(self.now);
-                                    report.latency_sum += latency;
-                                    report.histogram.record(latency);
-                                    report.hop_sum += u64::from(packet.hops);
-                                }
-                            }
-                            Some((next_node, next_input)) => {
-                                // Hand the packet to the next switch.
-                                self.stash(next_node, packet);
-                                self.ports[next_node][next_input].inject(packet.inner);
-                            }
-                        }
-                    }
-                } else {
-                    self.switches[node].release(InputId::new(input));
-                    self.transfers[node][input] = None;
-                }
-            }
-        }
+        // follows one cycle later, as in the single-switch model. This
+        // mesh is unsharded, so every wire stays local.
+        phase_transfers(
+            &mut self.engine,
+            &mut self.switches,
+            &self.geo,
+            0,
+            report,
+            in_window,
+            self.now,
+            |_, _, _, _| unreachable!("unsharded mesh has no shard boundaries"),
+        );
 
         // (b) Injection at core ports: each core draws from its own
         // position-derived RNG stream and numbers its own packets
@@ -698,77 +681,31 @@ impl<F: Fabric> MeshSim<F> {
             let seq = self.seqs[core];
             self.seqs[core] += 1;
             debug_assert!(seq < 1 << 32, "per-core packet sequence overflow");
-            let inner = Packet {
+            let packet = Packet {
                 id: ((core as u64) << 32) | seq,
                 src: InputId::new(input_port),
                 dst: OutputId::new(dst.index()), // final core id, re-routed per hop
                 len_flits: self.cfg.packet_len_flits,
                 birth_cycle: self.now,
                 measured: in_window,
+                handle: PacketHandle::NONE, // assigned by the arena below
             };
             if in_window {
                 report.injected_measured += 1;
             }
-            let packet = MeshPacket {
-                inner,
-                dst_core: dst.index(),
-                hops: 0,
-            };
-            self.stash(node, packet);
-            self.ports[node][input_port].inject(inner);
+            self.engine.admit_new(node, input_port, packet, 0);
         }
 
-        // (c) Buffer, select, arbitrate and launch per node.
-        for node in 0..nodes {
-            for port in &mut self.ports[node] {
-                port.fill_vcs();
-            }
-            let mut candidates: Vec<(usize, MeshPacket, OutputId)> = Vec::new();
-            let mut requests: Vec<Request> = Vec::new();
-            for input in 0..radix {
-                if self.transfers[node][input].is_some() {
-                    continue;
-                }
-                if let Some(inner) = self.ports[node][input].select_candidate() {
-                    let packet = self.peek(node, inner.id);
-                    let output = self
-                        .geo
-                        .route(node, packet.dst_core, packet.inner.id as usize);
-                    // Credit check: the downstream port must have a free
-                    // slot before this hop may start (the in-flight hop
-                    // itself is the one slot we reserve).
-                    if let Some((next_node, next_input)) = self.geo.link_endpoint(node, output) {
-                        if self.ports[next_node][next_input].occupancy()
-                            >= self.cfg.link_buffer_packets
-                        {
-                            self.ports[node][input].revoke_candidate();
-                            continue;
-                        }
-                    }
-                    candidates.push((input, packet, output));
-                    requests.push(Request::new(InputId::new(input), output));
-                }
-            }
-            let grants = self.switches[node].arbitrate(&requests);
-            let mut granted = vec![false; radix];
-            for grant in &grants {
-                granted[grant.input.index()] = true;
-            }
-            for (input, packet, output) in candidates {
-                if granted[input] {
-                    self.ports[node][input].confirm_grant();
-                    // Departing: the metadata leaves this node with it.
-                    let packet = self.unstash(node, packet.inner.id);
-                    self.transfers[node][input] = Some(Transfer {
-                        packet,
-                        flits_remaining: self.cfg.packet_len_flits,
-                        output,
-                    });
-                } else {
-                    self.ports[node][input].revoke_candidate();
-                }
-            }
-        }
+        // (c) Buffer, select, arbitrate and launch per active node.
+        phase_arbitrate(
+            &mut self.engine,
+            &mut self.switches,
+            &self.geo,
+            0,
+            self.cfg.link_buffer_packets,
+            self.cfg.packet_len_flits,
+            |_, _| unreachable!("unsharded mesh reads every occupancy locally"),
+        );
 
         self.now += 1;
     }
@@ -978,7 +915,7 @@ mod tests {
             let p = 2 * 4; // link-fed ports are the first 4*p
             for input in 0..p {
                 assert!(
-                    sim.ports[node][input].occupancy() <= 2,
+                    sim.engine.port(node, input).occupancy() <= 2,
                     "node {node} port {input} overflowed"
                 );
             }

@@ -5,7 +5,7 @@
 //! packet occupies a switch connection for one cycle per flit after the
 //! single arbitration cycle that sets the connection up.
 
-use hirise_core::{InputId, OutputId};
+use hirise_core::{InputId, OutputId, PacketHandle};
 
 /// A packet travelling from a source input port to a destination output.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +23,10 @@ pub struct Packet {
     /// Whether the packet was injected during the measurement window and
     /// therefore contributes to latency statistics.
     pub measured: bool,
+    /// Arena slot carrying the network-level routing metadata (hop
+    /// count), or [`PacketHandle::NONE`] for single-switch simulations
+    /// that keep no per-packet network state.
+    pub handle: PacketHandle,
 }
 
 impl Packet {
@@ -45,6 +49,7 @@ mod tests {
             len_flits: 4,
             birth_cycle: 10,
             measured: true,
+            handle: PacketHandle::NONE,
         };
         assert_eq!(p.latency(17), 7);
         assert_eq!(p.latency(5), 0, "saturates rather than underflows");

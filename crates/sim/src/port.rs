@@ -114,6 +114,16 @@ impl InputPort {
         )
     }
 
+    /// As [`select_candidate`](Self::select_candidate), but returning
+    /// only the id and destination — what the network simulators need
+    /// to route and credit-check a candidate, deferring the full packet
+    /// copy to the transfer's completion.
+    pub fn select_candidate_meta(&mut self) -> Option<(u64, OutputId)> {
+        let vc = self.select_vc()?;
+        let packet = self.vcs[vc].as_ref().expect("occupied VC holds a packet");
+        Some((packet.id, packet.dst))
+    }
+
     /// The packet in the currently selected (or transferring) VC.
     ///
     /// # Panics
@@ -198,6 +208,7 @@ mod tests {
             len_flits: 4,
             birth_cycle: 0,
             measured: false,
+            handle: hirise_core::PacketHandle::NONE,
         }
     }
 

@@ -13,13 +13,21 @@
 //!    is posted to that shard's mailbox instead of being injected
 //!    directly. *Barrier.* Each shard drains its inbound mailboxes (in
 //!    shard order) and publishes the occupancy of its boundary input
-//!    ports.
+//!    ports that changed (untouched ports' snapshots are still valid).
 //! 2. **Injection** — each shard polls its own endpoints' traffic
 //!    streams. *Barrier.*
 //! 3. **Arbitration** — each shard buffers, selects, credit-checks
 //!    (remote occupancy comes from the published snapshots), arbitrates
 //!    and launches for its own nodes, then publishes its injected /
 //!    completed totals. *Barrier.*
+//!
+//! The per-node state and the heavy phases live in `crate::engine`,
+//! shared with the unsharded [`MeshSim`](crate::mesh_sim::MeshSim)
+//! reference: SoA packet arenas instead of per-node hash maps, and
+//! active-set scheduling so each shard's phases iterate only its nodes
+//! that actually hold traffic. Mailboxes carry an [`AtomicBool`] flag,
+//! so the per-pair boundary exchange costs one relaxed load — no lock
+//! — for every pair with no traffic this cycle.
 //!
 //! Determinism is structural, not incidental:
 //!
@@ -41,18 +49,19 @@
 //! The identity tests in `tests/shard_identity.rs` pin all of this:
 //! sharded telemetry at 1, 2 and 8 shards is byte-identical to the
 //! unsharded [`MeshSim`](crate::mesh_sim::MeshSim) reference, faults
-//! included.
+//! included; `tests/net_schedule.rs` additionally pins the active-set
+//! schedule byte-identical to the dense one at every shard count.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
-use crate::mesh_sim::{MeshGeometry, MeshPacket, MeshReport, MeshSimConfig, Transfer};
+use crate::engine::{phase_arbitrate, phase_transfers, NetSchedule, NodeEngine};
+use crate::mesh_sim::{MeshGeometry, MeshReport, MeshSimConfig};
 use crate::packet::Packet;
-use crate::port::InputPort;
 use crate::traffic::TrafficPattern;
 use hirise_core::rng::{derive_stream_seed, SeedableRng, StdRng};
-use hirise_core::{Fabric, InputId, OutputId, Request};
+use hirise_core::{Fabric, InputId, OutputId, PacketHandle};
 
 /// A topology the sharded engine can partition and step: a set of
 /// identical-radix switches (nodes), each with locally attached
@@ -148,6 +157,9 @@ pub struct ShardedConfig {
     pub drain: u64,
     /// Master seed; per-endpoint streams derive from it by position.
     pub seed: u64,
+    /// Per-cycle scheduling strategy — an execution knob, never a
+    /// results knob (telemetry is byte-identical across schedules).
+    pub schedule: NetSchedule,
 }
 
 impl ShardedConfig {
@@ -163,6 +175,7 @@ impl ShardedConfig {
             measure: 10_000,
             drain: 10_000,
             seed: 0x3D_3E54,
+            schedule: NetSchedule::default(),
         }
     }
 
@@ -176,6 +189,7 @@ impl ShardedConfig {
             measure: cfg.measure,
             drain: cfg.drain,
             seed: cfg.seed,
+            schedule: cfg.schedule,
         }
     }
 
@@ -208,6 +222,12 @@ impl ShardedConfig {
         self.seed = seed;
         self
     }
+
+    /// Selects the per-cycle scheduling strategy (see [`NetSchedule`]).
+    pub fn schedule(mut self, schedule: NetSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
 }
 
 impl Default for ShardedConfig {
@@ -217,26 +237,47 @@ impl Default for ShardedConfig {
 }
 
 /// A packet crossing a shard boundary: deliver to `(node, input)` of
-/// the receiving shard at the start of the next phase.
+/// the receiving shard at the start of the next phase, with its hop
+/// count (the sender freed its own arena slot; the receiver allocates
+/// one).
 struct Handoff {
     node: usize,
     input: usize,
-    packet: MeshPacket,
+    packet: Packet,
+    hops: u32,
+}
+
+/// One (receiver, sender) boundary queue. Only the sender's thread
+/// writes it; the flag lets the receiver skip the lock entirely for
+/// pairs with no traffic this cycle, which at low load is nearly all of
+/// them.
+struct Mailbox {
+    flag: AtomicBool,
+    queue: Mutex<Vec<Handoff>>,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self {
+            flag: AtomicBool::new(false),
+            queue: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// One shard: a contiguous block of nodes and their endpoints, with all
 /// mutable simulation state for them.
 struct ShardState<F> {
-    /// Owned nodes, `[node_lo, node_hi)`.
+    /// First owned node (nodes are contiguous; the count is
+    /// `switches.len()`).
     node_lo: usize,
-    node_hi: usize,
     /// Owned endpoints (global indices), `[end_lo, end_hi)`.
     end_lo: usize,
     end_hi: usize,
     switches: Vec<F>,
-    ports: Vec<Vec<InputPort>>,
-    meta: Vec<HashMap<u64, MeshPacket>>,
-    transfers: Vec<Vec<Option<Transfer>>>,
+    /// Ports, packet arena, transfer slots, active sets and scratch —
+    /// the state shared with the unsharded reference.
+    engine: NodeEngine,
     /// Per owned endpoint, its position-derived injection stream.
     rngs: Vec<StdRng>,
     /// Per owned endpoint, packets injected so far (id low bits).
@@ -248,9 +289,10 @@ struct ShardState<F> {
     /// Partial telemetry: strictly the contributions of owned nodes
     /// (deliveries) and owned endpoints (injections).
     report: MeshReport,
-    /// Boundary input ports this shard owns and must publish occupancy
-    /// for: `(local node index, input port, snapshot slot)`.
-    publish: Vec<(usize, usize, usize)>,
+    /// Per local port (`local_node * radix + input`), the frontier
+    /// snapshot slot to publish its occupancy to, or `u32::MAX` for
+    /// non-boundary ports.
+    publish_slot: Vec<u32>,
 }
 
 /// Occupancy snapshots of boundary (cross-shard) input ports, indexed
@@ -279,6 +321,11 @@ pub struct ShardedSim<F, T> {
     frontier: Frontier,
     /// Lower node bound of each shard, for `shard_of` lookups.
     starts: Vec<usize>,
+    /// `mail[receiver][sender]`; persistent so steady-state cycles
+    /// allocate nothing.
+    mail: Vec<Vec<Mailbox>>,
+    totals: Vec<Totals>,
+    barrier: Barrier,
     now: u64,
 }
 
@@ -332,7 +379,10 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
             slot_of: HashMap::new(),
             values: Vec::new(),
         };
-        let mut publish: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); shards];
+        let mut publish_slots: Vec<Vec<u32>> = plan
+            .iter()
+            .map(|&(lo, hi)| vec![u32::MAX; (hi - lo) * radix])
+            .collect();
         if topo.credit_links() {
             for node in 0..nodes {
                 let src_shard = shard_of(&starts, node);
@@ -348,7 +398,9 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
                     let slot = *frontier.slot_of.entry((dst, input)).or_insert(next_slot);
                     if slot == next_slot {
                         frontier.values.push(AtomicUsize::new(0));
-                        publish[dst_shard].push((dst - plan[dst_shard].0, input, slot));
+                        let local = dst - plan[dst_shard].0;
+                        publish_slots[dst_shard][local * radix + input] =
+                            u32::try_from(slot).expect("frontier outgrew u32 slots");
                     }
                 }
             }
@@ -356,37 +408,34 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
 
         let states: Vec<ShardState<F>> = plan
             .iter()
-            .zip(publish)
-            .map(|(&(lo, hi), publish)| {
-                let owned = hi - lo;
+            .zip(publish_slots)
+            .map(|(&(lo, hi), publish_slot)| {
+                let switches: Vec<F> = (lo..hi)
+                    .map(|node| {
+                        let sw = make_switch(node);
+                        assert!(
+                            sw.radix() == radix,
+                            "switch at node {node} has radix {}, topology wants {radix}",
+                            sw.radix()
+                        );
+                        sw
+                    })
+                    .collect();
+                let has_boundary = publish_slot.iter().any(|&s| s != u32::MAX);
+                let engine = NodeEngine::new(&switches, cfg.vcs, cfg.schedule, has_boundary);
                 ShardState {
                     node_lo: lo,
-                    node_hi: hi,
                     end_lo: lo * epn,
                     end_hi: hi * epn,
-                    switches: (lo..hi)
-                        .map(|node| {
-                            let sw = make_switch(node);
-                            assert!(
-                                sw.radix() == radix,
-                                "switch at node {node} has radix {}, topology wants {radix}",
-                                sw.radix()
-                            );
-                            sw
-                        })
-                        .collect(),
-                    ports: (0..owned)
-                        .map(|_| (0..radix).map(|_| InputPort::new(cfg.vcs)).collect())
-                        .collect(),
-                    meta: vec![HashMap::new(); owned],
-                    transfers: vec![vec![None; radix]; owned],
+                    switches,
+                    engine,
                     rngs: (lo * epn..hi * epn)
                         .map(|e| StdRng::seed_from_u64(derive_stream_seed(cfg.seed, e as u64)))
                         .collect(),
-                    seqs: vec![0; owned * epn],
+                    seqs: vec![0; (hi - lo) * epn],
                     pattern: make_pattern(),
                     report: MeshReport::empty(cfg.measure, nodes * epn),
-                    publish,
+                    publish_slot,
                 }
             })
             .collect();
@@ -397,6 +446,16 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
             shards: states,
             frontier,
             starts,
+            mail: (0..shards)
+                .map(|_| (0..shards).map(|_| Mailbox::new()).collect())
+                .collect(),
+            totals: (0..shards)
+                .map(|_| Totals {
+                    injected: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                })
+                .collect(),
+            barrier: Barrier::new(shards),
             now: 0,
         }
     }
@@ -423,6 +482,23 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
             .flat_map(|s| s.switches.iter())
             .map(|s| s.fault_log().map_or(0, |log| log.total()))
             .sum()
+    }
+
+    /// Sum over cycles and shards of the number of routers doing
+    /// per-cycle work (the active `work` sets) — divide by
+    /// `cycles * nodes` for the mean active-router occupancy.
+    pub fn active_node_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.engine.active_node_cycles())
+            .sum()
+    }
+
+    /// Total metadata-integrity violations recorded across shards (a
+    /// buffered packet whose arena slot went missing — formerly a
+    /// process abort).
+    pub fn invariant_violation_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.violation_count()).sum()
     }
 
     /// Cycles simulated so far.
@@ -459,46 +535,46 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
     /// or the cap is hit — every shard computes the same drain decision
     /// from the published totals, so they stop on the same cycle.
     fn execute(&mut self, fixed: u64, drain_cap: Option<u64>) {
-        let shards = self.shards.len();
-        let start_now = self.now;
-        let topo = &self.topo;
-        let cfg = &self.cfg;
-        let starts = &self.starts;
-        let frontier = &self.frontier;
-        let totals: Vec<Totals> = (0..shards)
-            .map(|_| Totals {
-                injected: AtomicU64::new(0),
-                completed: AtomicU64::new(0),
-            })
-            .collect();
-        // One mailbox per (receiver, sender) pair; only the sender's
-        // thread writes it, so the mutex is never contended — it exists
-        // to make the sharing safe, not to serialize.
-        let mail: Vec<Vec<Mutex<Vec<Handoff>>>> = (0..shards)
-            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
-            .collect();
-        let barrier = Barrier::new(shards);
+        let Self {
+            topo,
+            cfg,
+            shards,
+            frontier,
+            starts,
+            mail,
+            totals,
+            barrier,
+            now,
+        } = self;
+        let start_now = *now;
+        let topo = &*topo;
+        let cfg = &*cfg;
+        let starts = &*starts;
+        let frontier = &*frontier;
+        let mail = &*mail;
+        let totals = &*totals;
+        let barrier = &*barrier;
 
         // Seed the totals with the state so far, so a drain decision in
         // a later `execute` call sees earlier windows' counters.
-        for (cell, shard) in totals.iter().zip(&self.shards) {
+        for (cell, shard) in totals.iter().zip(shards.iter()) {
             cell.injected
                 .store(shard.report.injected_measured, Ordering::Relaxed);
             cell.completed
                 .store(shard.report.completed_measured, Ordering::Relaxed);
         }
 
-        let advanced = if shards == 1 {
+        let advanced = if shards.len() == 1 {
             worker(
                 0,
-                &mut self.shards[0],
+                &mut shards[0],
                 topo,
                 cfg,
                 starts,
-                &mail,
+                mail,
                 frontier,
-                &totals,
-                &barrier,
+                totals,
+                barrier,
                 start_now,
                 fixed,
                 drain_cap,
@@ -506,14 +582,10 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
         } else {
             let mut advanced = 0;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
+                let handles: Vec<_> = shards
                     .iter_mut()
                     .enumerate()
                     .map(|(me, shard)| {
-                        let totals = &totals;
-                        let mail = &mail;
-                        let barrier = &barrier;
                         scope.spawn(move || {
                             worker(
                                 me, shard, topo, cfg, starts, mail, frontier, totals, barrier,
@@ -530,7 +602,7 @@ impl<F: Fabric, T: ShardTopology> ShardedSim<F, T> {
             });
             advanced
         };
-        self.now = start_now + advanced;
+        *now = start_now + advanced;
     }
 }
 
@@ -569,7 +641,7 @@ fn worker<F: Fabric, T: ShardTopology>(
     topo: &T,
     cfg: &ShardedConfig,
     starts: &[usize],
-    mail: &[Vec<Mutex<Vec<Handoff>>>],
+    mail: &[Vec<Mailbox>],
     frontier: &Frontier,
     totals: &[Totals],
     barrier: &Barrier,
@@ -579,6 +651,7 @@ fn worker<F: Fabric, T: ShardTopology>(
 ) -> u64 {
     let mut advanced = 0u64;
     let mut drained = 0u64;
+    let node_lo = st.node_lo;
     loop {
         if advanced >= fixed {
             let Some(cap) = drain_cap else { break };
@@ -598,34 +671,90 @@ fn worker<F: Fabric, T: ShardTopology>(
         let now = start_now + advanced;
         let in_window = now >= cfg.warmup && now < cfg.warmup + cfg.measure;
 
-        phase_transfers(me, st, topo, cfg, starts, mail, in_window, now);
+        {
+            let ShardState {
+                engine,
+                switches,
+                report,
+                ..
+            } = st;
+            phase_transfers(
+                engine,
+                switches,
+                topo,
+                node_lo,
+                report,
+                in_window,
+                now,
+                |next_node, next_input, packet, hops| {
+                    let mailbox = &mail[shard_of(starts, next_node)][me];
+                    mailbox
+                        .queue
+                        .lock()
+                        .expect("mailbox poisoned")
+                        .push(Handoff {
+                            node: next_node,
+                            input: next_input,
+                            packet,
+                            hops,
+                        });
+                    mailbox.flag.store(true, Ordering::Release);
+                },
+            );
+        }
         barrier.wait();
 
         // Drain inbound handoffs in sender order (deterministic; at
-        // most one packet per port per cycle regardless).
-        for slot in &mail[me] {
-            let mut inbound = slot.lock().expect("mailbox poisoned");
+        // most one packet per port per cycle regardless). The flag
+        // makes an empty mailbox cost one atomic load, no lock.
+        for mailbox in &mail[me] {
+            if !mailbox.flag.swap(false, Ordering::Acquire) {
+                continue;
+            }
+            let mut inbound = mailbox.queue.lock().expect("mailbox poisoned");
             for Handoff {
                 node,
                 input,
                 packet,
+                hops,
             } in inbound.drain(..)
             {
-                let local = node - st.node_lo;
-                stash(st, local, packet);
-                st.ports[local][input].inject(packet.inner);
+                st.engine.admit_new(node - node_lo, input, packet, hops);
             }
         }
-        // Publish boundary occupancies now that every arrival landed;
+        // Publish the boundary occupancies that changed (phase 1 and
+        // the drains above are the only writers of boundary ports;
         // injection below only touches endpoint ports, which are never
-        // boundary ports.
-        for &(local, input, slot) in &st.publish {
-            frontier.values[slot].store(st.ports[local][input].occupancy(), Ordering::Relaxed);
+        // boundary ports). Untouched snapshots are still valid.
+        for i in 0..st.engine.touched.len() {
+            let idx = st.engine.touched[i] as usize;
+            let slot = st.publish_slot[idx];
+            if slot != u32::MAX {
+                frontier.values[slot as usize]
+                    .store(st.engine.ports[idx].occupancy(), Ordering::Relaxed);
+            }
         }
+        st.engine.touched.clear();
         phase_inject(st, topo, cfg, in_window, now);
         barrier.wait();
 
-        phase_arbitrate(st, topo, cfg, starts, frontier);
+        {
+            let ShardState {
+                engine, switches, ..
+            } = st;
+            phase_arbitrate(
+                engine,
+                switches,
+                topo,
+                node_lo,
+                cfg.link_buffer_packets,
+                cfg.packet_len_flits,
+                |next_node, next_input| {
+                    frontier.values[frontier.slot_of[&(next_node, next_input)]]
+                        .load(Ordering::Relaxed)
+                },
+            );
+        }
         totals[me]
             .injected
             .store(st.report.injected_measured, Ordering::Relaxed);
@@ -638,81 +767,9 @@ fn worker<F: Fabric, T: ShardTopology>(
     advanced
 }
 
-fn stash<F>(st: &mut ShardState<F>, local_node: usize, packet: MeshPacket) {
-    let previous = st.meta[local_node].insert(packet.inner.id, packet);
-    debug_assert!(previous.is_none(), "duplicate packet id in shard node");
-}
-
-/// Phase 1: progress transfers of owned nodes; completions eject,
-/// forward locally, or post to the downstream shard's mailbox.
-#[allow(clippy::too_many_arguments)]
-fn phase_transfers<F: Fabric, T: ShardTopology>(
-    me: usize,
-    st: &mut ShardState<F>,
-    topo: &T,
-    _cfg: &ShardedConfig,
-    starts: &[usize],
-    mail: &[Vec<Mutex<Vec<Handoff>>>],
-    in_window: bool,
-    now: u64,
-) {
-    let radix = topo.radix();
-    for local in 0..st.node_hi - st.node_lo {
-        let node = st.node_lo + local;
-        for input in 0..radix {
-            let Some(transfer) = &mut st.transfers[local][input] else {
-                continue;
-            };
-            if transfer.flits_remaining > 0 {
-                transfer.flits_remaining -= 1;
-                if transfer.flits_remaining == 0 {
-                    let mut packet = transfer.packet;
-                    let output = transfer.output;
-                    packet.hops += 1;
-                    st.ports[local][input].complete_transfer();
-                    match topo.wire(node, output) {
-                        None => {
-                            // Ejected at the destination node.
-                            if in_window {
-                                st.report.delivered_in_window += 1;
-                            }
-                            if packet.inner.measured {
-                                st.report.completed_measured += 1;
-                                let latency = packet.inner.latency(now);
-                                st.report.latency_sum += latency;
-                                st.report.histogram.record(latency);
-                                st.report.hop_sum += u64::from(packet.hops);
-                            }
-                        }
-                        Some((next_node, next_input)) => {
-                            if (st.node_lo..st.node_hi).contains(&next_node) {
-                                let next_local = next_node - st.node_lo;
-                                stash(st, next_local, packet);
-                                st.ports[next_local][next_input].inject(packet.inner);
-                            } else {
-                                let dst_shard = shard_of(starts, next_node);
-                                mail[dst_shard][me].lock().expect("mailbox poisoned").push(
-                                    Handoff {
-                                        node: next_node,
-                                        input: next_input,
-                                        packet,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-            } else {
-                st.switches[local].release(InputId::new(input));
-                st.transfers[local][input] = None;
-            }
-        }
-    }
-}
-
 /// Phase 2: injection at this shard's endpoints, each from its own
 /// position-derived stream with position-derived packet ids.
-fn phase_inject<F, T: ShardTopology>(
+fn phase_inject<F: Fabric, T: ShardTopology>(
     st: &mut ShardState<F>,
     topo: &T,
     cfg: &ShardedConfig,
@@ -733,92 +790,19 @@ fn phase_inject<F, T: ShardTopology>(
         let seq = st.seqs[le];
         st.seqs[le] += 1;
         debug_assert!(seq < 1 << 32, "per-endpoint packet sequence overflow");
-        let inner = Packet {
+        let packet = Packet {
             id: ((endpoint as u64) << 32) | seq,
             src: InputId::new(input_port),
             dst: OutputId::new(dst.index()), // final endpoint id, re-routed per hop
             len_flits: cfg.packet_len_flits,
             birth_cycle: now,
             measured: in_window,
+            handle: PacketHandle::NONE, // assigned by the arena below
         };
         if in_window {
             st.report.injected_measured += 1;
         }
-        let packet = MeshPacket {
-            inner,
-            dst_core: dst.index(),
-            hops: 0,
-        };
-        stash(st, local, packet);
-        st.ports[local][input_port].inject(inner);
-    }
-}
-
-/// Phase 3: buffer, select, credit-check, arbitrate and launch for
-/// owned nodes. Remote credit checks read the occupancy snapshots
-/// published after phase 1 — by construction equal to what a local
-/// read would see mid-phase.
-fn phase_arbitrate<F: Fabric, T: ShardTopology>(
-    st: &mut ShardState<F>,
-    topo: &T,
-    cfg: &ShardedConfig,
-    _starts: &[usize],
-    frontier: &Frontier,
-) {
-    let radix = topo.radix();
-    let credit = topo.credit_links();
-    for local in 0..st.node_hi - st.node_lo {
-        let node = st.node_lo + local;
-        for port in &mut st.ports[local] {
-            port.fill_vcs();
-        }
-        let mut candidates: Vec<(usize, MeshPacket, OutputId)> = Vec::new();
-        let mut requests: Vec<Request> = Vec::new();
-        for input in 0..radix {
-            if st.transfers[local][input].is_some() {
-                continue;
-            }
-            if let Some(inner) = st.ports[local][input].select_candidate() {
-                let packet = *st.meta[local].get(&inner.id).expect("metadata present");
-                let output = topo.route(node, packet.dst_core, packet.inner.id as usize);
-                if credit {
-                    if let Some((next_node, next_input)) = topo.wire(node, output) {
-                        let occupancy = if (st.node_lo..st.node_hi).contains(&next_node) {
-                            st.ports[next_node - st.node_lo][next_input].occupancy()
-                        } else {
-                            frontier.values[frontier.slot_of[&(next_node, next_input)]]
-                                .load(Ordering::Relaxed)
-                        };
-                        if occupancy >= cfg.link_buffer_packets {
-                            st.ports[local][input].revoke_candidate();
-                            continue;
-                        }
-                    }
-                }
-                candidates.push((input, packet, output));
-                requests.push(Request::new(InputId::new(input), output));
-            }
-        }
-        let grants = st.switches[local].arbitrate(&requests);
-        let mut granted = vec![false; radix];
-        for grant in &grants {
-            granted[grant.input.index()] = true;
-        }
-        for (input, packet, output) in candidates {
-            if granted[input] {
-                st.ports[local][input].confirm_grant();
-                let packet = st.meta[local]
-                    .remove(&packet.inner.id)
-                    .expect("metadata present for departing packet");
-                st.transfers[local][input] = Some(Transfer {
-                    packet,
-                    flits_remaining: cfg.packet_len_flits,
-                    output,
-                });
-            } else {
-                st.ports[local][input].revoke_candidate();
-            }
-        }
+        st.engine.admit_new(local, input_port, packet, 0);
     }
 }
 

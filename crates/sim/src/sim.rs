@@ -373,6 +373,7 @@ impl<F: Fabric, T: TrafficPattern> NetworkSim<F, T> {
                     len_flits: self.cfg.packet_len_flits,
                     birth_cycle: self.now,
                     measured: in_window,
+                    handle: hirise_core::PacketHandle::NONE,
                 };
                 self.next_packet_id += 1;
                 if in_window {

@@ -78,7 +78,18 @@ const QUICK: Shape = Shape {
 const SEED: u64 = 0x5AFE_CAFE;
 const DEAD_LINK_SEED: u64 = 0xFA17_BA5E;
 
-fn run_point(shape: &Shape, load: f64, dead: &[(usize, usize)], shards: usize) -> MeshReport {
+/// One simulated point, plus two execution-side numbers: simulated
+/// cycles per wall-clock second, and mean active-router occupancy (the
+/// fraction of router-cycles the active-set scheduler actually visited
+/// — the idle remainder is what the scheduler saves over a dense
+/// sweep).
+struct Point {
+    report: MeshReport,
+    cycles_per_sec: f64,
+    occupancy: f64,
+}
+
+fn run_point(shape: &Shape, load: f64, dead: &[(usize, usize)], shards: usize) -> Point {
     let cfg = DragonflyConfig::new(
         shape.routers_per_group,
         shape.endpoints_per_router,
@@ -106,7 +117,16 @@ fn run_point(shape: &Shape, load: f64, dead: &[(usize, usize)], shards: usize) -
         |_node| HiRiseSwitch::new(&switch_cfg),
         || Box::new(UniformRandom::new(endpoints)),
     );
-    sim.run()
+    let start = std::time::Instant::now();
+    let report = sim.run();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let routers = shape.routers_per_group * shape.groups;
+    let cycles = sim.now();
+    Point {
+        report,
+        cycles_per_sec: cycles as f64 / secs,
+        occupancy: sim.active_node_cycles() as f64 / (cycles * routers as u64).max(1) as f64,
+    }
 }
 
 fn main() {
@@ -138,37 +158,43 @@ fn main() {
     // point has accepted == offered.
     println!("\nsaturation curve (uniform random, fault-free):");
     println!(
-        "{:>8} {:>10} {:>12} {:>8} {:>7}",
-        "offered", "accepted", "latency(cy)", "hops", "stable"
+        "{:>8} {:>10} {:>12} {:>8} {:>7} {:>12} {:>7}",
+        "offered", "accepted", "latency(cy)", "hops", "stable", "cycles/sec", "active"
     );
     for &load in shape.loads {
-        let r = run_point(shape, load, &[], shards);
+        let p = run_point(shape, load, &[], shards);
+        let r = &p.report;
         println!(
-            "{:>8.3} {:>10.4} {:>12.1} {:>8.2} {:>7}",
+            "{:>8.3} {:>10.4} {:>12.1} {:>8.2} {:>7} {:>12.0} {:>6.1}%",
             load,
             r.accepted_rate() / endpoints as f64,
             r.avg_latency_cycles(),
             r.avg_hops(),
-            r.is_stable()
+            r.is_stable(),
+            p.cycles_per_sec,
+            100.0 * p.occupancy,
         );
     }
 
     let fault_load = shape.fault_load;
     println!("\ndead wafer-link sweep (uniform random, load {fault_load}):");
     println!(
-        "{:>10} {:>10} {:>12} {:>8} {:>7}",
-        "dead links", "accepted", "latency(cy)", "hops", "stable"
+        "{:>10} {:>10} {:>12} {:>8} {:>7} {:>12} {:>7}",
+        "dead links", "accepted", "latency(cy)", "hops", "stable", "cycles/sec", "active"
     );
     for &count in shape.dead_links {
         let dead = sample_dead_links(shape.groups, count, DEAD_LINK_SEED);
-        let r = run_point(shape, fault_load, &dead, shards);
+        let p = run_point(shape, fault_load, &dead, shards);
+        let r = &p.report;
         println!(
-            "{:>10} {:>10.4} {:>12.1} {:>8.2} {:>7}",
+            "{:>10} {:>10.4} {:>12.1} {:>8.2} {:>7} {:>12.0} {:>6.1}%",
             dead.len(),
             r.accepted_rate() / endpoints as f64,
             r.avg_latency_cycles(),
             r.avg_hops(),
-            r.is_stable()
+            r.is_stable(),
+            p.cycles_per_sec,
+            100.0 * p.occupancy,
         );
     }
     println!(
