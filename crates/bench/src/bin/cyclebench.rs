@@ -1,6 +1,7 @@
 //! Simulation-throughput benchmark: simulated **cycles/sec** and
-//! **packets/sec** for each fabric (2D Swizzle, 3D folded, Hi-Rise)
-//! at radix 16/32/64 under uniform-random load, recorded to
+//! **packets/sec** for each fabric (2D Swizzle, 3D folded, Hi-Rise,
+//! and the iterative-matching schedulers iSLIP/ESLIP/wavefront) at
+//! radix 16/32/64 under uniform-random load, recorded to
 //! `BENCH_sim.json` at the repo root.
 //!
 //! This is the repo's performance trajectory file. Labels map to
@@ -75,7 +76,8 @@ use std::time::Instant;
 use hirise_bench::args::arg_error;
 use hirise_core::config::DEFAULT_FLIT_BITS;
 use hirise_core::{
-    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
+    MatchPolicy, MatchingSwitch, Switch2d,
 };
 use hirise_lab::json::{self, Json};
 use hirise_sim::dragonfly::{DragonflyConfig, DragonflyGeometry};
@@ -93,7 +95,14 @@ const USAGE: &str = "cyclebench [--quick] [--label before|after] [--out PATH]\n 
      cyclebench --sharded [--quick] [--out PATH]\n       \
      cyclebench --net [--quick] [--label before|after] [--out PATH]\n       \
      cyclebench --check PATH\n       cyclebench --smoke\n       cyclebench --net-smoke";
-const FABRICS: [&str; 3] = ["switch2d", "folded3d", "hirise"];
+const FABRICS: [&str; 6] = [
+    "switch2d",
+    "folded3d",
+    "hirise",
+    "islip2",
+    "eslip",
+    "wavefront",
+];
 const RADICES: [usize; 3] = [16, 32, 64];
 const INJECTION_RATE: f64 = 0.1;
 const LAYERS: usize = 4;
@@ -291,6 +300,21 @@ fn build_fabric(name: &str, radix: usize, kernel: ArbiterKernel) -> Box<dyn Fabr
                 .expect("valid Hi-Rise configuration");
             Box::new(HiRiseSwitch::with_kernel(&cfg, kernel))
         }
+        "islip2" => Box::new(MatchingSwitch::with_kernel(
+            radix,
+            MatchPolicy::Islip { iterations: 2 },
+            kernel,
+        )),
+        "eslip" => Box::new(MatchingSwitch::with_kernel(
+            radix,
+            MatchPolicy::Eslip { iterations: 2 },
+            kernel,
+        )),
+        "wavefront" => Box::new(MatchingSwitch::with_kernel(
+            radix,
+            MatchPolicy::Wavefront,
+            kernel,
+        )),
         other => arg_error(format!("unknown fabric {other:?}"), USAGE),
     }
 }

@@ -109,6 +109,15 @@ impl RoundRobinArbiter {
         None
     }
 
+    /// The requestor currently at the highest priority (the rotating
+    /// pointer). Exposed so schedulers built on top — iSLIP keeps one
+    /// grant pointer per output and one accept pointer per input — can
+    /// be audited for the pointer-update-only-on-accept discipline.
+    #[inline]
+    pub fn pointer(&self) -> usize {
+        self.next
+    }
+
     /// Rotates the pointer past `winner` so it becomes the lowest
     /// priority next cycle.
     ///

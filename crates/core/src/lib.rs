@@ -14,6 +14,11 @@
 //!   with a *local switch* and an *inter-layer switch* per layer, joined by
 //!   dedicated layer-to-layer channels (L2LCs), arbitrating end-to-end in a
 //!   single cycle (§III).
+//! * [`MatchingSwitch`] — the iterative-matching opponents from the
+//!   related-work discussion (§VII): iSLIP, ESLIP, and a wrapped
+//!   wavefront allocator, selectable via [`MatchPolicy`]. These are the
+//!   multi-iteration schedulers the paper's single-cycle claim is
+//!   benchmarked against.
 //!
 //! The inter-layer arbitration policy is selectable per §III-B:
 //! baseline layer-to-layer LRG, Weighted LRG (WLRG), or the proposed
@@ -57,6 +62,7 @@ mod folded;
 pub mod hirise;
 mod ids;
 mod kernel;
+mod matching;
 pub mod rng;
 mod switch2d;
 pub mod xpoint;
@@ -74,5 +80,6 @@ pub use folded::FoldedSwitch;
 pub use hirise::HiRiseSwitch;
 pub use ids::{ChannelId, InputId, LayerId, OutputId, PacketHandle};
 pub use kernel::ArbiterKernel;
+pub use matching::{MatchPolicy, MatchingSwitch};
 pub use switch2d::Switch2d;
 pub use xpoint::{arbitrate_clrg_column, arbitrate_wired_or, ClassedContender};

@@ -10,11 +10,11 @@
 //! on N threads, asserts the two JSONL files are byte-identical, and
 //! reports the wall-clock speedup.
 //!
-//! `--faults` runs a tiny campaign over all three fabrics with a
-//! fault axis (fault-free plus one dead TSV bundle) at 1, 2 and 8
-//! threads, asserts the three JSONL files are byte-identical, and
-//! checks every faulty record stayed invariant-clean while still
-//! delivering traffic.
+//! `--faults` runs a tiny campaign over all four fabric families with
+//! a fault axis (fault-free plus one dead TSV bundle) under uniform and
+//! RPC traffic at 1, 2 and 8 threads, asserts the three JSONL files are
+//! byte-identical, and checks every faulty record stayed
+//! invariant-clean while still delivering traffic.
 //!
 //! `--shards` runs small mesh and dragonfly campaigns (each with a
 //! fault axis) once per shard count and asserts the JSONL files —
@@ -24,7 +24,7 @@
 //!
 //! Usage: `lab_smoke [--threads N] [--out PATH] [--speedup | --faults | --shards]`
 
-use hirise_core::{ArbitrationScheme, HiRiseConfig};
+use hirise_core::{ArbitrationScheme, HiRiseConfig, MatchPolicy};
 use hirise_lab::args::{arg_error, flag_value, parse_flag_value};
 use hirise_lab::{
     default_threads, json, CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams,
@@ -121,7 +121,12 @@ fn smoke(threads: usize, out: PathBuf) {
                 .build()
                 .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
         ))
+        .fabric(FabricSpec::Matching {
+            radix: 16,
+            policy: MatchPolicy::Islip { iterations: 2 },
+        })
         .pattern(PatternSpec::Uniform)
+        .pattern(PatternSpec::Incast { fanin: 4 })
         .loads([0.05, 0.15])
         .sim(SimParams::quick());
     let jobs = spec.jobs().len();
@@ -202,11 +207,13 @@ fn speedup(threads: usize, out: PathBuf) {
     );
 }
 
-/// A tiny fault campaign across all three fabrics — fault-free plus one
-/// dead TSV bundle — run at 1, 2 and 8 threads. Asserts the three JSONL
-/// files are byte-identical (fault sampling is a pure function of the
-/// job seed), every record is invariant-clean with nonzero deliveries,
-/// and the fabrics that model TSVs actually logged fault events.
+/// A tiny fault campaign across all four fabric families — fault-free
+/// plus one dead TSV bundle — run at 1, 2 and 8 threads, under uniform
+/// and RPC request/response traffic. Asserts the three JSONL files are
+/// byte-identical (fault sampling and the RPC schedule are pure
+/// functions of the job seed), every record is invariant-clean with
+/// nonzero deliveries, and the fabrics that model TSVs actually logged
+/// fault events.
 fn faults(out: PathBuf) {
     let spec = CampaignSpec::new("fault-smoke")
         .fabric(FabricSpec::Flat2d { radix: 16 })
@@ -220,7 +227,12 @@ fn faults(out: PathBuf) {
                 .build()
                 .unwrap_or_else(|e| fail(format!("invalid built-in configuration: {e}"))),
         ))
+        .fabric(FabricSpec::Matching {
+            radix: 16,
+            policy: MatchPolicy::Islip { iterations: 2 },
+        })
         .pattern(PatternSpec::Uniform)
+        .pattern(PatternSpec::Rpc { delay: 8 })
         .loads([0.1])
         .fault(FaultSpec::none())
         .fault(FaultSpec::dead_tsv_bundles(1))
@@ -311,6 +323,9 @@ fn shards(out: PathBuf) {
         })
         .fabric(hirise16())
         .pattern(PatternSpec::Uniform)
+        .pattern(PatternSpec::Incast { fanin: 4 })
+        .pattern(PatternSpec::Rpc { delay: 8 })
+        .pattern(PatternSpec::Diurnal { period: 64 })
         .loads([0.02])
         .fault(FaultSpec::none())
         .fault(FaultSpec::dead_tsv_bundles(1))

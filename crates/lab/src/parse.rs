@@ -15,7 +15,9 @@
 
 use crate::json::{self, Json, JsonError};
 use crate::spec::{CampaignSpec, FabricSpec, FaultSpec, PatternSpec, SimParams, Topology};
-use hirise_core::{ArbitrationScheme, ChannelAllocation, HiRiseConfig, LocalArbiterKind};
+use hirise_core::{
+    ArbitrationScheme, ChannelAllocation, HiRiseConfig, LocalArbiterKind, MatchPolicy,
+};
 use std::fmt;
 
 /// Why a campaign spec could not be built from a JSON document.
@@ -191,6 +193,43 @@ fn fabric_from_value(value: &Json, ctx: &str) -> Result<FabricSpec, SpecError> {
             radix: require_usize(value, "radix", ctx)?,
             layers: require_usize(value, "layers", ctx)?,
         }),
+        "matching" => {
+            let radix = require_usize(value, "radix", ctx)?;
+            let policy_ctx = format!("{ctx}.policy");
+            let name = value
+                .get("policy")
+                .map(|v| as_str(v, &policy_ctx))
+                .transpose()?
+                .ok_or_else(|| invalid(policy_ctx.clone(), "missing required field"))?;
+            let iterations = match value.get("iterations") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(as_usize(v, &format!("{ctx}.iterations"))?),
+            };
+            let policy = match (name, iterations) {
+                ("islip", Some(k)) if k > 0 => MatchPolicy::Islip { iterations: k },
+                ("eslip", Some(k)) if k > 0 => MatchPolicy::Eslip { iterations: k },
+                ("islip" | "eslip", _) => {
+                    return Err(invalid(
+                        format!("{ctx}.iterations"),
+                        "islip/eslip need a positive iteration count",
+                    ));
+                }
+                ("wavefront", None) => MatchPolicy::Wavefront,
+                ("wavefront", Some(_)) => {
+                    return Err(invalid(
+                        format!("{ctx}.iterations"),
+                        "wavefront takes no iteration count",
+                    ));
+                }
+                (other, _) => {
+                    return Err(invalid(
+                        policy_ctx,
+                        format!("unknown matching policy {other:?}"),
+                    ));
+                }
+            };
+            Ok(FabricSpec::Matching { radix, policy })
+        }
         "hirise" => {
             let radix = require_usize(value, "radix", ctx)?;
             let layers = require_usize(value, "layers", ctx)?;
@@ -280,6 +319,27 @@ fn pattern_from_label(label: &str, ctx: &str) -> Result<PatternSpec, SpecError> 
     }
     if let Some(layers) = numbered("worstl2lc") {
         return Ok(PatternSpec::WorstCaseL2lc { layers });
+    }
+    if let Some(fanin) = numbered("incast") {
+        if fanin == 0 {
+            return Err(invalid(ctx.to_string(), "incast fan-in must be positive"));
+        }
+        return Ok(PatternSpec::Incast { fanin });
+    }
+    if let Some(delay) = label.strip_prefix("rpc").and_then(|n| n.parse().ok()) {
+        if delay == 0 {
+            return Err(invalid(ctx.to_string(), "rpc delay must be positive"));
+        }
+        return Ok(PatternSpec::Rpc { delay });
+    }
+    if let Some(period) = label.strip_prefix("diurnal").and_then(|n| n.parse().ok()) {
+        if period < 2 {
+            return Err(invalid(
+                ctx.to_string(),
+                "diurnal period must be at least 2",
+            ));
+        }
+        return Ok(PatternSpec::Diurnal { period });
     }
     Err(invalid(
         ctx.to_string(),
@@ -434,8 +494,19 @@ mod tests {
             ))
             .scheme(ArbitrationScheme::WeightedLrg)
             .allocation(ChannelAllocation::OutputBinned)
+            .fabric(FabricSpec::Matching {
+                radix: 16,
+                policy: MatchPolicy::Islip { iterations: 2 },
+            })
+            .fabric(FabricSpec::Matching {
+                radix: 16,
+                policy: MatchPolicy::Wavefront,
+            })
             .pattern(PatternSpec::Uniform)
             .pattern(PatternSpec::Hotspot { output: 3 })
+            .pattern(PatternSpec::Incast { fanin: 4 })
+            .pattern(PatternSpec::Rpc { delay: 8 })
+            .pattern(PatternSpec::Diurnal { period: 256 })
             .loads([0.05, 0.15, 1.0])
             .fault(FaultSpec::dead_tsv_bundles(1).with_flaky_tsvs(2, 0.25))
             .replicates(3)
@@ -491,6 +562,25 @@ mod tests {
                 "fabrics[0]",
             ),
             (r#"{"name":"x","patterns":["warp9"]}"#, "patterns[0]"),
+            (r#"{"name":"x","patterns":["rpc0"]}"#, "patterns[0]"),
+            (r#"{"name":"x","patterns":["diurnal1"]}"#, "patterns[0]"),
+            (r#"{"name":"x","patterns":["incast0"]}"#, "patterns[0]"),
+            (
+                r#"{"name":"x","fabrics":[{"kind":"matching","radix":16,"policy":"islip"}]}"#,
+                "iterations",
+            ),
+            (
+                r#"{"name":"x","fabrics":[{"kind":"matching","radix":16,"policy":"islip","iterations":0}]}"#,
+                "iterations",
+            ),
+            (
+                r#"{"name":"x","fabrics":[{"kind":"matching","radix":16,"policy":"maxmatch","iterations":1}]}"#,
+                "policy",
+            ),
+            (
+                r#"{"name":"x","fabrics":[{"kind":"matching","radix":16,"policy":"wavefront","iterations":2}]}"#,
+                "iterations",
+            ),
             (r#"{"name":"x","loads":[-0.5]}"#, "loads[0]"),
             (r#"{"name":"x","schemes":["clrg"]}"#, "schemes[0]"),
             (r#"{"name":"x","topology":"ring"}"#, "topology"),
@@ -521,6 +611,9 @@ mod tests {
             PatternSpec::RandomPermutation { salt: 99 },
             PatternSpec::InterLayerOnly { layers: 4 },
             PatternSpec::WorstCaseL2lc { layers: 2 },
+            PatternSpec::Incast { fanin: 8 },
+            PatternSpec::Rpc { delay: 16 },
+            PatternSpec::Diurnal { period: 512 },
         ];
         for p in patterns {
             let parsed = pattern_from_label(&p.label(), "test").unwrap();

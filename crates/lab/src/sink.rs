@@ -14,6 +14,10 @@
 //! yields the set of already-completed job indices; a header mismatch
 //! means the file belongs to a different campaign and it is started
 //! afresh. A trailing partial line (torn write) is ignored.
+//!
+//! Error contract: every fallible operation returns `io::Result` — a
+//! full disk, a permissions failure or a vanished directory surfaces
+//! to the caller as a typed error, never a panic or process abort.
 
 use crate::result::{job_index_of_line, JobResult};
 use std::collections::BTreeMap;

@@ -12,15 +12,15 @@ use crate::result::{JobResult, Metrics};
 use hirise_core::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 use hirise_core::{
     ArbitrationScheme, ChannelAllocation, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig,
-    HiRiseSwitch, LocalArbiterKind, OutputId, Switch2d,
+    HiRiseSwitch, LocalArbiterKind, MatchPolicy, MatchingSwitch, OutputId, Switch2d,
 };
 use hirise_phys::{DesignPoint, SwitchDesign};
 use hirise_sim::dragonfly::{sample_dead_links, DragonflyConfig, DragonflyGeometry, GlobalLinkMap};
 use hirise_sim::mesh_sim::{MeshPortMap, MeshReport, MeshSimConfig};
 use hirise_sim::shard::{sharded_mesh, ShardedConfig, ShardedSim};
 use hirise_sim::traffic::{
-    BitComplement, Bursty, Hotspot, InterLayerOnly, NeighborShift, RandomPermutation, Tornado,
-    TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
+    BitComplement, Bursty, Diurnal, Hotspot, Incast, InterLayerOnly, NeighborShift,
+    RandomPermutation, Rpc, Tornado, TrafficPattern, Transpose, UniformRandom, WorstCaseL2lc,
 };
 use hirise_sim::{LaneBatch, NetworkSim, SimConfig, SimReport};
 use std::fmt::Write as _;
@@ -48,6 +48,15 @@ pub enum FabricSpec {
     },
     /// The hierarchical Hi-Rise switch.
     HiRise(HiRiseConfig),
+    /// A flat crossbar scheduled by an iterative-matching arbiter
+    /// (iSLIP / ESLIP / wavefront) — the datacenter-router baseline the
+    /// face-off experiments compare Hi-Rise against.
+    Matching {
+        /// Switch radix.
+        radix: usize,
+        /// The matching policy (and its iteration count).
+        policy: MatchPolicy,
+    },
 }
 
 impl FabricSpec {
@@ -72,13 +81,16 @@ impl FabricSpec {
     /// Switch radix.
     pub fn radix(&self) -> usize {
         match self {
-            FabricSpec::Flat2d { radix } | FabricSpec::Folded { radix, .. } => *radix,
+            FabricSpec::Flat2d { radix }
+            | FabricSpec::Folded { radix, .. }
+            | FabricSpec::Matching { radix, .. } => *radix,
             FabricSpec::HiRise(cfg) => cfg.radix(),
         }
     }
 
     /// Compact label used in telemetry records, e.g. `2d64`,
-    /// `folded64x4`, `hirise64x4c4-clrg3-in`.
+    /// `folded64x4`, `hirise64x4c4-clrg3-in`, `islip64k2`,
+    /// `wavefront64`.
     pub fn label(&self) -> String {
         match self {
             FabricSpec::Flat2d { radix } => format!("2d{radix}"),
@@ -91,6 +103,11 @@ impl FabricSpec {
                 scheme_label(cfg.scheme()),
                 allocation_label(cfg.allocation()),
             ),
+            FabricSpec::Matching { radix, policy } => match policy {
+                MatchPolicy::Islip { iterations } => format!("islip{radix}k{iterations}"),
+                MatchPolicy::Eslip { iterations } => format!("eslip{radix}k{iterations}"),
+                MatchPolicy::Wavefront => format!("wavefront{radix}"),
+            },
         }
     }
 
@@ -100,14 +117,23 @@ impl FabricSpec {
             FabricSpec::Flat2d { radix } => Box::new(Switch2d::new(*radix)),
             FabricSpec::Folded { radix, layers } => Box::new(FoldedSwitch::new(*radix, *layers)),
             FabricSpec::HiRise(cfg) => Box::new(HiRiseSwitch::new(cfg)),
+            FabricSpec::Matching { radix, policy } => {
+                Box::new(MatchingSwitch::new(*radix, *policy))
+            }
         }
     }
 
     /// The physical design point (128-bit bus for the 2D/folded
-    /// baselines, matching `hirise_phys`'s constructors).
+    /// baselines, matching `hirise_phys`'s constructors). An
+    /// iterative-matching fabric schedules the same flat crossbar
+    /// datapath as the 2D baseline, so it shares that design point —
+    /// only the arbitration logic differs, which the physical model
+    /// does not resolve.
     pub fn design(&self) -> SwitchDesign {
         match self {
-            FabricSpec::Flat2d { radix } => SwitchDesign::flat_2d(*radix),
+            FabricSpec::Flat2d { radix } | FabricSpec::Matching { radix, .. } => {
+                SwitchDesign::flat_2d(*radix)
+            }
             FabricSpec::Folded { radix, layers } => SwitchDesign::folded(*radix, *layers),
             FabricSpec::HiRise(cfg) => SwitchDesign::hirise(cfg),
         }
@@ -146,6 +172,21 @@ impl FabricSpec {
                     out,
                     r#"{{"kind":"folded","radix":{radix},"layers":{layers}}}"#
                 );
+            }
+            FabricSpec::Matching { radix, policy } => {
+                let (name, iterations) = match policy {
+                    MatchPolicy::Islip { iterations } => ("islip", *iterations),
+                    MatchPolicy::Eslip { iterations } => ("eslip", *iterations),
+                    MatchPolicy::Wavefront => ("wavefront", 0),
+                };
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"matching","radix":{radix},"policy":"{name}""#
+                );
+                if iterations > 0 {
+                    let _ = write!(out, r#","iterations":{iterations}"#);
+                }
+                out.push('}');
             }
             FabricSpec::HiRise(cfg) => {
                 let _ = write!(
@@ -237,6 +278,24 @@ pub enum PatternSpec {
         /// Stacked layer count of the switch under test.
         layers: usize,
     },
+    /// Datacenter incast: a rotating block of `fanin` inputs converges
+    /// on one epoch victim output.
+    Incast {
+        /// Number of simultaneous senders per epoch.
+        fanin: usize,
+    },
+    /// RPC request/response chains between paired client and server
+    /// ports, with uniform background load on the upper half.
+    Rpc {
+        /// Server think time in cycles between request and response.
+        delay: u64,
+    },
+    /// Diurnal load: a triangle envelope modulates the offered rate
+    /// over `period` cycles.
+    Diurnal {
+        /// Envelope period in cycles.
+        period: u64,
+    },
 }
 
 impl PatternSpec {
@@ -253,6 +312,9 @@ impl PatternSpec {
             PatternSpec::RandomPermutation { salt } => format!("randperm{salt}"),
             PatternSpec::InterLayerOnly { layers } => format!("interlayer{layers}"),
             PatternSpec::WorstCaseL2lc { layers } => format!("worstl2lc{layers}"),
+            PatternSpec::Incast { fanin } => format!("incast{fanin}"),
+            PatternSpec::Rpc { delay } => format!("rpc{delay}"),
+            PatternSpec::Diurnal { period } => format!("diurnal{period}"),
         }
     }
 
@@ -270,6 +332,9 @@ impl PatternSpec {
             PatternSpec::RandomPermutation { salt } => Box::new(RandomPermutation::new(n, *salt)),
             PatternSpec::InterLayerOnly { layers } => Box::new(InterLayerOnly::new(n, *layers)),
             PatternSpec::WorstCaseL2lc { layers } => Box::new(WorstCaseL2lc::new(n, *layers)),
+            PatternSpec::Incast { fanin } => Box::new(Incast::new(n, *fanin)),
+            PatternSpec::Rpc { delay } => Box::new(Rpc::new(n, *delay)),
+            PatternSpec::Diurnal { period } => Box::new(Diurnal::new(n, *period)),
         }
     }
 

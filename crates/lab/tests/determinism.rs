@@ -3,7 +3,7 @@
 //! histogram merge algebra the parallel aggregation relies on.
 
 use hirise_core::rng::{Rng, SeedableRng, StdRng};
-use hirise_core::HiRiseConfig;
+use hirise_core::{HiRiseConfig, MatchPolicy};
 use hirise_lab::{CampaignSpec, FabricSpec, FaultSpec, PatternSpec, Silent, SimParams, Topology};
 use hirise_sim::LatencyHistogram;
 use std::path::PathBuf;
@@ -43,6 +43,81 @@ fn jsonl_is_byte_identical_across_thread_counts() {
     }
     assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
     assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+    assert!(!outputs[0].is_empty());
+}
+
+/// The service-shaped traffic generators (incast, RPC chains, diurnal
+/// ramps) and the iterative-matching fabrics keep the same guarantee:
+/// their per-input counters and pure-function schedules draw nothing
+/// from any shared state, so the JSONL is byte-identical at any worker
+/// thread count.
+#[test]
+fn service_traffic_jsonl_is_byte_identical_across_thread_counts() {
+    let spec = CampaignSpec::new("service-determinism")
+        .master_seed(0x5E21_11CE)
+        .fabric(FabricSpec::Matching {
+            radix: 16,
+            policy: MatchPolicy::Islip { iterations: 2 },
+        })
+        .fabric(FabricSpec::Matching {
+            radix: 16,
+            policy: MatchPolicy::Wavefront,
+        })
+        .fabric(FabricSpec::hirise(
+            HiRiseConfig::builder(16, 2).build().unwrap(),
+        ))
+        .pattern(PatternSpec::Incast { fanin: 4 })
+        .pattern(PatternSpec::Rpc { delay: 8 })
+        .pattern(PatternSpec::Diurnal { period: 64 })
+        .loads([0.1, 0.3])
+        .replicates(2)
+        .sim(SimParams::new().cycles(100, 1_000, 1_000));
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let path = temp_path(&format!("service-threads{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let outcome = spec.run_to_file(&path, threads, &Silent).unwrap();
+        assert_eq!(outcome.ran, 36);
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 threads");
+    let text = String::from_utf8(outputs[0].clone()).unwrap();
+    for label in ["islip16k2", "wavefront16", "incast4", "rpc8", "diurnal64"] {
+        assert!(text.contains(label), "JSONL must record {label}");
+    }
+}
+
+/// The same generators under a sharded mesh: resharding the topology
+/// across worker threads must not change a byte of the output.
+#[test]
+fn service_traffic_mesh_results_are_shard_count_invariant() {
+    let base = CampaignSpec::new("service-shards")
+        .topology(Topology::Mesh {
+            cols: 2,
+            rows: 2,
+            ports_per_direction: 1,
+            layer_aware: None,
+        })
+        .fabric(FabricSpec::Flat2d { radix: 8 })
+        .pattern(PatternSpec::Incast { fanin: 4 })
+        .pattern(PatternSpec::Rpc { delay: 8 })
+        .pattern(PatternSpec::Diurnal { period: 64 })
+        .loads([0.02])
+        .sim(SimParams::new().cycles(100, 500, 500));
+    let mut outputs = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let spec = base.clone().shards(shards);
+        assert_eq!(spec.digest(), base.digest(), "digest must ignore shards");
+        let path = temp_path(&format!("service-shards{shards}"));
+        let _ = std::fs::remove_file(&path);
+        spec.run_to_file(&path, 2, &Silent).unwrap();
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 shards");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 shards");
     assert!(!outputs[0].is_empty());
 }
 

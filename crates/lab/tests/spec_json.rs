@@ -5,7 +5,9 @@
 //! the same campaign hash the same, however their JSON was formatted).
 
 use hirise_core::rng::{Rng, SeedableRng, StdRng};
-use hirise_core::{ArbitrationScheme, ChannelAllocation, HiRiseConfig, LocalArbiterKind};
+use hirise_core::{
+    ArbitrationScheme, ChannelAllocation, HiRiseConfig, LocalArbiterKind, MatchPolicy,
+};
 use hirise_lab::json::{self, Json};
 use hirise_lab::{
     campaign_from_json, CampaignSpec, FabricSpec, FaultSpec, PatternSpec, SimParams, Topology,
@@ -81,7 +83,7 @@ fn scramble(text: &str, rng: &mut StdRng) -> String {
 // --- random spec generator ---------------------------------------------
 
 fn random_pattern(rng: &mut StdRng) -> PatternSpec {
-    match rng.gen_range(0u32..10) {
+    match rng.gen_range(0u32..13) {
         0 => PatternSpec::Uniform,
         1 => PatternSpec::Hotspot {
             output: rng.gen_range(0usize..16),
@@ -97,6 +99,15 @@ fn random_pattern(rng: &mut StdRng) -> PatternSpec {
         8 => PatternSpec::InterLayerOnly {
             layers: rng.gen_range(2usize..5),
         },
+        9 => PatternSpec::Incast {
+            fanin: rng.gen_range(1usize..9),
+        },
+        10 => PatternSpec::Rpc {
+            delay: rng.gen_range(1u64..64),
+        },
+        11 => PatternSpec::Diurnal {
+            period: rng.gen_range(2u64..2_048),
+        },
         _ => PatternSpec::WorstCaseL2lc {
             layers: rng.gen_range(2usize..5),
         },
@@ -104,13 +115,25 @@ fn random_pattern(rng: &mut StdRng) -> PatternSpec {
 }
 
 fn random_fabric(rng: &mut StdRng) -> FabricSpec {
-    match rng.gen_range(0u32..3) {
+    match rng.gen_range(0u32..4) {
         0 => FabricSpec::Flat2d {
             radix: [8, 16, 32][rng.gen_range(0usize..3)],
         },
         1 => FabricSpec::Folded {
             radix: 16,
             layers: [2, 4][rng.gen_range(0usize..2)],
+        },
+        2 => FabricSpec::Matching {
+            radix: [8, 16, 32][rng.gen_range(0usize..3)],
+            policy: match rng.gen_range(0u32..3) {
+                0 => MatchPolicy::Islip {
+                    iterations: rng.gen_range(1usize..5),
+                },
+                1 => MatchPolicy::Eslip {
+                    iterations: rng.gen_range(1usize..5),
+                },
+                _ => MatchPolicy::Wavefront,
+            },
         },
         _ => {
             let layers = [2, 4][rng.gen_range(0usize..2)];

@@ -14,6 +14,10 @@
 //! The file tolerates a torn trailing line (a crash mid-append): lines
 //! that do not parse are skipped. Opening the journal compacts it,
 //! rewriting only the still-incomplete entries via temp file + rename.
+//!
+//! Error contract: `open`, `begin` and `done` return `io::Result`; the
+//! daemon reports failed journal writes on stderr and keeps serving —
+//! an I/O error here never panics or aborts the process.
 
 use hirise_lab::json::{self, Json};
 use std::fs::{File, OpenOptions};

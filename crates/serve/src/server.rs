@@ -356,7 +356,12 @@ fn recover(shared: &Shared, incomplete: Vec<crate::journal::JournalEntry>) {
                     entry.id
                 );
                 let mut journal = shared.journal.lock().expect("journal poisoned");
-                let _ = journal.done(&entry.id);
+                if let Err(e) = journal.done(&entry.id) {
+                    eprintln!(
+                        "hirise-serve: journal write failed while dropping {}: {e}",
+                        entry.id
+                    );
+                }
             }
         }
         shared.recovering.fetch_sub(1, Ordering::Relaxed);

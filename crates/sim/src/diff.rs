@@ -32,8 +32,8 @@
 use crate::packet::Packet;
 use hirise_core::rng::{Rng, SeedableRng, StdRng};
 use hirise_core::{
-    ArbitrationScheme, Fabric, FoldedSwitch, Grant, HiRiseConfig, HiRiseSwitch, InputId, OutputId,
-    Request, Switch2d,
+    ArbitrationScheme, Fabric, FoldedSwitch, Grant, HiRiseConfig, HiRiseSwitch, InputId,
+    MatchingSwitch, OutputId, Request, Switch2d,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -506,8 +506,10 @@ fn hirise_fleet_member(scheme: ArbitrationScheme, c: usize, radix: usize) -> Box
 }
 
 /// The standard differential fleet: golden model, flat 2D Swizzle, 3D
-/// folded, and Hi-Rise under all three §III-B arbitration schemes at
-/// channel multiplicities 1 and 2. Radix must be divisible by 4.
+/// folded, Hi-Rise under all three §III-B arbitration schemes at
+/// channel multiplicities 1 and 2, and the iterative-matching opponents
+/// (iSLIP at 1/2/4 iterations, ESLIP, wavefront). Radix must be
+/// divisible by 4.
 pub fn standard_fleet() -> Vec<FabricBuilder> {
     vec![
         ("ref".into(), |r| Box::new(RefSwitch::new(r))),
@@ -530,6 +532,13 @@ pub fn standard_fleet() -> Vec<FabricBuilder> {
         }),
         ("hirise-clrg-c2".into(), |r| {
             hirise_fleet_member(ArbitrationScheme::class_based(), 2, r)
+        }),
+        ("islip1".into(), |r| Box::new(MatchingSwitch::islip(r, 1))),
+        ("islip2".into(), |r| Box::new(MatchingSwitch::islip(r, 2))),
+        ("islip4".into(), |r| Box::new(MatchingSwitch::islip(r, 4))),
+        ("eslip".into(), |r| Box::new(MatchingSwitch::eslip(r, 2))),
+        ("wavefront".into(), |r| {
+            Box::new(MatchingSwitch::wavefront(r))
         }),
     ]
 }

@@ -137,11 +137,15 @@ impl LatencyHistogram {
     /// combines losslessly, percentiles of a merged histogram agree
     /// with a single-pass histogram over the concatenated stream.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// Returns `None` when the histogram is empty **or** when `p` is
+    /// not a value in `[0, 100]` (including NaN). Percentile requests
+    /// reach this path straight from user-written lab specs, so an
+    /// out-of-range `p` is a caller input error surfaced as absence —
+    /// the repo's panic-to-error policy — not an abort.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
         if self.count == 0 {
             return None;
         }
@@ -209,6 +213,10 @@ pub struct SimReport {
     per_input_accepted: Vec<u64>,
     per_input_latency_sum: Vec<u64>,
     per_input_completed: Vec<u64>,
+    /// Static QoS class per input; `None` disables class telemetry.
+    qos_classes: Option<Vec<u8>>,
+    /// Per-class measured-latency histograms, indexed by class.
+    per_class: Vec<LatencyHistogram>,
 }
 
 impl SimReport {
@@ -232,7 +240,19 @@ impl SimReport {
             per_input_accepted: vec![0; radix],
             per_input_latency_sum: vec![0; radix],
             per_input_completed: vec![0; radix],
+            qos_classes: None,
+            per_class: Vec::new(),
         }
+    }
+
+    /// Enables per-QoS-class latency telemetry: `classes[i]` is input
+    /// `i`'s static class, and one histogram per class (0..=max) is
+    /// kept alongside the aggregate one.
+    pub(crate) fn set_qos_classes(&mut self, classes: &[u8]) {
+        debug_assert_eq!(classes.len(), self.radix, "one class per input");
+        let buckets = classes.iter().copied().max().map_or(0, |m| m as usize + 1);
+        self.qos_classes = Some(classes.to_vec());
+        self.per_class = vec![LatencyHistogram::new(); buckets];
     }
 
     pub(crate) fn record_injection_measured(&mut self) {
@@ -257,6 +277,9 @@ impl SimReport {
             self.histogram.record(latency);
             self.per_input_latency_sum[src] += latency;
             self.per_input_completed[src] += 1;
+            if let Some(classes) = &self.qos_classes {
+                self.per_class[classes[src] as usize].record(latency);
+            }
         }
     }
 
@@ -324,15 +347,39 @@ impl SimReport {
     }
 
     /// The `p`-th latency percentile in cycles over the measured
-    /// population (`p` in `[0, 100]`), or `None` if nothing completed.
+    /// population, or `None` if nothing completed **or** `p` is outside
+    /// `[0, 100]` (including NaN) — out-of-range percentiles come from
+    /// user-written specs and surface as absence, not a panic.
     /// Computed from the streaming histogram, so every measured packet
     /// contributes — long runs no longer drop their tail.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
     pub fn latency_percentile_cycles(&self, p: f64) -> Option<f64> {
         self.histogram.percentile(p)
+    }
+
+    /// Static QoS class of each input, when class telemetry was enabled
+    /// via `SimConfig::qos_classes`.
+    pub fn qos_classes(&self) -> Option<&[u8]> {
+        self.qos_classes.as_deref()
+    }
+
+    /// Number of distinct QoS classes carrying telemetry (zero when
+    /// class telemetry is disabled).
+    pub fn class_count(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// The measured-latency histogram of one QoS class, or `None` when
+    /// class telemetry is disabled or `class` is out of range.
+    pub fn class_latency_histogram(&self, class: usize) -> Option<&LatencyHistogram> {
+        self.per_class.get(class)
+    }
+
+    /// The `p`-th latency percentile in cycles for one QoS class —
+    /// `None` under the same conditions as
+    /// [`latency_percentile_cycles`](Self::latency_percentile_cycles),
+    /// or when class telemetry is disabled / `class` is out of range.
+    pub fn class_latency_percentile_cycles(&self, class: usize, p: f64) -> Option<f64> {
+        self.per_class.get(class)?.percentile(p)
     }
 
     /// Mean latency in cycles for packets sourced at `input`, or `None`
@@ -405,11 +452,46 @@ mod tests {
         assert_eq!(r.latency_percentile_cycles(50.0), None);
     }
 
+    /// Regression test: an out-of-range percentile used to `assert!`
+    /// and abort — lab specs can request arbitrary percentiles, so it
+    /// must surface as `None` even on a non-empty histogram.
     #[test]
-    #[should_panic(expected = "percentile")]
-    fn out_of_range_percentile_panics() {
-        let r = SimReport::new(1, 1.0, "test".into(), 100);
-        let _ = r.latency_percentile_cycles(101.0);
+    fn out_of_range_percentile_is_none_not_a_panic() {
+        let mut r = SimReport::new(1, 1.0, "test".into(), 100);
+        r.record_completion(0, 10, true, true);
+        assert_eq!(r.latency_percentile_cycles(50.0), Some(10.0));
+        for bad in [101.0, -0.001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(r.latency_percentile_cycles(bad), None, "p = {bad}");
+            assert_eq!(r.latency_histogram().percentile(bad), None, "p = {bad}");
+        }
+        // Boundary values stay valid.
+        assert_eq!(r.latency_percentile_cycles(0.0), Some(10.0));
+        assert_eq!(r.latency_percentile_cycles(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn per_class_histograms_split_the_measured_population() {
+        let mut r = SimReport::new(4, 0.5, "test".into(), 100);
+        r.set_qos_classes(&[0, 0, 1, 1]);
+        r.record_completion(0, 10, true, true);
+        r.record_completion(1, 20, true, true);
+        r.record_completion(2, 300, true, true);
+        r.record_completion(3, 400, true, false); // unmeasured: no class entry
+        assert_eq!(r.class_count(), 2);
+        assert_eq!(r.qos_classes(), Some(&[0u8, 0, 1, 1][..]));
+        assert_eq!(r.class_latency_histogram(0).unwrap().count(), 2);
+        assert_eq!(r.class_latency_histogram(1).unwrap().count(), 1);
+        assert_eq!(r.class_latency_percentile_cycles(0, 100.0), Some(20.0));
+        assert!(r.class_latency_percentile_cycles(1, 50.0).unwrap() >= 300.0);
+        assert_eq!(r.class_latency_percentile_cycles(2, 50.0), None);
+        assert_eq!(r.class_latency_percentile_cycles(0, 101.0), None);
+        // Aggregate telemetry is unchanged by class accounting.
+        assert_eq!(r.latency_histogram().count(), 3);
+        // Class telemetry disabled: everything reports absence.
+        let plain = SimReport::new(4, 0.5, "test".into(), 100);
+        assert_eq!(plain.class_count(), 0);
+        assert_eq!(plain.qos_classes(), None);
+        assert_eq!(plain.class_latency_percentile_cycles(0, 50.0), None);
     }
 
     #[test]

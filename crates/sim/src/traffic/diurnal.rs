@@ -1,0 +1,133 @@
+//! Diurnal load ramps: the offered rate follows a triangle-wave
+//! envelope around the configured base rate, modelling the slow
+//! day/night swing datacenter fabrics see. Destinations stay uniform;
+//! only the injection intensity ramps.
+//!
+//! The envelope is a pure function of each input's local cycle counter,
+//! so the pattern needs no shared state and sharded runs stay
+//! byte-identical to solo runs.
+
+use super::{injects, TrafficPattern};
+use hirise_core::rng::{Rng, StdRng};
+use hirise_core::{InputId, OutputId};
+
+/// Uniform-destination traffic whose injection rate ramps between
+/// `0.25×` and `1.75×` the base rate over a fixed period, averaging the
+/// base rate over a full period.
+#[derive(Clone, Debug)]
+pub struct Diurnal {
+    radix: usize,
+    period: u64,
+    /// Per-input local cycle counters (advance one per poll).
+    cycle: Vec<u64>,
+    name: String,
+}
+
+impl Diurnal {
+    /// Creates diurnal traffic with the given envelope period in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero or `period < 2`.
+    pub fn new(radix: usize, period: u64) -> Self {
+        assert!(radix > 0, "radix must be at least 1");
+        assert!(period >= 2, "period must be at least 2 cycles");
+        Self {
+            radix,
+            period,
+            cycle: vec![0; radix],
+            name: format!("diurnal{period}"),
+        }
+    }
+
+    /// The default face-off configuration: a 512-cycle period, long
+    /// against packet service times but short enough that a measurement
+    /// window averages several periods.
+    pub fn with_defaults(radix: usize) -> Self {
+        Self::new(radix, 512)
+    }
+
+    /// The triangle envelope at local cycle `t`, in `[0, 1]`: 0 at the
+    /// period boundaries (trough), 1 mid-period (peak).
+    fn envelope(&self, t: u64) -> f64 {
+        let pos = t % self.period;
+        let half = self.period / 2;
+        if pos < half {
+            pos as f64 / half as f64
+        } else {
+            (self.period - pos) as f64 / (self.period - half) as f64
+        }
+    }
+}
+
+impl TrafficPattern for Diurnal {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        let i = input.index();
+        let tri = self.envelope(self.cycle[i]);
+        self.cycle[i] += 1;
+        let effective = base_rate * (0.25 + 1.5 * tri);
+        injects(effective, rng).then(|| OutputId::new(rng.gen_range(0..self.radix)))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn long_run_rate_matches_base_rate() {
+        let mut pattern = Diurnal::new(4, 512);
+        let mut rng = rng();
+        let cycles = 200_000;
+        let mut injected = 0usize;
+        for _ in 0..cycles {
+            if pattern.next(InputId::new(0), 0.2, &mut rng).is_some() {
+                injected += 1;
+            }
+        }
+        let rate = injected as f64 / cycles as f64;
+        assert!((0.18..0.22).contains(&rate), "long-run rate {rate}");
+    }
+
+    #[test]
+    fn peak_load_well_above_trough_load() {
+        let period = 512u64;
+        let mut pattern = Diurnal::new(4, period);
+        let mut rng = rng();
+        let mut peak = 0usize;
+        let mut trough = 0usize;
+        for t in 0..200_000u64 {
+            let pos = t % period;
+            let hit = pattern.next(InputId::new(0), 0.4, &mut rng).is_some();
+            // Sample the quarters around the peak and the trough.
+            if (pos.abs_diff(period / 2)) < period / 8 {
+                peak += usize::from(hit);
+            } else if pos < period / 8 || pos > period - period / 8 {
+                trough += usize::from(hit);
+            }
+        }
+        assert!(
+            peak > 3 * trough,
+            "peak {peak} not well above trough {trough}"
+        );
+    }
+
+    #[test]
+    fn envelope_spans_zero_to_one() {
+        let pattern = Diurnal::new(4, 100);
+        assert_eq!(pattern.envelope(0), 0.0);
+        assert_eq!(pattern.envelope(50), 1.0);
+        assert!(pattern.envelope(25) > 0.4 && pattern.envelope(25) < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn rejects_degenerate_period() {
+        let _ = Diurnal::new(4, 1);
+    }
+}

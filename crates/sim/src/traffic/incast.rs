@@ -1,0 +1,171 @@
+//! Incast (fan-in) traffic: datacenter-style flash crowds where a
+//! rotating subset of inputs all target one victim output for an epoch.
+//!
+//! Partition/aggregate services produce exactly this shape — a request
+//! fans out and the responses *fan in* to one port at once — and it is
+//! the stress case where per-output arbitration quality (single-cycle
+//! LRG vs. multi-iteration matching) shows up in the tail, which is why
+//! the matching face-off (EXPERIMENTS.md) runs it.
+//!
+//! The victim and the burst membership are pure functions of the epoch
+//! index, so every input computes them independently: no shared mutable
+//! state, which keeps sharded runs byte-identical to solo runs.
+
+use super::{injects, TrafficPattern};
+use hirise_core::rng::{Rng, StdRng};
+use hirise_core::{InputId, OutputId};
+
+/// Epoch length in cycles: victim and membership re-roll at this pace.
+const EPOCH_CYCLES: u64 = 128;
+
+/// SplitMix64 finaliser: the pure mixing function behind the per-epoch
+/// victim/membership choices.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Rotating many-to-one fan-in bursts over a uniform background.
+///
+/// Each `EPOCH_CYCLES`-cycle (128-cycle) epoch, a victim output and a contiguous
+/// (wrapping) block of exactly `fanin` member inputs are derived from
+/// the epoch index. Members send every packet to the victim; the other
+/// inputs inject uniform background traffic. All inputs keep the
+/// configured base injection rate, so the victim sees an offered load of
+/// roughly `fanin × base_rate` while the epoch lasts.
+#[derive(Clone, Debug)]
+pub struct Incast {
+    radix: usize,
+    fanin: usize,
+    /// Per-input local cycle counters (advance one per poll).
+    cycle: Vec<u64>,
+    name: String,
+}
+
+impl Incast {
+    /// Creates incast traffic where `fanin` inputs gang up on the
+    /// epoch's victim output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero or `fanin` is outside `1..=radix`.
+    pub fn new(radix: usize, fanin: usize) -> Self {
+        assert!(radix > 0, "radix must be at least 1");
+        assert!(fanin >= 1 && fanin <= radix, "fanin must be in 1..=radix");
+        Self {
+            radix,
+            fanin,
+            cycle: vec![0; radix],
+            name: format!("incast{fanin}"),
+        }
+    }
+
+    /// The default face-off configuration: 8-way fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 8`.
+    pub fn with_defaults(radix: usize) -> Self {
+        Self::new(radix, 8)
+    }
+
+    /// The epoch's victim output, a pure function of the epoch index.
+    fn victim(&self, epoch: u64) -> usize {
+        (mix(epoch ^ 0x1FCA_5700_0000_0001) % self.radix as u64) as usize
+    }
+
+    /// Whether `input` belongs to the epoch's burst: a wrapping
+    /// contiguous block of exactly `fanin` inputs starting at a
+    /// per-epoch offset.
+    fn is_member(&self, epoch: u64, input: usize) -> bool {
+        let offset = (mix(epoch ^ 0x1FCA_5700_0000_0002) % self.radix as u64) as usize;
+        (input + self.radix - offset) % self.radix < self.fanin
+    }
+}
+
+impl TrafficPattern for Incast {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        let i = input.index();
+        let epoch = self.cycle[i] / EPOCH_CYCLES;
+        self.cycle[i] += 1;
+        if !injects(base_rate, rng) {
+            return None;
+        }
+        if self.is_member(epoch, i) {
+            Some(OutputId::new(self.victim(epoch)))
+        } else {
+            Some(OutputId::new(rng.gen_range(0..self.radix)))
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+    use hirise_core::rng::SeedableRng;
+
+    #[test]
+    fn members_all_hit_the_epoch_victim() {
+        let radix = 16;
+        let mut pattern = Incast::new(radix, 4);
+        let mut rng = rng();
+        for epoch in 0..8u64 {
+            let victim = pattern.victim(epoch);
+            let members: Vec<usize> = (0..radix)
+                .filter(|&i| pattern.is_member(epoch, i))
+                .collect();
+            assert_eq!(members.len(), 4, "epoch {epoch}: exact fan-in");
+            // Drive one full epoch across all inputs.
+            for _ in 0..EPOCH_CYCLES {
+                for i in 0..radix {
+                    if let Some(dst) = pattern.next(InputId::new(i), 1.0, &mut rng) {
+                        if members.contains(&i) {
+                            assert_eq!(dst.index(), victim, "epoch {epoch} input {i}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn victim_rotates_across_epochs() {
+        let pattern = Incast::new(64, 8);
+        let victims: std::collections::HashSet<usize> =
+            (0..32u64).map(|e| pattern.victim(e)).collect();
+        assert!(victims.len() > 8, "victims stuck: {victims:?}");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = Incast::new(16, 4);
+        let mut b = Incast::new(16, 4);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for t in 0..1_000 {
+            for i in 0..16 {
+                assert_eq!(
+                    a.next(InputId::new(i), 0.3, &mut rng_a),
+                    b.next(InputId::new(i), 0.3, &mut rng_b),
+                    "cycle {t} input {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fanin")]
+    fn rejects_oversized_fanin() {
+        let _ = Incast::new(8, 9);
+    }
+}

@@ -1,5 +1,8 @@
 //! Synthetic traffic patterns (§V: uniform random, hotspot, bursty, and
-//! the custom corner-case/adversarial patterns of §VI-B).
+//! the custom corner-case/adversarial patterns of §VI-B), plus the
+//! datacenter service-shaped generators used by the matching face-off:
+//! [`Incast`] fan-in bursts, [`Rpc`] request/response chains, and
+//! [`Diurnal`] load ramps.
 //!
 //! A [`TrafficPattern`] is polled once per input per cycle with the
 //! configured base injection rate (packets/input/cycle); it decides both
@@ -7,16 +10,22 @@
 
 mod bursty;
 mod custom;
+mod diurnal;
 mod hotspot;
+mod incast;
 mod pathological;
 mod permutation;
+mod rpc;
 mod uniform;
 
 pub use bursty::Bursty;
 pub use custom::Custom;
+pub use diurnal::Diurnal;
 pub use hotspot::{paper_adversarial, Hotspot};
+pub use incast::Incast;
 pub use pathological::{InterLayerOnly, WorstCaseL2lc};
 pub use permutation::{BitComplement, NeighborShift, RandomPermutation, Tornado, Transpose};
+pub use rpc::Rpc;
 pub use uniform::UniformRandom;
 
 use hirise_core::rng::StdRng;

@@ -1,0 +1,201 @@
+//! RPC request/response traffic: dependency chains between client and
+//! server ports, plus uniform background load — the service-shaped
+//! pattern behind the per-QoS-class tail measurements (EXPERIMENTS.md).
+//!
+//! The port space splits into three fixed roles: the first quarter are
+//! *clients*, the second quarter *servers* (client `i` is paired with
+//! server `i + radix/4`), and the upper half is *background*. A client
+//! issues a request to its server's port; `delay` cycles later the
+//! server issues the matching response back — a two-hop dependency
+//! chain whose end-to-end latency is what an RPC SLO bounds.
+//!
+//! The request schedule is a pure function of `(client, cycle)`, so the
+//! server mirrors it without any shared state: both sides evaluate the
+//! same hash, offset by `delay`. No draw from the simulator's PRNG is
+//! consumed for the RPC halves, which keeps the schedule independent of
+//! role interleaving and keeps sharded runs byte-identical.
+
+use super::incast::mix;
+use super::{injects, TrafficPattern};
+use hirise_core::rng::{Rng, StdRng};
+use hirise_core::{InputId, OutputId};
+
+/// Paired request/response traffic with background load.
+#[derive(Clone, Debug)]
+pub struct Rpc {
+    radix: usize,
+    /// Server think time: cycles between a request being issued and its
+    /// response entering the fabric.
+    delay: u64,
+    /// Per-input local cycle counters (advance one per poll).
+    cycle: Vec<u64>,
+    name: String,
+}
+
+impl Rpc {
+    /// Creates RPC traffic with the given server think time in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 4` (the role split needs at least one client,
+    /// one server, and two background ports) or `delay` is zero.
+    pub fn new(radix: usize, delay: u64) -> Self {
+        assert!(radix >= 4, "radix must be at least 4 for the role split");
+        assert!(delay > 0, "delay must be at least 1 cycle");
+        Self {
+            radix,
+            delay,
+            cycle: vec![0; radix],
+            name: format!("rpc{delay}"),
+        }
+    }
+
+    /// The default face-off configuration: 16-cycle server think time.
+    pub fn with_defaults(radix: usize) -> Self {
+        Self::new(radix, 16)
+    }
+
+    /// Server think time in cycles — also the natural per-request
+    /// latency SLO unit for reports (a request+response spends `delay`
+    /// cycles at the server before any fabric queueing is added).
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// The static QoS class map matching this pattern's roles: the RPC
+    /// half (clients and servers) is class 0, background is class 1.
+    /// Feed it to `SimConfig::qos_classes` to get per-class tail
+    /// telemetry that separates SLO-bound RPC traffic from best-effort
+    /// background.
+    pub fn qos_classes(radix: usize) -> Vec<u8> {
+        (0..radix).map(|i| u8::from(i >= radix / 2)).collect()
+    }
+
+    /// Whether client `client` issues a request on its cycle `t` — a
+    /// pure function both the client and its server evaluate.
+    fn request_fires(client: usize, t: u64, rate: f64) -> bool {
+        let h = mix((client as u64) << 40 ^ t ^ 0x52_5043_0000_0001);
+        // 53 high bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate.clamp(0.0, 1.0)
+    }
+}
+
+impl TrafficPattern for Rpc {
+    fn next(&mut self, input: InputId, base_rate: f64, rng: &mut StdRng) -> Option<OutputId> {
+        let i = input.index();
+        let t = self.cycle[i];
+        self.cycle[i] += 1;
+        let quarter = self.radix / 4;
+        if i < quarter {
+            // Client: request to its paired server.
+            Self::request_fires(i, t, base_rate).then(|| OutputId::new(i + quarter))
+        } else if i < 2 * quarter {
+            // Server: mirror the client's schedule, shifted by `delay`.
+            let client = i - quarter;
+            (t >= self.delay && Self::request_fires(client, t - self.delay, base_rate))
+                .then(|| OutputId::new(client))
+        } else {
+            // Background: best-effort uniform traffic.
+            injects(base_rate, rng).then(|| OutputId::new(rng.gen_range(0..self.radix)))
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::rng;
+    use super::*;
+
+    #[test]
+    fn responses_mirror_requests_with_the_configured_delay() {
+        let radix = 16;
+        let delay = 5;
+        let mut pattern = Rpc::new(radix, delay);
+        let mut rng = rng();
+        let mut requests = Vec::new();
+        let mut responses = Vec::new();
+        for t in 0..2_000u64 {
+            for i in 0..radix {
+                let dst = pattern.next(InputId::new(i), 0.3, &mut rng);
+                if i < radix / 4 {
+                    if let Some(dst) = dst {
+                        assert_eq!(dst.index(), i + radix / 4, "client targets its server");
+                        requests.push((t, i));
+                    }
+                } else if i < radix / 2 {
+                    if let Some(dst) = dst {
+                        assert_eq!(dst.index(), i - radix / 4, "server targets its client");
+                        responses.push((t, dst.index()));
+                    }
+                }
+            }
+        }
+        assert!(!requests.is_empty());
+        // Every response is a request shifted forward by `delay`, and
+        // (up to the tail still in flight) every request is answered.
+        let shifted: Vec<(u64, usize)> = requests.iter().map(|&(t, c)| (t + delay, c)).collect();
+        assert_eq!(&shifted[..responses.len()], &responses[..]);
+        assert!(
+            shifted.len() - responses.len() <= delay as usize * (radix / 4),
+            "at most the last `delay` cycles in flight"
+        );
+    }
+
+    #[test]
+    fn background_ports_spray_uniformly() {
+        let radix = 16;
+        let mut pattern = Rpc::new(radix, 4);
+        let mut rng = rng();
+        let mut seen = vec![false; radix];
+        for _ in 0..2_000 {
+            for i in radix / 2..radix {
+                if let Some(dst) = pattern.next(InputId::new(i), 0.5, &mut rng) {
+                    seen[dst.index()] = true;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "background misses outputs: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn qos_classes_split_rpc_from_background() {
+        let classes = Rpc::qos_classes(16);
+        assert_eq!(&classes[..8], &[0; 8]);
+        assert_eq!(&classes[8..], &[1; 8]);
+    }
+
+    #[test]
+    fn rpc_halves_do_not_touch_the_shared_rng() {
+        // The request/response schedule must be a pure function: two
+        // instances polled with *differently seeded* RNGs agree on every
+        // client and server decision.
+        use hirise_core::rng::SeedableRng;
+        let radix = 8;
+        let mut a = Rpc::new(radix, 3);
+        let mut b = Rpc::new(radix, 3);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            for i in 0..radix / 2 {
+                assert_eq!(
+                    a.next(InputId::new(i), 0.4, &mut rng_a),
+                    b.next(InputId::new(i), 0.4, &mut rng_b),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_radix() {
+        let _ = Rpc::new(3, 16);
+    }
+}

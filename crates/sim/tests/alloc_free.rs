@@ -12,7 +12,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use hirise_core::{
-    ArbitrationScheme, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+    ArbitrationScheme, Fabric, Fault, FaultSite, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
+    MatchingSwitch, Switch2d,
 };
 use hirise_sim::mesh_sim::{MeshSim, MeshSimConfig};
 use hirise_sim::shard::sharded_mesh;
@@ -127,6 +128,18 @@ fn steady_state_cycles_allocate_nothing() {
             count_steady_state_allocations(HiRiseSwitch::new(&hirise_cfg)),
         ),
         ("hirise+faults", count_steady_state_allocations(faulty)),
+        (
+            "islip2",
+            count_steady_state_allocations(MatchingSwitch::islip(RADIX, 2)),
+        ),
+        (
+            "eslip",
+            count_steady_state_allocations(MatchingSwitch::eslip(RADIX, 2)),
+        ),
+        (
+            "wavefront",
+            count_steady_state_allocations(MatchingSwitch::wavefront(RADIX)),
+        ),
     ];
 
     for (fabric, count) in allocations {

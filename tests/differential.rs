@@ -1,14 +1,16 @@
 //! Differential acceptance suite: every fabric in the standard fleet
-//! (golden-model crossbar, 2D Swizzle, 3D folded, and Hi-Rise under
-//! L-2-L LRG / WLRG / CLRG at channel multiplicities 1 and 2) is
-//! co-stepped for at least ten thousand randomized cycles, with zero
+//! (golden-model crossbar, 2D Swizzle, 3D folded, Hi-Rise under
+//! L-2-L LRG / WLRG / CLRG at channel multiplicities 1 and 2, and the
+//! iterative-matching schedulers iSLIP/ESLIP/wavefront) is co-stepped
+//! for at least ten thousand randomized cycles, with zero
 //! grant-legality or delivery-equivalence violations, and the full
 //! simulator's invariant checker is held on for ten thousand cycles per
 //! arbitration scheme.
 
 use hirise::core::rng::{SeedableRng, StdRng};
 use hirise::core::{
-    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch, Switch2d,
+    ArbiterKernel, ArbitrationScheme, Fabric, FoldedSwitch, HiRiseConfig, HiRiseSwitch,
+    MatchPolicy, MatchingSwitch, Switch2d,
 };
 use hirise::sim::diff::{check_arbitrate_into_equivalence, run_schedule, standard_fleet, Schedule};
 use hirise::sim::traffic::UniformRandom;
@@ -288,6 +290,18 @@ fn kernel_fleet(radix: usize, kernel: ArbiterKernel) -> Vec<(String, Box<dyn Fab
             Box::new(HiRiseSwitch::with_kernel(&cfg, kernel)),
         ));
     }
+    for (label, policy) in [
+        ("islip1", MatchPolicy::Islip { iterations: 1 }),
+        ("islip2", MatchPolicy::Islip { iterations: 2 }),
+        ("islip4", MatchPolicy::Islip { iterations: 4 }),
+        ("eslip", MatchPolicy::Eslip { iterations: 2 }),
+        ("wavefront", MatchPolicy::Wavefront),
+    ] {
+        fleet.push((
+            format!("{label}-{radix}"),
+            Box::new(MatchingSwitch::with_kernel(radix, policy, kernel)),
+        ));
+    }
     fleet
 }
 
@@ -457,6 +471,61 @@ fn word_kernel_matches_scalar_kernel_under_faults() {
             assert!(
                 *compared >= TARGET_CYCLES,
                 "{name}: only {compared} cycles compared"
+            );
+        }
+    }
+}
+
+/// The iterative-matching schedulers specifically, co-stepped against
+/// the golden model at every standard radix (the fleet-wide test above
+/// only runs radix 16): iSLIP at 1/2/4 iterations, ESLIP and wavefront
+/// each simulate >= 10k randomized cycles at radix 16, 32 and 64 with
+/// per-cycle grant legality and delivery-set equivalence enforced.
+#[test]
+fn matching_fabrics_co_step_golden_model_at_every_radix() {
+    use hirise::sim::diff::RefSwitch;
+
+    const TARGET_CYCLES: u64 = 10_000;
+    type BuildFabric = fn(usize) -> Box<dyn Fabric>;
+    let fleet: Vec<(&str, BuildFabric)> = vec![
+        ("islip1", |r| Box::new(MatchingSwitch::islip(r, 1))),
+        ("islip2", |r| Box::new(MatchingSwitch::islip(r, 2))),
+        ("islip4", |r| Box::new(MatchingSwitch::islip(r, 4))),
+        ("eslip", |r| Box::new(MatchingSwitch::eslip(r, 2))),
+        ("wavefront", |r| Box::new(MatchingSwitch::wavefront(r))),
+    ];
+    for radix in [16usize, 32, 64] {
+        let mut cycles = vec![0u64; fleet.len()];
+        let mut round = 0u64;
+        while cycles.iter().any(|&c| c < TARGET_CYCLES) {
+            let mut rng = StdRng::seed_from_u64(0x3354_1000 + radix as u64 * 1_000 + round);
+            let schedule = Schedule::random(&mut rng, radix, 200, 0.15, 4);
+            let mut golden = Box::new(RefSwitch::new(radix)) as Box<dyn Fabric>;
+            let reference = run_schedule(&mut golden, &schedule).unwrap_or_else(|violation| {
+                panic!("radix {radix} round {round}: ref: {violation}")
+            });
+            let mut reference_delivered = reference.delivered.clone();
+            reference_delivered.sort_unstable();
+            for (index, (name, build)) in fleet.iter().enumerate() {
+                let mut fabric = build(radix);
+                let outcome = run_schedule(&mut fabric, &schedule).unwrap_or_else(|violation| {
+                    panic!("radix {radix} round {round}, {name}: {violation}")
+                });
+                cycles[index] += outcome.cycles;
+                let mut delivered = outcome.delivered.clone();
+                delivered.sort_unstable();
+                assert_eq!(
+                    delivered, reference_delivered,
+                    "radix {radix} round {round}: {name} delivered a different \
+                     packet set than the golden model"
+                );
+            }
+            round += 1;
+        }
+        for ((name, _), simulated) in fleet.iter().zip(&cycles) {
+            assert!(
+                *simulated >= TARGET_CYCLES,
+                "{name} radix {radix}: only {simulated} cycles co-stepped"
             );
         }
     }
